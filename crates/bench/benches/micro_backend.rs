@@ -1,0 +1,58 @@
+//! Micro: multi-token scheduler dispatch cost — the request/sync/window
+//! cycle of the FaST Backend at realistic pod counts.
+
+use criterion::Criterion;
+use fastg_cluster::{PodId, ResourceSpec};
+use fastg_des::SimTime;
+use fastgshare::manager::{BackendConfig, FastBackend, RequestOutcome, SharingPolicy};
+
+/// Simulates `cycles` token request→burst→sync rounds across `pods` pods
+/// on one backend; returns tokens dispatched.
+fn token_cycles(pods: u64, cycles: u64) -> u64 {
+    let mut b = FastBackend::new(BackendConfig {
+        policy: SharingPolicy::FaST,
+        window: SimTime::from_millis(100),
+        token_lease: SimTime::from_millis(5),
+        sm_global_limit: 100.0,
+        ..BackendConfig::default()
+    });
+    for i in 0..pods {
+        b.register(PodId(i), ResourceSpec::new(12.0, 0.5, 1.0, 0));
+    }
+    let mut now = SimTime::ZERO;
+    let mut dispatched = 0u64;
+    for c in 0..cycles {
+        for i in 0..pods {
+            let pod = PodId(i);
+            now += SimTime::from_micros(50);
+            let (outcome, _side) = b.request(now, pod);
+            if let RequestOutcome::Granted(_) = outcome {
+                b.begin_burst(pod);
+                now += SimTime::from_micros(300);
+                let out = b.sync_point(now, pod, SimTime::from_micros(300));
+                dispatched += out.granted.len() as u64;
+            }
+        }
+        if c % 100 == 99 {
+            now += SimTime::from_millis(1);
+            dispatched += b.on_window_reset(now).len() as u64;
+        }
+    }
+    dispatched + b.tokens_dispatched()
+}
+
+fn main() {
+    println!("\n=== Micro: FaST Backend token dispatch ===");
+    for pods in [4u64, 16, 64] {
+        let d = token_cycles(pods, 200);
+        println!("{pods:>4} pods x 200 cycles -> {d} tokens dispatched");
+    }
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("backend/8pods_500cycles", |b| {
+        b.iter(|| token_cycles(8, 500))
+    });
+    c.bench_function("backend/64pods_100cycles", |b| {
+        b.iter(|| token_cycles(64, 100))
+    });
+    c.final_summary();
+}

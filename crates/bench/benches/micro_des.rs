@@ -1,0 +1,56 @@
+//! Micro: discrete-event engine throughput — event queue churn and a
+//! full platform-second of simulation per iteration.
+
+use criterion::Criterion;
+use fastg_des::{EventQueue, SimTime, Simulation, World};
+use fastg_workload::ArrivalProcess;
+use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig};
+
+struct Relay {
+    remaining: u64,
+}
+
+impl World for Relay {
+    type Event = u64;
+    fn handle(&mut self, now: SimTime, ev: u64, queue: &mut EventQueue<u64>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            queue.schedule(now + SimTime::from_micros(ev % 97 + 1), ev.wrapping_mul(31));
+        }
+    }
+}
+
+fn relay_events(n: u64) -> u64 {
+    let mut sim = Simulation::new(Relay { remaining: n });
+    for i in 0..16 {
+        sim.queue_mut().schedule(SimTime::from_micros(i), i);
+    }
+    sim.run_until_idle();
+    sim.events_handled()
+}
+
+fn platform_second() -> u64 {
+    let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(3));
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(4)
+                .resources(12.0, 1.0, 1.0),
+        )
+        .expect("deploys");
+    p.set_load(f, ArrivalProcess::poisson(120.0, 4));
+    p.run_for(SimTime::from_secs(1));
+    p.events_handled()
+}
+
+fn main() {
+    println!("\n=== Micro: simulation engine throughput ===");
+    println!("relay: {} events", relay_events(100_000));
+    println!("platform-second: {} events", platform_second());
+    let mut c = Criterion::default().configure_from_args();
+    c.bench_function("des/relay_100k_events", |b| b.iter(|| relay_events(100_000)));
+    c.bench_function("des/platform_second_resnet_4pods_120rps", |b| {
+        b.iter(platform_second)
+    });
+    c.final_summary();
+}

@@ -1,0 +1,182 @@
+//! Shared scenario runners for the figure-regeneration benches.
+//!
+//! Each `benches/figNN_*.rs` harness prints the paper table/series it
+//! regenerates (deterministically) and then lets Criterion time one
+//! representative configuration. The scenario builders live here so the
+//! benches stay declarative.
+
+use fastg_des::SimTime;
+use fastg_workload::ArrivalProcess;
+use fastgshare::manager::SharingPolicy;
+use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig, PlatformReport};
+use fastgshare::profiler::{ProfileDb, ProfileKey, ProfileRecord};
+
+/// Outcome of one saturated sharing run (one function, one node).
+#[derive(Debug, Clone, Copy)]
+pub struct SharingOutcome {
+    /// Total steady-state throughput (req/s).
+    pub rps: f64,
+    /// Median latency.
+    pub p50: SimTime,
+    /// Tail latency.
+    pub p99: SimTime,
+    /// Mean GPU utilization (0..=1).
+    pub utilization: f64,
+    /// Mean SM occupancy (0..=1).
+    pub sm_occupancy: f64,
+}
+
+/// Runs `pods` saturating replicas of `model` on one V100 under `policy`
+/// with `sm_pct` SM partitions, measuring for `seconds` after 1 s warm-up.
+pub fn run_sharing(
+    policy: SharingPolicy,
+    model: &str,
+    pods: usize,
+    sm_pct: f64,
+    seconds: u64,
+    seed: u64,
+) -> SharingOutcome {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(policy)
+            .oversubscribe(true)
+            .warmup(SimTime::from_secs(1))
+            .seed(seed),
+    );
+    let pods = if policy == SharingPolicy::Exclusive { 1 } else { pods };
+    let f = p
+        .deploy(
+            FunctionConfig::new("bench", model)
+                .replicas(pods)
+                .resources(sm_pct, 1.0, 1.0)
+                .saturating(),
+        )
+        .expect("bench function deploys");
+    let report = p.run_for(SimTime::from_secs(1 + seconds));
+    let fr = &report.functions[&f];
+    let node = &report.nodes[0];
+    SharingOutcome {
+        rps: fr.throughput_rps,
+        p50: fr.p50,
+        p99: fr.p99,
+        utilization: node.utilization,
+        sm_occupancy: node.sm_occupancy,
+    }
+}
+
+/// Deploys the Figure 11 pod set (2 BERT + 2 RNNT + 4 ResNet, descending
+/// area order) on a 4-node cluster under `policy`, saturating, and runs
+/// for `seconds` after 1 s warm-up. Returns `(gpus bound, report)`.
+pub fn run_fig11(policy: SharingPolicy, seconds: u64, seed: u64) -> (usize, PlatformReport) {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(4)
+            .policy(policy)
+            .warmup(SimTime::from_secs(1))
+            .seed(seed),
+    );
+    p.deploy(
+        FunctionConfig::new("bert", "bert_base")
+            .replicas(2)
+            .resources(50.0, 0.6, 0.6)
+            .saturating(),
+    )
+    .expect("bert deploys");
+    p.deploy(
+        FunctionConfig::new("rnnt", "rnnt")
+            .replicas(2)
+            .resources(24.0, 0.4, 0.4)
+            .saturating(),
+    )
+    .expect("rnnt deploys");
+    p.deploy(
+        FunctionConfig::new("resnet", "resnet50")
+            .replicas(4)
+            .resources(12.0, 0.4, 0.4)
+            .saturating(),
+    )
+    .expect("resnet deploys");
+    let gpus = p.gpus_in_use();
+    let report = p.run_for(SimTime::from_secs(1 + seconds));
+    (gpus, report)
+}
+
+/// An analytic ResNet-50 profile database (Figure 8 shaped) for
+/// auto-scaling scenarios.
+pub fn resnet_profile_db() -> ProfileDb {
+    let model = fastg_models::zoo::resnet50();
+    let mut db = ProfileDb::new();
+    for &(sm_pct, sms) in &[(6.0, 5u32), (12.0, 10), (24.0, 19), (50.0, 40)] {
+        for &q in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+            db.insert(
+                "resnet50",
+                ProfileKey::new(sm_pct, q),
+                ProfileRecord {
+                    rps: model.ideal_rps(sms, q),
+                    p50: model.latency_at(sms),
+                    p99: model.latency_at(sms) * 2,
+                    utilization: 0.0,
+                    sm_occupancy: 0.0,
+                },
+            );
+        }
+    }
+    db
+}
+
+/// The Figure 12 auto-scaling scenario: returns per-interval
+/// `(time, replicas, served_rate, p99)` samples and the final report.
+pub fn run_autoscaling(
+    seed: u64,
+    intervals: usize,
+    interval_secs: u64,
+) -> (Vec<(u64, usize, f64, SimTime)>, PlatformReport) {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(4)
+            .warmup(SimTime::from_secs(2))
+            .seed(seed),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("resnet", "resnet50")
+                .slo_ms(69)
+                .replicas(1)
+                .resources(12.0, 0.4, 1.0),
+        )
+        .expect("deploys");
+    p.enable_autoscaler(resnet_profile_db());
+    let total = intervals as u64 * interval_secs;
+    p.set_load(
+        f,
+        ArrivalProcess::profile(
+            vec![
+                (SimTime::ZERO, 10.0),
+                (SimTime::from_secs(total / 6), 10.0),
+                (SimTime::from_secs(total / 2), 130.0),
+                (SimTime::from_secs(total * 2 / 3), 130.0),
+                (SimTime::from_secs(total * 3 / 4), 40.0),
+                (SimTime::from_secs(total), 40.0),
+            ],
+            seed,
+        ),
+    );
+    let mut samples = Vec::new();
+    let mut prev_completed = 0u64;
+    let mut last = None;
+    for i in 1..=intervals {
+        let report = p.run_for(SimTime::from_secs(interval_secs));
+        let fr = &report.functions[&f];
+        let served = (fr.completed - prev_completed) as f64 / interval_secs as f64;
+        prev_completed = fr.completed;
+        samples.push((i as u64 * interval_secs, fr.replicas, served, fr.p99));
+        last = Some(report);
+    }
+    (samples, last.expect("at least one interval"))
+}
+
+/// Formats a `SimTime` latency as milliseconds for tables.
+pub fn ms(t: SimTime) -> String {
+    format!("{:.1}ms", t.as_millis_f64())
+}

@@ -1,0 +1,408 @@
+//! Nodes, pods and their lifecycle.
+
+use crate::spec::{FuncId, ResourceSpec};
+use fastg_des::SimTime;
+use fastg_gpu::{ClientId, DevicePtr, GpuDevice, GpuSpec, MpsMode};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies a worker node (one GPU per node, as in the paper's testbed).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+/// Identifies a pod (one function instance).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PodId(pub u64);
+
+/// Pod lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodState {
+    /// Serving (or ready to serve) requests.
+    Running,
+    /// Draining: finishes its in-flight request, accepts no new ones, then
+    /// is deleted. This is how scale-down avoids dropping requests.
+    Terminating,
+}
+
+/// A worker node: one simulated GPU plus the MPS DaemonSet container.
+#[derive(Debug)]
+pub struct Node {
+    /// Node id.
+    pub id: NodeId,
+    /// Node name, e.g. `gpu-worker-0`.
+    pub name: String,
+    /// The node's GPU (device + MPS server + memory + metrics).
+    pub gpu: GpuDevice,
+}
+
+/// A running function instance bound to a node.
+#[derive(Debug, Clone)]
+pub struct Pod {
+    /// Pod id.
+    pub id: PodId,
+    /// The function this pod serves.
+    pub func: FuncId,
+    /// The node it is bound to.
+    pub node: NodeId,
+    /// Its MPS client on the node's GPU.
+    pub client: ClientId,
+    /// Its spatio-temporal resource annotations.
+    pub resources: ResourceSpec,
+    /// Device memory reserved at creation.
+    pub memory: Option<DevicePtr>,
+    /// Lifecycle state.
+    pub state: PodState,
+    /// Creation timestamp.
+    pub created_at: SimTime,
+}
+
+/// Errors from cluster operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// No node with that id.
+    UnknownNode(NodeId),
+    /// No pod with that id.
+    UnknownPod(PodId),
+    /// The node's GPU could not admit the pod.
+    Gpu(String),
+    /// Not enough device memory on the node.
+    OutOfMemory {
+        /// Requested reservation in bytes.
+        requested: u64,
+        /// Free device memory in bytes.
+        free: u64,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            ClusterError::UnknownPod(p) => write!(f, "unknown pod {p:?}"),
+            ClusterError::Gpu(e) => write!(f, "GPU error: {e}"),
+            ClusterError::OutOfMemory { requested, free } => {
+                write!(f, "node out of GPU memory: requested {requested} B, {free} B free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The cluster: worker nodes and the pods scheduled onto them.
+#[derive(Debug, Default)]
+pub struct Cluster {
+    nodes: BTreeMap<NodeId, Node>,
+    pods: BTreeMap<PodId, Pod>,
+    next_node: u32,
+    next_pod: u64,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a worker node with one GPU of the given spec, running the MPS
+    /// DaemonSet (shared mode) or the plain device plugin (exclusive mode).
+    pub fn add_node(&mut self, spec: GpuSpec, mode: MpsMode) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        let name = format!("gpu-worker-{}", id.0);
+        self.nodes.insert(
+            id,
+            Node {
+                id,
+                name,
+                gpu: GpuDevice::new(spec, mode),
+            },
+        );
+        id
+    }
+
+    /// Adds `n` identical nodes; returns their ids.
+    pub fn add_nodes(&mut self, n: usize, spec: GpuSpec, mode: MpsMode) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node(spec.clone(), mode)).collect()
+    }
+
+    /// Node ids, in order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> Result<&Node, ClusterError> {
+        self.nodes.get(&id).ok_or(ClusterError::UnknownNode(id))
+    }
+
+    /// Mutable node access (the platform drives the GPU through this).
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, ClusterError> {
+        self.nodes.get_mut(&id).ok_or(ClusterError::UnknownNode(id))
+    }
+
+    /// Creates a pod for `func` on `node`: registers an MPS client with the
+    /// spec's SM partition and reserves `reserve_bytes` of device memory
+    /// (which the caller computes — it differs under model sharing).
+    pub fn create_pod(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        func: FuncId,
+        resources: ResourceSpec,
+        reserve_bytes: u64,
+    ) -> Result<PodId, ClusterError> {
+        resources.validate();
+        let n = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(ClusterError::UnknownNode(node))?;
+        if n.gpu.memory().free_bytes() < reserve_bytes {
+            return Err(ClusterError::OutOfMemory {
+                requested: reserve_bytes,
+                free: n.gpu.memory().free_bytes(),
+            });
+        }
+        let client = n
+            .gpu
+            .register_client(resources.sm_partition)
+            .map_err(|e| ClusterError::Gpu(e.to_string()))?;
+        let memory = if reserve_bytes > 0 {
+            match n.gpu.memory_mut().alloc(reserve_bytes) {
+                Ok(ptr) => Some(ptr),
+                Err(e) => {
+                    n.gpu
+                        .unregister_client(client)
+                        .expect("fresh client unregisters");
+                    return Err(ClusterError::Gpu(e.to_string()));
+                }
+            }
+        } else {
+            None
+        };
+        let id = PodId(self.next_pod);
+        self.next_pod += 1;
+        self.pods.insert(
+            id,
+            Pod {
+                id,
+                func,
+                node,
+                client,
+                resources,
+                memory,
+                state: PodState::Running,
+                created_at: now,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Marks a pod as draining (no new requests). Idempotent.
+    pub fn begin_terminate(&mut self, pod: PodId) -> Result<(), ClusterError> {
+        let p = self.pods.get_mut(&pod).ok_or(ClusterError::UnknownPod(pod))?;
+        p.state = PodState::Terminating;
+        Ok(())
+    }
+
+    /// Removes a drained pod: frees its device memory and MPS client. The
+    /// caller must ensure no kernels are in flight.
+    pub fn delete_pod(&mut self, pod: PodId) -> Result<Pod, ClusterError> {
+        let p = self.pods.remove(&pod).ok_or(ClusterError::UnknownPod(pod))?;
+        let n = self
+            .nodes
+            .get_mut(&p.node)
+            .ok_or(ClusterError::UnknownNode(p.node))?;
+        if let Some(ptr) = p.memory {
+            n.gpu
+                .memory_mut()
+                .free(ptr)
+                .map_err(|e| ClusterError::Gpu(e.to_string()))?;
+        }
+        n.gpu
+            .unregister_client(p.client)
+            .map_err(|e| ClusterError::Gpu(e.to_string()))?;
+        Ok(p)
+    }
+
+    /// Immutable pod access.
+    pub fn pod(&self, id: PodId) -> Result<&Pod, ClusterError> {
+        self.pods.get(&id).ok_or(ClusterError::UnknownPod(id))
+    }
+
+    /// Mutable pod access.
+    pub fn pod_mut(&mut self, id: PodId) -> Result<&mut Pod, ClusterError> {
+        self.pods.get_mut(&id).ok_or(ClusterError::UnknownPod(id))
+    }
+
+    /// All pods of a function, in id order.
+    pub fn pods_of(&self, func: FuncId) -> Vec<PodId> {
+        self.pods
+            .values()
+            .filter(|p| p.func == func)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Running (non-terminating) pods of a function.
+    pub fn running_pods_of(&self, func: FuncId) -> Vec<PodId> {
+        self.pods
+            .values()
+            .filter(|p| p.func == func && p.state == PodState::Running)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// All pods on a node.
+    pub fn pods_on(&self, node: NodeId) -> Vec<PodId> {
+        self.pods
+            .values()
+            .filter(|p| p.node == node)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Total pods.
+    pub fn pod_count(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// Reconciliation helper (the FaSTPod controller loop): given a desired
+    /// replica count for `func`, returns how many pods to create (positive)
+    /// or which running pods to drain (chosen newest-first so the
+    /// longest-lived, warmed instances survive).
+    pub fn reconcile(&self, func: FuncId, desired: usize) -> ReconcileAction {
+        let mut running: Vec<&Pod> = self
+            .pods
+            .values()
+            .filter(|p| p.func == func && p.state == PodState::Running)
+            .collect();
+        if running.len() < desired {
+            ReconcileAction::Create(desired - running.len())
+        } else if running.len() > desired {
+            running.sort_by_key(|p| std::cmp::Reverse((p.created_at, p.id))); // newest first
+            ReconcileAction::Drain(
+                running[..running.len() - desired]
+                    .iter()
+                    .map(|p| p.id)
+                    .collect(),
+            )
+        } else {
+            ReconcileAction::Steady
+        }
+    }
+}
+
+/// Outcome of a reconciliation pass for one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconcileAction {
+    /// Create this many new pods.
+    Create(usize),
+    /// Drain these pods (newest first).
+    Drain(Vec<PodId>),
+    /// Replicas already match.
+    Steady,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ResourceSpec {
+        ResourceSpec::new(12.0, 0.3, 0.8, 0)
+    }
+
+    fn cluster_with_node() -> (Cluster, NodeId) {
+        let mut c = Cluster::new();
+        let n = c.add_node(GpuSpec::v100(), MpsMode::Shared);
+        (c, n)
+    }
+
+    #[test]
+    fn create_and_delete_pod_round_trip() {
+        let (mut c, n) = cluster_with_node();
+        let pod = c
+            .create_pod(SimTime::ZERO, n, FuncId(0), spec(), 1024)
+            .unwrap();
+        assert_eq!(c.pod_count(), 1);
+        assert_eq!(c.node(n).unwrap().gpu.memory().used(), 1024);
+        assert_eq!(c.node(n).unwrap().gpu.mps().client_count(), 1);
+        c.delete_pod(pod).unwrap();
+        assert_eq!(c.pod_count(), 0);
+        assert_eq!(c.node(n).unwrap().gpu.memory().used(), 0);
+        assert_eq!(c.node(n).unwrap().gpu.mps().client_count(), 0);
+    }
+
+    #[test]
+    fn memory_capacity_enforced() {
+        let mut c = Cluster::new();
+        let n = c.add_node(GpuSpec::custom("small", 8, 1000), MpsMode::Shared);
+        let err = c.create_pod(SimTime::ZERO, n, FuncId(0), spec(), 2000);
+        assert!(matches!(err, Err(ClusterError::OutOfMemory { .. })));
+        // Failure leaves no stray MPS client.
+        assert_eq!(c.node(n).unwrap().gpu.mps().client_count(), 0);
+    }
+
+    #[test]
+    fn pods_of_filters_by_function_and_state() {
+        let (mut c, n) = cluster_with_node();
+        let a = c.create_pod(SimTime::ZERO, n, FuncId(0), spec(), 0).unwrap();
+        let b = c.create_pod(SimTime::ZERO, n, FuncId(0), spec(), 0).unwrap();
+        let _x = c.create_pod(SimTime::ZERO, n, FuncId(1), spec(), 0).unwrap();
+        assert_eq!(c.pods_of(FuncId(0)), vec![a, b]);
+        c.begin_terminate(b).unwrap();
+        assert_eq!(c.running_pods_of(FuncId(0)), vec![a]);
+        assert_eq!(c.pods_on(n).len(), 3);
+    }
+
+    #[test]
+    fn reconcile_scales_up_and_down() {
+        let (mut c, n) = cluster_with_node();
+        assert_eq!(c.reconcile(FuncId(0), 2), ReconcileAction::Create(2));
+        let a = c.create_pod(SimTime::ZERO, n, FuncId(0), spec(), 0).unwrap();
+        let b = c
+            .create_pod(SimTime::from_secs(1), n, FuncId(0), spec(), 0)
+            .unwrap();
+        assert_eq!(c.reconcile(FuncId(0), 2), ReconcileAction::Steady);
+        // Scale to one: the newest pod (b) drains.
+        assert_eq!(c.reconcile(FuncId(0), 1), ReconcileAction::Drain(vec![b]));
+        let _ = a;
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut c = Cluster::new();
+        assert!(matches!(
+            c.create_pod(SimTime::ZERO, NodeId(5), FuncId(0), spec(), 0),
+            Err(ClusterError::UnknownNode(_))
+        ));
+        assert!(matches!(c.delete_pod(PodId(9)), Err(ClusterError::UnknownPod(_))));
+        assert!(c.pod(PodId(9)).is_err());
+    }
+
+    #[test]
+    fn multiple_nodes_get_distinct_names() {
+        let mut c = Cluster::new();
+        let ids = c.add_nodes(4, GpuSpec::v100(), MpsMode::Shared);
+        assert_eq!(ids.len(), 4);
+        let names: Vec<_> = ids
+            .iter()
+            .map(|&i| c.node(i).unwrap().name.clone())
+            .collect();
+        assert_eq!(names[0], "gpu-worker-0");
+        assert_eq!(names[3], "gpu-worker-3");
+    }
+
+    #[test]
+    fn exclusive_node_admits_single_pod() {
+        let mut c = Cluster::new();
+        let n = c.add_node(GpuSpec::v100(), MpsMode::Exclusive);
+        let _a = c.create_pod(SimTime::ZERO, n, FuncId(0), spec(), 0).unwrap();
+        let err = c.create_pod(SimTime::ZERO, n, FuncId(0), spec(), 0);
+        assert!(matches!(err, Err(ClusterError::Gpu(_))));
+    }
+}

@@ -1,0 +1,347 @@
+//! The OpenFaaS gateway analogue: request queues, idle-pod dispatch and
+//! arrival-rate prediction.
+
+use crate::cluster::PodId;
+use crate::spec::FuncId;
+use fastg_des::SimTime;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Identifies one end-user request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// An inference request waiting at (or dispatched by) the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Request id.
+    pub id: RequestId,
+    /// Target function.
+    pub func: FuncId,
+    /// Gateway arrival time (latency is measured from here, as the load
+    /// generator observes it).
+    pub arrived: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct FuncState {
+    queue: VecDeque<Request>,
+    idle_pods: BTreeSet<PodId>,
+    members: BTreeSet<PodId>,
+    arrivals: Vec<SimTime>,
+}
+
+/// The gateway: per-function FIFO queues and pull-based dispatch.
+///
+/// Pods *pull*: an idle pod is handed the head of its function's queue; if
+/// the queue is empty it parks in the idle set and the next arrival is
+/// dispatched to it directly. Because every pod serves one request at a
+/// time, this implements least-outstanding routing.
+#[derive(Debug, Default)]
+pub struct Gateway {
+    funcs: BTreeMap<FuncId, FuncState>,
+    next_request: u64,
+}
+
+impl Gateway {
+    /// Creates an empty gateway.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures the function is known to the gateway.
+    pub fn register_func(&mut self, func: FuncId) {
+        self.funcs.entry(func).or_default();
+    }
+
+    /// Adds a pod to a function's routing set, initially idle.
+    pub fn register_pod(&mut self, func: FuncId, pod: PodId) {
+        let st = self.funcs.entry(func).or_default();
+        st.members.insert(pod);
+        st.idle_pods.insert(pod);
+    }
+
+    /// Removes a pod from routing (scale-down / drain). Returns whether the
+    /// pod was idle — if it was busy, the platform lets its in-flight
+    /// request finish before deletion.
+    pub fn deregister_pod(&mut self, func: FuncId, pod: PodId) -> bool {
+        let Some(st) = self.funcs.get_mut(&func) else {
+            return false;
+        };
+        st.members.remove(&pod);
+        st.idle_pods.remove(&pod)
+    }
+
+    /// Accepts a new request at `now`. If an idle pod exists it is
+    /// dispatched immediately (`Some((request, pod))`); otherwise the
+    /// request queues and `None` is returned.
+    pub fn on_arrival(&mut self, now: SimTime, func: FuncId) -> (Request, Option<PodId>) {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        let req = Request {
+            id,
+            func,
+            arrived: now,
+        };
+        let st = self.funcs.entry(func).or_default();
+        st.arrivals.push(now);
+        if let Some(&pod) = st.idle_pods.iter().next() {
+            st.idle_pods.remove(&pod);
+            (req, Some(pod))
+        } else {
+            st.queue.push_back(req);
+            (req, None)
+        }
+    }
+
+    /// Re-admits a request that was dispatched but never completed (its
+    /// pod crashed). It keeps its original id and arrival time — the
+    /// retry latency counts against the SLO — and jumps the queue, or
+    /// goes straight to an idle pod.
+    pub fn requeue(&mut self, req: Request) -> Option<PodId> {
+        let st = self.funcs.entry(req.func).or_default();
+        if let Some(&pod) = st.idle_pods.iter().next() {
+            st.idle_pods.remove(&pod);
+            Some(pod)
+        } else {
+            st.queue.push_front(req);
+            None
+        }
+    }
+
+    /// A pod finished its request and asks for more work. Returns the next
+    /// queued request, or parks the pod idle and returns `None`. Pods that
+    /// were deregistered while busy are not parked (the caller deletes
+    /// them).
+    pub fn on_pod_idle(&mut self, func: FuncId, pod: PodId) -> Option<Request> {
+        let st = self.funcs.get_mut(&func)?;
+        if !st.members.contains(&pod) {
+            return None;
+        }
+        // The pod may already be parked (e.g. a freshly registered pod
+        // polling for backlog); it must leave the idle set while serving.
+        st.idle_pods.remove(&pod);
+        match st.queue.pop_front() {
+            Some(req) => Some(req),
+            None => {
+                st.idle_pods.insert(pod);
+                None
+            }
+        }
+    }
+
+    /// Queue depth for a function.
+    pub fn queue_len(&self, func: FuncId) -> usize {
+        self.funcs.get(&func).map_or(0, |st| st.queue.len())
+    }
+
+    /// Number of idle pods for a function.
+    pub fn idle_count(&self, func: FuncId) -> usize {
+        self.funcs.get(&func).map_or(0, |st| st.idle_pods.len())
+    }
+
+    /// Registered pods for a function.
+    pub fn member_count(&self, func: FuncId) -> usize {
+        self.funcs.get(&func).map_or(0, |st| st.members.len())
+    }
+
+    /// Observed arrival rate (requests/second) over the trailing `window`
+    /// ending at `now` — the predicted load `R_j` fed to the auto-scaler.
+    pub fn arrival_rate(&self, func: FuncId, now: SimTime, window: SimTime) -> f64 {
+        let Some(st) = self.funcs.get(&func) else {
+            return 0.0;
+        };
+        let from = now.saturating_sub(window);
+        let lo = st.arrivals.partition_point(|&t| t < from);
+        let n = st.arrivals.len() - lo;
+        let span = window.as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            n as f64 / span
+        }
+    }
+
+    /// Predicted near-future arrival rate: the trailing rate plus a linear
+    /// trend extrapolated one half-window ahead. During ramps a plain
+    /// trailing mean lags the true rate by ~half the window, which is
+    /// exactly the under-provisioning that blows SLOs during scale-up;
+    /// the trend term cancels that lag. Never negative.
+    pub fn predicted_rate(&self, func: FuncId, now: SimTime, window: SimTime) -> f64 {
+        let half = window / 2;
+        let mid = now.saturating_sub(half);
+        let r_old = self.rate_in(func, now.saturating_sub(window), mid);
+        let r_new = self.rate_in(func, mid, now);
+        (r_new + (r_new - r_old)).max(0.0)
+    }
+
+    fn rate_in(&self, func: FuncId, from: SimTime, to: SimTime) -> f64 {
+        let Some(st) = self.funcs.get(&func) else {
+            return 0.0;
+        };
+        let span = to.saturating_sub(from).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let lo = st.arrivals.partition_point(|&t| t < from);
+        let hi = st.arrivals.partition_point(|&t| t < to);
+        (hi - lo) as f64 / span
+    }
+
+    /// Total requests ever accepted for a function.
+    pub fn total_arrivals(&self, func: FuncId) -> u64 {
+        self.funcs.get(&func).map_or(0, |st| st.arrivals.len() as u64)
+    }
+
+    /// Functions with registered state.
+    pub fn funcs(&self) -> Vec<FuncId> {
+        self.funcs.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FuncId = FuncId(0);
+
+    #[test]
+    fn dispatches_to_idle_pod_immediately() {
+        let mut g = Gateway::new();
+        g.register_pod(F, PodId(1));
+        let (req, pod) = g.on_arrival(SimTime::ZERO, F);
+        assert_eq!(pod, Some(PodId(1)));
+        assert_eq!(req.id, RequestId(0));
+        assert_eq!(g.idle_count(F), 0);
+    }
+
+    #[test]
+    fn queues_when_all_busy_and_drains_fifo() {
+        let mut g = Gateway::new();
+        g.register_pod(F, PodId(1));
+        let (_r0, _) = g.on_arrival(SimTime::ZERO, F);
+        let (r1, p1) = g.on_arrival(SimTime::from_millis(1), F);
+        let (r2, p2) = g.on_arrival(SimTime::from_millis(2), F);
+        assert_eq!(p1, None);
+        assert_eq!(p2, None);
+        assert_eq!(g.queue_len(F), 2);
+        // Pod comes back: gets r1 then r2 in order.
+        assert_eq!(g.on_pod_idle(F, PodId(1)).unwrap().id, r1.id);
+        assert_eq!(g.on_pod_idle(F, PodId(1)).unwrap().id, r2.id);
+        // Nothing left: pod parks idle.
+        assert_eq!(g.on_pod_idle(F, PodId(1)), None);
+        assert_eq!(g.idle_count(F), 1);
+    }
+
+    #[test]
+    fn multiple_idle_pods_fan_out() {
+        let mut g = Gateway::new();
+        g.register_pod(F, PodId(1));
+        g.register_pod(F, PodId(2));
+        let (_, pa) = g.on_arrival(SimTime::ZERO, F);
+        let (_, pb) = g.on_arrival(SimTime::ZERO, F);
+        let mut got = vec![pa.unwrap(), pb.unwrap()];
+        got.sort();
+        assert_eq!(got, vec![PodId(1), PodId(2)]);
+    }
+
+    #[test]
+    fn parked_pod_can_poll_for_backlog() {
+        let mut g = Gateway::new();
+        // Requests queue while no pod exists.
+        let (r0, p0) = g.on_arrival(SimTime::ZERO, F);
+        assert_eq!(p0, None);
+        g.register_pod(F, PodId(1)); // registers idle
+        // The new pod polls and gets the backlog — and leaves the idle
+        // set so arrivals cannot double-dispatch to it.
+        assert_eq!(g.on_pod_idle(F, PodId(1)).unwrap().id, r0.id);
+        assert_eq!(g.idle_count(F), 0);
+        let (_, p1) = g.on_arrival(SimTime::from_millis(1), F);
+        assert_eq!(p1, None, "busy pod must not be double-dispatched");
+    }
+
+    #[test]
+    fn deregistered_pod_is_not_parked() {
+        let mut g = Gateway::new();
+        g.register_pod(F, PodId(1));
+        let (_, p) = g.on_arrival(SimTime::ZERO, F);
+        assert_eq!(p, Some(PodId(1)));
+        // Drained while busy.
+        let was_idle = g.deregister_pod(F, PodId(1));
+        assert!(!was_idle);
+        assert_eq!(g.on_pod_idle(F, PodId(1)), None);
+        assert_eq!(g.idle_count(F), 0);
+    }
+
+    #[test]
+    fn deregistering_idle_pod_reports_idle() {
+        let mut g = Gateway::new();
+        g.register_pod(F, PodId(1));
+        assert!(g.deregister_pod(F, PodId(1)));
+        assert_eq!(g.member_count(F), 0);
+    }
+
+    #[test]
+    fn arrival_rate_windows() {
+        let mut g = Gateway::new();
+        g.register_func(F);
+        for i in 0..100 {
+            g.on_arrival(SimTime::from_millis(i * 10), F); // 100 rps
+        }
+        let r = g.arrival_rate(F, SimTime::from_secs(1), SimTime::from_secs(1));
+        assert!((r - 100.0).abs() < 2.0, "r = {r}");
+        // Older-than-window arrivals excluded.
+        let r2 = g.arrival_rate(F, SimTime::from_secs(10), SimTime::from_secs(1));
+        assert_eq!(r2, 0.0);
+        assert_eq!(g.total_arrivals(F), 100);
+    }
+
+    #[test]
+    fn predicted_rate_anticipates_ramps() {
+        let mut g = Gateway::new();
+        g.register_func(F);
+        // First 2 s at 50 rps, next 2 s at 150 rps.
+        for i in 0..100u64 {
+            g.on_arrival(SimTime::from_millis(i * 20), F);
+        }
+        for i in 0..300u64 {
+            g.on_arrival(SimTime::from_secs(2) + SimTime::from_micros(i * 6_667), F);
+        }
+        let now = SimTime::from_secs(4);
+        let window = SimTime::from_secs(4);
+        let trailing = g.arrival_rate(F, now, window);
+        let predicted = g.predicted_rate(F, now, window);
+        // Trailing mean ~100, prediction extrapolates towards ~250.
+        assert!((trailing - 100.0).abs() < 10.0, "trailing {trailing}");
+        assert!(predicted > 200.0, "predicted {predicted}");
+    }
+
+    #[test]
+    fn predicted_rate_never_negative() {
+        let mut g = Gateway::new();
+        g.register_func(F);
+        // A burst followed by silence: the raw trend would be negative.
+        for i in 0..200u64 {
+            g.on_arrival(SimTime::from_millis(i), F);
+        }
+        let p = g.predicted_rate(F, SimTime::from_secs(10), SimTime::from_secs(4));
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn unknown_function_is_harmless() {
+        let mut g = Gateway::new();
+        assert_eq!(g.queue_len(FuncId(7)), 0);
+        assert_eq!(g.on_pod_idle(FuncId(7), PodId(1)), None);
+        assert_eq!(g.arrival_rate(FuncId(7), SimTime::ZERO, SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn request_ids_are_globally_unique() {
+        let mut g = Gateway::new();
+        g.register_func(F);
+        g.register_func(FuncId(1));
+        let (a, _) = g.on_arrival(SimTime::ZERO, F);
+        let (b, _) = g.on_arrival(SimTime::ZERO, FuncId(1));
+        assert_ne!(a.id, b.id);
+    }
+}

@@ -1,0 +1,146 @@
+//! CRD-style specifications: functions and their spatio-temporal resource
+//! annotations.
+
+use fastg_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a deployed FaaS function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// The spatio-temporal GPU resource annotations of a FaSTPod — the
+/// `faasshare/sm_partition`, `faasshare/quota_limit`,
+/// `faasshare/quota_request` and `faasshare/gpu_mem` fields of the paper's
+/// Figure 4, with the same semantics:
+///
+/// * `sm_partition`: percentage of the GPU's SMs this pod's kernels may
+///   occupy concurrently (the MPS active-thread percentage).
+/// * `quota_limit` / `quota_request`: maximum and guaranteed fractions of
+///   each scheduling window the pod may spend on the GPU. `request ≤ limit`;
+///   the gap is the elastic region used when the GPU is otherwise idle.
+/// * `gpu_mem`: device memory to reserve for the pod, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// SM partition percentage in `(0, 100]`.
+    pub sm_partition: f64,
+    /// Maximum window fraction in `(0, 1]`.
+    pub quota_limit: f64,
+    /// Guaranteed window fraction in `[0, quota_limit]`.
+    pub quota_request: f64,
+    /// Device memory reservation in bytes.
+    pub gpu_mem: u64,
+}
+
+impl ResourceSpec {
+    /// Builds and validates a spec.
+    ///
+    /// # Panics
+    /// Panics on out-of-range values (these come from the profiler/
+    /// scheduler, so invalid values are bugs, not user errors).
+    pub fn new(sm_partition: f64, quota_request: f64, quota_limit: f64, gpu_mem: u64) -> Self {
+        let s = ResourceSpec {
+            sm_partition,
+            quota_limit,
+            quota_request,
+            gpu_mem,
+        };
+        s.validate();
+        s
+    }
+
+    /// Checks all invariants.
+    pub fn validate(&self) {
+        assert!(
+            self.sm_partition > 0.0 && self.sm_partition <= 100.0,
+            "sm_partition {} outside (0, 100]",
+            self.sm_partition
+        );
+        assert!(
+            self.quota_limit > 0.0 && self.quota_limit <= 1.0,
+            "quota_limit {} outside (0, 1]",
+            self.quota_limit
+        );
+        assert!(
+            self.quota_request >= 0.0 && self.quota_request <= self.quota_limit,
+            "quota_request {} outside [0, quota_limit={}]",
+            self.quota_request,
+            self.quota_limit
+        );
+    }
+
+    /// The paper's "secondCores" area measure: `quota × SM share`, the
+    /// uniform size of a spatio-temporal resource rectangle.
+    pub fn area(&self) -> f64 {
+        self.quota_limit * self.sm_partition / 100.0
+    }
+
+    /// A spec used for profiling: `quota_request == quota_limit` (§3.3.2).
+    pub fn profiling(sm_partition: f64, quota: f64, gpu_mem: u64) -> Self {
+        Self::new(sm_partition, quota, quota, gpu_mem)
+    }
+}
+
+/// The FaSTFunc CRD analogue: a user-deployed inference function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaSTFuncSpec {
+    /// Function name, e.g. `fastsvc-rnnt`.
+    pub name: String,
+    /// The model this function serves (a `fastg-models` zoo name).
+    pub model: String,
+    /// Latency SLO for requests to this function.
+    pub slo: SimTime,
+}
+
+impl FaSTFuncSpec {
+    /// Creates a function spec.
+    pub fn new(name: &str, model: &str, slo: SimTime) -> Self {
+        FaSTFuncSpec {
+            name: name.to_string(),
+            model: model.to_string(),
+            slo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_spec_passes() {
+        let s = ResourceSpec::new(12.0, 0.3, 0.8, 1 << 30);
+        assert!((s.area() - 0.096).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiling_spec_pins_request_to_limit() {
+        let s = ResourceSpec::profiling(24.0, 0.4, 0);
+        assert_eq!(s.quota_request, s.quota_limit);
+    }
+
+    #[test]
+    #[should_panic(expected = "sm_partition")]
+    fn zero_partition_rejected() {
+        ResourceSpec::new(0.0, 0.1, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota_request")]
+    fn request_above_limit_rejected() {
+        ResourceSpec::new(10.0, 0.9, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota_limit")]
+    fn limit_above_one_rejected() {
+        ResourceSpec::new(10.0, 0.5, 1.5, 0);
+    }
+
+    #[test]
+    fn func_spec_round_trips_serde() {
+        let f = FaSTFuncSpec::new("fastsvc-resnet", "resnet50", SimTime::from_millis(69));
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FaSTFuncSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,269 @@
+//! `fastgshare` — command-line front end for the simulated platform.
+//!
+//! ```text
+//! fastgshare serve   [model] [rps] [seconds]      one function under FaST
+//! fastgshare compare [model] [pods]               the four sharing policies
+//! fastgshare profile [model]                      Figure-8 grid for a model
+//! fastgshare autoscale                            Figure-12 scenario
+//! fastgshare csv     [model] [rps] [seconds]      run + CSV report to stdout
+//! fastgshare apply   <manifest.json> [rps] [sec]  deploy a FaSTFunc manifest
+//! fastgshare models                               list the model zoo
+//! ```
+//!
+//! Arguments are positional with sensible defaults; no flags, no external
+//! CLI dependency.
+
+use fastg_des::SimTime;
+use fastg_workload::ArrivalProcess;
+use fastgshare::manager::SharingPolicy;
+use fastgshare::platform::{csv, FunctionConfig, Platform, PlatformConfig};
+use fastgshare::profiler::{ConfigServer, Experiment, ProfileDb, ProfileKey, ProfileRecord};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let arg = |i: usize, default: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| default.to_string())
+    };
+    match cmd {
+        "serve" => serve(
+            &arg(1, "resnet50"),
+            arg(2, "60").parse().unwrap_or(60.0),
+            arg(3, "10").parse().unwrap_or(10),
+            false,
+        ),
+        "csv" => serve(
+            &arg(1, "resnet50"),
+            arg(2, "60").parse().unwrap_or(60.0),
+            arg(3, "10").parse().unwrap_or(10),
+            true,
+        ),
+        "compare" => compare(&arg(1, "resnet50"), arg(2, "8").parse().unwrap_or(8)),
+        "profile" => profile(&arg(1, "resnet50")),
+        "autoscale" => autoscale(),
+        "models" => models(),
+        "apply" => apply(
+            &arg(1, ""),
+            arg(2, "30").parse().unwrap_or(30.0),
+            arg(3, "10").parse().unwrap_or(10),
+        ),
+        _ => help(),
+    }
+}
+
+/// Deploys a FaSTFunc manifest file and serves Poisson traffic against it.
+fn apply(path: &str, rps: f64, seconds: u64) {
+    if path.is_empty() {
+        eprintln!("usage: fastgshare apply <manifest.json> [rps] [seconds]");
+        std::process::exit(2);
+    }
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let fc = match FunctionConfig::from_manifest(&json) {
+        Ok(fc) => fc,
+        Err(e) => {
+            eprintln!("bad manifest: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(SharingPolicy::FaST)
+            .warmup(SimTime::from_secs(1))
+            .seed(42),
+    );
+    let f = match p.deploy(fc) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("deploy failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    p.set_load(f, ArrivalProcess::poisson(rps, 7));
+    let report = p.run_for(SimTime::from_secs(seconds));
+    print!("{}", report.summary());
+}
+
+fn help() {
+    println!(
+        "fastgshare — FaST-GShare (ICPP 2023) simulation platform\n\n\
+         USAGE:\n  \
+         fastgshare serve   [model] [rps] [seconds]   serve Poisson traffic under FaST\n  \
+         fastgshare compare [model] [pods]            compare the four sharing policies\n  \
+         fastgshare profile [model]                   FaST-Profiler grid (Figure 8)\n  \
+         fastgshare autoscale                         auto-scaling scenario (Figure 12)\n  \
+         fastgshare csv     [model] [rps] [seconds]   emit a CSV report\n  \
+         fastgshare models                            list the model zoo"
+    );
+}
+
+fn models() {
+    println!("{:<12} {:>10} {:>12} {:>10} {:>12}", "model", "1-pod rps", "saturation", "memory", "weights");
+    for m in fastg_models::zoo::all() {
+        println!(
+            "{:<12} {:>10.1} {:>9} SMs {:>8} M {:>10} M",
+            m.name,
+            m.ideal_rps(80, 1.0),
+            m.saturation_sms(80, 0.0),
+            m.memory.total() / (1024 * 1024),
+            m.memory.weights_bytes / (1024 * 1024),
+        );
+    }
+}
+
+fn serve(model: &str, rps: f64, seconds: u64, as_csv: bool) {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(SharingPolicy::FaST)
+            .warmup(SimTime::from_secs(1))
+            .seed(42),
+    );
+    let f = match p.deploy(
+        FunctionConfig::new(&format!("fastsvc-{model}"), model)
+            .replicas(2)
+            .resources(24.0, 1.0, 1.0),
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("deploy failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    p.set_load(f, ArrivalProcess::poisson(rps, 7));
+    let report = p.run_for(SimTime::from_secs(seconds));
+    if as_csv {
+        print!("{}", csv::functions_csv(&report));
+        print!("{}", csv::nodes_csv(&report));
+        print!("{}", csv::timeseries_csv(&report));
+    } else {
+        print!("{}", report.summary());
+    }
+}
+
+fn compare(model: &str, pods: usize) {
+    println!(
+        "{:<28} {:>10} {:>12} {:>8} {:>8}",
+        "policy", "req/s", "p99", "util", "SM occ"
+    );
+    let cases = [
+        ("device plugin (exclusive)", SharingPolicy::Exclusive, 100.0),
+        ("time sharing (KubeShare)", SharingPolicy::SingleToken, 100.0),
+        ("racing (MPS, no control)", SharingPolicy::Racing, 100.0),
+        ("FaST-GShare (12% parts)", SharingPolicy::FaST, 12.0),
+        ("FaST-GShare (24% parts)", SharingPolicy::FaST, 24.0),
+    ];
+    for (name, policy, sm) in cases {
+        let mut p = Platform::new(
+            PlatformConfig::default()
+                .nodes(1)
+                .policy(policy)
+                .oversubscribe(true)
+                .warmup(SimTime::from_secs(1))
+                .seed(17),
+        );
+        let n = if policy == SharingPolicy::Exclusive { 1 } else { pods };
+        let f = p
+            .deploy(
+                FunctionConfig::new("cmp", model)
+                    .replicas(n)
+                    .resources(sm, 1.0, 1.0)
+                    .saturating(),
+            )
+            .expect("deploys");
+        let r = p.run_for(SimTime::from_secs(5));
+        let fr = &r.functions[&f];
+        println!(
+            "{name:<28} {:>10.1} {:>12} {:>7.1}% {:>7.1}%",
+            fr.throughput_rps,
+            format!("{}", fr.p99),
+            r.nodes[0].utilization * 100.0,
+            r.nodes[0].sm_occupancy * 100.0,
+        );
+    }
+}
+
+fn profile(model: &str) {
+    let mut db = ProfileDb::new();
+    let exp = Experiment::new(model, ConfigServer::paper_grid())
+        .trial_duration(SimTime::from_secs(3));
+    if let Err(e) = exp.run(&mut db) {
+        eprintln!("profiling failed: {e}");
+        std::process::exit(1);
+    }
+    println!("{}", db.to_json());
+}
+
+fn autoscale() {
+    let zoo = fastg_models::zoo::resnet50();
+    let mut db = ProfileDb::new();
+    for &(sm_pct, sms) in &[(6.0, 5u32), (12.0, 10), (24.0, 19), (50.0, 40)] {
+        for &q in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+            db.insert(
+                "resnet50",
+                ProfileKey::new(sm_pct, q),
+                ProfileRecord {
+                    rps: zoo.ideal_rps(sms, q),
+                    p50: zoo.latency_at(sms),
+                    p99: zoo.latency_at(sms) * 2,
+                    utilization: 0.0,
+                    sm_occupancy: 0.0,
+                },
+            );
+        }
+    }
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(4)
+            .warmup(SimTime::from_secs(2))
+            .seed(23),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("fastsvc-resnet", "resnet50")
+                .slo_ms(69)
+                .replicas(1)
+                .resources(12.0, 0.4, 1.0),
+        )
+        .expect("deploys");
+    p.enable_autoscaler(db);
+    p.set_load(
+        f,
+        ArrivalProcess::profile(
+            vec![
+                (SimTime::ZERO, 10.0),
+                (SimTime::from_secs(10), 10.0),
+                (SimTime::from_secs(30), 130.0),
+                (SimTime::from_secs(40), 130.0),
+                (SimTime::from_secs(45), 40.0),
+                (SimTime::from_secs(60), 40.0),
+            ],
+            99,
+        ),
+    );
+    println!("{:>6} {:>7} {:>12}", "t", "pods", "served");
+    let mut prev = 0u64;
+    for step in 1..=12u64 {
+        let r = p.run_for(SimTime::from_secs(5));
+        let fr = &r.functions[&f];
+        println!(
+            "{:>5}s {:>7} {:>10.1}/s",
+            step * 5,
+            fr.replicas,
+            (fr.completed - prev) as f64 / 5.0
+        );
+        prev = fr.completed;
+    }
+    let fr = &p.report().functions[&f];
+    println!(
+        "SLO violations {:.2}% over {} requests",
+        fr.violation_ratio * 100.0,
+        fr.completed
+    );
+}

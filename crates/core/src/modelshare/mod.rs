@@ -1,0 +1,26 @@
+//! Model Sharing (paper §3.5): IPC-based single-copy weight storage.
+//!
+//! Fine-grained sharing packs many instances of the same function onto one
+//! GPU, multiplying the memory cost of duplicate model weights. The
+//! mechanism here keeps exactly one copy per model:
+//!
+//! * [`ModelStorageServer`] — the Plasma-object-store analogue running on
+//!   each node. `STORE` allocates device memory for a tensor
+//!   (`cuMemAlloc`), exports an IPC handle (`cuIpcGetMemHandle`) and
+//!   tracks refcounts; `GET` returns the existing handle (triggering the
+//!   store path when the tensor is absent). The server pays a fixed
+//!   storage-process context overhead per model (300 MB on a V100 —
+//!   Figure 13's hatched area).
+//! * [`StoreLib`] — the client library linked into each function
+//!   instance: it opens handles (`cuIpcOpenMemHandle`) and wraps the raw
+//!   device pointers in zero-copy tensor objects, so PyTorch-style
+//!   frameworks construct the model without copying.
+//! * [`footprint`] — the memory-accounting helpers the scheduler's
+//!   node-selection uses: with sharing, a pod reserves only its private
+//!   runtime/activation memory while weights live once in the store.
+
+mod server;
+
+pub use server::{
+    footprint, ModelStorageServer, ShareError, StoreLib, TensorHandle, DEFAULT_CTX_OVERHEAD,
+};

@@ -1,0 +1,1181 @@
+//! The platform engine: the event loop wiring every component together.
+
+use crate::manager::{BackendConfig, FastBackend, RequestOutcome, SharingPolicy};
+use crate::modelshare::{footprint, ModelStorageServer, StoreLib, DEFAULT_CTX_OVERHEAD};
+use crate::platform::config::{FunctionConfig, PlatformConfig};
+use crate::platform::report::{FunctionReport, NodeReport, PlatformReport};
+use crate::profiler::ProfileDb;
+use crate::scheduler::{heuristic_scale, ConfigPoint, NodeSelector, PlacementPolicy, RunningPod, ScaleAction};
+use fastg_cluster::{
+    Cluster, FuncId, FaSTFuncSpec, Gateway, NodeId, PodId, PodState, Request, RequestId,
+    ResourceSpec,
+};
+use fastg_des::{EventQueue, SimTime, Simulation, TimeSeries, World};
+use fastg_gpu::{KernelDesc, KernelId, MpsMode};
+use fastg_models::{zoo, InferenceRun, KernelSpec, ModelProfile, Op};
+use fastg_workload::{ArrivalProcess, RateMeter, SloTracker};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Events driving the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A request arrives at the gateway for this function.
+    Arrival(FuncId),
+    /// A pod finished a host-side phase of its active request.
+    HostDone(PodId),
+    /// A kernel completed on a node's GPU.
+    KernelFinish(NodeId, KernelId),
+    /// A quota window closed on a node.
+    WindowReset(NodeId),
+    /// The auto-scaler control loop runs.
+    ScaleTick,
+    /// DCGM-style metric sampling.
+    MetricsSample,
+}
+
+struct FuncRt {
+    spec: FaSTFuncSpec,
+    model: Arc<ModelProfile>,
+    resources: ResourceSpec,
+    slo: SloTracker,
+    completions: RateMeter,
+    load: Option<ArrivalProcess>,
+    saturate: bool,
+    replica_series: TimeSeries,
+}
+
+struct ActiveReq {
+    req: Request,
+    run: InferenceRun,
+    pending_burst: Vec<KernelSpec>,
+    outstanding: usize,
+    burst_gpu_time: SimTime,
+    waiting_token: bool,
+}
+
+struct PodRt {
+    func: FuncId,
+    node: NodeId,
+    active: Option<ActiveReq>,
+    storelib: Option<StoreLib>,
+    bound_rect: bool,
+    /// A crashed pod whose kernels are still draining on the GPU: the
+    /// number of outstanding kernel completions before final teardown.
+    zombie: Option<usize>,
+}
+
+/// The [`World`] implementation composing cluster, GPUs, manager,
+/// scheduler, model sharing and workloads.
+pub struct Engine {
+    cfg: PlatformConfig,
+    cluster: Cluster,
+    gateway: Gateway,
+    backends: BTreeMap<NodeId, FastBackend>,
+    stores: BTreeMap<NodeId, ModelStorageServer>,
+    selector: NodeSelector,
+    funcs: BTreeMap<FuncId, FuncRt>,
+    pods: BTreeMap<PodId, PodRt>,
+    autoscale_db: Option<ProfileDb>,
+    next_func: u32,
+    next_synth: u64,
+    unschedulable: u64,
+    killed: u64,
+}
+
+impl Engine {
+    fn new(cfg: PlatformConfig) -> Self {
+        let mut cluster = Cluster::new();
+        let mode = match cfg.policy {
+            SharingPolicy::Exclusive => MpsMode::Exclusive,
+            _ => MpsMode::Shared,
+        };
+        let nodes: Vec<NodeId> = cfg
+            .effective_gpus()
+            .into_iter()
+            .map(|spec| cluster.add_node(spec, mode))
+            .collect();
+        let placement = match cfg.policy {
+            SharingPolicy::SingleToken => PlacementPolicy::TimeSharingOnly,
+            _ => PlacementPolicy::MaximalRectangles,
+        };
+        let mut selector = NodeSelector::new(placement);
+        let mut backends = BTreeMap::new();
+        let mut stores = BTreeMap::new();
+        for &n in &nodes {
+            selector.add_gpu(n);
+            backends.insert(
+                n,
+                FastBackend::new(BackendConfig {
+                    policy: cfg.policy,
+                    window: cfg.window,
+                    token_lease: cfg.effective_token_lease(),
+                    sm_global_limit: cfg.sm_global_limit,
+                    ..BackendConfig::default()
+                }),
+            );
+            stores.insert(n, ModelStorageServer::new(DEFAULT_CTX_OVERHEAD));
+        }
+        Engine {
+            cfg,
+            cluster,
+            gateway: Gateway::new(),
+            backends,
+            stores,
+            selector,
+            funcs: BTreeMap::new(),
+            pods: BTreeMap::new(),
+            autoscale_db: None,
+            next_func: 0,
+            next_synth: 1 << 60,
+            unschedulable: 0,
+            killed: 0,
+        }
+    }
+
+    // ----- deployment -------------------------------------------------
+
+    fn deploy(
+        &mut self,
+        now: SimTime,
+        fc: &FunctionConfig,
+        queue: &mut EventQueue<Event>,
+    ) -> Result<FuncId, String> {
+        let model = zoo::by_name(&fc.model)
+            .ok_or_else(|| format!("unknown model '{}'", fc.model))?;
+        let (sm, q_req, q_lim) = fc.resources;
+        let resources = ResourceSpec::new(sm, q_req, q_lim, model.memory.total());
+        let id = FuncId(self.next_func);
+        self.next_func += 1;
+        self.gateway.register_func(id);
+        self.funcs.insert(
+            id,
+            FuncRt {
+                spec: FaSTFuncSpec::new(&fc.name, &fc.model, fc.slo),
+                model: Arc::new(model),
+                resources,
+                slo: SloTracker::new(fc.slo),
+                completions: RateMeter::new(),
+                load: None,
+                saturate: fc.saturate,
+                replica_series: TimeSeries::new(),
+            },
+        );
+        for _ in 0..fc.replicas {
+            self.create_pod(now, id, resources, queue)
+                .map_err(|e| format!("deploying {}: {e}", fc.name))?;
+        }
+        Ok(id)
+    }
+
+    /// Creates one pod: node selection, cluster/MPS/memory setup, model
+    /// sharing attach, rectangle binding, backend registration, gateway
+    /// routing, and (for saturating functions) the first request.
+    fn create_pod(
+        &mut self,
+        now: SimTime,
+        func: FuncId,
+        resources: ResourceSpec,
+        queue: &mut EventQueue<Event>,
+    ) -> Result<PodId, String> {
+        let rt = self.funcs.get(&func).ok_or("unknown function")?;
+        let sharing = self.cfg.model_sharing;
+        let mem = &rt.model.memory;
+        let model_name = rt.spec.model.clone();
+        let pod_bytes = footprint::pod_reservation(mem, sharing);
+        let weights = mem.weights_bytes;
+        let saturate = rt.saturate;
+
+        // Memory feasibility per node: the pod's private reservation plus,
+        // if this node's store does not yet hold the model, the shared
+        // weights + storage context.
+        let extra_per_node: BTreeMap<NodeId, u64> = self
+            .cluster
+            .node_ids()
+            .iter()
+            .map(|&n| {
+                let extra = if sharing && self.stores[&n].model_bytes(&model_name) == 0 {
+                    footprint::server_reservation(mem, DEFAULT_CTX_OVERHEAD)
+                } else {
+                    0
+                };
+                (n, extra)
+            })
+            .collect();
+        let cluster_ref = &self.cluster;
+        let mem_fits = |n: NodeId| {
+            cluster_ref
+                .node(n)
+                .map(|node| node.gpu.memory().free_bytes() >= pod_bytes + extra_per_node[&n])
+                .unwrap_or(false)
+        };
+
+        // Node selection: Algorithm 2 best fit, or least-loaded when
+        // over-subscription is allowed.
+        let node = if self.cfg.oversubscribe {
+            self.cluster
+                .node_ids()
+                .into_iter()
+                .filter(|&n| mem_fits(n))
+                .min_by_key(|&n| (self.cluster.pods_on(n).len(), n))
+        } else {
+            self.selector.select_node(&resources, mem_fits)
+        };
+        let Some(node) = node else {
+            self.unschedulable += 1;
+            return Err("a new GPU required (no node fits)".to_string());
+        };
+
+        // Effective spec for MPS registration: policies without spatial
+        // partitioning register at 100 % active threads.
+        let eff_sm = if self.cfg.policy.uses_partitions() {
+            resources.sm_partition
+        } else {
+            100.0
+        };
+        let eff = ResourceSpec::new(eff_sm, resources.quota_request, resources.quota_limit, resources.gpu_mem);
+        let pod = self
+            .cluster
+            .create_pod(now, node, func, eff, pod_bytes)
+            .map_err(|e| e.to_string())?;
+
+        // Model sharing: attach the weights through the store library.
+        let storelib = if sharing && weights > 0 {
+            let mut lib = StoreLib::new();
+            let store = self.stores.get_mut(&node).expect("store per node");
+            let gpu_mem = self
+                .cluster
+                .node_mut(node)
+                .expect("node exists")
+                .gpu
+                .memory_mut();
+            lib.attach(store, gpu_mem, &model_name, &[("weights", weights)])
+                .map_err(|e| e.to_string())?;
+            Some(lib)
+        } else {
+            None
+        };
+
+        // Spatio-temporal rectangle binding (admission already checked).
+        let bound_rect = if self.cfg.oversubscribe {
+            false
+        } else {
+            self.selector
+                .bind(node, pod, &resources)
+                .map(|_| true)
+                .unwrap_or(false)
+        };
+
+        // Backend table row (the FaSTPod controller's spec sync).
+        self.backends
+            .get_mut(&node)
+            .expect("backend per node")
+            .register(pod, resources);
+
+        self.gateway.register_pod(func, pod);
+        self.pods.insert(
+            pod,
+            PodRt {
+                func,
+                node,
+                active: None,
+                storelib,
+                bound_rect,
+                zombie: None,
+            },
+        );
+        if saturate {
+            let req = self.synth_request(now, func);
+            self.assign_request(now, pod, req, queue);
+        } else if let Some(req) = self.gateway.on_pod_idle(func, pod) {
+            // Backlog may have accumulated while no pod was routable
+            // (e.g. every replica crashed); a new pod picks it up
+            // immediately instead of waiting for an arrival.
+            self.assign_request(now, pod, req, queue);
+        }
+        Ok(pod)
+    }
+
+    fn synth_request(&mut self, now: SimTime, func: FuncId) -> Request {
+        let id = RequestId(self.next_synth);
+        self.next_synth += 1;
+        Request {
+            id,
+            func,
+            arrived: now,
+        }
+    }
+
+    /// Starts draining a pod; deletes it immediately when idle.
+    fn drain_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
+        let Some(rt) = self.pods.get(&pod) else {
+            return;
+        };
+        if rt.zombie.is_some() {
+            return; // already being torn down by the crash path
+        }
+        let func = rt.func;
+        self.gateway.deregister_pod(func, pod);
+        let _ = self.cluster.begin_terminate(pod);
+        if self.pods[&pod].active.is_none() {
+            self.delete_pod(now, pod, queue);
+        }
+    }
+
+    fn delete_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
+        let Some(mut rt) = self.pods.remove(&pod) else {
+            return;
+        };
+        debug_assert!(rt.active.is_none(), "deleting pod with a request in flight");
+        let node = rt.node;
+        let grants = self
+            .backends
+            .get_mut(&node)
+            .expect("backend per node")
+            .deregister(now, pod);
+        if let Some(lib) = rt.storelib.as_mut() {
+            let store = self.stores.get_mut(&node).expect("store per node");
+            let gpu_mem = self
+                .cluster
+                .node_mut(node)
+                .expect("node exists")
+                .gpu
+                .memory_mut();
+            lib.detach(store, gpu_mem);
+        }
+        if rt.bound_rect {
+            self.selector.release(node, pod);
+        }
+        self.cluster.delete_pod(pod).expect("pod exists in cluster");
+        self.process_grants(now, &grants, queue);
+    }
+
+    /// Live FaSTPod spec sync (§3.2: resource configurations are filled
+    /// by the profiler/scheduler and synchronized to the backend table):
+    /// updates the function's default resources and re-applies partition,
+    /// quotas, MPS limit and rectangle binding to every running pod.
+    fn reconfigure(&mut self, func: FuncId, resources: ResourceSpec) -> Result<(), String> {
+        resources.validate();
+        let rt = self.funcs.get_mut(&func).ok_or("unknown function")?;
+        rt.resources = resources;
+        let eff_sm = if self.cfg.policy.uses_partitions() {
+            resources.sm_partition
+        } else {
+            100.0
+        };
+        for pod in self.cluster.running_pods_of(func) {
+            let node = self.pods[&pod].node;
+            let client = self.cluster.pod(pod).expect("pod").client;
+            let old = self.cluster.pod(pod).expect("pod").resources;
+            // MPS partition: applies from the pod's next kernel launch.
+            let gpu = &mut self.cluster.node_mut(node).expect("node exists").gpu;
+            gpu.set_partition(client, eff_sm).map_err(|e| e.to_string())?;
+            self.cluster.pod_mut(pod).expect("pod").resources =
+                ResourceSpec::new(eff_sm, resources.quota_request, resources.quota_limit, resources.gpu_mem);
+            // Backend table row (quotas take effect within this window).
+            self.backends
+                .get_mut(&node)
+                .expect("backend per node")
+                .update_spec(pod, resources);
+            // Rectangle binding: swap to the new shape if it fits; keep
+            // the old reservation otherwise (conservative).
+            if self.pods[&pod].bound_rect {
+                self.selector.release(node, pod);
+                if self.selector.bind(node, pod, &resources).is_none() {
+                    let restored = self
+                        .selector
+                        .bind(node, pod, &old)
+                        .is_some();
+                    debug_assert!(restored, "freed rectangle must re-bind");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Failure injection: the pod crashes right now. Its in-flight
+    /// request returns to the gateway (keeping its arrival time, so the
+    /// retry latency hits the SLO accounting); kernels already resident
+    /// on the GPU drain as a "zombie" before final teardown, exactly as a
+    /// dead process's launched work completes on real hardware.
+    fn kill_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) -> bool {
+        let Some(rt) = self.pods.get_mut(&pod) else {
+            return false;
+        };
+        if rt.zombie.is_some() {
+            return false; // already dying
+        }
+        let func = rt.func;
+        let node = rt.node;
+        self.killed += 1;
+        self.gateway.deregister_pod(func, pod);
+        // The cluster must stop counting the pod as Running right away —
+        // otherwise reconciliation would refuse to create replacements
+        // while the corpse's kernels drain.
+        let _ = self.cluster.begin_terminate(pod);
+        let grants = self
+            .backends
+            .get_mut(&node)
+            .expect("backend per node")
+            .force_deregister(now, pod);
+        let rt = self.pods.get_mut(&pod).expect("checked above");
+        if rt.bound_rect {
+            rt.bound_rect = false;
+            self.selector.release(node, pod);
+        }
+        // Salvage the request, remember how many kernels must drain.
+        let (lost_req, outstanding) = match self.pods.get_mut(&pod).unwrap().active.take() {
+            Some(a) => (Some(a.req), a.outstanding),
+            None => (None, 0),
+        };
+        if outstanding == 0 {
+            self.teardown_dead_pod(pod);
+        } else {
+            self.pods.get_mut(&pod).unwrap().zombie = Some(outstanding);
+        }
+        // Retry the lost request (synthetic saturating requests are just
+        // dropped; a fresh one spawns on whichever pod serves next).
+        if let Some(req) = lost_req {
+            if req.id.0 < 1 << 60 {
+                if let Some(next_pod) = self.gateway.requeue(req) {
+                    self.assign_request(now, next_pod, req, queue);
+                }
+            }
+        }
+        self.process_grants(now, &grants, queue);
+        true
+    }
+
+    /// Final teardown of a crashed pod once no kernels remain resident.
+    fn teardown_dead_pod(&mut self, pod: PodId) {
+        let Some(mut rt) = self.pods.remove(&pod) else {
+            return;
+        };
+        let node = rt.node;
+        if let Some(lib) = rt.storelib.as_mut() {
+            let store = self.stores.get_mut(&node).expect("store per node");
+            let gpu_mem = self
+                .cluster
+                .node_mut(node)
+                .expect("node exists")
+                .gpu
+                .memory_mut();
+            lib.detach(store, gpu_mem);
+        }
+        self.cluster.delete_pod(pod).expect("pod exists in cluster");
+    }
+
+    // ----- request lifecycle ------------------------------------------
+
+    fn on_arrival(&mut self, now: SimTime, func: FuncId, queue: &mut EventQueue<Event>) {
+        // Schedule the next arrival first (the process is self-timed).
+        if let Some(load) = self.funcs.get_mut(&func).and_then(|f| f.load.as_mut()) {
+            if let Some(t) = load.next_after(now) {
+                queue.schedule(t, Event::Arrival(func));
+            }
+        }
+        let (req, pod) = self.gateway.on_arrival(now, func);
+        if let Some(pod) = pod {
+            self.assign_request(now, pod, req, queue);
+        }
+    }
+
+    fn assign_request(
+        &mut self,
+        now: SimTime,
+        pod: PodId,
+        req: Request,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let rt = self.pods.get_mut(&pod).expect("assigning to a live pod");
+        debug_assert!(rt.active.is_none(), "pod {pod:?} already busy");
+        let model = Arc::clone(&self.funcs[&rt.func].model);
+        rt.active = Some(ActiveReq {
+            req,
+            run: InferenceRun::new(model),
+            pending_burst: Vec::new(),
+            outstanding: 0,
+            burst_gpu_time: SimTime::ZERO,
+            waiting_token: false,
+        });
+        self.step_pod(now, pod, queue);
+    }
+
+    /// Advances a pod's inference cursor to its next blocking operation
+    /// (the cursor itself skips empty phases).
+    fn step_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
+        let rt = self.pods.get_mut(&pod).expect("stepping a live pod");
+        let active = rt.active.as_mut().expect("stepping requires a request");
+        match active.run.advance() {
+            Op::Host(d) => {
+                queue.schedule(now + d, Event::HostDone(pod));
+            }
+            Op::Burst(kernels) => {
+                active.pending_burst = kernels;
+                self.try_start_burst(now, pod, queue);
+            }
+            Op::Done => {
+                self.complete_request(now, pod, queue);
+            }
+        }
+    }
+
+    fn try_start_burst(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
+        let node = self.pods[&pod].node;
+        let backend = self.backends.get_mut(&node).expect("backend per node");
+        let (outcome, side_grants) = backend.request(now, pod);
+        match outcome {
+            // Lease expiry is enforced lazily, at the pod's own sync
+            // points and re-requests: a real time-slice holder is not
+            // preempted during sub-millisecond host gaps, which is
+            // precisely why time sharing wastes the GPU on them.
+            RequestOutcome::Granted(_) => {
+                self.launch_burst(now, pod, queue);
+            }
+            RequestOutcome::Queued | RequestOutcome::BlockedUntilReset => {
+                let rt = self.pods.get_mut(&pod).expect("pod exists");
+                rt.active
+                    .as_mut()
+                    .expect("burst belongs to a request")
+                    .waiting_token = true;
+            }
+        }
+        // Capacity released by this request may have admitted other pods.
+        self.process_grants(now, &side_grants, queue);
+    }
+
+    fn launch_burst(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
+        let node = self.pods[&pod].node;
+        self.backends
+            .get_mut(&node)
+            .expect("backend per node")
+            .begin_burst(pod);
+        let rt = self.pods.get_mut(&pod).expect("pod exists");
+        let active = rt.active.as_mut().expect("burst belongs to a request");
+        active.waiting_token = false;
+        let burst = std::mem::take(&mut active.pending_burst);
+        debug_assert!(!burst.is_empty(), "launching an empty burst");
+        active.outstanding = burst.len();
+        active.burst_gpu_time = SimTime::ZERO;
+        let client = self.cluster.pod(pod).expect("pod in cluster").client;
+        let gpu = &mut self
+            .cluster
+            .node_mut(node)
+            .expect("node exists")
+            .gpu;
+        for k in burst {
+            let desc = KernelDesc {
+                blocks: k.blocks,
+                work_per_block: k.work_per_block,
+                tag: pod.0,
+            };
+            if let Some(start) = gpu.launch(now, client, desc).expect("registered client") {
+                queue.schedule(start.finish_at, Event::KernelFinish(node, start.kernel));
+            }
+        }
+    }
+
+    fn on_kernel_finish(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        kernel: KernelId,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let gpu = &mut self
+            .cluster
+            .node_mut(node)
+            .expect("node exists")
+            .gpu;
+        let (done, started) = gpu.on_kernel_finish(now, kernel);
+        for s in started {
+            queue.schedule(s.finish_at, Event::KernelFinish(node, s.kernel));
+        }
+        let pod = PodId(done.tag);
+        let Some(rt) = self.pods.get_mut(&pod) else {
+            // The pod was deleted while its last kernels drained — cannot
+            // happen by construction (deletion requires an idle pod and
+            // crashed pods linger as zombies), so surface it loudly in
+            // debug builds.
+            debug_assert!(false, "kernel completion for unknown pod {pod:?}");
+            return;
+        };
+        // A crashed pod's kernels drain without any request accounting.
+        if let Some(outstanding) = rt.zombie.as_mut() {
+            *outstanding -= 1;
+            if *outstanding == 0 {
+                self.teardown_dead_pod(pod);
+            }
+            return;
+        }
+        let active = rt.active.as_mut().expect("kernel belongs to a request");
+        active.burst_gpu_time += done.gpu_time;
+        active.outstanding -= 1;
+        if active.outstanding == 0 {
+            // Synchronization point: report usage, maybe lose the lease.
+            let gpu_time = active.burst_gpu_time;
+            let out = self
+                .backends
+                .get_mut(&node)
+                .expect("backend per node")
+                .sync_point(now, pod, gpu_time);
+            self.process_grants(now, &out.granted, queue);
+            self.step_pod(now, pod, queue);
+        }
+    }
+
+    fn complete_request(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
+        let rt = self.pods.get_mut(&pod).expect("completing on a live pod");
+        let active = rt.active.take().expect("completing a request");
+        let func = rt.func;
+        let node = rt.node;
+        let latency = now - active.req.arrived;
+        let frt = self.funcs.get_mut(&func).expect("function exists");
+        frt.slo.record(latency);
+        frt.completions.record(now);
+        let saturate = frt.saturate;
+
+        // Terminating pods are deleted as soon as their request finishes.
+        if self.cluster.pod(pod).map(|p| p.state) == Ok(PodState::Terminating) {
+            let grants = self
+                .backends
+                .get_mut(&node)
+                .expect("backend per node")
+                .release_idle(now, pod);
+            self.process_grants(now, &grants, queue);
+            self.delete_pod(now, pod, queue);
+            return;
+        }
+        // Pull the next request, or park idle.
+        match self.gateway.on_pod_idle(func, pod) {
+            Some(req) => self.assign_request(now, pod, req, queue),
+            None if saturate => {
+                let req = self.synth_request(now, func);
+                self.assign_request(now, pod, req, queue);
+            }
+            None => {
+                let grants = self
+                    .backends
+                    .get_mut(&node)
+                    .expect("backend per node")
+                    .release_idle(now, pod);
+                self.process_grants(now, &grants, queue);
+            }
+        }
+    }
+
+    fn process_grants(
+        &mut self,
+        now: SimTime,
+        grants: &[crate::manager::Grant],
+        queue: &mut EventQueue<Event>,
+    ) {
+        for g in grants {
+            let has_burst = self
+                .pods
+                .get(&g.pod)
+                .and_then(|rt| rt.active.as_ref())
+                .is_some_and(|a| a.waiting_token && !a.pending_burst.is_empty());
+            if has_burst {
+                self.launch_burst(now, g.pod, queue);
+            }
+        }
+    }
+
+    fn on_window_reset(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<Event>) {
+        let grants = self
+            .backends
+            .get_mut(&node)
+            .expect("backend per node")
+            .on_window_reset(now);
+        self.process_grants(now, &grants, queue);
+        queue.schedule(now + self.cfg.window, Event::WindowReset(node));
+    }
+
+    fn on_metrics_sample(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        for node in self.cluster.node_ids() {
+            let gpu = &mut self.cluster.node_mut(node).expect("node exists").gpu;
+            gpu.metrics_mut().sample(now);
+        }
+        let counts: Vec<(FuncId, usize)> = self
+            .funcs
+            .keys()
+            .map(|&f| (f, self.cluster.running_pods_of(f).len()))
+            .collect();
+        for (f, n) in counts {
+            self.funcs
+                .get_mut(&f)
+                .expect("function exists")
+                .replica_series
+                .push(now, n as f64);
+        }
+        queue.schedule(now + self.cfg.sample_interval, Event::MetricsSample);
+    }
+
+    // ----- auto-scaling ------------------------------------------------
+
+    fn on_scale_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        queue.schedule(now + self.cfg.autoscale_interval, Event::ScaleTick);
+        let Some(db) = self.autoscale_db.take() else {
+            return;
+        };
+        let func_ids: Vec<FuncId> = self.funcs.keys().copied().collect();
+        for func in func_ids {
+            self.scale_function(now, func, &db, queue);
+        }
+        self.autoscale_db = Some(db);
+    }
+
+    fn scale_function(
+        &mut self,
+        now: SimTime,
+        func: FuncId,
+        db: &ProfileDb,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let model_name = self.funcs[&func].spec.model.clone();
+        let profile = db.config_points(&model_name);
+        if profile.is_empty() {
+            return;
+        }
+        let predicted = self
+            .gateway
+            .predicted_rate(func, now, self.cfg.predict_window)
+            * self.cfg.autoscale_headroom;
+        let running: Vec<RunningPod> = self
+            .cluster
+            .running_pods_of(func)
+            .into_iter()
+            .filter_map(|p| {
+                let pod = self.cluster.pod(p).ok()?;
+                let sm = pod.resources.sm_partition;
+                // Capacity accounting uses the guaranteed share; elastic
+                // headroom above the request is a bonus, not a promise.
+                let quota = pod.resources.quota_request;
+                let rps = db.throughput_of(&model_name, sm, quota)?;
+                Some(RunningPod {
+                    pod: p,
+                    config: ConfigPoint { sm, quota, rps },
+                })
+            })
+            .collect();
+        let capacity: f64 = running.iter().map(|r| r.config.rps).sum();
+        let delta = predicted - capacity;
+        let actions = heuristic_scale(delta, &profile, &running);
+        let mut remaining = running.len();
+        for action in actions {
+            match action {
+                ScaleAction::Up(p) => {
+                    let mem = self.funcs[&func].model.memory.total();
+                    // Guaranteed share = the profiled quota; the limit is
+                    // elastic (the paper's Kubernetes-style allocation:
+                    // idle GPU time may be used beyond the request).
+                    let spec = ResourceSpec::new(p.sm, p.quota, 1.0, mem);
+                    // Placement failure is counted inside create_pod.
+                    let _ = self.create_pod(now, func, spec, queue);
+                }
+                ScaleAction::Down(pod) => {
+                    if remaining > self.cfg.min_replicas {
+                        self.drain_pod(now, pod, queue);
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- reporting ----------------------------------------------------
+
+    fn build_report(&mut self, now: SimTime) -> PlatformReport {
+        // Flush a final metric sample so short runs have data.
+        for node in self.cluster.node_ids() {
+            let gpu = &mut self.cluster.node_mut(node).expect("node exists").gpu;
+            gpu.metrics_mut().sample(now);
+        }
+        let warmup = self.cfg.warmup;
+        let mut functions = BTreeMap::new();
+        for (&id, rt) in &self.funcs {
+            let hist = rt.slo.histogram();
+            let steady_rps = rt.completions.rate_between(warmup, now);
+            functions.insert(
+                id,
+                FunctionReport {
+                    name: rt.spec.name.clone(),
+                    model: rt.spec.model.clone(),
+                    arrivals: self.gateway.total_arrivals(id),
+                    completed: rt.completions.count(),
+                    throughput_rps: steady_rps,
+                    p50: hist.quantile(0.5),
+                    p95: hist.quantile(0.95),
+                    p99: hist.quantile(0.99),
+                    max_latency: hist.max(),
+                    mean_latency: hist.mean(),
+                    slo: rt.slo.slo(),
+                    slo_violations: rt.slo.violations(),
+                    violation_ratio: rt.slo.violation_ratio(),
+                    replicas: self.cluster.running_pods_of(id).len(),
+                    replica_series: rt.replica_series.clone(),
+                },
+            );
+        }
+        let mut nodes = Vec::new();
+        for id in self.cluster.node_ids() {
+            let node = self.cluster.node(id).expect("node exists");
+            let m = node.gpu.metrics();
+            let series_mean = |s: &TimeSeries| {
+                let vals: Vec<f64> = s
+                    .points()
+                    .iter()
+                    .filter(|&&(t, _)| t > warmup)
+                    .map(|&(_, v)| v)
+                    .collect();
+                if vals.is_empty() {
+                    s.mean()
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            };
+            nodes.push(NodeReport {
+                name: node.name.clone(),
+                gpu: node.gpu.spec().name.clone(),
+                utilization: series_mean(m.utilization_series()),
+                sm_occupancy: series_mean(m.occupancy_series()),
+                kernels: m.total_kernels(),
+                pods: self.cluster.pods_on(id).len(),
+                memory_used: node.gpu.memory().used(),
+                utilization_series: m.utilization_series().clone(),
+                occupancy_series: m.occupancy_series().clone(),
+            });
+        }
+        PlatformReport {
+            duration: now,
+            warmup,
+            functions,
+            nodes,
+            unschedulable_pods: self.unschedulable,
+        }
+    }
+}
+
+impl World for Engine {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::Arrival(func) => self.on_arrival(now, func, queue),
+            // A host phase may complete for a pod that crashed meanwhile.
+            Event::HostDone(pod) => {
+                let alive = self
+                    .pods
+                    .get(&pod)
+                    .is_some_and(|rt| rt.zombie.is_none() && rt.active.is_some());
+                if alive {
+                    self.step_pod(now, pod, queue);
+                }
+            }
+            Event::KernelFinish(node, kernel) => self.on_kernel_finish(now, node, kernel, queue),
+            Event::WindowReset(node) => self.on_window_reset(now, node, queue),
+            Event::ScaleTick => self.on_scale_tick(now, queue),
+            Event::MetricsSample => self.on_metrics_sample(now, queue),
+        }
+    }
+}
+
+/// The user-facing platform façade. See the crate-level example.
+pub struct Platform {
+    sim: Simulation<Engine>,
+}
+
+impl Platform {
+    /// Builds a platform: `node_count` worker nodes, each with one GPU, an
+    /// MPS server (policy permitting), a FaST Backend and a model storage
+    /// server. Metric sampling and (for token policies) quota windows are
+    /// armed immediately.
+    pub fn new(cfg: PlatformConfig) -> Self {
+        assert!(
+            !cfg.effective_gpus().is_empty(),
+            "a platform needs at least one node"
+        );
+        let uses_tokens = cfg.policy.uses_tokens();
+        let window = cfg.window;
+        let sample = cfg.sample_interval;
+        let engine = Engine::new(cfg);
+        let mut sim = Simulation::new(engine);
+        {
+            let (world, queue, _) = sim.parts_mut();
+            if uses_tokens {
+                for node in world.cluster.node_ids() {
+                    queue.schedule(window, Event::WindowReset(node));
+                }
+            }
+            queue.schedule(sample, Event::MetricsSample);
+        }
+        Platform { sim }
+    }
+
+    /// Deploys a function (FaSTFunc CRD): creates its initial replicas via
+    /// node selection and registers them with the gateway and backends.
+    pub fn deploy(&mut self, fc: FunctionConfig) -> Result<FuncId, String> {
+        let (world, queue, now) = self.sim.parts_mut();
+        world.deploy(now, &fc, queue)
+    }
+
+    /// Attaches an open-loop arrival process to a function.
+    pub fn set_load(&mut self, func: FuncId, mut load: ArrivalProcess) {
+        let (world, queue, now) = self.sim.parts_mut();
+        if let Some(t) = load.next_after(now) {
+            queue.schedule(t, Event::Arrival(func));
+        }
+        world
+            .funcs
+            .get_mut(&func)
+            .expect("unknown function")
+            .load = Some(load);
+    }
+
+    /// Enables the auto-scaler with the given profile database.
+    pub fn enable_autoscaler(&mut self, db: ProfileDb) {
+        let (world, queue, now) = self.sim.parts_mut();
+        let interval = world.cfg.autoscale_interval;
+        world.autoscale_db = Some(db);
+        queue.schedule(now + interval, Event::ScaleTick);
+    }
+
+    /// Manually reconciles a function to `replicas` pods (scale up with
+    /// the function's deploy-time resources, drain newest-first).
+    pub fn scale_to(&mut self, func: FuncId, replicas: usize) {
+        use fastg_cluster::cluster::ReconcileAction;
+        let (world, queue, now) = self.sim.parts_mut();
+        match world.cluster.reconcile(func, replicas) {
+            ReconcileAction::Create(n) => {
+                let resources = world.funcs[&func].resources;
+                for _ in 0..n {
+                    let _ = world.create_pod(now, func, resources, queue);
+                }
+            }
+            ReconcileAction::Drain(pods) => {
+                for p in pods {
+                    world.drain_pod(now, p, queue);
+                }
+            }
+            ReconcileAction::Steady => {}
+        }
+    }
+
+    /// Runs for `duration` of simulated time and reports.
+    pub fn run_for(&mut self, duration: SimTime) -> PlatformReport {
+        let deadline = self.sim.now() + duration;
+        self.sim.run_until(deadline);
+        let now = self.sim.now();
+        self.sim.world_mut().build_report(now)
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Events processed so far (determinism fingerprinting).
+    pub fn events_handled(&self) -> u64 {
+        self.sim.events_handled()
+    }
+
+    /// Pods that could not be placed.
+    pub fn unschedulable_pods(&self) -> u64 {
+        self.sim.world().unschedulable
+    }
+
+    /// Live resource reconfiguration for a function (FaSTPod spec sync):
+    /// new `(sm %, quota_request, quota_limit)` applied to every running
+    /// pod — MPS partition from the next launch, quotas within the
+    /// current window — and to future replicas.
+    pub fn reconfigure(
+        &mut self,
+        func: FuncId,
+        sm_partition: f64,
+        quota_request: f64,
+        quota_limit: f64,
+    ) -> Result<(), String> {
+        let mem = self
+            .sim
+            .world()
+            .funcs
+            .get(&func)
+            .ok_or("unknown function")?
+            .resources
+            .gpu_mem;
+        let spec = ResourceSpec::new(sm_partition, quota_request, quota_limit, mem);
+        self.sim.world_mut().reconfigure(func, spec)
+    }
+
+    /// Failure injection: crash a pod immediately. Its in-flight request
+    /// retries through the gateway; resident kernels drain before
+    /// teardown. Returns whether a live pod was killed.
+    pub fn kill_pod(&mut self, pod: fastg_cluster::PodId) -> bool {
+        let (world, queue, now) = self.sim.parts_mut();
+        world.kill_pod(now, pod, queue)
+    }
+
+    /// Running pod ids of a function (targets for [`Self::kill_pod`]).
+    pub fn pods_of(&self, func: FuncId) -> Vec<fastg_cluster::PodId> {
+        self.sim.world().cluster.running_pods_of(func)
+    }
+
+    /// Pods crashed via failure injection so far.
+    pub fn killed_pods(&self) -> u64 {
+        self.sim.world().killed
+    }
+
+    /// Running replica count of a function.
+    pub fn replicas(&self, func: FuncId) -> usize {
+        self.sim.world().cluster.running_pods_of(func).len()
+    }
+
+    /// Number of GPUs with at least one pod bound.
+    pub fn gpus_in_use(&self) -> usize {
+        self.sim.world().selector.gpus_in_use()
+    }
+
+    /// Builds a report at the current instant without advancing time.
+    pub fn report(&mut self) -> PlatformReport {
+        let now = self.sim.now();
+        self.sim.world_mut().build_report(now)
+    }
+
+    /// Device memory in use on a node (bytes).
+    pub fn node_memory_used(&self, node_index: usize) -> u64 {
+        let ids = self.sim.world().cluster.node_ids();
+        self.sim
+            .world()
+            .cluster
+            .node(ids[node_index])
+            .map(|n| n.gpu.memory().used())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resnet_platform(policy: SharingPolicy) -> (Platform, FuncId) {
+        let mut p = Platform::new(
+            PlatformConfig::default()
+                .nodes(1)
+                .policy(policy)
+                .seed(1),
+        );
+        let f = p
+            .deploy(
+                FunctionConfig::new("fastsvc-resnet", "resnet50")
+                    .slo_ms(200)
+                    .replicas(1)
+                    .resources(100.0, 1.0, 1.0),
+            )
+            .unwrap();
+        (p, f)
+    }
+
+    #[test]
+    fn single_pod_serves_requests_end_to_end() {
+        let (mut p, f) = resnet_platform(SharingPolicy::FaST);
+        p.set_load(f, ArrivalProcess::poisson(30.0, 3));
+        let report = p.run_for(SimTime::from_secs(5));
+        let fr = &report.functions[&f];
+        assert!(fr.completed > 100, "completed {}", fr.completed);
+        // At 30 rps offered and ~71 rps capacity, all requests complete.
+        assert!((fr.throughput_rps - 30.0).abs() < 4.0, "rps {}", fr.throughput_rps);
+        assert!(fr.p50 >= SimTime::from_millis(13), "p50 {}", fr.p50);
+        assert!(fr.p99 < SimTime::from_millis(100), "p99 {}", fr.p99);
+    }
+
+    #[test]
+    fn saturating_function_reaches_model_capacity() {
+        let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(2));
+        let f = p
+            .deploy(
+                FunctionConfig::new("sat", "resnet50")
+                    .resources(100.0, 1.0, 1.0)
+                    .saturating(),
+            )
+            .unwrap();
+        let report = p.run_for(SimTime::from_secs(5));
+        let fr = &report.functions[&f];
+        // Racing single-pod capacity is ~71 rps; token leases cost a
+        // little.
+        assert!(fr.throughput_rps > 60.0, "rps {}", fr.throughput_rps);
+        assert!(fr.throughput_rps < 80.0, "rps {}", fr.throughput_rps);
+    }
+
+    #[test]
+    fn quota_limits_throughput_proportionally() {
+        let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(3));
+        let f = p
+            .deploy(
+                FunctionConfig::new("q40", "resnet50")
+                    .resources(100.0, 0.4, 0.4)
+                    .saturating(),
+            )
+            .unwrap();
+        let report = p.run_for(SimTime::from_secs(5));
+        let fr = &report.functions[&f];
+        // ideal: 0.4 / 10ms device = 40 rps.
+        assert!(
+            (fr.throughput_rps - 40.0).abs() < 6.0,
+            "rps {}",
+            fr.throughput_rps
+        );
+    }
+
+    #[test]
+    fn exclusive_policy_runs_one_pod() {
+        let (mut p, f) = resnet_platform(SharingPolicy::Exclusive);
+        p.set_load(f, ArrivalProcess::constant(20.0));
+        let report = p.run_for(SimTime::from_secs(3));
+        assert!(report.functions[&f].completed > 40);
+        // A second pod cannot be deployed on the exclusive node.
+        let err = p.deploy(FunctionConfig::new("second", "resnet50"));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let (mut p, f) = resnet_platform(SharingPolicy::FaST);
+            p.set_load(f, ArrivalProcess::poisson(50.0, 9));
+            let r = p.run_for(SimTime::from_secs(3));
+            (
+                p.events_handled(),
+                r.functions[&f].completed,
+                r.functions[&f].p99,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scale_to_adds_and_drains_pods() {
+        let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(1));
+        let f = p
+            .deploy(
+                FunctionConfig::new("fastsvc-resnet", "resnet50")
+                    .slo_ms(200)
+                    .replicas(1)
+                    .resources(12.0, 1.0, 1.0),
+            )
+            .unwrap();
+        p.scale_to(f, 3);
+        assert_eq!(p.replicas(f), 3);
+        p.set_load(f, ArrivalProcess::constant(100.0));
+        p.run_for(SimTime::from_secs(1));
+        p.scale_to(f, 1);
+        p.run_for(SimTime::from_secs(2));
+        assert_eq!(p.replicas(f), 1);
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        let mut p = Platform::new(PlatformConfig::default());
+        assert!(p.deploy(FunctionConfig::new("x", "not-a-model")).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! The end-to-end FaST-GShare platform: substrates + policies composed
+//! into one deterministic discrete-event simulation.
+//!
+//! [`Platform`] is the user-facing façade (the "OpenFaaS cluster"): deploy
+//! functions, attach load, run simulated time, read reports. Internally it
+//! drives an [`engine::Engine`] — the [`fastg_des::World`] implementation
+//! that wires together:
+//!
+//! * the cluster substrate (nodes, pods, gateway),
+//! * one simulated GPU per node with an MPS server,
+//! * one [FaST Backend](crate::manager::FastBackend) per node (token
+//!   protocol, quota windows, SM Allocation Adapter),
+//! * one [model storage server](crate::modelshare::ModelStorageServer)
+//!   per node,
+//! * the [FaST-Scheduler](crate::scheduler) (node selection at deploy
+//!   time, Heuristic Scaling in the control loop),
+//! * per-function load generators, SLO trackers and throughput meters.
+
+pub mod config;
+pub mod csv;
+pub mod engine;
+pub mod report;
+
+pub use config::{FunctionConfig, PlatformConfig};
+pub use engine::Platform;
+pub use report::{FunctionReport, NodeReport, PlatformReport};

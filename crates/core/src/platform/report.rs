@@ -1,0 +1,203 @@
+//! Run reports: the numbers the paper's figures plot.
+
+use fastg_cluster::FuncId;
+use fastg_des::{SimTime, TimeSeries};
+use std::collections::BTreeMap;
+
+/// Per-function results over a run.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function name.
+    pub name: String,
+    /// Model served.
+    pub model: String,
+    /// Requests that arrived at the gateway.
+    pub arrivals: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Steady-state throughput (completions/second after warm-up).
+    pub throughput_rps: f64,
+    /// Median end-to-end latency.
+    pub p50: SimTime,
+    /// 95th-percentile latency.
+    pub p95: SimTime,
+    /// 99th-percentile (tail) latency.
+    pub p99: SimTime,
+    /// Worst observed latency.
+    pub max_latency: SimTime,
+    /// Mean latency.
+    pub mean_latency: SimTime,
+    /// The function's SLO.
+    pub slo: SimTime,
+    /// Requests over the SLO.
+    pub slo_violations: u64,
+    /// Violation ratio in `[0, 1]`.
+    pub violation_ratio: f64,
+    /// Running replica count at the end of the run.
+    pub replicas: usize,
+    /// Replica count over time (sampled with the metric interval).
+    pub replica_series: TimeSeries,
+}
+
+/// Per-node (per-GPU) results over a run.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node name.
+    pub name: String,
+    /// GPU model on this node (e.g. a MIG instance name).
+    pub gpu: String,
+    /// Mean GPU utilization after warm-up (0..=1).
+    pub utilization: f64,
+    /// Mean SM occupancy after warm-up (0..=1).
+    pub sm_occupancy: f64,
+    /// Kernels completed on this GPU.
+    pub kernels: u64,
+    /// Pods resident at the end of the run.
+    pub pods: usize,
+    /// Device memory in use at the end of the run (bytes).
+    pub memory_used: u64,
+    /// Sampled utilization series.
+    pub utilization_series: TimeSeries,
+    /// Sampled SM-occupancy series.
+    pub occupancy_series: TimeSeries,
+}
+
+/// The full report for one run.
+#[derive(Debug, Clone)]
+pub struct PlatformReport {
+    /// Simulated time covered.
+    pub duration: SimTime,
+    /// Warm-up offset steady-state numbers exclude.
+    pub warmup: SimTime,
+    /// Per-function results, keyed by function id.
+    pub functions: BTreeMap<FuncId, FunctionReport>,
+    /// Per-node results, in node order.
+    pub nodes: Vec<NodeReport>,
+    /// Pods the scheduler could not place ("new GPU required" events).
+    pub unschedulable_pods: u64,
+}
+
+impl PlatformReport {
+    /// Total completions across functions.
+    pub fn total_completed(&self) -> u64 {
+        self.functions.values().map(|f| f.completed).sum()
+    }
+
+    /// Total steady-state throughput across functions.
+    pub fn total_throughput(&self) -> f64 {
+        self.functions.values().map(|f| f.throughput_rps).sum()
+    }
+
+    /// Mean utilization across nodes that ran at least one kernel (the
+    /// aggregation Figure 11 reports).
+    pub fn mean_utilization_active(&self) -> f64 {
+        let active: Vec<&NodeReport> = self.nodes.iter().filter(|n| n.kernels > 0).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().map(|n| n.utilization).sum::<f64>() / active.len() as f64
+    }
+
+    /// Mean SM occupancy across active nodes.
+    pub fn mean_occupancy_active(&self) -> f64 {
+        let active: Vec<&NodeReport> = self.nodes.iter().filter(|n| n.kernels > 0).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().map(|n| n.sm_occupancy).sum::<f64>() / active.len() as f64
+    }
+
+    /// Number of GPUs that served kernels.
+    pub fn gpus_used(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kernels > 0).count()
+    }
+
+    /// Renders a compact human-readable summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "run: {} (warmup {}) | {} GPUs used | util {:.1}% | SM occ {:.1}%",
+            self.duration,
+            self.warmup,
+            self.gpus_used(),
+            self.mean_utilization_active() * 100.0,
+            self.mean_occupancy_active() * 100.0,
+        );
+        for f in self.functions.values() {
+            let _ = writeln!(
+                s,
+                "  {:<24} {:>8.1} rps | p50 {} p99 {} | SLO {} viol {:.2}% | pods {}",
+                f.name,
+                f.throughput_rps,
+                f.p50,
+                f.p99,
+                f.slo,
+                f.violation_ratio * 100.0,
+                f.replicas,
+            );
+        }
+        for n in &self.nodes {
+            let _ = writeln!(
+                s,
+                "  {:<24} util {:>5.1}% | SM occ {:>5.1}% | kernels {} | pods {} | mem {} MiB",
+                n.name,
+                n.utilization * 100.0,
+                n.sm_occupancy * 100.0,
+                n.kernels,
+                n.pods,
+                n.memory_used / (1024 * 1024),
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(kernels: u64, util: f64, occ: f64) -> NodeReport {
+        NodeReport {
+            name: "n".into(),
+            gpu: "test-gpu".into(),
+            utilization: util,
+            sm_occupancy: occ,
+            kernels,
+            pods: 0,
+            memory_used: 0,
+            utilization_series: TimeSeries::new(),
+            occupancy_series: TimeSeries::new(),
+        }
+    }
+
+    #[test]
+    fn active_node_aggregation_ignores_idle_gpus() {
+        let r = PlatformReport {
+            duration: SimTime::from_secs(10),
+            warmup: SimTime::ZERO,
+            functions: BTreeMap::new(),
+            nodes: vec![node(100, 0.8, 0.4), node(0, 0.0, 0.0)],
+            unschedulable_pods: 0,
+        };
+        assert_eq!(r.gpus_used(), 1);
+        assert!((r.mean_utilization_active() - 0.8).abs() < 1e-9);
+        assert!((r.mean_occupancy_active() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_zeroes() {
+        let r = PlatformReport {
+            duration: SimTime::ZERO,
+            warmup: SimTime::ZERO,
+            functions: BTreeMap::new(),
+            nodes: vec![],
+            unschedulable_pods: 0,
+        };
+        assert_eq!(r.total_completed(), 0);
+        assert_eq!(r.total_throughput(), 0.0);
+        assert_eq!(r.mean_utilization_active(), 0.0);
+        assert!(!r.summary().is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! The configuration server: sampling plans over the (spatial × temporal)
+//! resource space.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How the configuration space is sampled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SamplePlan {
+    /// Full cartesian grid of the given spatial (%) and temporal
+    /// (fraction) points.
+    Grid {
+        /// SM-partition percentages.
+        spatial: Vec<f64>,
+        /// Quota fractions.
+        temporal: Vec<f64>,
+    },
+    /// `n` uniform random points (spatial in `[min_sm, 100]`, temporal in
+    /// `[0.05, 1.0]`), seeded for reproducibility.
+    Random {
+        /// Number of samples.
+        n: usize,
+        /// Smallest SM percentage to consider.
+        min_sm: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// The configuration server: yields the `(sm_partition, quota)` pairs an
+/// experiment profiles.
+#[derive(Debug, Clone)]
+pub struct ConfigServer {
+    plan: SamplePlan,
+}
+
+impl ConfigServer {
+    /// Creates a server with the given plan.
+    pub fn new(plan: SamplePlan) -> Self {
+        ConfigServer { plan }
+    }
+
+    /// The paper's §5.2 profiling grid:
+    /// temporal 20/40/60/80/100 %, spatial 6/12/24/50/60/80/100 %.
+    pub fn paper_grid() -> Self {
+        Self::new(SamplePlan::Grid {
+            spatial: vec![6.0, 12.0, 24.0, 50.0, 60.0, 80.0, 100.0],
+            temporal: vec![0.2, 0.4, 0.6, 0.8, 1.0],
+        })
+    }
+
+    /// A reduced grid for fast trials in tests and examples.
+    pub fn coarse_grid() -> Self {
+        Self::new(SamplePlan::Grid {
+            spatial: vec![12.0, 24.0, 50.0, 100.0],
+            temporal: vec![0.4, 1.0],
+        })
+    }
+
+    /// Materializes the sample list, deterministic for a given plan.
+    pub fn sample(&self) -> Vec<(f64, f64)> {
+        match &self.plan {
+            SamplePlan::Grid { spatial, temporal } => {
+                let mut out = Vec::with_capacity(spatial.len() * temporal.len());
+                for &s in spatial {
+                    for &q in temporal {
+                        assert!(s > 0.0 && s <= 100.0, "spatial point {s} out of range");
+                        assert!(q > 0.0 && q <= 1.0, "temporal point {q} out of range");
+                        out.push((s, q));
+                    }
+                }
+                out
+            }
+            SamplePlan::Random { n, min_sm, seed } => {
+                let mut rng = SmallRng::seed_from_u64(*seed);
+                (0..*n)
+                    .map(|_| {
+                        let s: f64 = rng.gen_range(*min_sm..=100.0);
+                        let q: f64 = rng.gen_range(0.05..=1.0);
+                        // Quantize to the rectangle units the scheduler
+                        // uses (1 % / 1 %).
+                        ((s.round()).max(1.0), (q * 100.0).round() / 100.0)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_35_points() {
+        let pts = ConfigServer::paper_grid().sample();
+        assert_eq!(pts.len(), 35);
+        assert!(pts.contains(&(6.0, 0.2)));
+        assert!(pts.contains(&(100.0, 1.0)));
+    }
+
+    #[test]
+    fn random_plan_is_seeded() {
+        let a = ConfigServer::new(SamplePlan::Random {
+            n: 10,
+            min_sm: 5.0,
+            seed: 3,
+        })
+        .sample();
+        let b = ConfigServer::new(SamplePlan::Random {
+            n: 10,
+            min_sm: 5.0,
+            seed: 3,
+        })
+        .sample();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|&(s, q)| (5.0..=100.0).contains(&s) && q > 0.0 && q <= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "temporal point")]
+    fn invalid_grid_point_panics() {
+        ConfigServer::new(SamplePlan::Grid {
+            spatial: vec![10.0],
+            temporal: vec![1.5],
+        })
+        .sample();
+    }
+}

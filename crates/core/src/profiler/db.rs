@@ -1,0 +1,223 @@
+//! The profile database.
+
+use crate::scheduler::ConfigPoint;
+use fastg_des::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A resource configuration key: fixed-point to make it orderable and
+/// hashable without float pitfalls.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProfileKey {
+    /// SM partition in hundredths of a percent.
+    pub sm_centi: u32,
+    /// Quota in hundredths (percent of the window).
+    pub quota_centi: u32,
+}
+
+impl ProfileKey {
+    /// Quantizes a `(sm %, quota fraction)` configuration.
+    pub fn new(sm_partition: f64, quota: f64) -> Self {
+        ProfileKey {
+            sm_centi: (sm_partition * 100.0).round() as u32,
+            quota_centi: (quota * 100.0).round() as u32,
+        }
+    }
+
+    /// SM partition percentage.
+    pub fn sm(&self) -> f64 {
+        self.sm_centi as f64 / 100.0
+    }
+
+    /// Quota fraction.
+    pub fn quota(&self) -> f64 {
+        self.quota_centi as f64 / 100.0
+    }
+}
+
+/// One trial's measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileRecord {
+    /// Sustained throughput (requests/second).
+    pub rps: f64,
+    /// Median latency.
+    pub p50: SimTime,
+    /// Tail latency.
+    pub p99: SimTime,
+    /// Mean GPU utilization during the trial.
+    pub utilization: f64,
+    /// Mean SM occupancy during the trial.
+    pub sm_occupancy: f64,
+}
+
+/// The profiling database: `(function, configuration) → measurements`.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileDb {
+    records: BTreeMap<String, BTreeMap<ProfileKey, ProfileRecord>>,
+}
+
+/// Serialization shape: JSON object keys must be strings, so records are
+/// flattened to entry lists on disk.
+#[derive(Serialize, Deserialize)]
+struct SerDb {
+    functions: Vec<(String, Vec<(ProfileKey, ProfileRecord)>)>,
+}
+
+impl ProfileDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or overwrites) a trial result.
+    pub fn insert(&mut self, func: &str, key: ProfileKey, rec: ProfileRecord) {
+        self.records.entry(func.to_string()).or_default().insert(key, rec);
+    }
+
+    /// Looks up one configuration.
+    pub fn get(&self, func: &str, key: ProfileKey) -> Option<&ProfileRecord> {
+        self.records.get(func)?.get(&key)
+    }
+
+    /// All records for a function, in key order.
+    pub fn records_of(&self, func: &str) -> Vec<(ProfileKey, ProfileRecord)> {
+        self.records
+            .get(func)
+            .map(|m| m.iter().map(|(&k, &r)| (k, r)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The function's profile as Algorithm 1 input points.
+    pub fn config_points(&self, func: &str) -> Vec<ConfigPoint> {
+        self.records_of(func)
+            .into_iter()
+            .map(|(k, r)| ConfigPoint {
+                sm: k.sm(),
+                quota: k.quota(),
+                rps: r.rps,
+            })
+            .collect()
+    }
+
+    /// Throughput of a specific configuration (the scheduler's capacity
+    /// lookup for a running pod). Falls back to the nearest profiled key
+    /// when the exact configuration was not profiled.
+    pub fn throughput_of(&self, func: &str, sm: f64, quota: f64) -> Option<f64> {
+        let key = ProfileKey::new(sm, quota);
+        if let Some(r) = self.get(func, key) {
+            return Some(r.rps);
+        }
+        // Nearest by squared distance in (sm, quota×100) space.
+        self.records_of(func)
+            .into_iter()
+            .min_by(|(a, _), (b, _)| {
+                let d = |k: &ProfileKey| {
+                    let ds = k.sm() - sm;
+                    let dq = (k.quota() - quota) * 100.0;
+                    ds * ds + dq * dq
+                };
+                d(a).partial_cmp(&d(b)).unwrap()
+            })
+            .map(|(_, r)| r.rps)
+    }
+
+    /// Functions with profiles.
+    pub fn functions(&self) -> Vec<&str> {
+        self.records.keys().map(String::as_str).collect()
+    }
+
+    /// Serializes to JSON (the "database" the profiler persists).
+    pub fn to_json(&self) -> String {
+        let ser = SerDb {
+            functions: self
+                .records
+                .iter()
+                .map(|(f, m)| (f.clone(), m.iter().map(|(&k, &r)| (k, r)).collect()))
+                .collect(),
+        };
+        serde_json::to_string_pretty(&ser).expect("profile db serializes")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        let ser: SerDb = serde_json::from_str(s)?;
+        let mut db = ProfileDb::new();
+        for (f, entries) in ser.functions {
+            for (k, r) in entries {
+                db.insert(&f, k, r);
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rps: f64) -> ProfileRecord {
+        ProfileRecord {
+            rps,
+            p50: SimTime::from_millis(10),
+            p99: SimTime::from_millis(30),
+            utilization: 0.5,
+            sm_occupancy: 0.1,
+        }
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut db = ProfileDb::new();
+        let k = ProfileKey::new(12.0, 0.4);
+        db.insert("resnet50", k, rec(40.0));
+        assert_eq!(db.get("resnet50", k).unwrap().rps, 40.0);
+        assert!(db.get("resnet50", ProfileKey::new(24.0, 0.4)).is_none());
+        assert!(db.get("bert", k).is_none());
+        assert_eq!(db.functions(), vec!["resnet50"]);
+    }
+
+    #[test]
+    fn key_quantization() {
+        let k = ProfileKey::new(12.0, 0.4);
+        assert_eq!(k.sm_centi, 1200);
+        assert_eq!(k.quota_centi, 40);
+        assert!((k.sm() - 12.0).abs() < 1e-9);
+        assert!((k.quota() - 0.4).abs() < 1e-9);
+        // Same logical config maps to the same key despite float noise.
+        assert_eq!(ProfileKey::new(12.000001, 0.4000001), k);
+    }
+
+    #[test]
+    fn config_points_feed_algorithm_1() {
+        let mut db = ProfileDb::new();
+        db.insert("f", ProfileKey::new(12.0, 0.4), rec(40.0));
+        db.insert("f", ProfileKey::new(24.0, 0.4), rec(55.0));
+        let pts = db.config_points("f");
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().any(|p| p.sm == 12.0 && p.rps == 40.0));
+    }
+
+    #[test]
+    fn throughput_falls_back_to_nearest() {
+        let mut db = ProfileDb::new();
+        db.insert("f", ProfileKey::new(12.0, 0.4), rec(40.0));
+        db.insert("f", ProfileKey::new(50.0, 1.0), rec(70.0));
+        // Exact hit.
+        assert_eq!(db.throughput_of("f", 12.0, 0.4), Some(40.0));
+        // Nearest: (13 %, 0.38) is closest to (12 %, 0.4).
+        assert_eq!(db.throughput_of("f", 13.0, 0.38), Some(40.0));
+        assert_eq!(db.throughput_of("f", 60.0, 0.9), Some(70.0));
+        assert_eq!(db.throughput_of("ghost", 12.0, 0.4), None);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut db = ProfileDb::new();
+        db.insert("f", ProfileKey::new(6.0, 0.2), rec(12.0));
+        let j = db.to_json();
+        let back = ProfileDb::from_json(&j).unwrap();
+        assert_eq!(back.get("f", ProfileKey::new(6.0, 0.2)).unwrap().rps, 12.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Budget-aware configuration search.
+//!
+//! The full Figure 8 grid costs `|spatial| × |temporal|` trials per
+//! function. Morphling's thesis — which FaST-Profiler builds on — is
+//! that near-optimal configurations can be found with far fewer trials.
+//! Two tools here:
+//!
+//! * [`SuccessiveHalving`] — racing-style search: run *all* candidate
+//!   configurations with short cheap trials, keep the best `1/eta` by
+//!   RPR (the scheduler's efficiency metric), re-run the survivors with
+//!   longer trials, repeat. The final survivor is measured at full
+//!   fidelity and inserted into the [`ProfileDb`].
+//! * [`predict_rps`] — inverse-distance-weighted interpolation over the
+//!   profiled points, so the scheduler can evaluate configurations that
+//!   were never run (the regression-model role in Morphling).
+
+use super::db::{ProfileDb, ProfileKey};
+use super::experiment::Experiment;
+use crate::profiler::config::{ConfigServer, SamplePlan};
+use crate::scheduler::ConfigPoint;
+use fastg_des::SimTime;
+
+/// Successive-halving search over a candidate configuration set.
+#[derive(Debug, Clone)]
+pub struct SuccessiveHalving {
+    model: String,
+    candidates: Vec<(f64, f64)>,
+    /// Keep `1/eta` of candidates each round (default 3).
+    pub eta: usize,
+    /// Trial duration for the first (cheapest) round; doubles per round.
+    pub base_trial: SimTime,
+    /// Seed for trial platforms.
+    pub seed: u64,
+}
+
+/// The outcome of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The best configuration found.
+    pub best: ConfigPoint,
+    /// Total trials executed (the budget actually spent).
+    pub trials: usize,
+    /// Simulated seconds spent across all trials.
+    pub sim_seconds: f64,
+}
+
+impl SuccessiveHalving {
+    /// Searches over the paper's grid for `model`.
+    pub fn over_paper_grid(model: &str) -> Self {
+        SuccessiveHalving {
+            model: model.to_string(),
+            candidates: ConfigServer::paper_grid().sample(),
+            eta: 3,
+            base_trial: SimTime::from_millis(500),
+            seed: 1,
+        }
+    }
+
+    /// Searches over an explicit candidate list.
+    pub fn over(model: &str, candidates: Vec<(f64, f64)>) -> Self {
+        assert!(!candidates.is_empty(), "no candidates");
+        SuccessiveHalving {
+            model: model.to_string(),
+            candidates,
+            eta: 3,
+            base_trial: SimTime::from_millis(500),
+            seed: 1,
+        }
+    }
+
+    /// Runs the search. Every trial's measurement is inserted into `db`
+    /// (later rounds overwrite earlier, cheaper measurements of the same
+    /// key), and the winner is returned.
+    pub fn run(&self, db: &mut ProfileDb) -> Result<SearchResult, String> {
+        assert!(self.eta >= 2, "eta must halve at least");
+        let mut pool = self.candidates.clone();
+        let mut duration = self.base_trial;
+        let mut trials = 0usize;
+        let mut sim_seconds = 0.0f64;
+        while pool.len() > 1 {
+            let experiment =
+                Experiment::new(&self.model, ConfigServer::new(SamplePlan::Grid {
+                    spatial: vec![],
+                    temporal: vec![],
+                }))
+                .trial_duration(duration);
+            let mut scored: Vec<((f64, f64), f64)> = Vec::with_capacity(pool.len());
+            for &(sm, q) in &pool {
+                let trial = experiment.run_trial(sm, q)?;
+                db.insert(&self.model, trial.key, trial.record);
+                trials += 1;
+                sim_seconds += duration.as_secs_f64();
+                let rpr = trial.record.rps / (sm / 100.0 * q);
+                scored.push(((sm, q), rpr));
+            }
+            // Keep the top 1/eta (at least one), deterministic ties.
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap()
+                    .then(a.0.partial_cmp(&b.0).unwrap())
+            });
+            let keep = (pool.len() / self.eta).max(1);
+            pool = scored.into_iter().take(keep).map(|(c, _)| c).collect();
+            duration = duration * 2;
+        }
+        let (sm, q) = pool[0];
+        // Final high-fidelity measurement of the winner.
+        let final_trial = Experiment::new(&self.model, ConfigServer::paper_grid())
+            .trial_duration(SimTime::from_secs(3))
+            .run_trial(sm, q)?;
+        db.insert(&self.model, final_trial.key, final_trial.record);
+        trials += 1;
+        sim_seconds += 3.0;
+        Ok(SearchResult {
+            best: ConfigPoint {
+                sm,
+                quota: q,
+                rps: final_trial.record.rps,
+            },
+            trials,
+            sim_seconds,
+        })
+    }
+
+    /// Number of candidates.
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+/// Predicts the throughput of an unprofiled `(sm %, quota)` configuration
+/// by inverse-distance-weighted interpolation over the `k = 4` nearest
+/// profiled points (exact hits return the measurement). Returns `None`
+/// when the function has no profile.
+pub fn predict_rps(db: &ProfileDb, func: &str, sm: f64, quota: f64) -> Option<f64> {
+    let records = db.records_of(func);
+    if records.is_empty() {
+        return None;
+    }
+    if let Some(r) = db.get(func, ProfileKey::new(sm, quota)) {
+        return Some(r.rps);
+    }
+    // Distance in normalized (sm/100, quota) space.
+    let mut scored: Vec<(f64, f64)> = records
+        .iter()
+        .map(|(k, r)| {
+            let ds = (k.sm() - sm) / 100.0;
+            let dq = k.quota() - quota;
+            ((ds * ds + dq * dq).sqrt(), r.rps)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let k = scored.len().min(4);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(d, rps) in &scored[..k] {
+        let w = 1.0 / (d + 1e-6);
+        num += w * rps;
+        den += w;
+    }
+    Some(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::db::ProfileRecord;
+
+    fn rec(rps: f64) -> ProfileRecord {
+        ProfileRecord {
+            rps,
+            p50: SimTime::from_millis(10),
+            p99: SimTime::from_millis(20),
+            utilization: 0.0,
+            sm_occupancy: 0.0,
+        }
+    }
+
+    #[test]
+    fn search_finds_the_efficient_resnet_config() {
+        // ResNet's best RPR is a small partition at modest quota.
+        let sh = SuccessiveHalving::over(
+            "resnet50",
+            vec![
+                (6.0, 0.4),
+                (12.0, 0.4),
+                (24.0, 0.4),
+                (50.0, 0.4),
+                (100.0, 1.0),
+                (12.0, 1.0),
+            ],
+        );
+        let mut db = ProfileDb::new();
+        let result = sh.run(&mut db).unwrap();
+        assert!(
+            result.best.sm <= 24.0,
+            "expected a small partition, got {} %",
+            result.best.sm
+        );
+        assert!(result.best.rps > 0.0);
+        // Far cheaper than profiling the 35-point grid at full fidelity:
+        // trials = 6 + 2 + 1 = 9 short rounds + 1 final.
+        assert!(result.trials <= 10, "trials {}", result.trials);
+    }
+
+    #[test]
+    fn search_budget_beats_full_grid() {
+        let sh = SuccessiveHalving::over_paper_grid("resnet50");
+        assert_eq!(sh.candidate_count(), 35);
+        let mut db = ProfileDb::new();
+        let result = sh.run(&mut db).unwrap();
+        // Full grid at 3 s each = 105 simulated seconds; the search stays
+        // well under half that.
+        assert!(
+            result.sim_seconds < 52.0,
+            "search spent {} sim-seconds",
+            result.sim_seconds
+        );
+        // And the winner is a genuinely efficient configuration.
+        let rpr = result.best.rps / (result.best.sm / 100.0 * result.best.quota);
+        assert!(rpr > 500.0, "winner RPR {rpr}");
+    }
+
+    #[test]
+    fn interpolation_exact_hit_returns_measurement() {
+        let mut db = ProfileDb::new();
+        db.insert("f", ProfileKey::new(12.0, 0.4), rec(40.0));
+        assert_eq!(predict_rps(&db, "f", 12.0, 0.4), Some(40.0));
+        assert_eq!(predict_rps(&db, "ghost", 12.0, 0.4), None);
+    }
+
+    #[test]
+    fn interpolation_blends_neighbours() {
+        let mut db = ProfileDb::new();
+        db.insert("f", ProfileKey::new(10.0, 0.4), rec(20.0));
+        db.insert("f", ProfileKey::new(30.0, 0.4), rec(60.0));
+        let mid = predict_rps(&db, "f", 20.0, 0.4).unwrap();
+        assert!(
+            (mid - 40.0).abs() < 1.0,
+            "midpoint should blend evenly: {mid}"
+        );
+        // Nearer one neighbour → skews towards it.
+        let near = predict_rps(&db, "f", 12.0, 0.4).unwrap();
+        assert!(near < 32.0, "near-20 prediction {near}");
+    }
+
+    #[test]
+    fn interpolation_against_measured_grid() {
+        // Profile a coarse ResNet grid, predict a held-out point, compare
+        // to its true measurement.
+        let mut db = ProfileDb::new();
+        Experiment::new(
+            "resnet50",
+            ConfigServer::new(SamplePlan::Grid {
+                spatial: vec![12.0, 50.0],
+                temporal: vec![0.4, 1.0],
+            }),
+        )
+        .trial_duration(SimTime::from_secs(2))
+        .run(&mut db)
+        .unwrap();
+        let predicted = predict_rps(&db, "resnet50", 24.0, 0.6).unwrap();
+        let truth = Experiment::new("resnet50", ConfigServer::paper_grid())
+            .trial_duration(SimTime::from_secs(2))
+            .run_trial(24.0, 0.6)
+            .unwrap()
+            .record
+            .rps;
+        let rel = (predicted - truth).abs() / truth;
+        assert!(
+            rel < 0.5,
+            "prediction {predicted} vs truth {truth} ({:.0}% off)",
+            rel * 100.0
+        );
+    }
+}

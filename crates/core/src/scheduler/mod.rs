@@ -1,0 +1,31 @@
+//! FaST-Scheduler (paper §3.4): profiling-driven auto-scaling and
+//! fragmentation-aware GPU packing.
+//!
+//! Two algorithms:
+//!
+//! * [`scaling::heuristic_scale`] — **Algorithm 1**, the Heuristic Scaling
+//!   Algorithm. Converts a function's RPS processing gap into
+//!   scale-up/scale-down decisions using the profiler's
+//!   (SM partition, quota) → throughput map, preferring the configuration
+//!   with the best *RPR* (RPS per resource, `T / (S × Q)`).
+//! * [`rects::GpuRects`] — **Algorithm 2**, the Maximal Rectangles
+//!   Algorithm. Treats each GPU as a 100 × 100 rectangle
+//!   (quota % × SM %), keeps a maximal-free-rectangle list per GPU, and
+//!   binds pods with global best-area-fit ("secondCores" difference),
+//!   `PlaceAndNewJointRect` splits, intersection updates with subdivision,
+//!   redundant-rectangle pruning, and the keep-restructure reclamation
+//!   policy.
+//!
+//! [`node_select::NodeSelector`] lifts Algorithm 2 across all GPUs of the
+//! cluster (plus a memory-capacity filter), and also provides the
+//! comparison placers used in the evaluation: the KubeShare-style
+//! time-sharing placement (every pod needs 100 % of the SMs, so packing is
+//! quota-only) and a first-fit baseline for the fragmentation ablation.
+
+pub mod node_select;
+pub mod rects;
+pub mod scaling;
+
+pub use node_select::{NodeSelector, PlacementPolicy};
+pub use rects::{FitRule, GpuRects, Rect};
+pub use scaling::{heuristic_scale, ConfigPoint, RunningPod, ScaleAction};

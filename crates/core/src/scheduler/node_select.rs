@@ -1,0 +1,251 @@
+//! Node selection: lifting Algorithm 2 across every GPU in the cluster.
+
+use super::rects::{GpuRects, Rect};
+use fastg_cluster::{NodeId, PodId, ResourceSpec};
+use std::collections::BTreeMap;
+
+/// How pods are bound to GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// FaST-Scheduler: global best-area-fit over the maximal-rectangle
+    /// lists of all GPUs (Algorithm 2), preferring GPUs that already host
+    /// rectangles so shared GPUs fill up before new ones are opened.
+    MaximalRectangles,
+    /// First-fit baseline for the fragmentation ablation: the first GPU
+    /// (lowest id) with any fitting free rectangle.
+    FirstFit,
+    /// KubeShare-style time sharing: every pod is widened to the full SM
+    /// axis (no spatial sharing), so packing degenerates to quota-only.
+    TimeSharingOnly,
+}
+
+/// The multi-GPU placement engine.
+#[derive(Debug)]
+pub struct NodeSelector {
+    policy: PlacementPolicy,
+    gpus: BTreeMap<NodeId, GpuRects>,
+}
+
+impl NodeSelector {
+    /// Creates a selector with no GPUs.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        NodeSelector {
+            policy,
+            gpus: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a GPU (one per node).
+    pub fn add_gpu(&mut self, node: NodeId) {
+        self.gpus.insert(node, GpuRects::standard());
+    }
+
+    /// The placement policy.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Converts a resource spec to rectangle units. Width is the
+    /// *guaranteed* quota (the request) in percent — the elastic region up
+    /// to the limit is opportunistic and not reserved; height is the SM
+    /// partition in percent. Under time-sharing-only the height is pinned
+    /// to the full SM axis. Specs with a zero request reserve one unit.
+    pub fn demand_of(&self, spec: &ResourceSpec) -> (u32, u32) {
+        let w = (spec.quota_request * 100.0).round().max(1.0) as u32;
+        let h = match self.policy {
+            PlacementPolicy::TimeSharingOnly => 100,
+            _ => spec.sm_partition.round().max(1.0) as u32,
+        };
+        (w.min(100), h.min(100))
+    }
+
+    /// Binds `pod` with resource demand `spec` to a GPU. `mem_fits`
+    /// filters nodes by device-memory availability (the caller knows the
+    /// model-sharing-adjusted footprint). Returns the binding, or `None`
+    /// when every GPU is too full ("a new GPU required").
+    pub fn place(
+        &mut self,
+        pod: PodId,
+        spec: &ResourceSpec,
+        mem_fits: impl FnMut(NodeId) -> bool,
+    ) -> Option<(NodeId, Rect)> {
+        let node = self.select_node(spec, mem_fits)?;
+        let rect = self.bind(node, pod, spec)?;
+        Some((node, rect))
+    }
+
+    /// Phase 1 of placement: picks the target GPU without mutating state
+    /// (so the caller can create the pod and obtain its id first).
+    pub fn select_node(
+        &self,
+        spec: &ResourceSpec,
+        mut mem_fits: impl FnMut(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        let (w, h) = self.demand_of(spec);
+        match self.policy {
+            PlacementPolicy::MaximalRectangles | PlacementPolicy::TimeSharingOnly => {
+                // Global best fit: minimum secondCores slack across every
+                // free rectangle of every (memory-feasible) GPU; ties go
+                // to the busier GPU, then the lower node id, which keeps
+                // pods consolidating instead of spreading.
+                self.gpus
+                    .iter()
+                    .filter(|(&n, _)| mem_fits(n))
+                    .filter_map(|(&n, g)| {
+                        g.best_fit(w, h)
+                            .map(|(_, slack)| (slack, std::cmp::Reverse(g.pod_count()), n))
+                    })
+                    .min()
+                    .map(|(_, _, n)| n)
+            }
+            PlacementPolicy::FirstFit => self
+                .gpus
+                .iter()
+                .filter(|(&n, _)| mem_fits(n))
+                .find(|(_, g)| g.best_fit(w, h).is_some())
+                .map(|(&n, _)| n),
+        }
+    }
+
+    /// Phase 2 of placement: binds `pod` on a specific GPU (chosen by
+    /// [`Self::select_node`]). Returns `None` if that GPU cannot fit the
+    /// demand after all.
+    pub fn bind(&mut self, node: NodeId, pod: PodId, spec: &ResourceSpec) -> Option<Rect> {
+        let (w, h) = self.demand_of(spec);
+        self.gpus.get_mut(&node)?.place(pod, w, h)
+    }
+
+    /// Releases a pod's rectangle on `node` (keep-restructure policy
+    /// applies inside [`GpuRects::release`]).
+    pub fn release(&mut self, node: NodeId, pod: PodId) -> Option<Rect> {
+        self.gpus.get_mut(&node)?.release(pod)
+    }
+
+    /// Per-GPU state, for reports and tests.
+    pub fn gpu(&self, node: NodeId) -> Option<&GpuRects> {
+        self.gpus.get(&node)
+    }
+
+    /// Number of GPUs hosting at least one pod.
+    pub fn gpus_in_use(&self) -> usize {
+        self.gpus.values().filter(|g| g.pod_count() > 0).count()
+    }
+
+    /// Total bound area across all GPUs.
+    pub fn total_used_area(&self) -> u64 {
+        self.gpus.values().map(|g| g.used_area()).sum()
+    }
+
+    /// Mean fragmentation across GPUs that have free space.
+    pub fn mean_fragmentation(&self) -> f64 {
+        let frags: Vec<f64> = self
+            .gpus
+            .values()
+            .filter(|g| g.free_area() > 0)
+            .map(|g| g.fragmentation())
+            .collect();
+        if frags.is_empty() {
+            0.0
+        } else {
+            frags.iter().sum::<f64>() / frags.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(sm: f64, quota: f64) -> ResourceSpec {
+        ResourceSpec::new(sm, quota, quota, 0)
+    }
+
+    fn selector(policy: PlacementPolicy, gpus: u32) -> NodeSelector {
+        let mut s = NodeSelector::new(policy);
+        for i in 0..gpus {
+            s.add_gpu(NodeId(i));
+        }
+        s
+    }
+
+    /// The Figure 11 pod set, submitted in descending area order (as the
+    /// FaST-Scheduler does).
+    fn fig11_pods() -> Vec<(PodId, ResourceSpec)> {
+        let mut pods = Vec::new();
+        for i in 0..2u64 {
+            pods.push((PodId(i), spec(50.0, 0.6))); // BERT
+        }
+        for i in 2..4u64 {
+            pods.push((PodId(i), spec(24.0, 0.4))); // RNNT
+        }
+        for i in 4..8u64 {
+            pods.push((PodId(i), spec(12.0, 0.4))); // ResNet
+        }
+        pods
+    }
+
+    /// The Figure 11 scenario: FaST packs the whole pod set onto one GPU…
+    #[test]
+    fn fig11_fast_uses_one_gpu() {
+        let mut s = selector(PlacementPolicy::MaximalRectangles, 4);
+        for (pod, sp) in &fig11_pods() {
+            assert!(s.place(*pod, sp, |_| true).is_some());
+        }
+        assert_eq!(s.gpus_in_use(), 1, "FaST should consolidate onto one GPU");
+    }
+
+    /// …while time sharing (no spatial dimension) needs all four.
+    #[test]
+    fn fig11_time_sharing_uses_four_gpus() {
+        let mut s = selector(PlacementPolicy::TimeSharingOnly, 4);
+        for (pod, sp) in &fig11_pods() {
+            assert!(s.place(*pod, sp, |_| true).is_some(), "pod {pod:?}");
+        }
+        assert_eq!(s.gpus_in_use(), 4);
+    }
+
+    #[test]
+    fn consolidates_before_opening_new_gpu() {
+        let mut s = selector(PlacementPolicy::MaximalRectangles, 3);
+        let (n0, _) = s.place(PodId(0), &spec(20.0, 0.5), |_| true).unwrap();
+        let (n1, _) = s.place(PodId(1), &spec(20.0, 0.5), |_| true).unwrap();
+        assert_eq!(n0, n1, "second pod should share the first GPU");
+    }
+
+    #[test]
+    fn memory_filter_excludes_nodes() {
+        let mut s = selector(PlacementPolicy::MaximalRectangles, 2);
+        let full = NodeId(0);
+        let (n, _) = s
+            .place(PodId(0), &spec(10.0, 0.5), |node| node != full)
+            .unwrap();
+        assert_eq!(n, NodeId(1));
+    }
+
+    #[test]
+    fn new_gpu_required_when_everything_full() {
+        let mut s = selector(PlacementPolicy::MaximalRectangles, 1);
+        s.place(PodId(0), &spec(100.0, 1.0), |_| true).unwrap();
+        assert!(s.place(PodId(1), &spec(10.0, 0.1), |_| true).is_none());
+        s.release(NodeId(0), PodId(0)).unwrap();
+        assert!(s.place(PodId(1), &spec(10.0, 0.1), |_| true).is_some());
+    }
+
+    #[test]
+    fn first_fit_spreads_less_carefully() {
+        // First-fit picks GPU 0 while it fits anything, even when GPU 1
+        // has a tighter slot — this is what the ablation measures.
+        let mut s = selector(PlacementPolicy::FirstFit, 2);
+        let (n, _) = s.place(PodId(0), &spec(10.0, 0.1), |_| true).unwrap();
+        assert_eq!(n, NodeId(0));
+    }
+
+    #[test]
+    fn demand_quantization() {
+        let s = selector(PlacementPolicy::MaximalRectangles, 0);
+        assert_eq!(s.demand_of(&ResourceSpec::new(12.0, 0.4, 0.4, 0)), (40, 12));
+        assert_eq!(s.demand_of(&ResourceSpec::new(0.5, 0.004, 0.004, 0)), (1, 1));
+        let ts = selector(PlacementPolicy::TimeSharingOnly, 0);
+        assert_eq!(ts.demand_of(&ResourceSpec::new(12.0, 0.4, 0.4, 0)), (40, 100));
+    }
+}

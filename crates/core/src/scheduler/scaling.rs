@@ -1,0 +1,310 @@
+//! The Heuristic Scaling Algorithm (paper Algorithm 1).
+
+use fastg_cluster::PodId;
+use serde::{Deserialize, Serialize};
+
+/// One profiled configuration point of a function: running one pod with SM
+/// partition `sm` (%) and time quota `quota` (fraction) yields `rps`
+/// requests/second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigPoint {
+    /// SM partition percentage.
+    pub sm: f64,
+    /// Time quota fraction.
+    pub quota: f64,
+    /// Measured throughput.
+    pub rps: f64,
+}
+
+impl ConfigPoint {
+    /// RPS per Resource: `T / (S × Q)` — the GPU processing efficiency of
+    /// this spatio-temporal resource combination.
+    pub fn rpr(&self) -> f64 {
+        self.rps / (self.sm / 100.0 * self.quota)
+    }
+}
+
+/// A currently running pod of the function, with the throughput its
+/// configuration was profiled at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunningPod {
+    /// The pod.
+    pub pod: PodId,
+    /// Its configuration and profiled throughput.
+    pub config: ConfigPoint,
+}
+
+/// A scaling decision for one function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScaleAction {
+    /// Create a pod with this configuration (`<F, S, Q, +>` in the paper).
+    Up(ConfigPoint),
+    /// Drain this pod (`<J, S, Q, −>`).
+    Down(PodId),
+}
+
+/// Algorithm 1 for a single function.
+///
+/// `delta_rps` is the processing gap `R_j − Σ T_{j,i}`: positive means the
+/// predicted load exceeds provisioned capacity.
+///
+/// * Scaling **up**: `n = ⌊Δ/T_eff⌋` pods of the most efficient (highest
+///   RPR) configuration `p_eff` handle the bulk; the residual `r` gets the
+///   *minimum sufficient* configuration `p_ideal = argmin (T − r)`
+///   subject to `T > r`.
+/// * Scaling **down**: running pods are considered in ascending RPR order
+///   (the least efficient first) and removed only while the gap stays
+///   non-positive, so capacity never drops below demand.
+///
+/// Pods with equal RPR are tied deterministically by `PodId`.
+///
+/// ```
+/// use fastgshare::scheduler::{heuristic_scale, ConfigPoint, ScaleAction};
+///
+/// // One profiled configuration serving 40 req/s per pod.
+/// let profile = [ConfigPoint { sm: 12.0, quota: 0.4, rps: 40.0 }];
+/// // 100 req/s of unmet demand → two bulk pods + one residual pod.
+/// let actions = heuristic_scale(100.0, &profile, &[]);
+/// assert_eq!(actions.len(), 3);
+/// assert!(actions.iter().all(|a| matches!(a, ScaleAction::Up(_))));
+/// ```
+pub fn heuristic_scale(
+    delta_rps: f64,
+    profile: &[ConfigPoint],
+    running: &[RunningPod],
+) -> Vec<ScaleAction> {
+    const EPS: f64 = 1e-9;
+    let mut actions = Vec::new();
+    if delta_rps >= 0.0 {
+        if delta_rps < EPS || profile.is_empty() {
+            return actions;
+        }
+        // p_eff: highest RPR (ties: higher rps, then smaller area, for
+        // determinism).
+        let p_eff = *profile
+            .iter()
+            .max_by(|a, b| {
+                a.rpr()
+                    .partial_cmp(&b.rpr())
+                    .unwrap()
+                    .then(a.rps.partial_cmp(&b.rps).unwrap())
+                    .then(b.quota.partial_cmp(&a.quota).unwrap())
+            })
+            .expect("non-empty profile");
+        assert!(p_eff.rps > 0.0, "profiled zero throughput for p_eff");
+        let n = (delta_rps / p_eff.rps).floor() as usize;
+        let r = delta_rps - n as f64 * p_eff.rps;
+        for _ in 0..n {
+            actions.push(ScaleAction::Up(p_eff));
+        }
+        if r > EPS {
+            // p_ideal: the tightest configuration that still covers r.
+            let p_ideal = profile
+                .iter()
+                .filter(|p| p.rps > r)
+                .min_by(|a, b| (a.rps - r).partial_cmp(&(b.rps - r)).unwrap())
+                .copied()
+                // If even the largest configuration cannot cover the
+                // residual alone (can only happen when r approaches
+                // T_eff), fall back to one more p_eff pod.
+                .unwrap_or(p_eff);
+            actions.push(ScaleAction::Up(p_ideal));
+        }
+    } else {
+        // Scale down: ascending RPR (priority queue L_j), remove while the
+        // gap stays covered.
+        let mut order: Vec<&RunningPod> = running.iter().collect();
+        order.sort_by(|a, b| {
+            a.config
+                .rpr()
+                .partial_cmp(&b.config.rpr())
+                .unwrap()
+                .then(a.pod.cmp(&b.pod))
+        });
+        let mut delta = delta_rps;
+        for rp in order {
+            if delta >= 0.0 {
+                break;
+            }
+            if delta + rp.config.rps <= 0.0 {
+                actions.push(ScaleAction::Down(rp.pod));
+                delta += rp.config.rps;
+            }
+            // Algorithm 1 pops only the front; a front pod too large to
+            // remove ends the loop.
+            else {
+                break;
+            }
+        }
+    }
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Vec<ConfigPoint> {
+        vec![
+            // RPR: 40/(0.12×0.4) = 833 (the efficient point)
+            ConfigPoint {
+                sm: 12.0,
+                quota: 0.4,
+                rps: 40.0,
+            },
+            // RPR: 55/(0.24×0.4) = 573
+            ConfigPoint {
+                sm: 24.0,
+                quota: 0.4,
+                rps: 55.0,
+            },
+            // RPR: 12/(0.06×0.4) = 500
+            ConfigPoint {
+                sm: 6.0,
+                quota: 0.4,
+                rps: 12.0,
+            },
+            // RPR: 70/(0.5×0.6) = 233
+            ConfigPoint {
+                sm: 50.0,
+                quota: 0.6,
+                rps: 70.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn rpr_definition() {
+        let p = ConfigPoint {
+            sm: 12.0,
+            quota: 0.4,
+            rps: 40.0,
+        };
+        assert!((p.rpr() - 40.0 / 0.048).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_up_bulk_plus_ideal_residual() {
+        // Δ = 100: n = ⌊100/40⌋ = 2 pods of p_eff, residual r = 20 → the
+        // tightest config with T > 20 is (12 %, 0.4, 40).
+        let actions = heuristic_scale(100.0, &profile(), &[]);
+        assert_eq!(actions.len(), 3);
+        for a in &actions[..2] {
+            match a {
+                ScaleAction::Up(p) => {
+                    assert_eq!(p.sm, 12.0);
+                    assert_eq!(p.rps, 40.0);
+                }
+                _ => panic!("expected Up"),
+            }
+        }
+        match actions[2] {
+            ScaleAction::Up(p) => assert_eq!(p.rps, 40.0),
+            _ => panic!("expected Up"),
+        }
+    }
+
+    #[test]
+    fn scale_up_small_residual_picks_small_config() {
+        // Δ = 10: n = 0, residual 10 → minimum sufficient is (6 %, 12 rps).
+        let actions = heuristic_scale(10.0, &profile(), &[]);
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            ScaleAction::Up(p) => {
+                assert_eq!(p.sm, 6.0);
+                assert_eq!(p.rps, 12.0);
+            }
+            _ => panic!("expected Up"),
+        }
+    }
+
+    #[test]
+    fn exact_multiple_has_no_residual_pod() {
+        let actions = heuristic_scale(80.0, &profile(), &[]);
+        assert_eq!(actions.len(), 2);
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, ScaleAction::Up(p) if p.rps == 40.0)));
+    }
+
+    #[test]
+    fn capacity_always_covers_demand_on_scale_up() {
+        for delta in [1.0, 7.5, 39.9, 40.0, 41.0, 123.4, 500.0] {
+            let actions = heuristic_scale(delta, &profile(), &[]);
+            let capacity: f64 = actions
+                .iter()
+                .map(|a| match a {
+                    ScaleAction::Up(p) => p.rps,
+                    _ => 0.0,
+                })
+                .sum();
+            assert!(
+                capacity >= delta - 1e-9,
+                "Δ={delta}: capacity {capacity} insufficient"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_gap_is_steady() {
+        assert!(heuristic_scale(0.0, &profile(), &[]).is_empty());
+        assert!(heuristic_scale(1e-12, &profile(), &[]).is_empty());
+    }
+
+    #[test]
+    fn scale_down_removes_least_efficient_first() {
+        let eff = ConfigPoint {
+            sm: 12.0,
+            quota: 0.4,
+            rps: 40.0,
+        };
+        let ineff = ConfigPoint {
+            sm: 50.0,
+            quota: 0.6,
+            rps: 70.0,
+        };
+        let running = vec![
+            RunningPod {
+                pod: PodId(1),
+                config: eff,
+            },
+            RunningPod {
+                pod: PodId(2),
+                config: ineff,
+            },
+        ];
+        // Over-provisioned by 75 rps: the inefficient 70-rps pod goes; the
+        // efficient one survives (removing it too would under-provision).
+        let actions = heuristic_scale(-75.0, &profile(), &running);
+        assert_eq!(actions, vec![ScaleAction::Down(PodId(2))]);
+    }
+
+    #[test]
+    fn scale_down_never_under_provisions() {
+        let cfg = ConfigPoint {
+            sm: 12.0,
+            quota: 0.4,
+            rps: 40.0,
+        };
+        let running: Vec<RunningPod> = (0..3)
+            .map(|i| RunningPod {
+                pod: PodId(i),
+                config: cfg,
+            })
+            .collect();
+        // Gap −50: only one 40-rps pod may go (removing two → −50+80 > 0).
+        let actions = heuristic_scale(-50.0, &profile(), &running);
+        assert_eq!(actions.len(), 1);
+        // Gap −120: all three may go.
+        let actions = heuristic_scale(-120.0, &profile(), &running);
+        assert_eq!(actions.len(), 3);
+        // Gap −30: nothing can be removed.
+        let actions = heuristic_scale(-30.0, &profile(), &running);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn empty_profile_scales_nothing() {
+        assert!(heuristic_scale(100.0, &[], &[]).is_empty());
+    }
+}

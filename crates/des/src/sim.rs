@@ -1,0 +1,213 @@
+//! The simulation driver.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// The state and event handler of a simulated system.
+///
+/// A `World` owns all mutable simulation state; the [`Simulation`] driver
+/// owns the clock and the event queue and calls [`World::handle`] for each
+/// event in timestamp order. Handlers may schedule further events through
+/// the queue they are handed.
+pub trait World {
+    /// The event type delivered by the queue.
+    type Event;
+
+    /// Handles one event at simulated time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// The outcome of a single [`Simulation::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was delivered.
+    Handled,
+    /// The queue was empty; nothing happened.
+    Idle,
+}
+
+/// Drives a [`World`] by delivering events in timestamp order.
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    handled: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation at time zero with an empty queue.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            handled: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last delivered
+    /// event, or zero before the first).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_handled(&self) -> u64 {
+        self.handled
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (e.g. to seed initial state).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Mutable access to the event queue (e.g. to seed initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
+        &mut self.queue
+    }
+
+    /// Simultaneous mutable access to world and queue, for drivers that
+    /// invoke world methods which schedule events outside of `handle`.
+    pub fn parts_mut(&mut self) -> (&mut W, &mut EventQueue<W::Event>, SimTime) {
+        (&mut self.world, &mut self.queue, self.now)
+    }
+
+    /// Consumes the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Delivers the next event, if any.
+    ///
+    /// # Panics
+    /// Panics if the next event's timestamp is earlier than the current
+    /// time — that would mean an event was scheduled in the past.
+    pub fn step(&mut self) -> StepOutcome {
+        match self.queue.pop() {
+            Some((t, ev)) => {
+                assert!(t >= self.now, "event scheduled in the past: {t:?} < {:?}", self.now);
+                self.now = t;
+                self.handled += 1;
+                self.world.handle(t, ev, &mut self.queue);
+                StepOutcome::Handled
+            }
+            None => StepOutcome::Idle,
+        }
+    }
+
+    /// Runs until the queue is empty. The clock stops at the last event.
+    pub fn run_until_idle(&mut self) {
+        while self.step() == StepOutcome::Handled {}
+    }
+
+    /// Runs until the next pending event would be strictly after `deadline`
+    /// (events at exactly `deadline` are delivered), or the queue empties.
+    /// Finally advances the clock to `deadline` if it is ahead of the last
+    /// event, so interval statistics can be closed at a known instant.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until `predicate(world)` returns true (checked after each event)
+    /// or the queue empties. Returns whether the predicate was satisfied.
+    pub fn run_while<F: FnMut(&W) -> bool>(&mut self, mut keep_going: F) -> bool {
+        loop {
+            if !keep_going(&self.world) {
+                return true;
+            }
+            if self.step() == StepOutcome::Idle {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ping {
+        count: u32,
+        limit: u32,
+    }
+
+    impl World for Ping {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+            self.count += ev;
+            if self.count < self.limit {
+                queue.schedule_after(now, SimTime::from_micros(10), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_idle_drains() {
+        let mut sim = Simulation::new(Ping { count: 0, limit: 5 });
+        sim.queue_mut().schedule(SimTime::ZERO, 1);
+        sim.run_until_idle();
+        assert_eq!(sim.world().count, 5);
+        assert_eq!(sim.now(), SimTime::from_micros(40));
+        assert_eq!(sim.events_handled(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Simulation::new(Ping { count: 0, limit: 100 });
+        sim.queue_mut().schedule(SimTime::ZERO, 1);
+        sim.run_until(SimTime::from_micros(25));
+        // Events at 0, 10, 20 delivered; 30 pending.
+        assert_eq!(sim.world().count, 3);
+        assert_eq!(sim.now(), SimTime::from_micros(25));
+        sim.run_until(SimTime::from_micros(30));
+        assert_eq!(sim.world().count, 4);
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut sim = Simulation::new(Ping { count: 0, limit: 100 });
+        sim.queue_mut().schedule(SimTime::ZERO, 1);
+        let hit = sim.run_while(|w| w.count < 7);
+        assert!(hit);
+        assert_eq!(sim.world().count, 7);
+    }
+
+    #[test]
+    fn run_while_reports_exhaustion() {
+        let mut sim = Simulation::new(Ping { count: 0, limit: 3 });
+        sim.queue_mut().schedule(SimTime::ZERO, 1);
+        let hit = sim.run_while(|w| w.count < 10);
+        assert!(!hit);
+        assert_eq!(sim.world().count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_event_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = bool;
+            fn handle(&mut self, _now: SimTime, first: bool, queue: &mut EventQueue<bool>) {
+                if first {
+                    queue.schedule(SimTime::ZERO, false);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.queue_mut().schedule(SimTime::from_micros(10), true);
+        sim.run_until_idle();
+    }
+}

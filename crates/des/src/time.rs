@@ -1,0 +1,225 @@
+//! Simulation timestamps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, measured in integer microseconds since the
+/// start of the simulation.
+///
+/// Integer microseconds keep the engine fully deterministic (no
+/// floating-point drift between platforms) while being fine-grained enough
+/// to represent individual CUDA kernel waves (tens of microseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant; useful as an "infinite" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a timestamp from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a timestamp from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates a timestamp from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Creates a timestamp from fractional seconds, rounding to the nearest
+    /// microsecond. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            SimTime::ZERO
+        } else {
+            SimTime((s * 1e6).round() as u64)
+        }
+    }
+
+    /// This instant expressed in whole microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This instant expressed in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero when `rhs > self`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Scales a duration by a dimensionless factor, rounding to the nearest
+    /// microsecond. Intended for durations (e.g. "80 % of the window").
+    #[inline]
+    pub fn scale(self, factor: f64) -> SimTime {
+        debug_assert!(factor >= 0.0, "negative time scale");
+        SimTime((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// The larger of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_micros(7).as_micros(), 7);
+        assert!((SimTime::from_secs(2).as_secs_f64() - 2.0).abs() < 1e-12);
+        assert_eq!(SimTime::from_secs_f64(0.25), SimTime::from_millis(250));
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(3);
+        assert_eq!(a + b, SimTime::from_millis(13));
+        assert_eq!(a - b, SimTime::from_millis(7));
+        assert_eq!(a * 2, SimTime::from_millis(20));
+        assert_eq!(a / 2, SimTime::from_millis(5));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.saturating_sub(b), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        assert_eq!(SimTime::from_micros(10).scale(0.25), SimTime::from_micros(3));
+        assert_eq!(SimTime::from_secs(1).scale(0.8), SimTime::from_millis(800));
+        assert_eq!(SimTime::from_micros(0).scale(10.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        let a = SimTime::from_micros(1);
+        let b = SimTime::from_micros(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(a < b);
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_micros(1)), None);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_micros(12)), "12us");
+        assert_eq!(format!("{}", SimTime::from_micros(1_500)), "1.500ms");
+        assert_eq!(format!("{}", SimTime::from_micros(2_500_000)), "2.500s");
+    }
+}

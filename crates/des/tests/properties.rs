@@ -1,0 +1,95 @@
+//! Property tests for the event engine.
+
+use fastg_des::{BusyTracker, EventQueue, SimTime, TimeWeighted};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop globally sorted by time, with FIFO order inside equal
+    /// timestamps.
+    #[test]
+    fn queue_pops_sorted_with_fifo_ties(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, idx)) = q.pop() {
+            popped.push((t, idx));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated at {:?}", w[0].0);
+            }
+        }
+    }
+
+    /// peek_time always matches the next pop.
+    #[test]
+    fn peek_matches_pop(times in prop::collection::vec(0u64..1_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_micros(t), ());
+        }
+        while let Some(peeked) = q.peek_time() {
+            let (t, ()) = q.pop().unwrap();
+            prop_assert_eq!(peeked, t);
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// The time-weighted integral over a piecewise-constant signal equals
+    /// the sum of value × segment-length, for any change sequence.
+    #[test]
+    fn time_weighted_integral_exact(
+        segs in prop::collection::vec((1u64..1_000, -50i32..50), 1..50)
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut now = SimTime::ZERO;
+        let mut expected = 0.0;
+        let mut value = 0.0f64;
+        for &(len, v) in &segs {
+            // Current value persists for `len` microseconds.
+            expected += value * len as f64 / 1e6;
+            now += SimTime::from_micros(len);
+            value = v as f64;
+            tw.set(now, value);
+        }
+        let got = tw.integral_at(now);
+        prop_assert!((got - expected).abs() < 1e-9, "got {got}, expected {expected}");
+    }
+
+    /// Busy fraction is always within [0, 1] and equals total marked busy
+    /// time for non-overlapping intervals.
+    #[test]
+    fn busy_tracker_fraction_bounds(
+        gaps in prop::collection::vec((1u64..500, 1u64..500), 1..40)
+    ) {
+        let mut b = BusyTracker::new(SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        let mut busy_total = 0u64;
+        for &(idle, busy) in &gaps {
+            now += SimTime::from_micros(idle);
+            b.begin(now);
+            now += SimTime::from_micros(busy);
+            b.end(now);
+            busy_total += busy;
+        }
+        let u = b.utilization_at(now);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&u));
+        let expected = busy_total as f64 / now.as_micros() as f64;
+        prop_assert!((u - expected).abs() < 1e-9);
+    }
+
+    /// SimTime::scale never overflows for sane factors and rounds to the
+    /// nearest microsecond.
+    #[test]
+    fn scale_rounding(us in 0u64..1_000_000_000, pct in 0u32..=100) {
+        let t = SimTime::from_micros(us);
+        let f = pct as f64 / 100.0;
+        let scaled = t.scale(f);
+        let exact = us as f64 * f;
+        prop_assert!((scaled.as_micros() as f64 - exact).abs() <= 0.5 + 1e-9);
+    }
+}

@@ -1,0 +1,525 @@
+//! The GPU execution engine: per-client in-order kernel streams over a
+//! shared SM pool.
+//!
+//! The device is a *pure state machine*. `launch` and `on_kernel_finish`
+//! return [`KernelStart`] effects carrying absolute finish timestamps; the
+//! caller owns the event loop and schedules a finish callback for each
+//! effect. This inversion keeps the device independently testable and free
+//! of event-queue coupling.
+//!
+//! ## Execution model
+//!
+//! * Each MPS client has one in-order stream (CUDA default-stream
+//!   semantics): at most one of its kernels is resident at a time; queued
+//!   launches wait behind it. Cross-client kernels run concurrently — that
+//!   is the Hyper-Q/MPS behaviour FaST-GShare's spatial sharing exploits.
+//! * A kernel with `blocks` thread-blocks starting when `free` SMs are
+//!   available is granted `granted = min(sm_cap(client), blocks, free)` SMs
+//!   and runs for `ceil(blocks / granted) × work_per_block` (wave
+//!   execution). It holds `granted` SMs for its whole residency
+//!   (non-preemptive; real SMs run resident blocks to completion, and MPS
+//!   partitions are enforced at block dispatch).
+//! * A kernel needing SMs when none are free waits in a FIFO of ready
+//!   clients; this creates the queueing contention that blows up tail
+//!   latency in the paper's "racing" (over-subscribed, no temporal control)
+//!   configuration.
+
+use crate::memory::GpuMemory;
+use crate::metrics::GpuMetrics;
+use crate::mps::{MpsError, MpsMode, MpsServer};
+use crate::spec::GpuSpec;
+use fastg_des::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+pub use crate::mps::ClientId;
+
+/// Identifies one kernel launch on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct KernelId(pub u64);
+
+/// Description of a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Number of thread-blocks in the grid. Bounds the kernel's usable
+    /// parallelism: granting more SMs than blocks cannot speed it up —
+    /// this is what makes throughput saturate along the spatial axis
+    /// (paper Figure 8).
+    pub blocks: u32,
+    /// Time for one SM to retire one block (one wave slot).
+    pub work_per_block: SimTime,
+    /// Caller-defined tag threaded through to [`KernelStart`] /
+    /// [`KernelDone`] (the platform stores a request/stage cookie here).
+    pub tag: u64,
+}
+
+impl KernelDesc {
+    /// Total SM-time this kernel needs regardless of how it is scheduled.
+    pub fn total_work(&self) -> SimTime {
+        self.work_per_block * self.blocks as u64
+    }
+}
+
+/// Effect: a kernel became resident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStart {
+    /// The launch this effect belongs to.
+    pub kernel: KernelId,
+    /// Owning MPS client.
+    pub client: ClientId,
+    /// Caller tag from the [`KernelDesc`].
+    pub tag: u64,
+    /// SMs granted for the kernel's residency.
+    pub granted_sms: u32,
+    /// When it became resident.
+    pub started: SimTime,
+    /// Absolute time at which the caller must invoke
+    /// [`GpuDevice::on_kernel_finish`].
+    pub finish_at: SimTime,
+}
+
+/// Result of completing a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelDone {
+    /// The completed launch.
+    pub kernel: KernelId,
+    /// Owning MPS client.
+    pub client: ClientId,
+    /// Caller tag from the [`KernelDesc`].
+    pub tag: u64,
+    /// Residency duration (the GPU time the FaST Backend charges against
+    /// the pod's quota).
+    pub gpu_time: SimTime,
+    /// SMs the kernel held.
+    pub granted_sms: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    client: ClientId,
+    tag: u64,
+    granted: u32,
+    started: SimTime,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClientStream {
+    queued: VecDeque<KernelDesc>,
+    running: Option<KernelId>,
+    waiting: bool,
+}
+
+/// A simulated GPU: spec, MPS server, SM pool, memory and metrics.
+///
+/// ```
+/// use fastg_gpu::{GpuDevice, GpuSpec, KernelDesc, MpsMode};
+/// use fastg_des::SimTime;
+///
+/// let mut gpu = GpuDevice::new(GpuSpec::v100(), MpsMode::Shared);
+/// let client = gpu.register_client(12.0).unwrap(); // 12 % ≈ 10 SMs
+/// let start = gpu
+///     .launch(SimTime::ZERO, client, KernelDesc {
+///         blocks: 19,
+///         work_per_block: SimTime::from_micros(200),
+///         tag: 0,
+///     })
+///     .unwrap()
+///     .expect("idle stream starts immediately");
+/// // 19 blocks on 10 SMs = 2 waves of 200 µs.
+/// assert_eq!(start.finish_at, SimTime::from_micros(400));
+/// let (done, _) = gpu.on_kernel_finish(start.finish_at, start.kernel);
+/// assert_eq!(done.gpu_time, SimTime::from_micros(400));
+/// ```
+#[derive(Debug)]
+pub struct GpuDevice {
+    spec: GpuSpec,
+    mps: MpsServer,
+    memory: GpuMemory,
+    metrics: GpuMetrics,
+    free_sms: u32,
+    streams: BTreeMap<ClientId, ClientStream>,
+    running: BTreeMap<KernelId, Running>,
+    /// Clients whose stream head is ready but could not be granted SMs,
+    /// in arrival order.
+    wait_queue: VecDeque<ClientId>,
+    next_kernel: u64,
+}
+
+impl GpuDevice {
+    /// Creates a device with the given spec and MPS mode.
+    pub fn new(spec: GpuSpec, mode: MpsMode) -> Self {
+        let mps = MpsServer::new(&spec, mode);
+        let memory = GpuMemory::new(spec.memory_bytes);
+        let metrics = GpuMetrics::new(spec.sm_count);
+        let free_sms = spec.sm_count;
+        GpuDevice {
+            spec,
+            mps,
+            memory,
+            metrics,
+            free_sms,
+            streams: BTreeMap::new(),
+            running: BTreeMap::new(),
+            wait_queue: VecDeque::new(),
+            next_kernel: 0,
+        }
+    }
+
+    /// The hardware spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// The MPS server (client registry, spatial partitions).
+    pub fn mps(&self) -> &MpsServer {
+        &self.mps
+    }
+
+    /// Device memory allocator.
+    pub fn memory(&self) -> &GpuMemory {
+        &self.memory
+    }
+
+    /// Mutable device memory allocator.
+    pub fn memory_mut(&mut self) -> &mut GpuMemory {
+        &mut self.memory
+    }
+
+    /// Metric accounting.
+    pub fn metrics(&self) -> &GpuMetrics {
+        &self.metrics
+    }
+
+    /// Mutable metric accounting (for window sampling).
+    pub fn metrics_mut(&mut self) -> &mut GpuMetrics {
+        &mut self.metrics
+    }
+
+    /// SMs not currently granted to any resident kernel.
+    pub fn free_sms(&self) -> u32 {
+        self.free_sms
+    }
+
+    /// Number of kernels currently resident.
+    pub fn resident_kernels(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Registers an MPS client with an active-thread percentage.
+    pub fn register_client(&mut self, percentage: f64) -> Result<ClientId, MpsError> {
+        let id = self.mps.register(percentage)?;
+        self.streams.insert(id, ClientStream::default());
+        Ok(id)
+    }
+
+    /// Changes a client's spatial partition. Takes effect for subsequent
+    /// kernel starts; resident kernels keep their grant.
+    pub fn set_partition(&mut self, client: ClientId, percentage: f64) -> Result<(), MpsError> {
+        self.mps.set_percentage(client, percentage)
+    }
+
+    /// Unregisters a client.
+    ///
+    /// # Panics
+    /// Panics if the client still has queued or resident kernels; the
+    /// caller (pod teardown) must drain first.
+    pub fn unregister_client(&mut self, client: ClientId) -> Result<(), MpsError> {
+        if let Some(s) = self.streams.get(&client) {
+            assert!(
+                s.queued.is_empty() && s.running.is_none(),
+                "unregistering MPS client {client:?} with work in flight"
+            );
+        }
+        self.streams.remove(&client);
+        self.wait_queue.retain(|&c| c != client);
+        self.mps.unregister(client)
+    }
+
+    /// Launches a kernel into `client`'s stream at time `now`. If the stream
+    /// is idle and SMs are free the kernel becomes resident immediately and
+    /// a [`KernelStart`] is returned; otherwise it waits.
+    pub fn launch(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        desc: KernelDesc,
+    ) -> Result<Option<KernelStart>, MpsError> {
+        if !self.mps.is_registered(client) {
+            return Err(MpsError::UnknownClient(client));
+        }
+        let stream = self
+            .streams
+            .get_mut(&client)
+            .expect("registered client has a stream");
+        stream.queued.push_back(desc);
+        if stream.running.is_none() && !stream.waiting {
+            if self.free_sms > 0 {
+                return Ok(Some(self.start_head(now, client)));
+            }
+            let stream = self.streams.get_mut(&client).expect("stream");
+            stream.waiting = true;
+            self.wait_queue.push_back(client);
+        }
+        Ok(None)
+    }
+
+    /// Completes a resident kernel. Returns its [`KernelDone`] record plus
+    /// any kernels that became resident because SMs (or the stream) freed
+    /// up.
+    ///
+    /// # Panics
+    /// Panics if `kernel` is not resident (e.g. completed twice).
+    pub fn on_kernel_finish(&mut self, now: SimTime, kernel: KernelId) -> (KernelDone, Vec<KernelStart>) {
+        let run = self
+            .running
+            .remove(&kernel)
+            .unwrap_or_else(|| panic!("kernel {kernel:?} is not resident"));
+        self.free_sms += run.granted;
+        debug_assert!(self.free_sms <= self.spec.sm_count);
+        let gpu_time = now - run.started;
+        self.metrics
+            .kernel_finished(now, run.client, run.granted, gpu_time);
+        let done = KernelDone {
+            kernel,
+            client: run.client,
+            tag: run.tag,
+            gpu_time,
+            granted_sms: run.granted,
+        };
+
+        // The owner's stream is now idle; if it has queued work it joins the
+        // back of the wait queue (round-robin fairness across clients).
+        let stream = self.streams.get_mut(&run.client).expect("stream");
+        stream.running = None;
+        if !stream.queued.is_empty() && !stream.waiting {
+            stream.waiting = true;
+            self.wait_queue.push_back(run.client);
+        }
+
+        // Admit waiting clients while SMs remain.
+        let mut started = Vec::new();
+        while self.free_sms > 0 {
+            let Some(client) = self.wait_queue.pop_front() else {
+                break;
+            };
+            let stream = self.streams.get_mut(&client).expect("stream");
+            stream.waiting = false;
+            if stream.queued.is_empty() || stream.running.is_some() {
+                continue;
+            }
+            started.push(self.start_head(now, client));
+        }
+        (done, started)
+    }
+
+    /// Starts the head kernel of `client`'s stream. Caller guarantees the
+    /// stream is non-empty, not running, and `free_sms > 0`.
+    fn start_head(&mut self, now: SimTime, client: ClientId) -> KernelStart {
+        let cap = self.mps.sm_cap(client).expect("registered client");
+        let stream = self.streams.get_mut(&client).expect("stream");
+        let desc = stream.queued.pop_front().expect("non-empty stream");
+        let granted = cap.min(desc.blocks.max(1)).min(self.free_sms);
+        debug_assert!(granted >= 1);
+        let waves = desc.blocks.max(1).div_ceil(granted) as u64;
+        let duration = desc.work_per_block * waves;
+        let id = KernelId(self.next_kernel);
+        self.next_kernel += 1;
+        self.free_sms -= granted;
+        stream.running = Some(id);
+        self.running.insert(
+            id,
+            Running {
+                client,
+                tag: desc.tag,
+                granted,
+                started: now,
+            },
+        );
+        self.metrics.kernel_started(now, granted);
+        KernelStart {
+            kernel: id,
+            client,
+            tag: desc.tag,
+            granted_sms: granted,
+            started: now,
+            finish_at: now + duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v100() -> GpuDevice {
+        GpuDevice::new(GpuSpec::v100(), MpsMode::Shared)
+    }
+
+    fn kernel(blocks: u32, work_us: u64) -> KernelDesc {
+        KernelDesc {
+            blocks,
+            work_per_block: SimTime::from_micros(work_us),
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn single_kernel_single_wave() {
+        let mut gpu = v100();
+        let c = gpu.register_client(100.0).unwrap();
+        let start = gpu
+            .launch(SimTime::ZERO, c, kernel(20, 10))
+            .unwrap()
+            .expect("starts immediately");
+        assert_eq!(start.granted_sms, 20); // blocks bound the grant
+        assert_eq!(start.finish_at, SimTime::from_micros(10)); // one wave
+        assert_eq!(gpu.free_sms(), 60);
+        let (done, next) = gpu.on_kernel_finish(start.finish_at, start.kernel);
+        assert_eq!(done.gpu_time, SimTime::from_micros(10));
+        assert!(next.is_empty());
+        assert_eq!(gpu.free_sms(), 80);
+    }
+
+    #[test]
+    fn partition_caps_grant_and_stretches_duration() {
+        let mut gpu = v100();
+        let c = gpu.register_client(12.0).unwrap(); // 10 SMs
+        let start = gpu.launch(SimTime::ZERO, c, kernel(20, 10)).unwrap().unwrap();
+        assert_eq!(start.granted_sms, 10);
+        // ceil(20/10) = 2 waves.
+        assert_eq!(start.finish_at, SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn in_order_stream_serializes_same_client() {
+        let mut gpu = v100();
+        let c = gpu.register_client(100.0).unwrap();
+        let s1 = gpu.launch(SimTime::ZERO, c, kernel(10, 10)).unwrap().unwrap();
+        // Second launch queues behind the first.
+        assert!(gpu.launch(SimTime::ZERO, c, kernel(10, 10)).unwrap().is_none());
+        let (_, started) = gpu.on_kernel_finish(s1.finish_at, s1.kernel);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].started, SimTime::from_micros(10));
+        assert_eq!(started[0].finish_at, SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn cross_client_kernels_run_concurrently() {
+        let mut gpu = v100();
+        let a = gpu.register_client(50.0).unwrap();
+        let b = gpu.register_client(50.0).unwrap();
+        let sa = gpu.launch(SimTime::ZERO, a, kernel(40, 10)).unwrap().unwrap();
+        let sb = gpu.launch(SimTime::ZERO, b, kernel(40, 10)).unwrap().unwrap();
+        assert_eq!(sa.granted_sms, 40);
+        assert_eq!(sb.granted_sms, 40);
+        assert_eq!(gpu.free_sms(), 0);
+        assert_eq!(gpu.resident_kernels(), 2);
+    }
+
+    #[test]
+    fn sm_exhaustion_queues_and_fifo_admits() {
+        let mut gpu = v100();
+        let a = gpu.register_client(100.0).unwrap();
+        let b = gpu.register_client(100.0).unwrap();
+        let c = gpu.register_client(100.0).unwrap();
+        let sa = gpu.launch(SimTime::ZERO, a, kernel(80, 10)).unwrap().unwrap();
+        assert_eq!(sa.granted_sms, 80);
+        // b and c wait: no SMs free.
+        assert!(gpu.launch(SimTime::ZERO, b, kernel(80, 10)).unwrap().is_none());
+        assert!(gpu.launch(SimTime::ZERO, c, kernel(80, 10)).unwrap().is_none());
+        let (_, started) = gpu.on_kernel_finish(sa.finish_at, sa.kernel);
+        // b arrived first; it takes everything, c keeps waiting.
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].client, b);
+        let (_, started) = gpu.on_kernel_finish(started[0].finish_at, started[0].kernel);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].client, c);
+    }
+
+    #[test]
+    fn contended_start_gets_partial_grant() {
+        let mut gpu = v100();
+        let a = gpu.register_client(100.0).unwrap();
+        let b = gpu.register_client(100.0).unwrap();
+        let _sa = gpu.launch(SimTime::ZERO, a, kernel(60, 10)).unwrap().unwrap();
+        // 20 SMs left: b's 40-block kernel gets 20 and needs 2 waves.
+        let sb = gpu.launch(SimTime::ZERO, b, kernel(40, 10)).unwrap().unwrap();
+        assert_eq!(sb.granted_sms, 20);
+        assert_eq!(sb.finish_at, SimTime::from_micros(20));
+        assert_eq!(gpu.free_sms(), 0);
+    }
+
+    #[test]
+    fn round_robin_between_backlogged_clients() {
+        let mut gpu = GpuDevice::new(GpuSpec::custom("one-sm", 1, 1 << 30), MpsMode::Shared);
+        let a = gpu.register_client(100.0).unwrap();
+        let b = gpu.register_client(100.0).unwrap();
+        let s = gpu.launch(SimTime::ZERO, a, kernel(1, 10)).unwrap().unwrap();
+        // Both clients have another kernel queued.
+        assert!(gpu.launch(SimTime::ZERO, a, kernel(1, 10)).unwrap().is_none());
+        assert!(gpu.launch(SimTime::ZERO, b, kernel(1, 10)).unwrap().is_none());
+        let (_, next) = gpu.on_kernel_finish(s.finish_at, s.kernel);
+        // b was enqueued to the wait queue before a finished -> b runs next.
+        assert_eq!(next[0].client, b);
+        let (_, next) = gpu.on_kernel_finish(next[0].finish_at, next[0].kernel);
+        assert_eq!(next[0].client, a);
+    }
+
+    #[test]
+    fn metrics_track_occupancy() {
+        let mut gpu = v100();
+        let c = gpu.register_client(50.0).unwrap();
+        let s = gpu.launch(SimTime::ZERO, c, kernel(40, 1000)).unwrap().unwrap();
+        gpu.on_kernel_finish(s.finish_at, s.kernel);
+        let stats = gpu.metrics().window_stats(SimTime::from_micros(2000));
+        // 40 SMs busy for 1000us of a 2000us window = 25 % occupancy.
+        assert!((stats.sm_occupancy - 0.25).abs() < 1e-9);
+        assert!((stats.utilization - 0.5).abs() < 1e-9);
+        assert_eq!(gpu.metrics().client_busy(c), SimTime::from_micros(1000));
+    }
+
+    #[test]
+    fn unknown_client_launch_rejected() {
+        let mut gpu = v100();
+        let err = gpu.launch(SimTime::ZERO, ClientId(99), kernel(1, 1));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn double_finish_panics() {
+        let mut gpu = v100();
+        let c = gpu.register_client(100.0).unwrap();
+        let s = gpu.launch(SimTime::ZERO, c, kernel(1, 1)).unwrap().unwrap();
+        gpu.on_kernel_finish(s.finish_at, s.kernel);
+        gpu.on_kernel_finish(s.finish_at, s.kernel);
+    }
+
+    #[test]
+    #[should_panic(expected = "work in flight")]
+    fn unregister_with_resident_kernel_panics() {
+        let mut gpu = v100();
+        let c = gpu.register_client(100.0).unwrap();
+        gpu.launch(SimTime::ZERO, c, kernel(1, 1)).unwrap();
+        let _ = gpu.unregister_client(c);
+    }
+
+    #[test]
+    fn unregister_clean_client() {
+        let mut gpu = v100();
+        let c = gpu.register_client(100.0).unwrap();
+        let s = gpu.launch(SimTime::ZERO, c, kernel(1, 1)).unwrap().unwrap();
+        gpu.on_kernel_finish(s.finish_at, s.kernel);
+        gpu.unregister_client(c).unwrap();
+        assert_eq!(gpu.mps().client_count(), 0);
+    }
+
+    #[test]
+    fn zero_block_kernel_treated_as_one() {
+        let mut gpu = v100();
+        let c = gpu.register_client(100.0).unwrap();
+        let s = gpu.launch(SimTime::ZERO, c, kernel(0, 10)).unwrap().unwrap();
+        assert_eq!(s.granted_sms, 1);
+        assert_eq!(s.finish_at, SimTime::from_micros(10));
+    }
+}

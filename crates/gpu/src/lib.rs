@@ -1,0 +1,46 @@
+//! # fastg-gpu — simulated GPU device model
+//!
+//! A discrete-event model of a data-center GPU (default: NVIDIA V100-like,
+//! 80 SMs, 16 GiB) that reproduces the scheduling-relevant behaviour the
+//! FaST-GShare paper depends on:
+//!
+//! * **SM pool execution** ([`GpuDevice`]): kernels are launched into
+//!   per-client in-order streams (CUDA stream semantics under MPS). A kernel
+//!   with `blocks` thread-blocks is granted
+//!   `min(partition_sms, blocks, free_sms)` SMs when it starts and runs for
+//!   `ceil(blocks / granted) × work_per_block` (wave execution). Execution is
+//!   non-preemptive, matching real SMs which run a resident block to
+//!   completion.
+//! * **MPS spatial partitioning** ([`MpsServer`]): the
+//!   `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE` analogue caps how many SMs one
+//!   client's kernels may occupy concurrently; exclusive mode models the
+//!   Kubernetes device plugin (whole-GPU assignment).
+//! * **Device memory** ([`GpuMemory`]): a first-fit allocator with
+//!   `cuMemAlloc`/`cuMemFree` and CUDA-IPC handle analogues, used by the
+//!   model-sharing storage server.
+//! * **DCGM-style metrics** ([`metrics::GpuMetrics`]): *utilization* is the
+//!   fraction of time at least one kernel is resident (nvidia-smi
+//!   semantics); *SM occupancy* is the time-weighted mean fraction of SMs
+//!   occupied. The paper's Figure 1 contrast (>95 % utilization, <10 %
+//!   occupancy under time sharing) falls directly out of these definitions.
+//!
+//! The device is a pure state machine: `launch`/`on_kernel_finish` return
+//! [`KernelStart`] effects carrying absolute finish times, and the caller
+//! (the platform event loop in the `fastgshare` crate) schedules them on its
+//! own event queue. That keeps this crate free of any event-loop coupling
+//! and independently testable.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod memory;
+pub mod metrics;
+pub mod mig;
+pub mod mps;
+pub mod spec;
+
+pub use device::{ClientId, GpuDevice, KernelDesc, KernelDone, KernelId, KernelStart};
+pub use memory::{DevicePtr, GpuMemory, IpcHandle, MemError};
+pub use mig::{MigConfig, MigError, MigProfile};
+pub use mps::{MpsError, MpsMode, MpsServer};
+pub use spec::GpuSpec;

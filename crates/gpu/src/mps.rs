@@ -1,0 +1,243 @@
+//! Multi-Process Service (MPS) analogue: the spatial-sharing backend.
+//!
+//! The real MPS server multiplexes CUDA contexts from many processes onto
+//! one GPU and caps each client's concurrently active SMs via the
+//! `CUDA_MPS_ACTIVE_THREAD_PERCENTAGE` environment variable. This module
+//! reproduces that management surface: a client registry with per-client
+//! active-thread percentages, translated into SM caps the execution engine
+//! ([`crate::GpuDevice`]) enforces.
+
+use crate::spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifies an MPS client (one function-instance container / pod).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+/// How the GPU is exposed to processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MpsMode {
+    /// MPS server running: many clients share the GPU concurrently, each
+    /// limited by its active-thread percentage. This is FaST-GShare's
+    /// normal operating mode.
+    Shared,
+    /// No MPS; the device-plugin baseline. Exactly one client may register
+    /// and it always receives the whole GPU.
+    Exclusive,
+}
+
+/// Errors from MPS client management.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpsError {
+    /// Exclusive mode already has its single client.
+    ExclusiveBusy,
+    /// The percentage is outside `(0, 100]`.
+    BadPercentage(f64),
+    /// The client id is not registered.
+    UnknownClient(ClientId),
+}
+
+impl std::fmt::Display for MpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpsError::ExclusiveBusy => {
+                write!(f, "GPU is in exclusive mode and already has a client")
+            }
+            MpsError::BadPercentage(p) => {
+                write!(f, "active-thread percentage {p} outside (0, 100]")
+            }
+            MpsError::UnknownClient(c) => write!(f, "unknown MPS client {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MpsError {}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClientEntry {
+    /// Active-thread percentage in `(0, 100]`.
+    percentage: f64,
+    /// Cached SM cap derived from the percentage.
+    sm_cap: u32,
+}
+
+/// The MPS server: client registry and spatial partition bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MpsServer {
+    mode: MpsMode,
+    sm_count: u32,
+    clients: BTreeMap<ClientId, ClientEntry>,
+    next_id: u32,
+}
+
+impl MpsServer {
+    /// Creates a server for a GPU with the given spec.
+    pub fn new(spec: &GpuSpec, mode: MpsMode) -> Self {
+        MpsServer {
+            mode,
+            sm_count: spec.sm_count,
+            clients: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The sharing mode.
+    pub fn mode(&self) -> MpsMode {
+        self.mode
+    }
+
+    /// Registers a new client with the given active-thread percentage
+    /// (ignored — forced to 100 — in exclusive mode).
+    pub fn register(&mut self, percentage: f64) -> Result<ClientId, MpsError> {
+        if self.mode == MpsMode::Exclusive && !self.clients.is_empty() {
+            return Err(MpsError::ExclusiveBusy);
+        }
+        let percentage = if self.mode == MpsMode::Exclusive {
+            100.0
+        } else {
+            percentage
+        };
+        if !(percentage > 0.0 && percentage <= 100.0) {
+            return Err(MpsError::BadPercentage(percentage));
+        }
+        let id = ClientId(self.next_id);
+        self.next_id += 1;
+        let sm_cap = self.sm_cap_for(percentage);
+        self.clients.insert(
+            id,
+            ClientEntry {
+                percentage,
+                sm_cap,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes a client.
+    pub fn unregister(&mut self, id: ClientId) -> Result<(), MpsError> {
+        self.clients
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(MpsError::UnknownClient(id))
+    }
+
+    /// Changes a client's active-thread percentage.
+    pub fn set_percentage(&mut self, id: ClientId, percentage: f64) -> Result<(), MpsError> {
+        if !(percentage > 0.0 && percentage <= 100.0) {
+            return Err(MpsError::BadPercentage(percentage));
+        }
+        let cap = self.sm_cap_for(percentage);
+        let entry = self
+            .clients
+            .get_mut(&id)
+            .ok_or(MpsError::UnknownClient(id))?;
+        entry.percentage = percentage;
+        entry.sm_cap = cap;
+        Ok(())
+    }
+
+    /// The SM cap of a client.
+    pub fn sm_cap(&self, id: ClientId) -> Result<u32, MpsError> {
+        self.clients
+            .get(&id)
+            .map(|e| e.sm_cap)
+            .ok_or(MpsError::UnknownClient(id))
+    }
+
+    /// The active-thread percentage of a client.
+    pub fn percentage(&self, id: ClientId) -> Result<f64, MpsError> {
+        self.clients
+            .get(&id)
+            .map(|e| e.percentage)
+            .ok_or(MpsError::UnknownClient(id))
+    }
+
+    /// Whether the client is registered.
+    pub fn is_registered(&self, id: ClientId) -> bool {
+        self.clients.contains_key(&id)
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Sum of all clients' active-thread percentages; > 100 means the GPU is
+    /// spatially over-subscribed.
+    pub fn total_percentage(&self) -> f64 {
+        self.clients.values().map(|e| e.percentage).sum()
+    }
+
+    fn sm_cap_for(&self, percentage: f64) -> u32 {
+        ((self.sm_count as f64 * percentage / 100.0).round() as u32)
+            .max(1)
+            .min(self.sm_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(mode: MpsMode) -> MpsServer {
+        MpsServer::new(&GpuSpec::v100(), mode)
+    }
+
+    #[test]
+    fn shared_mode_registers_many() {
+        let mut s = server(MpsMode::Shared);
+        let a = s.register(12.0).unwrap();
+        let b = s.register(24.0).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.sm_cap(a).unwrap(), 10);
+        assert_eq!(s.sm_cap(b).unwrap(), 19);
+        assert_eq!(s.client_count(), 2);
+        assert!((s.total_percentage() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exclusive_mode_allows_single_full_client() {
+        let mut s = server(MpsMode::Exclusive);
+        let a = s.register(12.0).unwrap(); // percentage overridden to 100
+        assert_eq!(s.sm_cap(a).unwrap(), 80);
+        assert_eq!(s.register(50.0), Err(MpsError::ExclusiveBusy));
+        s.unregister(a).unwrap();
+        assert!(s.register(100.0).is_ok());
+    }
+
+    #[test]
+    fn percentage_validation() {
+        let mut s = server(MpsMode::Shared);
+        assert_eq!(s.register(0.0), Err(MpsError::BadPercentage(0.0)));
+        assert_eq!(s.register(101.0), Err(MpsError::BadPercentage(101.0)));
+        let a = s.register(50.0).unwrap();
+        assert_eq!(s.set_percentage(a, -5.0), Err(MpsError::BadPercentage(-5.0)));
+    }
+
+    #[test]
+    fn repartition_updates_cap() {
+        let mut s = server(MpsMode::Shared);
+        let a = s.register(50.0).unwrap();
+        assert_eq!(s.sm_cap(a).unwrap(), 40);
+        s.set_percentage(a, 6.0).unwrap();
+        assert_eq!(s.sm_cap(a).unwrap(), 5);
+        assert!((s.percentage(a).unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_client_errors() {
+        let mut s = server(MpsMode::Shared);
+        let ghost = ClientId(42);
+        assert_eq!(s.sm_cap(ghost), Err(MpsError::UnknownClient(ghost)));
+        assert_eq!(s.unregister(ghost), Err(MpsError::UnknownClient(ghost)));
+        assert!(!s.is_registered(ghost));
+    }
+
+    #[test]
+    fn tiny_partition_floors_at_one_sm() {
+        let mut s = MpsServer::new(&GpuSpec::custom("mini", 4, 1 << 30), MpsMode::Shared);
+        let a = s.register(1.0).unwrap();
+        assert_eq!(s.sm_cap(a).unwrap(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the GPU device model.
+
+use fastg_des::SimTime;
+use fastg_gpu::{GpuDevice, GpuMemory, GpuSpec, KernelDesc, MpsMode};
+use proptest::prelude::*;
+
+proptest! {
+    /// Allocator invariants under arbitrary alloc/free interleavings:
+    /// used+free == capacity, no failed frees of live pointers, full
+    /// coalescing at the end.
+    #[test]
+    fn memory_alloc_free_invariants(ops in prop::collection::vec((0u8..2, 1u64..4_096), 1..200)) {
+        let mut m = GpuMemory::new(64 * 1024);
+        let mut live = Vec::new();
+        for &(op, size) in &ops {
+            if op == 0 || live.is_empty() {
+                if let Ok(ptr) = m.alloc(size) {
+                    live.push(ptr);
+                }
+            } else {
+                let ptr = live.swap_remove(size as usize % live.len());
+                prop_assert!(m.free(ptr).is_ok());
+            }
+            let used: u64 = live.iter().map(|p| p.len).sum();
+            prop_assert_eq!(m.used(), used);
+            prop_assert_eq!(m.free_bytes(), m.capacity() - used);
+            prop_assert!(m.largest_free_extent() <= m.free_bytes());
+        }
+        for ptr in live {
+            m.free(ptr).unwrap();
+        }
+        prop_assert_eq!(m.largest_free_extent(), m.capacity());
+    }
+
+    /// Live allocations never overlap.
+    #[test]
+    fn memory_allocations_disjoint(sizes in prop::collection::vec(1u64..2_000, 1..50)) {
+        let mut m = GpuMemory::new(1 << 20);
+        let mut live = Vec::new();
+        for &s in &sizes {
+            if let Ok(p) = m.alloc(s) {
+                live.push(p);
+            }
+        }
+        for (i, a) in live.iter().enumerate() {
+            for b in live.iter().skip(i + 1) {
+                let disjoint = a.offset + a.len <= b.offset || b.offset + b.len <= a.offset;
+                prop_assert!(disjoint, "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    /// Device conservation: free SMs plus granted SMs always equals the
+    /// pool; kernels never receive more SMs than their partition cap or
+    /// their block count; completing everything restores the full pool.
+    #[test]
+    fn device_sm_conservation(
+        launches in prop::collection::vec((0usize..4, 1u32..100, 1u64..50), 1..60)
+    ) {
+        let spec = GpuSpec::v100();
+        let mut gpu = GpuDevice::new(spec, MpsMode::Shared);
+        let caps = [12.0, 24.0, 50.0, 100.0];
+        let clients: Vec<_> = caps.iter().map(|&c| gpu.register_client(c).unwrap()).collect();
+        let mut pending = std::collections::BinaryHeap::new();
+        let mut now = SimTime::ZERO;
+        for &(ci, blocks, work) in &launches {
+            let client = clients[ci];
+            let cap = gpu.mps().sm_cap(client).unwrap();
+            let desc = KernelDesc {
+                blocks,
+                work_per_block: SimTime::from_micros(work),
+                tag: ci as u64,
+            };
+            if let Some(start) = gpu.launch(now, client, desc).unwrap() {
+                prop_assert!(start.granted_sms <= cap);
+                prop_assert!(start.granted_sms <= blocks.max(1));
+                pending.push(std::cmp::Reverse((start.finish_at, start.kernel)));
+            }
+            let granted_total: u32 = 80 - gpu.free_sms();
+            prop_assert!(granted_total <= 80);
+            // Occasionally advance time by completing the next kernel.
+            if pending.len() > 3 {
+                let std::cmp::Reverse((t, k)) = pending.pop().unwrap();
+                now = now.max(t);
+                let (_, started) = gpu.on_kernel_finish(now, k);
+                for s in started {
+                    pending.push(std::cmp::Reverse((s.finish_at, s.kernel)));
+                }
+            }
+        }
+        // Drain.
+        while let Some(std::cmp::Reverse((t, k))) = pending.pop() {
+            now = now.max(t);
+            let (_, started) = gpu.on_kernel_finish(now, k);
+            for s in started {
+                pending.push(std::cmp::Reverse((s.finish_at, s.kernel)));
+            }
+        }
+        prop_assert_eq!(gpu.free_sms(), 80);
+        prop_assert_eq!(gpu.resident_kernels(), 0);
+    }
+
+    /// Metrics consistency: SM occupancy never exceeds utilization, and
+    /// both stay in [0, 1], for arbitrary single-client kernel streams.
+    #[test]
+    fn occupancy_bounded_by_utilization(
+        kernels in prop::collection::vec((1u32..200, 1u64..100), 1..50),
+        partition in 1u32..=100
+    ) {
+        let mut gpu = GpuDevice::new(GpuSpec::v100(), MpsMode::Shared);
+        let c = gpu.register_client(partition as f64).unwrap();
+        let mut now = SimTime::ZERO;
+        for &(blocks, work) in &kernels {
+            let desc = KernelDesc {
+                blocks,
+                work_per_block: SimTime::from_micros(work),
+                tag: 0,
+            };
+            let start = gpu.launch(now, c, desc).unwrap().expect("idle stream starts");
+            // Idle gap after each kernel.
+            now = start.finish_at + SimTime::from_micros(work);
+            gpu.on_kernel_finish(start.finish_at, start.kernel);
+        }
+        let stats = gpu.metrics().window_stats(now);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&stats.utilization));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&stats.sm_occupancy));
+        prop_assert!(stats.sm_occupancy <= stats.utilization + 1e-9);
+    }
+
+    /// Wave math: duration × granted SMs ≥ total work, and duration is
+    /// minimal (removing one wave would not cover the blocks).
+    #[test]
+    fn wave_duration_tight(blocks in 1u32..500, cap_pct in 1u32..=100, work in 1u64..1_000) {
+        let spec = GpuSpec::v100();
+        let mut gpu = GpuDevice::new(spec.clone(), MpsMode::Shared);
+        let c = gpu.register_client(cap_pct as f64).unwrap();
+        let desc = KernelDesc {
+            blocks,
+            work_per_block: SimTime::from_micros(work),
+            tag: 0,
+        };
+        let start = gpu.launch(SimTime::ZERO, c, desc).unwrap().unwrap();
+        let waves = (start.finish_at.as_micros() / work) as u32;
+        prop_assert!(waves * start.granted_sms >= blocks);
+        if waves > 1 {
+            prop_assert!((waves - 1) * start.granted_sms < blocks);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # fastg-workload — load generation and service metrics
+//!
+//! The Locust / Grafana-k6 analogue: open-loop arrival processes that drive
+//! the simulated FaaS gateway, plus the measurement plumbing the paper's
+//! evaluation reports — latency percentiles (log-bucket histogram),
+//! SLO-violation accounting, and throughput/arrival-rate estimation.
+//!
+//! All randomness is seeded (`rand::rngs::SmallRng`), so a workload replays
+//! identically for a given seed.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod hist;
+pub mod patterns;
+pub mod rate;
+pub mod slo;
+
+pub use arrival::ArrivalProcess;
+pub use hist::LatencyHistogram;
+pub use rate::{RateEstimator, RateMeter};
+pub use slo::SloTracker;

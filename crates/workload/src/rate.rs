@@ -1,0 +1,179 @@
+//! Throughput measurement and arrival-rate prediction.
+
+use fastg_des::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Measures achieved throughput by recording event timestamps and counting
+/// them over windows.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RateMeter {
+    times: Vec<SimTime>,
+}
+
+impl RateMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one event (e.g. a completed request) at `now`. Events must
+    /// be recorded in non-decreasing time order.
+    pub fn record(&mut self, now: SimTime) {
+        debug_assert!(self.times.last().map_or(true, |&t| t <= now));
+        self.times.push(now);
+    }
+
+    /// Total events recorded.
+    pub fn count(&self) -> u64 {
+        self.times.len() as u64
+    }
+
+    /// Events in `[from, to)`.
+    pub fn count_between(&self, from: SimTime, to: SimTime) -> u64 {
+        let lo = self.times.partition_point(|&t| t < from);
+        let hi = self.times.partition_point(|&t| t < to);
+        (hi - lo) as u64
+    }
+
+    /// Mean rate (events/second) over `[from, to)`; zero for an empty
+    /// window.
+    pub fn rate_between(&self, from: SimTime, to: SimTime) -> f64 {
+        let span = to.saturating_sub(from).as_secs_f64();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.count_between(from, to) as f64 / span
+        }
+    }
+}
+
+/// Predicts the near-future request rate from recent arrivals — the
+/// gateway-side signal `R_j` the Heuristic Scaling Algorithm consumes.
+///
+/// Maintains a sliding window of arrival timestamps and exponentially
+/// smooths per-interval counts: robust to Poisson noise while still
+/// tracking ramps within a few control intervals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateEstimator {
+    window: SimTime,
+    alpha: f64,
+    recent: VecDeque<SimTime>,
+    smoothed: Option<f64>,
+    last_update: SimTime,
+}
+
+impl RateEstimator {
+    /// Creates an estimator with a sliding `window` and EWMA factor
+    /// `alpha` (0 < alpha ≤ 1; higher reacts faster).
+    pub fn new(window: SimTime, alpha: f64) -> Self {
+        assert!(window > SimTime::ZERO, "zero estimator window");
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "bad alpha {alpha}");
+        RateEstimator {
+            window,
+            alpha,
+            recent: VecDeque::new(),
+            smoothed: None,
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Records one request arrival.
+    pub fn on_arrival(&mut self, now: SimTime) {
+        self.recent.push_back(now);
+        self.evict(now);
+    }
+
+    /// Updates the smoothed estimate; call once per control interval.
+    /// Returns the current prediction (requests/second).
+    pub fn tick(&mut self, now: SimTime) -> f64 {
+        self.evict(now);
+        let instantaneous = self.recent.len() as f64 / self.window.as_secs_f64();
+        let s = match self.smoothed {
+            Some(prev) => prev + self.alpha * (instantaneous - prev),
+            None => instantaneous,
+        };
+        self.smoothed = Some(s);
+        self.last_update = now;
+        s
+    }
+
+    /// The most recent prediction without updating (zero before any tick).
+    pub fn predicted(&self) -> f64 {
+        self.smoothed.unwrap_or(0.0)
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now.saturating_sub(self.window);
+        while self.recent.front().is_some_and(|&t| t < cutoff) {
+            self.recent.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_windows() {
+        let mut m = RateMeter::new();
+        for i in 0..100 {
+            m.record(SimTime::from_millis(i * 10)); // 100 events over 1s
+        }
+        assert_eq!(m.count(), 100);
+        assert_eq!(
+            m.count_between(SimTime::ZERO, SimTime::from_millis(500)),
+            50
+        );
+        let r = m.rate_between(SimTime::ZERO, SimTime::from_secs(1));
+        assert!((r - 100.0).abs() < 1e-9);
+        assert_eq!(m.rate_between(SimTime::from_secs(5), SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn estimator_converges_to_steady_rate() {
+        let mut e = RateEstimator::new(SimTime::from_secs(2), 0.5);
+        // 50 rps for 10 seconds, tick each second.
+        let mut predicted = 0.0;
+        for s in 0..10u64 {
+            for i in 0..50u64 {
+                e.on_arrival(SimTime::from_secs(s) + SimTime::from_millis(i * 20));
+            }
+            predicted = e.tick(SimTime::from_secs(s + 1));
+        }
+        assert!((predicted - 50.0).abs() < 5.0, "predicted {predicted}");
+    }
+
+    #[test]
+    fn estimator_tracks_rate_drop() {
+        let mut e = RateEstimator::new(SimTime::from_secs(1), 0.7);
+        for i in 0..100u64 {
+            e.on_arrival(SimTime::from_millis(i * 10));
+        }
+        e.tick(SimTime::from_secs(1));
+        assert!(e.predicted() > 50.0);
+        // Silence for several intervals.
+        for s in 2..8u64 {
+            e.tick(SimTime::from_secs(s));
+        }
+        assert!(e.predicted() < 2.0, "predicted {}", e.predicted());
+    }
+
+    #[test]
+    fn estimator_starts_at_observed_rate() {
+        let mut e = RateEstimator::new(SimTime::from_secs(1), 0.1);
+        for i in 0..30u64 {
+            e.on_arrival(SimTime::from_millis(500 + i));
+        }
+        // First tick snaps straight to the instantaneous value.
+        let p = e.tick(SimTime::from_secs(1));
+        assert!((p - 30.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero estimator window")]
+    fn zero_window_rejected() {
+        RateEstimator::new(SimTime::ZERO, 0.5);
+    }
+}

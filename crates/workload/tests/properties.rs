@@ -1,0 +1,120 @@
+//! Property tests for arrival processes and metrics.
+
+use fastg_des::SimTime;
+use fastg_workload::{ArrivalProcess, LatencyHistogram, RateMeter, SloTracker};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arrival streams are strictly increasing for every process type.
+    #[test]
+    fn arrivals_strictly_increase(rate in 1.0f64..2_000.0, seed in 0u64..1_000) {
+        let mut p = ArrivalProcess::poisson(rate, seed);
+        let ts = p.collect_until(SimTime::from_secs(2));
+        for w in ts.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        let mut c = ArrivalProcess::constant(rate);
+        let ts = c.collect_until(SimTime::from_secs(2));
+        for w in ts.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Poisson arrival counts land near rate × duration (law of large
+    /// numbers at 3-sigma).
+    #[test]
+    fn poisson_count_near_mean(rate in 20.0f64..500.0, seed in 0u64..50) {
+        let secs = 20.0;
+        let mut p = ArrivalProcess::poisson(rate, seed);
+        let n = p.collect_until(SimTime::from_secs_f64(secs)).len() as f64;
+        let mean = rate * secs;
+        let sigma = mean.sqrt();
+        prop_assert!((n - mean).abs() < 4.0 * sigma, "n={n} mean={mean}");
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_monotone_and_bounded(samples in prop::collection::vec(1u64..10_000_000, 1..300)) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(SimTime::from_micros(s));
+        }
+        let mut prev = SimTime::ZERO;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantiles must be monotone");
+            prop_assert!(v <= h.max());
+            prev = v;
+        }
+        prop_assert!(h.quantile(1.0) == h.max());
+    }
+
+    /// Histogram quantile error stays within the 5 % bucket growth (plus
+    /// one bucket) against the exact empirical quantile.
+    #[test]
+    fn quantile_relative_error(samples in prop::collection::vec(100u64..1_000_000, 20..300)) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(SimTime::from_micros(s));
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let idx = (((sorted.len() as f64) * q).ceil() as usize).max(1) - 1;
+            let exact = sorted[idx] as f64;
+            let approx = h.quantile(q).as_micros() as f64;
+            let rel = (approx - exact).abs() / exact;
+            prop_assert!(rel < 0.12, "q={q}: approx {approx} vs exact {exact}");
+        }
+    }
+
+    /// fraction_within is consistent with the recorded counts.
+    #[test]
+    fn fraction_within_counts(samples in prop::collection::vec(1u64..100_000, 1..200), thr in 1u64..100_000) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(SimTime::from_micros(s));
+        }
+        let f = h.fraction_within(SimTime::from_micros(thr));
+        // Bucketing may misclassify only samples within one ~5 % bucket
+        // of the threshold: bound by the exact fractions at thr ÷ 1.11
+        // and thr × 1.11 (one bucket of slack either side).
+        let frac_at = |t: f64| {
+            samples.iter().filter(|&&s| (s as f64) <= t).count() as f64 / samples.len() as f64
+        };
+        let lo = frac_at(thr as f64 / 1.11);
+        let hi = frac_at(thr as f64 * 1.11);
+        prop_assert!(
+            f >= lo - 1e-9 && f <= hi + 1e-9,
+            "f={f} outside [{lo}, {hi}] for thr={thr}"
+        );
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// SLO tracker: violations + within == total, ratio in [0, 1].
+    #[test]
+    fn slo_accounting(samples in prop::collection::vec(1u64..200_000, 1..200), slo_us in 1_000u64..150_000) {
+        let mut t = SloTracker::new(SimTime::from_micros(slo_us));
+        for &s in &samples {
+            t.record(SimTime::from_micros(s));
+        }
+        let exact = samples.iter().filter(|&&s| s > slo_us).count() as u64;
+        prop_assert_eq!(t.violations(), exact);
+        prop_assert_eq!(t.total(), samples.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&t.violation_ratio()));
+    }
+
+    /// RateMeter window counts partition the total.
+    #[test]
+    fn rate_meter_partitions(times in prop::collection::vec(0u64..1_000_000, 1..200), split in 1u64..1_000_000) {
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut m = RateMeter::new();
+        for &t in &sorted {
+            m.record(SimTime::from_micros(t));
+        }
+        let a = m.count_between(SimTime::ZERO, SimTime::from_micros(split));
+        let b = m.count_between(SimTime::from_micros(split), SimTime::from_micros(1_000_001));
+        prop_assert_eq!(a + b, m.count());
+    }
+}

@@ -1,0 +1,69 @@
+//! Model-sharing memory study (paper Figure 13): per-model footprints
+//! with and without the IPC store, on the real allocator of a simulated
+//! 16 GB V100.
+//!
+//! ```sh
+//! cargo run --release --example model_sharing
+//! ```
+
+use fastg_models::zoo;
+use fastgshare::modelshare::footprint;
+use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig};
+
+const MIB: u64 = 1024 * 1024;
+const CTX: u64 = 300 * MIB;
+
+fn live_footprint(model: &str, pods: usize, sharing: bool) -> u64 {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .model_sharing(sharing)
+            .oversubscribe(true)
+            .seed(3),
+    );
+    p.deploy(
+        FunctionConfig::new("f", model)
+            .replicas(pods)
+            .resources(12.0, 0.5, 0.5),
+    )
+    .expect("fits");
+    p.node_memory_used(0)
+}
+
+fn main() {
+    println!("== Model sharing memory footprints (Figure 13) ==\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "model", "original", "shared(1)", "shared pod", "saved/pod"
+    );
+    for m in zoo::all() {
+        let orig = m.memory.total() / MIB;
+        let shared1 = footprint::total_for(&m.memory, 1, true, CTX) / MIB;
+        let pod = m.memory.shared_instance() / MIB;
+        let saved = 100.0 * (1.0 - pod as f64 / orig as f64);
+        println!(
+            "{:<12} {:>9}M {:>11}M {:>11}M {:>9.1}%",
+            m.name, orig, shared1, pod, saved
+        );
+    }
+
+    println!("\n-- multi-pod deployments on one 16 GB V100 (live allocator) --");
+    for (model, pods) in [("vit_huge", 3usize), ("resnext101", 4), ("resnet50", 8)] {
+        let with = live_footprint(model, pods, true);
+        let without = live_footprint(model, pods, false);
+        println!(
+            "{pods} x {model:<12} with sharing {:>6} MiB   without {:>6} MiB   saved {:>5} MiB",
+            with / MIB,
+            without / MIB,
+            (without.saturating_sub(with)) / MIB
+        );
+    }
+
+    let rx = zoo::resnext101().memory;
+    println!(
+        "\ncapacity: a 16 GB V100 fits {} ResNeXt pods with sharing vs {} without \
+         (paper: 7 vs 4)",
+        footprint::max_pods(&rx, 16 * 1024 * MIB, true, CTX),
+        footprint::max_pods(&rx, 16 * 1024 * MIB, false, CTX),
+    );
+}

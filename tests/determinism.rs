@@ -1,0 +1,111 @@
+//! Determinism: the whole stack replays identically for a given seed —
+//! the property every calibration and regression test leans on.
+
+use fastg_des::SimTime;
+use fastg_workload::ArrivalProcess;
+use fastgshare::manager::SharingPolicy;
+use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig};
+
+/// A run fingerprint: event count plus the externally visible outcomes.
+fn fingerprint(policy: SharingPolicy, seed: u64) -> (u64, u64, SimTime, SimTime, u64) {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(2)
+            .policy(policy)
+            .oversubscribe(true)
+            .seed(seed),
+    );
+    let resnet = p
+        .deploy(
+            FunctionConfig::new("resnet", "resnet50")
+                .replicas(3)
+                .resources(12.0, 0.5, 0.8),
+        )
+        .unwrap();
+    let rnnt = p
+        .deploy(
+            FunctionConfig::new("rnnt", "rnnt")
+                .replicas(2)
+                .resources(24.0, 0.4, 0.4),
+        )
+        .unwrap();
+    p.set_load(resnet, ArrivalProcess::poisson(60.0, seed.wrapping_add(1)));
+    p.set_load(rnnt, ArrivalProcess::poisson(8.0, seed.wrapping_add(2)));
+    let report = p.run_for(SimTime::from_secs(4));
+    (
+        p.events_handled(),
+        report.functions[&resnet].completed,
+        report.functions[&resnet].p99,
+        report.functions[&rnnt].p99,
+        report.functions[&rnnt].slo_violations,
+    )
+}
+
+#[test]
+fn fast_policy_replays_exactly() {
+    assert_eq!(
+        fingerprint(SharingPolicy::FaST, 7),
+        fingerprint(SharingPolicy::FaST, 7)
+    );
+}
+
+#[test]
+fn single_token_policy_replays_exactly() {
+    assert_eq!(
+        fingerprint(SharingPolicy::SingleToken, 7),
+        fingerprint(SharingPolicy::SingleToken, 7)
+    );
+}
+
+#[test]
+fn racing_policy_replays_exactly() {
+    assert_eq!(
+        fingerprint(SharingPolicy::Racing, 7),
+        fingerprint(SharingPolicy::Racing, 7)
+    );
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let a = fingerprint(SharingPolicy::FaST, 7);
+    let b = fingerprint(SharingPolicy::FaST, 8);
+    assert_ne!(a, b, "different seeds should give different traces");
+}
+
+#[test]
+fn policies_actually_differ() {
+    let fast = fingerprint(SharingPolicy::FaST, 7);
+    let ts = fingerprint(SharingPolicy::SingleToken, 7);
+    assert_ne!(
+        fast, ts,
+        "FaST and time sharing must produce different schedules"
+    );
+}
+
+/// Two platforms advanced in different increments reach the same state:
+/// `run_for` boundaries must not perturb the trace.
+#[test]
+fn run_boundaries_do_not_perturb() {
+    let build = || {
+        let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(5));
+        let f = p
+            .deploy(
+                FunctionConfig::new("f", "resnet50")
+                    .replicas(2)
+                    .resources(12.0, 1.0, 1.0),
+            )
+            .unwrap();
+        p.set_load(f, ArrivalProcess::poisson(40.0, 6));
+        (p, f)
+    };
+    let (mut a, fa) = build();
+    let ra = a.run_for(SimTime::from_secs(4));
+    let (mut b, fb) = build();
+    for _ in 0..8 {
+        b.run_for(SimTime::from_millis(500));
+    }
+    let rb = b.report();
+    assert_eq!(a.events_handled(), b.events_handled());
+    assert_eq!(ra.functions[&fa].completed, rb.functions[&fb].completed);
+    assert_eq!(ra.functions[&fa].p99, rb.functions[&fb].p99);
+}

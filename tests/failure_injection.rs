@@ -1,0 +1,176 @@
+//! Failure injection: pods crash mid-flight; the platform must not lose
+//! requests, leak GPU resources, or panic — and must keep serving.
+
+use fastg_des::SimTime;
+use fastg_workload::ArrivalProcess;
+use fastgshare::manager::SharingPolicy;
+use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig};
+
+fn loaded_platform(seed: u64) -> (Platform, fastg_cluster::FuncId) {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(SharingPolicy::FaST)
+            .seed(seed),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(4)
+                .resources(12.0, 1.0, 1.0),
+        )
+        .unwrap();
+    p.set_load(f, ArrivalProcess::poisson(80.0, seed + 1));
+    (p, f)
+}
+
+/// A crashed pod's in-flight request is retried, not dropped: every
+/// arrival is eventually completed (or still queued at the end).
+#[test]
+fn crashed_requests_are_retried() {
+    let (mut p, f) = loaded_platform(41);
+    p.run_for(SimTime::from_secs(1));
+    // Kill two pods mid-load; replace them so capacity recovers.
+    let pods = p.pods_of(f);
+    assert!(p.kill_pod(pods[0]));
+    assert!(p.kill_pod(pods[1]));
+    assert_eq!(p.killed_pods(), 2);
+    p.scale_to(f, 4);
+    let report = p.run_for(SimTime::from_secs(5));
+    let fr = &report.functions[&f];
+    // Offered 80 rps with capacity ~160: everything completes except the
+    // handful still in flight at the horizon.
+    assert!(
+        fr.arrivals - fr.completed < 8,
+        "lost requests: {} arrived, {} completed",
+        fr.arrivals,
+        fr.completed
+    );
+    assert!((fr.throughput_rps - 80.0).abs() < 10.0, "rps {}", fr.throughput_rps);
+}
+
+/// Killing every pod and rescaling from zero works; memory and MPS
+/// clients are fully reclaimed in between.
+#[test]
+fn total_crash_and_recovery() {
+    let (mut p, f) = loaded_platform(42);
+    p.run_for(SimTime::from_secs(1));
+    for pod in p.pods_of(f) {
+        p.kill_pod(pod);
+    }
+    // Let zombie kernels drain.
+    p.run_for(SimTime::from_secs(1));
+    assert_eq!(p.replicas(f), 0);
+    // All device memory is back (model weights may persist only while a
+    // pod references them; with zero pods everything is freed).
+    assert_eq!(p.node_memory_used(0), 0, "leaked device memory");
+    // Recover.
+    p.scale_to(f, 3);
+    let report = p.run_for(SimTime::from_secs(4));
+    assert_eq!(report.functions[&f].replicas, 3);
+    assert!(report.functions[&f].completed > 100);
+}
+
+/// Random kill/respawn churn: the platform stays consistent and keeps
+/// serving under constant failures (one crash every ~400 ms).
+#[test]
+fn chaos_churn_keeps_serving() {
+    let (mut p, f) = loaded_platform(43);
+    let mut victim = 0usize;
+    for _ in 0..20 {
+        p.run_for(SimTime::from_millis(400));
+        let pods = p.pods_of(f);
+        if !pods.is_empty() {
+            p.kill_pod(pods[victim % pods.len()]);
+            victim += 1;
+        }
+        p.scale_to(f, 4);
+    }
+    let report = p.run_for(SimTime::from_secs(2));
+    let fr = &report.functions[&f];
+    assert_eq!(p.killed_pods(), 20);
+    assert!(
+        fr.arrivals - fr.completed < 10,
+        "{} arrived vs {} completed",
+        fr.arrivals,
+        fr.completed
+    );
+    // Serving never collapsed: mean throughput stays near the offer.
+    assert!(fr.throughput_rps > 65.0, "rps {}", fr.throughput_rps);
+}
+
+/// Determinism holds under failure injection too.
+#[test]
+fn chaos_is_deterministic() {
+    let run = || {
+        let (mut p, f) = loaded_platform(44);
+        for i in 0..10 {
+            p.run_for(SimTime::from_millis(300));
+            let pods = p.pods_of(f);
+            if !pods.is_empty() {
+                p.kill_pod(pods[i % pods.len()]);
+            }
+            p.scale_to(f, 4);
+        }
+        let r = p.run_for(SimTime::from_secs(2));
+        (p.events_handled(), r.functions[&f].completed, r.functions[&f].p99)
+    };
+    assert_eq!(run(), run());
+}
+
+/// Regression (found by `properties_platform::no_request_is_ever_lost`):
+/// requests that queue while *zero* replicas exist must be picked up by
+/// the replacement pods the moment they are created.
+#[test]
+fn backlog_drains_onto_replacement_pods() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(SharingPolicy::FaST)
+            .seed(46),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(2)
+                .resources(12.0, 1.0, 1.0),
+        )
+        .unwrap();
+    p.set_load(f, ArrivalProcess::constant(30.0));
+    p.run_for(SimTime::from_millis(500));
+    // Wipe out every replica; arrivals keep landing in the gateway queue.
+    for pod in p.pods_of(f) {
+        p.kill_pod(pod);
+    }
+    p.run_for(SimTime::from_secs(1));
+    assert_eq!(p.replicas(f), 0);
+    // Replacements must drain the accumulated backlog unprompted.
+    p.scale_to(f, 2);
+    p.set_load(f, ArrivalProcess::constant(0.0));
+    let report = p.run_for(SimTime::from_secs(4));
+    let fr = &report.functions[&f];
+    assert_eq!(
+        fr.arrivals, fr.completed,
+        "backlog stranded: {} arrived, {} completed",
+        fr.arrivals, fr.completed
+    );
+}
+
+/// Killing an idle pod (no request in flight) tears down immediately.
+#[test]
+fn idle_pod_kill_is_immediate() {
+    let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(45));
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(2)
+                .resources(12.0, 1.0, 1.0),
+        )
+        .unwrap();
+    let pods = p.pods_of(f);
+    assert!(p.kill_pod(pods[0]));
+    assert_eq!(p.replicas(f), 1);
+    // Double-kill is a no-op.
+    assert!(!p.kill_pod(pods[0]));
+    assert_eq!(p.killed_pods(), 1);
+}

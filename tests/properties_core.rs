@@ -1,0 +1,274 @@
+//! Property tests for the FaST-GShare policy components: the Maximal
+//! Rectangles Algorithm, the Heuristic Scaling Algorithm, the FaST
+//! Backend and the model store.
+
+use fastg_cluster::{PodId, ResourceSpec};
+use fastg_des::SimTime;
+use fastg_gpu::GpuMemory;
+use fastgshare::manager::{BackendConfig, FastBackend, RequestOutcome, SharingPolicy};
+use fastgshare::modelshare::ModelStorageServer;
+use fastgshare::scheduler::{heuristic_scale, ConfigPoint, GpuRects, Rect, RunningPod, ScaleAction};
+use proptest::prelude::*;
+
+/// Checks every MRA free-list invariant directly (release builds don't
+/// run the internal debug checks).
+fn check_mra_invariants(g: &GpuRects, placements: &[(PodId, Rect)]) -> Result<(), TestCaseError> {
+    let bounds = Rect::new(0, 0, 100, 100);
+    for r in g.free_rects() {
+        prop_assert!(bounds.contains(r), "free rect out of bounds: {r:?}");
+        for &(_, p) in placements {
+            prop_assert!(!r.intersects(&p), "free rect {r:?} overlaps placement {p:?}");
+        }
+    }
+    for (i, a) in g.free_rects().iter().enumerate() {
+        for (j, b) in g.free_rects().iter().enumerate() {
+            if i != j {
+                prop_assert!(!b.contains(a), "free rect {a:?} contained in {b:?}");
+            }
+        }
+    }
+    for (i, &(_, a)) in placements.iter().enumerate() {
+        for &(_, b) in placements.iter().skip(i + 1) {
+            prop_assert!(!a.intersects(&b), "placements overlap: {a:?} {b:?}");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 2 invariants hold under arbitrary place/release churn,
+    /// and the free area accounting is exact.
+    #[test]
+    fn mra_invariants_under_churn(
+        ops in prop::collection::vec((0u8..2, 1u32..=60, 1u32..=60), 1..80)
+    ) {
+        let mut g = GpuRects::new(100, 100, 12);
+        let mut placements: Vec<(PodId, Rect)> = Vec::new();
+        let mut next = 0u64;
+        for &(op, w, h) in &ops {
+            if op == 0 || placements.is_empty() {
+                let pod = PodId(next);
+                next += 1;
+                if let Some(rect) = g.place(pod, w, h) {
+                    prop_assert_eq!(rect.w, w);
+                    prop_assert_eq!(rect.h, h);
+                    placements.push((pod, rect));
+                }
+            } else {
+                let idx = (w as usize * h as usize) % placements.len();
+                let (pod, rect) = placements.swap_remove(idx);
+                let released = g.release(pod).expect("placed pod releases");
+                prop_assert_eq!(released, rect);
+            }
+            let used: u64 = placements.iter().map(|&(_, r)| r.area()).sum();
+            prop_assert_eq!(g.used_area(), used);
+            prop_assert_eq!(g.free_area(), 10_000 - used);
+            check_mra_invariants(&g, &placements)?;
+        }
+        // Restructuring never breaks anything either.
+        g.restructure();
+        check_mra_invariants(&g, &placements)?;
+    }
+
+    /// Everything placeable before a restructure is placeable after: the
+    /// rebuild only consolidates, never loses reachable space.
+    #[test]
+    fn restructure_preserves_placeability(
+        seeds in prop::collection::vec((1u32..=50, 1u32..=50), 1..12),
+        probe in (1u32..=100, 1u32..=100)
+    ) {
+        let mut g = GpuRects::new(100, 100, 1_000); // no auto-restructure
+        for (i, &(w, h)) in seeds.iter().enumerate() {
+            let _ = g.place(PodId(i as u64), w, h);
+        }
+        let before = g.best_fit(probe.0, probe.1).is_some();
+        g.restructure();
+        let after = g.best_fit(probe.0, probe.1).is_some();
+        // Restructure computes the *maximal* free rectangles around the
+        // same placements, so fit can only improve.
+        prop_assert!(!before || after, "restructure lost a feasible placement");
+    }
+
+    /// Algorithm 1 scale-up always provisions at least the gap, with at
+    /// most one non-p_eff pod.
+    #[test]
+    fn scaling_up_covers_gap(
+        delta in 0.1f64..500.0,
+        profile in prop::collection::vec((1u32..=100, 1u32..=100, 0.5f64..200.0), 1..10)
+    ) {
+        let points: Vec<ConfigPoint> = profile
+            .iter()
+            .map(|&(sm, q, rps)| ConfigPoint { sm: sm as f64, quota: q as f64 / 100.0, rps })
+            .collect();
+        let actions = heuristic_scale(delta, &points, &[]);
+        let capacity: f64 = actions
+            .iter()
+            .map(|a| match a {
+                ScaleAction::Up(p) => p.rps,
+                ScaleAction::Down(_) => 0.0,
+            })
+            .sum();
+        prop_assert!(capacity >= delta - 1e-6, "capacity {capacity} < gap {delta}");
+        prop_assert!(actions.iter().all(|a| matches!(a, ScaleAction::Up(_))));
+        // Bulk pods all share the p_eff configuration.
+        let distinct: std::collections::BTreeSet<u64> = actions
+            .iter()
+            .map(|a| match a {
+                ScaleAction::Up(p) => (p.rps * 1e6) as u64,
+                _ => 0,
+            })
+            .collect();
+        prop_assert!(distinct.len() <= 2, "more than bulk + residual configs");
+    }
+
+    /// Algorithm 1 scale-down never removes more capacity than the
+    /// surplus.
+    #[test]
+    fn scaling_down_keeps_capacity(
+        surplus in 0.1f64..300.0,
+        pods in prop::collection::vec((1u32..=100, 1u32..=100, 0.5f64..100.0), 1..12)
+    ) {
+        let running: Vec<RunningPod> = pods
+            .iter()
+            .enumerate()
+            .map(|(i, &(sm, q, rps))| RunningPod {
+                pod: PodId(i as u64),
+                config: ConfigPoint { sm: sm as f64, quota: q as f64 / 100.0, rps },
+            })
+            .collect();
+        let total: f64 = running.iter().map(|r| r.config.rps).sum();
+        let actions = heuristic_scale(-surplus, &[], &running);
+        let removed: f64 = actions
+            .iter()
+            .map(|a| match a {
+                ScaleAction::Down(p) => running
+                    .iter()
+                    .find(|r| r.pod == *p)
+                    .map(|r| r.config.rps)
+                    .unwrap_or(0.0),
+                _ => 0.0,
+            })
+            .sum();
+        prop_assert!(removed <= surplus + 1e-9, "removed {removed} > surplus {surplus}");
+        prop_assert!(total - removed >= total - surplus - 1e-9);
+        // No pod drained twice.
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &actions {
+            if let ScaleAction::Down(p) = a {
+                prop_assert!(seen.insert(*p), "pod {p:?} drained twice");
+            }
+        }
+    }
+
+    /// Backend safety under random request/sync/reset sequences: the SM
+    /// adapter never exceeds the global limit, and Q_used never exceeds
+    /// Q_limit by more than one burst.
+    #[test]
+    fn backend_adapter_and_quota_safety(
+        ops in prop::collection::vec((0u8..4, 0u64..6, 1u64..5_000), 10..250)
+    ) {
+        let window = SimTime::from_millis(100);
+        let mut b = FastBackend::new(BackendConfig {
+            policy: SharingPolicy::FaST,
+            window,
+            token_lease: SimTime::from_millis(5),
+            sm_global_limit: 100.0,
+            ..BackendConfig::default()
+        });
+        let shares = [12.0, 24.0, 50.0, 60.0, 6.0, 80.0];
+        for (i, &s) in shares.iter().enumerate() {
+            b.register(PodId(i as u64), ResourceSpec::new(s, 0.3, 0.7, 0));
+        }
+        let mut in_burst = [false; 6];
+        let mut has_token = [false; 6];
+        let mut now = SimTime::ZERO;
+        for &(op, pod_idx, us) in &ops {
+            now += SimTime::from_micros(us % 997 + 1);
+            let idx = (pod_idx % 6) as usize;
+            let pod = PodId(idx as u64);
+            match op {
+                0 if !in_burst[idx] => {
+                    let (outcome, _side) = b.request(now, pod);
+                    if let RequestOutcome::Granted(_) = outcome {
+                        b.begin_burst(pod);
+                        in_burst[idx] = true;
+                        has_token[idx] = true;
+                    }
+                }
+                1 if in_burst[idx] => {
+                    let burst = SimTime::from_micros(us);
+                    let out = b.sync_point(now, pod, burst);
+                    in_burst[idx] = false;
+                    has_token[idx] = out.lease_valid;
+                    for g in &out.granted {
+                        has_token[g.pod.0 as usize] = true;
+                    }
+                }
+                2 if !in_burst[idx] => {
+                    for g in b.release_idle(now, pod) {
+                        has_token[g.pod.0 as usize] = true;
+                    }
+                    has_token[idx] = false;
+                }
+                3 => {
+                    for g in b.on_window_reset(now) {
+                        has_token[g.pod.0 as usize] = true;
+                    }
+                    // Quotas reset.
+                    for i in 0..6 {
+                        let qs = b.quota_state(PodId(i as u64)).unwrap();
+                        prop_assert_eq!(qs.q_used, SimTime::ZERO);
+                    }
+                }
+                _ => {}
+            }
+            prop_assert!(
+                b.sm_running() <= 100.0 + 1e-6,
+                "SM adapter exceeded: {}",
+                b.sm_running()
+            );
+            for i in 0..6u64 {
+                let qs = b.quota_state(PodId(i)).unwrap();
+                // One burst of at most 5 ms may overrun the limit.
+                prop_assert!(
+                    qs.q_used <= qs.q_limit + SimTime::from_millis(5),
+                    "quota overrun on pod {i}: {:?} vs {:?}",
+                    qs.q_used,
+                    qs.q_limit
+                );
+            }
+        }
+    }
+
+    /// Model store refcount safety: memory usage matches exactly
+    /// `ctx × live models + Σ live tensor sizes` under random attach /
+    /// release interleavings.
+    #[test]
+    fn model_store_accounting(ops in prop::collection::vec((0u8..2, 0u8..3), 1..150)) {
+        const MB: u64 = 1024 * 1024;
+        let mut mem = GpuMemory::new(64 * 1024 * MB);
+        let mut server = ModelStorageServer::new(300 * MB);
+        let models = ["a", "b", "c"];
+        let sizes = [100 * MB, 500 * MB, 2_000 * MB];
+        let mut refs = [0u32; 3];
+        for &(op, mi) in &ops {
+            let i = mi as usize;
+            if op == 0 {
+                server.get_or_store(&mut mem, models[i], "w", sizes[i]).unwrap();
+                refs[i] += 1;
+            } else if refs[i] > 0 {
+                server.release(&mut mem, models[i], "w").unwrap();
+                refs[i] -= 1;
+            }
+            let expected: u64 = (0..3)
+                .map(|j| if refs[j] > 0 { 300 * MB + sizes[j] } else { 0 })
+                .sum();
+            prop_assert_eq!(mem.used(), expected);
+            for j in 0..3 {
+                prop_assert_eq!(server.refs(models[j], "w"), refs[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! FaST-Scheduler end-to-end: Figure 11 packing and Figure 12
+//! auto-scaling through the full platform.
+
+use fastg_des::SimTime;
+use fastg_workload::ArrivalProcess;
+use fastgshare::manager::SharingPolicy;
+use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig};
+use fastgshare::profiler::{ProfileDb, ProfileKey, ProfileRecord};
+
+/// Figure 11: the 8-pod set (4 ResNet + 2 RNNT + 2 BERT) needs one GPU
+/// under FaST but four under time sharing.
+#[test]
+fn fig11_gpu_count_fast_vs_time_sharing() {
+    let deploy_all = |p: &mut Platform| {
+        // Descending area order, as the scheduler submits configurations.
+        p.deploy(
+            FunctionConfig::new("bert", "bert_base")
+                .replicas(2)
+                .resources(50.0, 0.6, 0.6),
+        )
+        .unwrap();
+        p.deploy(
+            FunctionConfig::new("rnnt", "rnnt")
+                .replicas(2)
+                .resources(24.0, 0.4, 0.4),
+        )
+        .unwrap();
+        p.deploy(
+            FunctionConfig::new("resnet", "resnet50")
+                .replicas(4)
+                .resources(12.0, 0.4, 0.4),
+        )
+        .unwrap();
+    };
+
+    let mut fast = Platform::new(
+        PlatformConfig::default()
+            .nodes(4)
+            .policy(SharingPolicy::FaST)
+            .seed(1),
+    );
+    deploy_all(&mut fast);
+    assert_eq!(fast.gpus_in_use(), 1, "FaST packs everything on one GPU");
+
+    let mut ts = Platform::new(
+        PlatformConfig::default()
+            .nodes(4)
+            .policy(SharingPolicy::SingleToken)
+            .seed(1),
+    );
+    deploy_all(&mut ts);
+    assert_eq!(ts.gpus_in_use(), 4, "time sharing spreads over four GPUs");
+}
+
+/// Figure 11's metric claim: FaST's consolidated GPU shows higher
+/// utilization and much higher SM occupancy than time sharing's four.
+#[test]
+fn fig11_utilization_and_occupancy_ratios() {
+    let run = |policy: SharingPolicy| {
+        let mut p = Platform::new(
+            PlatformConfig::default()
+                .nodes(4)
+                .policy(policy)
+                .warmup(SimTime::from_secs(1))
+                .seed(2),
+        );
+        let bert = p
+            .deploy(
+                FunctionConfig::new("bert", "bert_base")
+                    .replicas(2)
+                    .resources(50.0, 0.6, 0.6)
+                    .saturating(),
+            )
+            .unwrap();
+        let rnnt = p
+            .deploy(
+                FunctionConfig::new("rnnt", "rnnt")
+                    .replicas(2)
+                    .resources(24.0, 0.4, 0.4)
+                    .saturating(),
+            )
+            .unwrap();
+        let resnet = p
+            .deploy(
+                FunctionConfig::new("resnet", "resnet50")
+                    .replicas(4)
+                    .resources(12.0, 0.4, 0.4)
+                    .saturating(),
+            )
+            .unwrap();
+        let _ = (bert, rnnt, resnet);
+        let report = p.run_for(SimTime::from_secs(6));
+        (
+            report.gpus_used(),
+            report.mean_utilization_active(),
+            report.mean_occupancy_active(),
+        )
+    };
+    let (fast_gpus, fast_util, fast_occ) = run(SharingPolicy::FaST);
+    let (ts_gpus, ts_util, ts_occ) = run(SharingPolicy::SingleToken);
+    assert_eq!(fast_gpus, 1);
+    assert_eq!(ts_gpus, 4);
+    let util_ratio = fast_util / ts_util;
+    let occ_ratio = fast_occ / ts_occ;
+    // Paper: 1.34× utilization, 3.13× SM occupancy.
+    assert!(
+        util_ratio > 1.1,
+        "utilization ratio {util_ratio:.2} (fast {fast_util:.2}, ts {ts_util:.2})"
+    );
+    assert!(
+        occ_ratio > 2.0,
+        "occupancy ratio {occ_ratio:.2} (fast {fast_occ:.3}, ts {ts_occ:.3})"
+    );
+}
+
+/// A hand-built ResNet profile for auto-scaling tests (shaped like the
+/// measured Figure 8 curves; exact values are refreshed by the real
+/// profiler in `profiler_integration.rs`).
+fn resnet_profile() -> ProfileDb {
+    let mut db = ProfileDb::new();
+    let zoo = fastg_models::zoo::resnet50();
+    for &(sm_pct, sms) in &[(12.0, 10u32), (24.0, 19), (50.0, 40)] {
+        for &q in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+            let rps = zoo.ideal_rps(sms, q);
+            db.insert(
+                "resnet50",
+                ProfileKey::new(sm_pct, q),
+                ProfileRecord {
+                    rps,
+                    p50: zoo.latency_at(sms),
+                    p99: zoo.latency_at(sms) * 2,
+                    utilization: 0.5,
+                    sm_occupancy: 0.1,
+                },
+            );
+        }
+    }
+    db
+}
+
+/// Figure 12: the auto-scaler follows a rising load and keeps ResNet's
+/// SLO violations under control.
+#[test]
+fn autoscaler_tracks_ramp_and_meets_slo() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(4)
+            .policy(SharingPolicy::FaST)
+            .warmup(SimTime::from_secs(2))
+            .seed(3),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("resnet", "resnet50")
+                .slo_ms(69)
+                .replicas(1)
+                .resources(12.0, 0.4, 1.0),
+        )
+        .unwrap();
+    p.enable_autoscaler(resnet_profile());
+    // Ramp from 10 to 120 rps over 20 s, then hold.
+    p.set_load(
+        f,
+        ArrivalProcess::ramp(10.0, 120.0, SimTime::from_secs(20), 5),
+    );
+    let mid = p.run_for(SimTime::from_secs(20));
+    let report = p.run_for(SimTime::from_secs(10));
+    let fr = &report.functions[&f];
+    assert!(
+        fr.replicas >= 3,
+        "auto-scaler should have added pods: {} replicas",
+        fr.replicas
+    );
+    // Throughput during the 120 rps hold phase must match the offer.
+    let hold_rate = (fr.completed - mid.functions[&f].completed) as f64 / 10.0;
+    assert!(
+        (hold_rate - 120.0).abs() < 15.0,
+        "should keep up with the final rate: {hold_rate} rps"
+    );
+    assert!(
+        fr.violation_ratio < 0.05,
+        "SLO violations {:.2}% (paper: < 1% in steady state)",
+        fr.violation_ratio * 100.0
+    );
+}
+
+/// Scale-down: when load drops, the auto-scaler drains pods but never
+/// below `min_replicas`, and never below current demand.
+#[test]
+fn autoscaler_scales_down_after_load_drop() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(4)
+            .policy(SharingPolicy::FaST)
+            .seed(4),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("resnet", "resnet50")
+                .slo_ms(100)
+                .replicas(5)
+                .resources(12.0, 0.4, 0.4),
+        )
+        .unwrap();
+    p.enable_autoscaler(resnet_profile());
+    // Light load only.
+    p.set_load(f, ArrivalProcess::poisson(8.0, 6));
+    let report = p.run_for(SimTime::from_secs(20));
+    let fr = &report.functions[&f];
+    assert!(
+        fr.replicas < 5,
+        "should have drained over-provisioned pods: {}",
+        fr.replicas
+    );
+    assert!(fr.replicas >= 1, "never below min_replicas");
+    assert!(fr.violation_ratio < 0.05, "drop must not hurt the SLO");
+}
+
+/// Placement failure surfaces as unschedulable, not a crash.
+#[test]
+fn unschedulable_when_cluster_full() {
+    let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(5));
+    p.deploy(
+        FunctionConfig::new("big", "resnet50")
+            .replicas(1)
+            .resources(100.0, 1.0, 1.0),
+    )
+    .unwrap();
+    let err = p.deploy(
+        FunctionConfig::new("more", "resnet50")
+            .replicas(1)
+            .resources(50.0, 0.5, 0.5),
+    );
+    assert!(err.is_err());
+    assert_eq!(p.unschedulable_pods(), 1);
+}
