@@ -42,7 +42,7 @@ fn quota_fidelity(order: DispatchOrder, windows: u32) -> f64 {
     // All pods ask up front; the backend's dispatch picks the holder.
     let mut holder: Option<PodId> = None;
     for i in 0..3u64 {
-        if let (RequestOutcome::Granted(_), _) = b.request(now, PodId(i)) {
+        if let (RequestOutcome::Granted(_), _) = b.request(now, PodId(i)).unwrap() {
             holder = Some(PodId(i));
         }
     }
@@ -62,13 +62,13 @@ fn quota_fidelity(order: DispatchOrder, windows: u32) -> f64 {
         // The holder bursts until its lease lapses; the dispatch then
         // hands the token to whichever waiter the policy prefers, and the
         // old holder re-queues.
-        b.begin_burst(pod);
+        b.begin_burst(pod).unwrap();
         now += burst;
         achieved[pod.0 as usize] += burst;
-        let out = b.sync_point(now, pod, burst);
+        let out = b.sync_point(now, pod, burst).unwrap();
         if !out.lease_valid {
             holder = out.granted.first().map(|g| g.pod);
-            let (outcome, side) = b.request(now, pod);
+            let (outcome, side) = b.request(now, pod).unwrap();
             if holder.is_none() {
                 if let RequestOutcome::Granted(_) = outcome {
                     holder = Some(pod);
@@ -106,12 +106,12 @@ fn overrun_with(strict: bool) -> (f64, f64) {
     for w in 0..50u32 {
         let window_end = window * (w as u64 + 1);
         loop {
-            let (outcome, _) = b.request(now, PodId(0));
+            let (outcome, _) = b.request(now, PodId(0)).unwrap();
             match outcome {
                 RequestOutcome::Granted(_) => {
-                    b.begin_burst(PodId(0));
+                    b.begin_burst(PodId(0)).unwrap();
                     now += burst;
-                    b.sync_point(now, PodId(0), burst);
+                    b.sync_point(now, PodId(0), burst).unwrap();
                     served += 1;
                     let qs = b.quota_state(PodId(0)).unwrap();
                     max_overrun = max_overrun.max(qs.q_used.saturating_sub(qs.q_limit));

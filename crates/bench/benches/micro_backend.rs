@@ -25,11 +25,11 @@ fn token_cycles(pods: u64, cycles: u64) -> u64 {
         for i in 0..pods {
             let pod = PodId(i);
             now += SimTime::from_micros(50);
-            let (outcome, _side) = b.request(now, pod);
+            let (outcome, _side) = b.request(now, pod).unwrap();
             if let RequestOutcome::Granted(_) = outcome {
-                b.begin_burst(pod);
+                b.begin_burst(pod).unwrap();
                 now += SimTime::from_micros(300);
-                let out = b.sync_point(now, pod, SimTime::from_micros(300));
+                let out = b.sync_point(now, pod, SimTime::from_micros(300)).unwrap();
                 dispatched += out.granted.len() as u64;
             }
         }

@@ -3,19 +3,14 @@
 use crate::spec::{FuncId, ResourceSpec};
 use fastg_des::SimTime;
 use fastg_gpu::{ClientId, DevicePtr, GpuDevice, GpuSpec, MpsMode};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifies a worker node (one GPU per node, as in the paper's testbed).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Identifies a pod (one function instance).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PodId(pub u64);
 
 /// Pod lifecycle state.
@@ -28,6 +23,20 @@ pub enum PodState {
     Terminating,
 }
 
+/// Node health state (the failure-injection surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Healthy and schedulable.
+    Up,
+    /// Serving, but its GPU clock is scaled down (thermal throttling /
+    /// ECC-retirement analogue): kernels run slower by the degradation
+    /// factor. Still schedulable.
+    Degraded,
+    /// Crashed. Every pod on it is gone, its GPU was hard-reset, and no
+    /// new pods may be placed on it. Crashes are permanent for a run.
+    Down,
+}
+
 /// A worker node: one simulated GPU plus the MPS DaemonSet container.
 #[derive(Debug)]
 pub struct Node {
@@ -37,6 +46,8 @@ pub struct Node {
     pub name: String,
     /// The node's GPU (device + MPS server + memory + metrics).
     pub gpu: GpuDevice,
+    /// Health state.
+    pub state: NodeState,
 }
 
 /// A running function instance bound to a node.
@@ -67,6 +78,8 @@ pub enum ClusterError {
     UnknownNode(NodeId),
     /// No pod with that id.
     UnknownPod(PodId),
+    /// The node is crashed and cannot take pods.
+    NodeDown(NodeId),
     /// The node's GPU could not admit the pod.
     Gpu(String),
     /// Not enough device memory on the node.
@@ -83,6 +96,7 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
             ClusterError::UnknownPod(p) => write!(f, "unknown pod {p:?}"),
+            ClusterError::NodeDown(n) => write!(f, "node {n:?} is down"),
             ClusterError::Gpu(e) => write!(f, "GPU error: {e}"),
             ClusterError::OutOfMemory { requested, free } => {
                 write!(f, "node out of GPU memory: requested {requested} B, {free} B free")
@@ -120,6 +134,7 @@ impl Cluster {
                 id,
                 name,
                 gpu: GpuDevice::new(spec, mode),
+                state: NodeState::Up,
             },
         );
         id
@@ -161,6 +176,9 @@ impl Cluster {
             .nodes
             .get_mut(&node)
             .ok_or(ClusterError::UnknownNode(node))?;
+        if n.state == NodeState::Down {
+            return Err(ClusterError::NodeDown(node));
+        }
         if n.gpu.memory().free_bytes() < reserve_bytes {
             return Err(ClusterError::OutOfMemory {
                 requested: reserve_bytes,
@@ -227,6 +245,79 @@ impl Cluster {
             .unregister_client(p.client)
             .map_err(|e| ClusterError::Gpu(e.to_string()))?;
         Ok(p)
+    }
+
+    /// A node fails outright: it is marked [`NodeState::Down`], every pod
+    /// on it is removed (and returned, so the platform can unwind gateway
+    /// routing, backend rows and rectangle bindings), and its GPU is
+    /// hard-reset — resident and queued kernels are aborted, MPS clients
+    /// deleted, and all device memory returned. Idempotent on a node that
+    /// is already down (returns an empty list).
+    pub fn crash_node(&mut self, now: SimTime, node: NodeId) -> Result<Vec<Pod>, ClusterError> {
+        let n = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(ClusterError::UnknownNode(node))?;
+        if n.state == NodeState::Down {
+            return Ok(Vec::new());
+        }
+        n.state = NodeState::Down;
+        n.gpu.hard_reset(now);
+        let victims: Vec<PodId> = self
+            .pods
+            .values()
+            .filter(|p| p.node == node)
+            .map(|p| p.id)
+            .collect();
+        Ok(victims
+            .into_iter()
+            .filter_map(|id| self.pods.remove(&id))
+            .collect())
+    }
+
+    /// Degrades a node: its GPU clock slows by `factor` (≥ 1; 2.0 means
+    /// kernels take twice as long). Applies to kernels started from now
+    /// on; resident kernels keep their finish times.
+    pub fn degrade_node(&mut self, node: NodeId, factor: f64) -> Result<(), ClusterError> {
+        let n = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(ClusterError::UnknownNode(node))?;
+        if n.state == NodeState::Down {
+            return Err(ClusterError::NodeDown(node));
+        }
+        n.state = NodeState::Degraded;
+        n.gpu.set_clock_scale(factor);
+        Ok(())
+    }
+
+    /// Clears a node's degradation (clock back to full speed). A crashed
+    /// node stays down.
+    pub fn recover_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
+        let n = self
+            .nodes
+            .get_mut(&node)
+            .ok_or(ClusterError::UnknownNode(node))?;
+        if n.state == NodeState::Down {
+            return Err(ClusterError::NodeDown(node));
+        }
+        n.state = NodeState::Up;
+        n.gpu.set_clock_scale(1.0);
+        Ok(())
+    }
+
+    /// A node's health state.
+    pub fn node_state(&self, node: NodeId) -> Result<NodeState, ClusterError> {
+        self.node(node).map(|n| n.state)
+    }
+
+    /// Ids of nodes that are not down, in order.
+    pub fn live_node_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .values()
+            .filter(|n| n.state != NodeState::Down)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// Immutable pod access.
@@ -395,6 +486,48 @@ mod tests {
             .collect();
         assert_eq!(names[0], "gpu-worker-0");
         assert_eq!(names[3], "gpu-worker-3");
+    }
+
+    #[test]
+    fn crash_node_removes_pods_and_resets_gpu() {
+        let (mut c, n) = cluster_with_node();
+        let a = c.create_pod(SimTime::ZERO, n, FuncId(0), spec(), 1024).unwrap();
+        let _b = c.create_pod(SimTime::ZERO, n, FuncId(1), spec(), 2048).unwrap();
+        assert_eq!(c.node_state(n).unwrap(), NodeState::Up);
+        let lost = c.crash_node(SimTime::from_secs(1), n).unwrap();
+        assert_eq!(lost.len(), 2);
+        assert_eq!(c.pod_count(), 0);
+        assert_eq!(c.node_state(n).unwrap(), NodeState::Down);
+        // GPU fully reclaimed: no clients, no memory, all SMs free.
+        let node = c.node(n).unwrap();
+        assert_eq!(node.gpu.mps().client_count(), 0);
+        assert_eq!(node.gpu.memory().used(), 0);
+        assert_eq!(node.gpu.free_sms(), node.gpu.spec().sm_count);
+        // Down nodes refuse new pods; a second crash is a no-op.
+        assert!(matches!(
+            c.create_pod(SimTime::from_secs(1), n, FuncId(0), spec(), 0),
+            Err(ClusterError::NodeDown(_))
+        ));
+        assert!(c.crash_node(SimTime::from_secs(2), n).unwrap().is_empty());
+        assert_eq!(c.live_node_ids(), Vec::<NodeId>::new());
+        let _ = a;
+    }
+
+    #[test]
+    fn degrade_and_recover_node() {
+        let (mut c, n) = cluster_with_node();
+        c.degrade_node(n, 2.0).unwrap();
+        assert_eq!(c.node_state(n).unwrap(), NodeState::Degraded);
+        assert_eq!(c.node(n).unwrap().gpu.clock_scale(), 2.0);
+        // Degraded nodes still take pods.
+        assert!(c.create_pod(SimTime::ZERO, n, FuncId(0), spec(), 0).is_ok());
+        c.recover_node(n).unwrap();
+        assert_eq!(c.node_state(n).unwrap(), NodeState::Up);
+        assert_eq!(c.node(n).unwrap().gpu.clock_scale(), 1.0);
+        // A crashed node can be neither degraded nor recovered.
+        c.crash_node(SimTime::ZERO, n).unwrap();
+        assert!(matches!(c.degrade_node(n, 2.0), Err(ClusterError::NodeDown(_))));
+        assert!(matches!(c.recover_node(n), Err(ClusterError::NodeDown(_))));
     }
 
     #[test]

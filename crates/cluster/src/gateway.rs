@@ -28,6 +28,10 @@ struct FuncState {
     idle_pods: BTreeSet<PodId>,
     members: BTreeSet<PodId>,
     arrivals: Vec<SimTime>,
+    /// Requests shed at the gateway (queue timeout or retry budget).
+    dropped: u64,
+    /// Crash-retry counts for requests that were re-admitted at least once.
+    retries: BTreeMap<RequestId, u32>,
 }
 
 /// The gateway: per-function FIFO queues and pull-based dispatch.
@@ -95,17 +99,61 @@ impl Gateway {
 
     /// Re-admits a request that was dispatched but never completed (its
     /// pod crashed). It keeps its original id and arrival time — the
-    /// retry latency counts against the SLO — and jumps the queue, or
-    /// goes straight to an idle pod.
+    /// retry latency counts against the SLO — and re-enters the queue at
+    /// its arrival-order position (usually the head: an in-flight request
+    /// is older than anything still queued), or goes straight to an idle
+    /// pod. The retry is counted against the request's budget (see
+    /// [`Gateway::retries_of`]).
     pub fn requeue(&mut self, req: Request) -> Option<PodId> {
         let st = self.funcs.entry(req.func).or_default();
+        *st.retries.entry(req.id).or_insert(0) += 1;
         if let Some(&pod) = st.idle_pods.iter().next() {
             st.idle_pods.remove(&pod);
             Some(pod)
         } else {
-            st.queue.push_front(req);
+            // Ordered insert by (arrived, id): two crash retries in a row
+            // must not invert each other, and a retried request must not
+            // jump ahead of an even older one.
+            let key = (req.arrived, req.id.0);
+            let at = st
+                .queue
+                .iter()
+                .position(|r| (r.arrived, r.id.0) > key)
+                .unwrap_or(st.queue.len());
+            st.queue.insert(at, req);
             None
         }
+    }
+
+    /// How many times a request has been crash-retried so far.
+    pub fn retries_of(&self, req: &Request) -> u32 {
+        self.funcs
+            .get(&req.func)
+            .and_then(|st| st.retries.get(&req.id))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Removes a still-queued request (gateway timeout). Returns the
+    /// removed request — a dispatched or completed request is left alone
+    /// and `None` is returned.
+    pub fn cancel_queued(&mut self, func: FuncId, id: RequestId) -> Option<Request> {
+        let st = self.funcs.get_mut(&func)?;
+        let at = st.queue.iter().position(|r| r.id == id)?;
+        st.queue.remove(at)
+    }
+
+    /// Counts a request as shed (timed out in queue or over its retry
+    /// budget) for the function's report.
+    pub fn drop_request(&mut self, req: &Request) {
+        let st = self.funcs.entry(req.func).or_default();
+        st.dropped += 1;
+        st.retries.remove(&req.id);
+    }
+
+    /// Requests shed at the gateway for a function.
+    pub fn dropped(&self, func: FuncId) -> u64 {
+        self.funcs.get(&func).map_or(0, |st| st.dropped)
     }
 
     /// A pod finished its request and asks for more work. Returns the next
@@ -333,6 +381,74 @@ mod tests {
         assert_eq!(g.queue_len(FuncId(7)), 0);
         assert_eq!(g.on_pod_idle(FuncId(7), PodId(1)), None);
         assert_eq!(g.arrival_rate(FuncId(7), SimTime::ZERO, SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn requeued_request_dispatches_before_younger_queued_requests() {
+        let mut g = Gateway::new();
+        g.register_pod(F, PodId(1));
+        // r0 dispatches to the only pod; r1 and r2 queue behind it.
+        let (r0, p0) = g.on_arrival(SimTime::ZERO, F);
+        assert_eq!(p0, Some(PodId(1)));
+        let (r1, _) = g.on_arrival(SimTime::from_millis(1), F);
+        let (r2, _) = g.on_arrival(SimTime::from_millis(2), F);
+        // The pod crashes: r0 (the oldest request) is re-admitted and
+        // must dispatch before the younger r1 and r2.
+        assert_eq!(g.requeue(r0), None);
+        g.register_pod(F, PodId(2));
+        assert_eq!(g.on_pod_idle(F, PodId(2)).unwrap().id, r0.id);
+        assert_eq!(g.on_pod_idle(F, PodId(2)).unwrap().id, r1.id);
+        assert_eq!(g.on_pod_idle(F, PodId(2)).unwrap().id, r2.id);
+    }
+
+    #[test]
+    fn successive_requeues_keep_arrival_order() {
+        let mut g = Gateway::new();
+        g.register_pod(F, PodId(1));
+        g.register_pod(F, PodId(2));
+        let (ra, _) = g.on_arrival(SimTime::ZERO, F); // → pod 1
+        let (rb, _) = g.on_arrival(SimTime::from_millis(1), F); // → pod 2
+        let (rc, _) = g.on_arrival(SimTime::from_millis(2), F); // queued
+        // Both pods crash; their requests requeue youngest-first — the
+        // order a node-level crash tears pods down in is arbitrary.
+        assert_eq!(g.requeue(rb), None);
+        assert_eq!(g.requeue(ra), None);
+        // Arrival order must be restored: ra, rb, rc.
+        g.register_pod(F, PodId(3));
+        assert_eq!(g.on_pod_idle(F, PodId(3)).unwrap().id, ra.id);
+        assert_eq!(g.on_pod_idle(F, PodId(3)).unwrap().id, rb.id);
+        assert_eq!(g.on_pod_idle(F, PodId(3)).unwrap().id, rc.id);
+    }
+
+    #[test]
+    fn retries_are_counted_per_request() {
+        let mut g = Gateway::new();
+        g.register_func(F);
+        let (r, _) = g.on_arrival(SimTime::ZERO, F);
+        assert_eq!(g.retries_of(&r), 0);
+        g.requeue(r);
+        assert_eq!(g.retries_of(&r), 1);
+        // Drain it, crash again, requeue again.
+        g.register_pod(F, PodId(1));
+        assert_eq!(g.on_pod_idle(F, PodId(1)).unwrap().id, r.id);
+        g.requeue(r);
+        assert_eq!(g.retries_of(&r), 2);
+    }
+
+    #[test]
+    fn cancel_queued_sheds_only_waiting_requests() {
+        let mut g = Gateway::new();
+        g.register_pod(F, PodId(1));
+        let (r0, _) = g.on_arrival(SimTime::ZERO, F); // dispatched
+        let (r1, _) = g.on_arrival(SimTime::from_millis(1), F); // queued
+        assert_eq!(g.cancel_queued(F, r0.id), None, "in-flight is untouchable");
+        let got = g.cancel_queued(F, r1.id).unwrap();
+        assert_eq!(got.id, r1.id);
+        assert_eq!(g.queue_len(F), 0);
+        assert_eq!(g.cancel_queued(F, r1.id), None, "already cancelled");
+        g.drop_request(&r1);
+        assert_eq!(g.dropped(F), 1);
+        assert_eq!(g.dropped(FuncId(9)), 0);
     }
 
     #[test]

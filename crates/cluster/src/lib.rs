@@ -26,6 +26,6 @@ pub mod cluster;
 pub mod gateway;
 pub mod spec;
 
-pub use cluster::{Cluster, ClusterError, Node, NodeId, Pod, PodId, PodState};
+pub use cluster::{Cluster, ClusterError, Node, NodeId, NodeState, Pod, PodId, PodState};
 pub use gateway::{Gateway, Request, RequestId};
 pub use spec::{FaSTFuncSpec, FuncId, ResourceSpec};

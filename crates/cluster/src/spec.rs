@@ -2,10 +2,9 @@
 //! annotations.
 
 use fastg_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a deployed FaaS function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FuncId(pub u32);
 
 /// The spatio-temporal GPU resource annotations of a FaSTPod — the
@@ -19,7 +18,7 @@ pub struct FuncId(pub u32);
 ///   each scheduling window the pod may spend on the GPU. `request ≤ limit`;
 ///   the gap is the elastic region used when the GPU is otherwise idle.
 /// * `gpu_mem`: device memory to reserve for the pod, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceSpec {
     /// SM partition percentage in `(0, 100]`.
     pub sm_partition: f64,
@@ -81,7 +80,7 @@ impl ResourceSpec {
 }
 
 /// The FaSTFunc CRD analogue: a user-deployed inference function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaSTFuncSpec {
     /// Function name, e.g. `fastsvc-rnnt`.
     pub name: String,
@@ -99,6 +98,25 @@ impl FaSTFuncSpec {
             model: model.to_string(),
             slo,
         }
+    }
+
+    /// Serializes to a JSON object (`name`, `model`, `slo_us`).
+    pub fn to_json(&self) -> String {
+        fastg_json::ObjectBuilder::new()
+            .field("name", self.name.as_str())
+            .field("model", self.model.as_str())
+            .field("slo_us", self.slo.as_micros())
+            .build()
+            .to_string_compact()
+    }
+
+    /// Parses the JSON object produced by [`FaSTFuncSpec::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let v = fastg_json::Value::parse(json).map_err(|e| format!("invalid JSON: {e}"))?;
+        let name = v["name"].as_str().ok_or("name missing")?;
+        let model = v["model"].as_str().ok_or("model missing")?;
+        let slo_us = v["slo_us"].as_u64().ok_or("slo_us missing")?;
+        Ok(FaSTFuncSpec::new(name, model, SimTime::from_micros(slo_us)))
     }
 }
 
@@ -137,10 +155,10 @@ mod tests {
     }
 
     #[test]
-    fn func_spec_round_trips_serde() {
+    fn func_spec_round_trips_json() {
         let f = FaSTFuncSpec::new("fastsvc-resnet", "resnet50", SimTime::from_millis(69));
-        let json = serde_json::to_string(&f).unwrap();
-        let back: FaSTFuncSpec = serde_json::from_str(&json).unwrap();
+        let json = f.to_json();
+        let back = FaSTFuncSpec::from_json(&json).unwrap();
         assert_eq!(f, back);
     }
 }

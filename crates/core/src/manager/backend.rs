@@ -60,6 +60,31 @@ impl Default for BackendConfig {
     }
 }
 
+/// Errors from backend operations.
+///
+/// The hot-path operations ([`FastBackend::request`],
+/// [`FastBackend::begin_burst`], [`FastBackend::sync_point`]) return this
+/// instead of panicking so that racy teardown — a pod deregistered by a
+/// crash while its hook still has a call in flight — degrades gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendError {
+    /// The pod has no row in the backend table: never registered, or
+    /// already deregistered (e.g. torn down by a crash).
+    UnknownPod(PodId),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::UnknownPod(p) => {
+                write!(f, "pod {p:?} is not registered in the backend")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
 /// A token grant: `pod` may launch bursts until `expires`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grant {
@@ -164,12 +189,14 @@ impl PodEntry {
 /// backend.register(PodId(0), ResourceSpec::new(24.0, 0.3, 0.8, 0));
 ///
 /// // The hook intercepts the first kernel launch and asks for a token.
-/// let (outcome, _side_grants) = backend.request(SimTime::ZERO, PodId(0));
+/// let (outcome, _side_grants) = backend.request(SimTime::ZERO, PodId(0)).unwrap();
 /// assert!(matches!(outcome, RequestOutcome::Granted(_)));
 ///
 /// // Kernels run; the sync point reports 2 ms of GPU time.
-/// backend.begin_burst(PodId(0));
-/// let sync = backend.sync_point(SimTime::from_millis(2), PodId(0), SimTime::from_millis(2));
+/// backend.begin_burst(PodId(0)).unwrap();
+/// let sync = backend
+///     .sync_point(SimTime::from_millis(2), PodId(0), SimTime::from_millis(2))
+///     .unwrap();
 /// assert!(sync.lease_valid); // within lease and quota
 /// assert_eq!(
 ///     backend.quota_state(PodId(0)).unwrap().q_used,
@@ -269,22 +296,29 @@ impl FastBackend {
     /// Returns the requester's outcome plus any *side grants*: releasing
     /// the requester's stale lease can free enough SM budget to admit
     /// other queued pods, and the caller must start their pending bursts.
-    pub fn request(&mut self, now: SimTime, pod: PodId) -> (RequestOutcome, Vec<Grant>) {
+    ///
+    /// # Errors
+    /// [`BackendError::UnknownPod`] if the pod is not registered.
+    pub fn request(
+        &mut self,
+        now: SimTime,
+        pod: PodId,
+    ) -> Result<(RequestOutcome, Vec<Grant>), BackendError> {
         if !self.cfg.policy.uses_tokens() {
             // Racing / exclusive: permission is unconditional.
-            let e = self.entry_mut(pod);
+            let e = self.entry_mut(pod)?;
             e.next_epoch += 1;
             let grant = Grant {
                 pod,
                 expires: SimTime::MAX,
                 epoch: e.next_epoch,
             };
-            return (RequestOutcome::Granted(grant), Vec::new());
+            return Ok((RequestOutcome::Granted(grant), Vec::new()));
         }
         let window = self.cfg.window;
         let strict = self.cfg.strict_admission;
         let wait_seq = self.next_wait_seq;
-        let e = self.entry_mut(pod);
+        let e = self.entry_mut(pod)?;
         // Strict admission applies per burst, even on a held lease: if the
         // estimated next burst would overrun the remaining quota, the pod
         // yields until the window resets (unless its window is untouched,
@@ -302,7 +336,7 @@ impl FastBackend {
                         expires: lease.expires,
                         epoch: lease.epoch,
                     };
-                    return (RequestOutcome::Granted(grant), Vec::new());
+                    return Ok((RequestOutcome::Granted(grant), Vec::new()));
                 }
             }
         }
@@ -316,51 +350,64 @@ impl FastBackend {
         if let Some(lease) = released {
             self.sm_running = (self.sm_running - lease.share).max(0.0);
         }
-        let blocked = self.entry(pod).quota_exhausted(window);
+        let blocked = self.entry(pod)?.quota_exhausted(window);
         // Dispatch regardless: the released capacity may admit others
         // even when the requester itself is quota-blocked.
         let mut grants = self.dispatch(now);
         let own = grants.iter().position(|g| g.pod == pod);
-        match own {
+        Ok(match own {
             Some(i) => {
                 let g = grants.remove(i);
                 (RequestOutcome::Granted(g), grants)
             }
             None if blocked => (RequestOutcome::BlockedUntilReset, grants),
             None => (RequestOutcome::Queued, grants),
-        }
+        })
     }
 
     /// Marks the pod as executing a burst (launched kernels, sync pending).
     /// A pod mid-burst never loses its SM reservation.
-    pub fn begin_burst(&mut self, pod: PodId) {
-        let e = self.entry_mut(pod);
+    ///
+    /// # Errors
+    /// [`BackendError::UnknownPod`] if the pod is not registered.
+    pub fn begin_burst(&mut self, pod: PodId) -> Result<(), BackendError> {
+        let e = self.entry_mut(pod)?;
         debug_assert!(!e.in_burst, "nested burst for {pod:?}");
         e.in_burst = true;
+        Ok(())
     }
 
     /// The pod's burst synchronized: charge `gpu_time` against its quota
     /// (the CUDA-event usage monitor) and decide whether its lease
     /// survives.
-    pub fn sync_point(&mut self, now: SimTime, pod: PodId, gpu_time: SimTime) -> SyncOutcome {
+    ///
+    /// # Errors
+    /// [`BackendError::UnknownPod`] if the pod is not registered (e.g. it
+    /// was force-deregistered by a crash while the burst was in flight).
+    pub fn sync_point(
+        &mut self,
+        now: SimTime,
+        pod: PodId,
+        gpu_time: SimTime,
+    ) -> Result<SyncOutcome, BackendError> {
         let window = self.cfg.window;
         let policy = self.cfg.policy;
-        let e = self.entry_mut(pod);
+        let e = self.entry_mut(pod)?;
         debug_assert!(e.in_burst, "sync without burst for {pod:?}");
         e.in_burst = false;
         e.q_used += gpu_time;
         e.estimator.observe(gpu_time);
         if !policy.uses_tokens() {
-            return SyncOutcome {
+            return Ok(SyncOutcome {
                 lease_valid: true,
                 granted: Vec::new(),
-            };
+            });
         }
         let expired = match e.lease {
             Some(l) => now >= l.expires,
             None => true,
         };
-        if expired || e.quota_exhausted(window) {
+        Ok(if expired || e.quota_exhausted(window) {
             if let Some(lease) = e.lease.take() {
                 self.sm_running = (self.sm_running - lease.share).max(0.0);
             }
@@ -373,7 +420,7 @@ impl FastBackend {
                 lease_valid: true,
                 granted: Vec::new(),
             }
-        }
+        })
     }
 
     /// The pod went idle (no queued request): release its lease so other
@@ -459,16 +506,20 @@ impl FastBackend {
 
         let mut grants = Vec::new();
         for (_miss, _since, pod) in ready {
-            let share = self
-                .cfg
-                .policy
-                .adapter_share(self.entry(pod).spec.sm_partition);
+            // The ready list was snapshotted from the table above, so the
+            // row exists — but stay panic-free and skip if it is gone.
+            let Some(entry) = self.pods.get(&pod) else {
+                continue;
+            };
+            let share = self.cfg.policy.adapter_share(entry.spec.sm_partition);
             // SM Allocation Adapter: stop at the first head pod that does
             // not fit (head-of-line, as in the paper).
             if self.sm_running + share > self.cfg.sm_global_limit + 1e-9 {
                 break;
             }
-            let e = self.pods.get_mut(&pod).expect("ready pod exists");
+            let Some(e) = self.pods.get_mut(&pod) else {
+                continue;
+            };
             e.waiting = false;
             e.next_epoch += 1;
             let duration = if self.cfg.adaptive_lease {
@@ -538,16 +589,14 @@ impl FastBackend {
         self.tokens_dispatched
     }
 
-    fn entry(&self, pod: PodId) -> &PodEntry {
-        self.pods
-            .get(&pod)
-            .unwrap_or_else(|| panic!("pod {pod:?} not registered in backend"))
+    fn entry(&self, pod: PodId) -> Result<&PodEntry, BackendError> {
+        self.pods.get(&pod).ok_or(BackendError::UnknownPod(pod))
     }
 
-    fn entry_mut(&mut self, pod: PodId) -> &mut PodEntry {
+    fn entry_mut(&mut self, pod: PodId) -> Result<&mut PodEntry, BackendError> {
         self.pods
             .get_mut(&pod)
-            .unwrap_or_else(|| panic!("pod {pod:?} not registered in backend"))
+            .ok_or(BackendError::UnknownPod(pod))
     }
 }
 
@@ -578,7 +627,7 @@ mod tests {
     /// Unwraps the requester-facing outcome, asserting no side grants —
     /// every call site here either expects none or checks them itself.
     fn req(b: &mut FastBackend, now: SimTime, pod: PodId) -> RequestOutcome {
-        let (outcome, side) = b.request(now, pod);
+        let (outcome, side) = b.request(now, pod).unwrap();
         assert!(side.is_empty(), "unexpected side grants: {side:?}");
         outcome
     }
@@ -628,9 +677,9 @@ mod tests {
         let RequestOutcome::Granted(_) = req(&mut b, SimTime::ZERO, PodId(0)) else {
             panic!()
         };
-        b.begin_burst(PodId(0));
+        b.begin_burst(PodId(0)).unwrap();
         // Burn the whole 300ms quota in one burst.
-        let out = b.sync_point(t(300), PodId(0), t(300));
+        let out = b.sync_point(t(300), PodId(0), t(300)).unwrap();
         assert!(!out.lease_valid);
         assert_eq!(
             req(&mut b, t(300), PodId(0)),
@@ -672,8 +721,8 @@ mod tests {
         let RequestOutcome::Granted(g) = req(&mut b, SimTime::ZERO, PodId(0)) else {
             panic!()
         };
-        b.begin_burst(PodId(0));
-        let out = b.sync_point(t(2), PodId(0), t(2));
+        b.begin_burst(PodId(0)).unwrap();
+        let out = b.sync_point(t(2), PodId(0), t(2)).unwrap();
         assert!(out.lease_valid);
         // Re-request within lease: same epoch, no new dispatch.
         let RequestOutcome::Granted(g2) = req(&mut b, t(3), PodId(0)) else {
@@ -693,9 +742,9 @@ mod tests {
             RequestOutcome::Granted(_)
         ));
         assert_eq!(req(&mut b, SimTime::ZERO, PodId(1)), RequestOutcome::Queued);
-        b.begin_burst(PodId(0));
+        b.begin_burst(PodId(0)).unwrap();
         // Sync after the 5ms lease expired → pod 1 granted.
-        let out = b.sync_point(t(6), PodId(0), t(6));
+        let out = b.sync_point(t(6), PodId(0), t(6)).unwrap();
         assert!(!out.lease_valid);
         assert_eq!(out.granted.len(), 1);
         assert_eq!(out.granted[0].pod, PodId(1));
@@ -745,12 +794,12 @@ mod tests {
             panic!()
         };
         assert_eq!(req(&mut b, SimTime::ZERO, PodId(1)), RequestOutcome::Queued);
-        b.begin_burst(PodId(0));
+        b.begin_burst(PodId(0)).unwrap();
         // Timer fires mid-burst: nothing happens (SMs are busy).
         assert!(b.on_lease_timer(g.expires, PodId(0), g.epoch).is_empty());
         assert_eq!(b.holders(), 1);
         // The sync then releases.
-        let out = b.sync_point(t(7), PodId(0), t(7));
+        let out = b.sync_point(t(7), PodId(0), t(7)).unwrap();
         assert!(!out.lease_valid);
         assert_eq!(out.granted[0].pod, PodId(1));
     }
@@ -801,14 +850,14 @@ mod tests {
             req(&mut b, SimTime::ZERO, PodId(0)),
             RequestOutcome::Granted(_)
         ));
-        b.begin_burst(PodId(0));
+        b.begin_burst(PodId(0)).unwrap();
         // Used 500ms: beyond request (300) but below limit (800) → keeps
         // going while idle capacity exists.
-        let out = b.sync_point(t(500), PodId(0), t(500));
+        let out = b.sync_point(t(500), PodId(0), t(500)).unwrap();
         assert!(out.lease_valid);
-        b.begin_burst(PodId(0));
+        b.begin_burst(PodId(0)).unwrap();
         // Hits the 800ms limit → blocked.
-        let out = b.sync_point(t(900), PodId(0), t(400));
+        let out = b.sync_point(t(900), PodId(0), t(400)).unwrap();
         assert!(!out.lease_valid);
         assert_eq!(
             req(&mut b, t(900), PodId(0)),
@@ -874,8 +923,8 @@ mod tests {
             let RequestOutcome::Granted(_) = req(&mut b, SimTime::ZERO, PodId(0)) else {
                 panic!()
             };
-            b.begin_burst(PodId(0));
-            b.sync_point(t(1), PodId(0), t(2));
+            b.begin_burst(PodId(0)).unwrap();
+            b.sync_point(t(1), PodId(0), t(2)).unwrap();
         }
         assert_eq!(b.burst_estimate(PodId(0)), Some(t(2)));
     }
@@ -894,12 +943,12 @@ mod tests {
         let RequestOutcome::Granted(_) = req(&mut b, SimTime::ZERO, PodId(0)) else {
             panic!()
         };
-        b.begin_burst(PodId(0));
-        let out = b.sync_point(t(200), PodId(0), t(200));
+        b.begin_burst(PodId(0)).unwrap();
+        let out = b.sync_point(t(200), PodId(0), t(200)).unwrap();
         // Lease (500ms) still valid and quota (200 < 300) not exhausted…
         assert!(out.lease_valid);
-        b.begin_burst(PodId(0));
-        let out = b.sync_point(t(400), PodId(0), t(200));
+        b.begin_burst(PodId(0)).unwrap();
+        let out = b.sync_point(t(400), PodId(0), t(200)).unwrap();
         // …but now 400ms > 300ms limit: blocked to the next window.
         assert!(!out.lease_valid);
         assert_eq!(
@@ -911,8 +960,8 @@ mod tests {
         // burst (200ms) fits 300ms anyway.
         let grants = b.on_window_reset(t(1000));
         assert_eq!(grants.len(), 1);
-        b.begin_burst(PodId(0));
-        let _ = b.sync_point(t(1200), PodId(0), t(200));
+        b.begin_burst(PodId(0)).unwrap();
+        let _ = b.sync_point(t(1200), PodId(0), t(200)).unwrap();
         // q_used = 200, estimate ~200: 200 + 200 > 300 → strict admission
         // defers the pod to the next window instead of letting it overrun.
         let outcome = req(&mut b, t(1200), PodId(0));
@@ -938,14 +987,53 @@ mod tests {
             panic!()
         };
         assert_eq!(g.expires, t(100));
-        b.begin_burst(PodId(0));
+        b.begin_burst(PodId(0)).unwrap();
         // Burn past the lease so it is re-acquired with an estimate.
-        let _ = b.sync_point(t(150), PodId(0), t(2));
+        let _ = b.sync_point(t(150), PodId(0), t(2)).unwrap();
         let RequestOutcome::Granted(g) = req(&mut b, t(150), PodId(0)) else {
             panic!()
         };
         // Estimate 2ms → lease 4 × 2 = 8ms.
         assert_eq!(g.expires, t(150) + t(8));
+    }
+
+    #[test]
+    fn operations_on_deregistered_pod_return_error_not_panic() {
+        let mut b = fast_backend(5);
+        b.register(PodId(0), spec(24.0, 1.0, 1.0));
+        assert!(matches!(
+            req(&mut b, SimTime::ZERO, PodId(0)),
+            RequestOutcome::Granted(_)
+        ));
+        // A crash force-deregisters the pod while its hook still holds a
+        // token; every subsequent backend call must degrade gracefully.
+        b.force_deregister(t(1), PodId(0));
+        let ghost = PodId(0);
+        assert_eq!(
+            b.request(t(2), ghost).unwrap_err(),
+            BackendError::UnknownPod(ghost)
+        );
+        assert_eq!(
+            b.begin_burst(ghost).unwrap_err(),
+            BackendError::UnknownPod(ghost)
+        );
+        assert_eq!(
+            b.sync_point(t(2), ghost, t(1)).unwrap_err(),
+            BackendError::UnknownPod(ghost)
+        );
+        // Never-registered pods behave identically, also under non-token
+        // policies (the racing path used to panic in entry_mut).
+        let mut racing = FastBackend::new(BackendConfig {
+            policy: SharingPolicy::Racing,
+            ..BackendConfig::default()
+        });
+        assert_eq!(
+            racing.request(SimTime::ZERO, PodId(7)).unwrap_err(),
+            BackendError::UnknownPod(PodId(7))
+        );
+        // Tolerant paths stay tolerant.
+        assert!(b.release_idle(t(3), ghost).is_empty());
+        assert!(b.on_lease_timer(t(3), ghost, 0).is_empty());
     }
 
     #[test]

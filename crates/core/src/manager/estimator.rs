@@ -4,7 +4,6 @@
 //! grants that would overrun the pod's remaining quota.
 
 use fastg_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Exponentially weighted estimate of a pod's kernel-burst GPU time.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// synchronization points — to pick token lengths that neither overrun
 /// quotas nor thrash on token IPC. The estimator tracks both the mean and
 /// a pessimistic bound (mean + spread) so admission can be conservative.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BurstEstimator {
     alpha: f64,
     mean_us: f64,

@@ -1,11 +1,10 @@
 //! The GPU sharing policies compared in the paper's evaluation.
 
-use serde::{Deserialize, Serialize};
 
 /// How a node's GPU is shared among function pods.
 ///
 /// These are the four mechanisms §5 compares:
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SharingPolicy {
     /// Kubernetes device plugin: one pod owns the whole GPU (Figure 1a).
     /// No MPS, no tokens.

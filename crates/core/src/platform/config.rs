@@ -1,5 +1,6 @@
 //! Platform and function configuration surfaces.
 
+use super::faults::FaultPlan;
 use crate::manager::SharingPolicy;
 use fastg_des::SimTime;
 use fastg_gpu::GpuSpec;
@@ -53,6 +54,24 @@ pub struct PlatformConfig {
     pub oversubscribe: bool,
     /// Seed for all platform randomness (workload seeds derive from it).
     pub seed: u64,
+    /// Deterministic fault-injection schedule. `None` (the default) injects
+    /// nothing — runs without a plan are byte-identical to builds that
+    /// predate fault injection.
+    pub fault_plan: Option<FaultPlan>,
+    /// Enables the recovery controller: a periodic health tick compares
+    /// each function's running replicas against its desired count and
+    /// reschedules missing ones on surviving nodes (with exponential
+    /// backoff while no capacity exists).
+    pub recovery: bool,
+    /// Recovery-controller health-check period.
+    pub health_interval: SimTime,
+    /// Per-function request timeout as a multiple of the function's SLO
+    /// (e.g. `Some(3.0)` sheds a request still *queued* 3 SLOs after
+    /// arrival). `None` disables timeouts.
+    pub request_timeout_factor: Option<f64>,
+    /// Maximum times a request may be requeued after losing its pod to a
+    /// crash before the gateway sheds it. `None` retries forever.
+    pub retry_budget: Option<u32>,
 }
 
 impl Default for PlatformConfig {
@@ -74,6 +93,11 @@ impl Default for PlatformConfig {
             min_replicas: 1,
             oversubscribe: false,
             seed: 42,
+            fault_plan: None,
+            recovery: false,
+            health_interval: SimTime::from_millis(500),
+            request_timeout_factor: None,
+            retry_budget: None,
         }
     }
 }
@@ -175,6 +199,38 @@ impl PlatformConfig {
         self.autoscale_headroom = h;
         self
     }
+
+    /// Attaches a fault-injection plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables/disables the recovery controller.
+    pub fn recovery(mut self, on: bool) -> Self {
+        self.recovery = on;
+        self
+    }
+
+    /// Sets the recovery-controller health-check period.
+    pub fn health_interval(mut self, d: SimTime) -> Self {
+        assert!(d > SimTime::ZERO, "zero health interval");
+        self.health_interval = d;
+        self
+    }
+
+    /// Sheds requests still queued `factor × SLO` after arrival.
+    pub fn request_timeout_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "non-positive timeout factor");
+        self.request_timeout_factor = Some(factor);
+        self
+    }
+
+    /// Caps crash-requeues per request before the gateway sheds it.
+    pub fn retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = Some(budget);
+        self
+    }
 }
 
 /// Per-function deployment configuration.
@@ -258,8 +314,7 @@ impl FunctionConfig {
     /// assert_eq!(fc.resources, (24.0, 0.3, 0.8));
     /// ```
     pub fn from_manifest(json: &str) -> Result<Self, String> {
-        let v: serde_json::Value =
-            serde_json::from_str(json).map_err(|e| format!("invalid JSON: {e}"))?;
+        let v = fastg_json::Value::parse(json).map_err(|e| format!("invalid JSON: {e}"))?;
         if v["kind"].as_str() != Some("FaSTFunc") {
             return Err(format!(
                 "manifest kind must be FaSTFunc, got {:?}",

@@ -3,12 +3,13 @@
 use crate::manager::{BackendConfig, FastBackend, RequestOutcome, SharingPolicy};
 use crate::modelshare::{footprint, ModelStorageServer, StoreLib, DEFAULT_CTX_OVERHEAD};
 use crate::platform::config::{FunctionConfig, PlatformConfig};
+use crate::platform::faults::FaultKind;
 use crate::platform::report::{FunctionReport, NodeReport, PlatformReport};
 use crate::profiler::ProfileDb;
 use crate::scheduler::{heuristic_scale, ConfigPoint, NodeSelector, PlacementPolicy, RunningPod, ScaleAction};
 use fastg_cluster::{
-    Cluster, FuncId, FaSTFuncSpec, Gateway, NodeId, PodId, PodState, Request, RequestId,
-    ResourceSpec,
+    Cluster, FuncId, FaSTFuncSpec, Gateway, NodeId, NodeState, PodId, PodState, Request,
+    RequestId, ResourceSpec,
 };
 use fastg_des::{EventQueue, SimTime, Simulation, TimeSeries, World};
 use fastg_gpu::{KernelDesc, KernelId, MpsMode};
@@ -32,6 +33,13 @@ pub enum Event {
     ScaleTick,
     /// DCGM-style metric sampling.
     MetricsSample,
+    /// A scheduled fault fires (index into the configured
+    /// [`FaultPlan`](crate::platform::FaultPlan)).
+    Fault(u32),
+    /// The recovery controller's periodic health check runs.
+    HealthTick,
+    /// A request's queueing deadline passed; shed it if still queued.
+    RequestTimeout(FuncId, RequestId),
 }
 
 struct FuncRt {
@@ -43,6 +51,15 @@ struct FuncRt {
     load: Option<ArrivalProcess>,
     saturate: bool,
     replica_series: TimeSeries,
+    /// Replica count the recovery controller restores after failures.
+    desired_replicas: usize,
+    /// When the controller first saw this function short of replicas.
+    outage_since: Option<SimTime>,
+    /// Exponential-backoff state for failed recovery attempts.
+    backoff_exp: u32,
+    backoff_until: SimTime,
+    /// Time-to-recovery of every healed outage.
+    recoveries: Vec<SimTime>,
 }
 
 struct ActiveReq {
@@ -81,6 +98,7 @@ pub struct Engine {
     next_synth: u64,
     unschedulable: u64,
     killed: u64,
+    faults_injected: u64,
 }
 
 impl Engine {
@@ -130,6 +148,7 @@ impl Engine {
             next_synth: 1 << 60,
             unschedulable: 0,
             killed: 0,
+            faults_injected: 0,
         }
     }
 
@@ -159,6 +178,11 @@ impl Engine {
                 load: None,
                 saturate: fc.saturate,
                 replica_series: TimeSeries::new(),
+                desired_replicas: fc.replicas,
+                outage_since: None,
+                backoff_exp: 0,
+                backoff_until: SimTime::ZERO,
+                recoveries: Vec::new(),
             },
         );
         for _ in 0..fc.replicas {
@@ -436,14 +460,42 @@ impl Engine {
         // Retry the lost request (synthetic saturating requests are just
         // dropped; a fresh one spawns on whichever pod serves next).
         if let Some(req) = lost_req {
-            if req.id.0 < 1 << 60 {
-                if let Some(next_pod) = self.gateway.requeue(req) {
-                    self.assign_request(now, next_pod, req, queue);
-                }
-            }
+            self.retry_or_shed(now, req, queue);
         }
+        self.mark_outage(now, func);
         self.process_grants(now, &grants, queue);
         true
+    }
+
+    /// Requeues a request lost to a crash, unless it is synthetic or its
+    /// retry budget is spent (then the gateway sheds it).
+    fn retry_or_shed(&mut self, now: SimTime, req: Request, queue: &mut EventQueue<Event>) {
+        if req.id.0 >= 1 << 60 {
+            return; // synthetic saturating request: just dropped
+        }
+        if let Some(budget) = self.cfg.retry_budget {
+            if self.gateway.retries_of(&req) >= budget {
+                self.gateway.drop_request(&req);
+                return;
+            }
+        }
+        if let Some(next_pod) = self.gateway.requeue(req) {
+            self.assign_request(now, next_pod, req, queue);
+        }
+    }
+
+    /// Opens an outage window for the recovery controller when a function
+    /// drops below its desired replica count.
+    fn mark_outage(&mut self, now: SimTime, func: FuncId) {
+        if !self.cfg.recovery {
+            return;
+        }
+        let running = self.cluster.running_pods_of(func).len();
+        if let Some(rt) = self.funcs.get_mut(&func) {
+            if running < rt.desired_replicas && rt.outage_since.is_none() {
+                rt.outage_since = Some(now);
+            }
+        }
     }
 
     /// Final teardown of a crashed pod once no kernels remain resident.
@@ -465,6 +517,174 @@ impl Engine {
         self.cluster.delete_pod(pod).expect("pod exists in cluster");
     }
 
+    // ----- fault injection & recovery ---------------------------------
+
+    /// Node-level failure: the node powers off. Every pod on it dies
+    /// immediately — resident kernels abort with the hardware, so unlike
+    /// a pod crash there is no zombie drain. The node's backend and model
+    /// store are replaced with fresh instances, its GPU leaves the
+    /// placement pool, and each lost in-flight request retries on a
+    /// surviving replica (or is shed once over its retry budget).
+    fn crash_node(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<Event>) -> bool {
+        if !matches!(self.cluster.node_state(node), Ok(s) if s != NodeState::Down) {
+            return false;
+        }
+        // Hardware teardown: marks the node Down, hard-resets its GPU and
+        // removes all its pods from the cluster.
+        let dead = self.cluster.crash_node(now, node).expect("node is up");
+        let mut lost_reqs = Vec::new();
+        let mut affected = Vec::new();
+        for pod in &dead {
+            self.gateway.deregister_pod(pod.func, pod.id);
+            if let Some(mut rt) = self.pods.remove(&pod.id) {
+                if !affected.contains(&rt.func) {
+                    affected.push(rt.func);
+                }
+                if let Some(a) = rt.active.take() {
+                    lost_reqs.push(a.req);
+                }
+            }
+            self.killed += 1;
+        }
+        // Control-plane teardown: rectangle bindings, backend table and
+        // model store die with the node.
+        self.selector.remove_gpu(node);
+        self.backends.insert(
+            node,
+            FastBackend::new(BackendConfig {
+                policy: self.cfg.policy,
+                window: self.cfg.window,
+                token_lease: self.cfg.effective_token_lease(),
+                sm_global_limit: self.cfg.sm_global_limit,
+                ..BackendConfig::default()
+            }),
+        );
+        self.stores
+            .insert(node, ModelStorageServer::new(DEFAULT_CTX_OVERHEAD));
+        for req in lost_reqs {
+            self.retry_or_shed(now, req, queue);
+        }
+        for func in affected {
+            self.mark_outage(now, func);
+        }
+        true
+    }
+
+    /// Fires entry `index` of the configured fault plan.
+    fn on_fault(&mut self, now: SimTime, index: u32, queue: &mut EventQueue<Event>) {
+        let Some(&ev) = self
+            .cfg
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.events().get(index as usize))
+        else {
+            return;
+        };
+        self.faults_injected += 1;
+        match ev.kind {
+            FaultKind::PodCrash { func_index } => {
+                let ids: Vec<FuncId> = self.funcs.keys().copied().collect();
+                if ids.is_empty() {
+                    return;
+                }
+                let func = ids[func_index as usize % ids.len()];
+                if let Some(&victim) = self.cluster.running_pods_of(func).first() {
+                    self.kill_pod(now, victim, queue);
+                }
+            }
+            FaultKind::NodeCrash { node_index } => {
+                let ids = self.cluster.node_ids();
+                if ids.is_empty() {
+                    return;
+                }
+                self.crash_node(now, ids[node_index as usize % ids.len()], queue);
+            }
+            FaultKind::NodeDegrade { node_index, factor } => {
+                let ids = self.cluster.node_ids();
+                if ids.is_empty() {
+                    return;
+                }
+                let _ = self
+                    .cluster
+                    .degrade_node(ids[node_index as usize % ids.len()], factor);
+            }
+            FaultKind::NodeRecover { node_index } => {
+                let ids = self.cluster.node_ids();
+                if ids.is_empty() {
+                    return;
+                }
+                let _ = self.cluster.recover_node(ids[node_index as usize % ids.len()]);
+            }
+        }
+    }
+
+    /// The recovery controller: one health check pass over every function.
+    fn on_health_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        queue.schedule(now + self.cfg.health_interval, Event::HealthTick);
+        let func_ids: Vec<FuncId> = self.funcs.keys().copied().collect();
+        for func in func_ids {
+            self.heal_function(now, func, queue);
+        }
+    }
+
+    /// Compares a function's running replicas against its desired count
+    /// and reschedules the missing ones via the regular pod-creation path
+    /// (Algorithm 2 node selection over surviving nodes). Placement
+    /// failures back off exponentially; a fully restored function records
+    /// its time-to-recovery.
+    fn heal_function(&mut self, now: SimTime, func: FuncId, queue: &mut EventQueue<Event>) {
+        let rt = self.funcs.get(&func).expect("function exists");
+        let desired = rt.desired_replicas;
+        let resources = rt.resources;
+        let backoff_until = rt.backoff_until;
+        let running = self.cluster.running_pods_of(func).len();
+        if running >= desired {
+            let rt = self.funcs.get_mut(&func).expect("function exists");
+            if let Some(start) = rt.outage_since.take() {
+                // Healed outside the controller (e.g. the auto-scaler
+                // re-created capacity first): still an outage that ended.
+                rt.recoveries.push(now.saturating_sub(start));
+                rt.backoff_exp = 0;
+                rt.backoff_until = SimTime::ZERO;
+            }
+            return;
+        }
+        let rt = self.funcs.get_mut(&func).expect("function exists");
+        let start = *rt.outage_since.get_or_insert(now);
+        // Health probes have at least one interval of detection latency:
+        // an outage observed the instant it happened is repaired on the
+        // next tick, so time-to-recovery is never zero.
+        if now <= start || now < backoff_until {
+            return;
+        }
+        let missing = desired - running;
+        let mut failed = false;
+        for _ in 0..missing {
+            if self.create_pod(now, func, resources, queue).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        let interval = self.cfg.health_interval;
+        let rt = self.funcs.get_mut(&func).expect("function exists");
+        if failed {
+            rt.backoff_exp = (rt.backoff_exp + 1).min(6);
+            rt.backoff_until = now + interval * (1u64 << rt.backoff_exp);
+        } else if let Some(start) = rt.outage_since.take() {
+            rt.recoveries.push(now.saturating_sub(start));
+            rt.backoff_exp = 0;
+            rt.backoff_until = SimTime::ZERO;
+        }
+    }
+
+    /// A request's queueing deadline passed: shed it if it is still in
+    /// the gateway queue (in-flight requests are left to finish).
+    fn on_request_timeout(&mut self, func: FuncId, id: RequestId) {
+        if let Some(req) = self.gateway.cancel_queued(func, id) {
+            self.gateway.drop_request(&req);
+        }
+    }
+
     // ----- request lifecycle ------------------------------------------
 
     fn on_arrival(&mut self, now: SimTime, func: FuncId, queue: &mut EventQueue<Event>) {
@@ -475,6 +695,10 @@ impl Engine {
             }
         }
         let (req, pod) = self.gateway.on_arrival(now, func);
+        if let Some(factor) = self.cfg.request_timeout_factor {
+            let deadline = now + self.funcs[&func].slo.slo().scale(factor);
+            queue.schedule(deadline, Event::RequestTimeout(func, req.id));
+        }
         if let Some(pod) = pod {
             self.assign_request(now, pod, req, queue);
         }
@@ -523,7 +747,11 @@ impl Engine {
     fn try_start_burst(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
         let node = self.pods[&pod].node;
         let backend = self.backends.get_mut(&node).expect("backend per node");
-        let (outcome, side_grants) = backend.request(now, pod);
+        let Ok((outcome, side_grants)) = backend.request(now, pod) else {
+            // The pod's backend row is gone (crash teardown raced this
+            // burst); the pod itself is being destroyed, so do nothing.
+            return;
+        };
         match outcome {
             // Lease expiry is enforced lazily, at the pod's own sync
             // points and re-requests: a real time-slice holder is not
@@ -546,10 +774,16 @@ impl Engine {
 
     fn launch_burst(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
         let node = self.pods[&pod].node;
-        self.backends
+        if self
+            .backends
             .get_mut(&node)
             .expect("backend per node")
-            .begin_burst(pod);
+            .begin_burst(pod)
+            .is_err()
+        {
+            // Crash teardown raced the grant; the pod is being destroyed.
+            return;
+        }
         let rt = self.pods.get_mut(&pod).expect("pod exists");
         let active = rt.active.as_mut().expect("burst belongs to a request");
         active.waiting_token = false;
@@ -582,6 +816,11 @@ impl Engine {
         kernel: KernelId,
         queue: &mut EventQueue<Event>,
     ) {
+        // A finish scheduled before the node crashed: the kernel died with
+        // the hardware and was already accounted as aborted.
+        if matches!(self.cluster.node_state(node), Ok(NodeState::Down)) {
+            return;
+        }
         let gpu = &mut self
             .cluster
             .node_mut(node)
@@ -614,12 +853,14 @@ impl Engine {
         if active.outstanding == 0 {
             // Synchronization point: report usage, maybe lose the lease.
             let gpu_time = active.burst_gpu_time;
-            let out = self
+            if let Ok(out) = self
                 .backends
                 .get_mut(&node)
                 .expect("backend per node")
-                .sync_point(now, pod, gpu_time);
-            self.process_grants(now, &out.granted, queue);
+                .sync_point(now, pod, gpu_time)
+            {
+                self.process_grants(now, &out.granted, queue);
+            }
             self.step_pod(now, pod, queue);
         }
     }
@@ -683,6 +924,10 @@ impl Engine {
     }
 
     fn on_window_reset(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<Event>) {
+        // Quota windows die with the node (and stop rescheduling).
+        if matches!(self.cluster.node_state(node), Ok(NodeState::Down)) {
+            return;
+        }
         let grants = self
             .backends
             .get_mut(&node)
@@ -772,12 +1017,20 @@ impl Engine {
                     // idle GPU time may be used beyond the request).
                     let spec = ResourceSpec::new(p.sm, p.quota, 1.0, mem);
                     // Placement failure is counted inside create_pod.
-                    let _ = self.create_pod(now, func, spec, queue);
+                    if self.create_pod(now, func, spec, queue).is_ok() {
+                        self.funcs
+                            .get_mut(&func)
+                            .expect("function exists")
+                            .desired_replicas += 1;
+                    }
                 }
                 ScaleAction::Down(pod) => {
                     if remaining > self.cfg.min_replicas {
                         self.drain_pod(now, pod, queue);
                         remaining -= 1;
+                        let min = self.cfg.min_replicas;
+                        let rt = self.funcs.get_mut(&func).expect("function exists");
+                        rt.desired_replicas = rt.desired_replicas.saturating_sub(1).max(min);
                     }
                 }
             }
@@ -815,6 +1068,8 @@ impl Engine {
                     violation_ratio: rt.slo.violation_ratio(),
                     replicas: self.cluster.running_pods_of(id).len(),
                     replica_series: rt.replica_series.clone(),
+                    dropped: self.gateway.dropped(id),
+                    time_to_recovery: rt.recoveries.clone(),
                 },
             );
         }
@@ -842,6 +1097,7 @@ impl Engine {
                 sm_occupancy: series_mean(m.occupancy_series()),
                 kernels: m.total_kernels(),
                 pods: self.cluster.pods_on(id).len(),
+                up: !matches!(self.cluster.node_state(id), Ok(NodeState::Down)),
                 memory_used: node.gpu.memory().used(),
                 utilization_series: m.utilization_series().clone(),
                 occupancy_series: m.occupancy_series().clone(),
@@ -853,6 +1109,7 @@ impl Engine {
             functions,
             nodes,
             unschedulable_pods: self.unschedulable,
+            faults_injected: self.faults_injected,
         }
     }
 }
@@ -877,6 +1134,9 @@ impl World for Engine {
             Event::WindowReset(node) => self.on_window_reset(now, node, queue),
             Event::ScaleTick => self.on_scale_tick(now, queue),
             Event::MetricsSample => self.on_metrics_sample(now, queue),
+            Event::Fault(index) => self.on_fault(now, index, queue),
+            Event::HealthTick => self.on_health_tick(now, queue),
+            Event::RequestTimeout(func, id) => self.on_request_timeout(func, id),
         }
     }
 }
@@ -909,6 +1169,14 @@ impl Platform {
                 }
             }
             queue.schedule(sample, Event::MetricsSample);
+            if let Some(plan) = &world.cfg.fault_plan {
+                for (i, e) in plan.events().iter().enumerate() {
+                    queue.schedule(e.at, Event::Fault(i as u32));
+                }
+            }
+            if world.cfg.recovery {
+                queue.schedule(world.cfg.health_interval, Event::HealthTick);
+            }
         }
         Platform { sim }
     }
@@ -946,6 +1214,9 @@ impl Platform {
     pub fn scale_to(&mut self, func: FuncId, replicas: usize) {
         use fastg_cluster::cluster::ReconcileAction;
         let (world, queue, now) = self.sim.parts_mut();
+        if let Some(rt) = world.funcs.get_mut(&func) {
+            rt.desired_replicas = replicas;
+        }
         match world.cluster.reconcile(func, replicas) {
             ReconcileAction::Create(n) => {
                 let resources = world.funcs[&func].resources;
@@ -1024,6 +1295,61 @@ impl Platform {
     /// Pods crashed via failure injection so far.
     pub fn killed_pods(&self) -> u64 {
         self.sim.world().killed
+    }
+
+    /// Failure injection: power off node `node_index` immediately (same
+    /// path the plan's `NodeCrash` takes). Returns whether the node was up.
+    pub fn crash_node(&mut self, node_index: usize) -> bool {
+        let (world, queue, now) = self.sim.parts_mut();
+        let ids = world.cluster.node_ids();
+        if node_index >= ids.len() {
+            return false;
+        }
+        world.crash_node(now, ids[node_index], queue)
+    }
+
+    /// Whether node `node_index` is still up.
+    pub fn node_up(&self, node_index: usize) -> bool {
+        let ids = self.sim.world().cluster.node_ids();
+        ids.get(node_index)
+            .map(|&n| !matches!(self.sim.world().cluster.node_state(n), Ok(NodeState::Down)))
+            .unwrap_or(false)
+    }
+
+    /// SMs not granted to any resident kernel on a node.
+    pub fn node_free_sms(&self, node_index: usize) -> u32 {
+        let ids = self.sim.world().cluster.node_ids();
+        ids.get(node_index)
+            .and_then(|&n| self.sim.world().cluster.node(n).ok())
+            .map(|n| n.gpu.free_sms())
+            .unwrap_or(0)
+    }
+
+    /// Faults fired from the configured plan so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.sim.world().faults_injected
+    }
+
+    /// Requests of a function waiting in the gateway queue.
+    pub fn queued_requests(&self, func: FuncId) -> usize {
+        self.sim.world().gateway.queue_len(func)
+    }
+
+    /// Requests of a function shed by the gateway so far.
+    pub fn dropped_requests(&self, func: FuncId) -> u64 {
+        self.sim.world().gateway.dropped(func)
+    }
+
+    /// Real (gateway-arrived) requests currently executing on a pod;
+    /// synthetic saturating work is excluded.
+    pub fn in_flight_requests(&self) -> usize {
+        self.sim
+            .world()
+            .pods
+            .values()
+            .filter_map(|rt| rt.active.as_ref())
+            .filter(|a| a.req.id.0 < 1 << 60)
+            .count()
     }
 
     /// Running replica count of a function.

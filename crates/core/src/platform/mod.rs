@@ -19,8 +19,10 @@
 pub mod config;
 pub mod csv;
 pub mod engine;
+pub mod faults;
 pub mod report;
 
 pub use config::{FunctionConfig, PlatformConfig};
 pub use engine::Platform;
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use report::{FunctionReport, NodeReport, PlatformReport};

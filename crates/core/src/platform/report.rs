@@ -15,6 +15,13 @@ pub struct FunctionReport {
     pub arrivals: u64,
     /// Requests completed.
     pub completed: u64,
+    /// Requests shed by the gateway: timed out in the queue, or lost to a
+    /// crash with no retry budget left.
+    pub dropped: u64,
+    /// Time from each detected replica outage to the run of health checks
+    /// that restored the desired replica count (recovery controller only;
+    /// empty when recovery is off or no outage occurred).
+    pub time_to_recovery: Vec<SimTime>,
     /// Steady-state throughput (completions/second after warm-up).
     pub throughput_rps: f64,
     /// Median end-to-end latency.
@@ -54,6 +61,9 @@ pub struct NodeReport {
     pub kernels: u64,
     /// Pods resident at the end of the run.
     pub pods: usize,
+    /// Whether the node was still up at the end of the run (`false` after
+    /// an injected `NodeCrash`).
+    pub up: bool,
     /// Device memory in use at the end of the run (bytes).
     pub memory_used: u64,
     /// Sampled utilization series.
@@ -75,6 +85,8 @@ pub struct PlatformReport {
     pub nodes: Vec<NodeReport>,
     /// Pods the scheduler could not place ("new GPU required" events).
     pub unschedulable_pods: u64,
+    /// Faults injected from the configured plan.
+    pub faults_injected: u64,
 }
 
 impl PlatformReport {
@@ -166,6 +178,7 @@ mod tests {
             sm_occupancy: occ,
             kernels,
             pods: 0,
+            up: true,
             memory_used: 0,
             utilization_series: TimeSeries::new(),
             occupancy_series: TimeSeries::new(),
@@ -180,6 +193,7 @@ mod tests {
             functions: BTreeMap::new(),
             nodes: vec![node(100, 0.8, 0.4), node(0, 0.0, 0.0)],
             unschedulable_pods: 0,
+            faults_injected: 0,
         };
         assert_eq!(r.gpus_used(), 1);
         assert!((r.mean_utilization_active() - 0.8).abs() < 1e-9);
@@ -194,6 +208,7 @@ mod tests {
             functions: BTreeMap::new(),
             nodes: vec![],
             unschedulable_pods: 0,
+            faults_injected: 0,
         };
         assert_eq!(r.total_completed(), 0);
         assert_eq!(r.total_throughput(), 0.0);

@@ -3,10 +3,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// How the configuration space is sampled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SamplePlan {
     /// Full cartesian grid of the given spatial (%) and temporal
     /// (fraction) points.

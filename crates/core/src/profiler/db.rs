@@ -2,14 +2,11 @@
 
 use crate::scheduler::ConfigPoint;
 use fastg_des::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A resource configuration key: fixed-point to make it orderable and
 /// hashable without float pitfalls.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProfileKey {
     /// SM partition in hundredths of a percent.
     pub sm_centi: u32,
@@ -38,7 +35,7 @@ impl ProfileKey {
 }
 
 /// One trial's measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfileRecord {
     /// Sustained throughput (requests/second).
     pub rps: f64,
@@ -56,13 +53,6 @@ pub struct ProfileRecord {
 #[derive(Debug, Clone, Default)]
 pub struct ProfileDb {
     records: BTreeMap<String, BTreeMap<ProfileKey, ProfileRecord>>,
-}
-
-/// Serialization shape: JSON object keys must be strings, so records are
-/// flattened to entry lists on disk.
-#[derive(Serialize, Deserialize)]
-struct SerDb {
-    functions: Vec<(String, Vec<(ProfileKey, ProfileRecord)>)>,
 }
 
 impl ProfileDb {
@@ -129,24 +119,73 @@ impl ProfileDb {
     }
 
     /// Serializes to JSON (the "database" the profiler persists).
+    ///
+    /// JSON object keys must be strings, so records are flattened to
+    /// entry lists on disk:
+    /// `{"functions": [{"name": ..., "records": [{...}, ...]}, ...]}`.
     pub fn to_json(&self) -> String {
-        let ser = SerDb {
-            functions: self
-                .records
-                .iter()
-                .map(|(f, m)| (f.clone(), m.iter().map(|(&k, &r)| (k, r)).collect()))
-                .collect(),
-        };
-        serde_json::to_string_pretty(&ser).expect("profile db serializes")
+        use fastg_json::{ObjectBuilder, Value};
+        let functions: Vec<Value> = self
+            .records
+            .iter()
+            .map(|(f, m)| {
+                let records: Vec<Value> = m
+                    .iter()
+                    .map(|(&k, &r)| {
+                        ObjectBuilder::new()
+                            .field("sm_centi", k.sm_centi)
+                            .field("quota_centi", k.quota_centi)
+                            .field("rps", r.rps)
+                            .field("p50_us", r.p50.as_micros())
+                            .field("p99_us", r.p99.as_micros())
+                            .field("utilization", r.utilization)
+                            .field("sm_occupancy", r.sm_occupancy)
+                            .build()
+                    })
+                    .collect();
+                ObjectBuilder::new()
+                    .field("name", f.as_str())
+                    .field("records", Value::Array(records))
+                    .build()
+            })
+            .collect();
+        ObjectBuilder::new()
+            .field("functions", Value::Array(functions))
+            .build()
+            .to_string_pretty()
     }
 
     /// Deserializes from JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        let ser: SerDb = serde_json::from_str(s)?;
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let v = fastg_json::Value::parse(s).map_err(|e| format!("invalid JSON: {e}"))?;
         let mut db = ProfileDb::new();
-        for (f, entries) in ser.functions {
-            for (k, r) in entries {
-                db.insert(&f, k, r);
+        let functions = v["functions"].as_array().ok_or("functions missing")?;
+        for func in functions {
+            let name = func["name"].as_str().ok_or("function name missing")?;
+            let records = func["records"].as_array().ok_or("records missing")?;
+            for rec in records {
+                let num = |field: &str| -> Result<f64, String> {
+                    rec[field]
+                        .as_f64()
+                        .ok_or_else(|| format!("{field} missing for {name}"))
+                };
+                let int = |field: &str| -> Result<u64, String> {
+                    rec[field]
+                        .as_u64()
+                        .ok_or_else(|| format!("{field} missing for {name}"))
+                };
+                let key = ProfileKey {
+                    sm_centi: int("sm_centi")? as u32,
+                    quota_centi: int("quota_centi")? as u32,
+                };
+                let record = ProfileRecord {
+                    rps: num("rps")?,
+                    p50: SimTime::from_micros(int("p50_us")?),
+                    p99: SimTime::from_micros(int("p99_us")?),
+                    utilization: num("utilization")?,
+                    sm_occupancy: num("sm_occupancy")?,
+                };
+                db.insert(name, key, record);
             }
         }
         Ok(db)

@@ -40,6 +40,13 @@ impl NodeSelector {
         self.gpus.insert(node, GpuRects::standard());
     }
 
+    /// Removes a node's GPU from the placement pool (node crash): all its
+    /// rectangle bindings are discarded and no future placement considers
+    /// it. No-op if the node was never registered.
+    pub fn remove_gpu(&mut self, node: NodeId) {
+        self.gpus.remove(&node);
+    }
+
     /// The placement policy.
     pub fn policy(&self) -> PlacementPolicy {
         self.policy

@@ -10,13 +10,12 @@
 //! that the pod now overlaps, and prunes redundancies.
 
 use fastg_cluster::PodId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An axis-aligned rectangle in resource units. `x`/`w` run along the time
 /// quota axis (percent of the scheduling window), `y`/`h` along the SM
 /// axis (percent of SMs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rect {
     /// Left edge (quota axis).
     pub x: u32,
@@ -74,7 +73,7 @@ impl Rect {
 /// Which free rectangle a placement prefers (MAXRECTS literature's
 /// classic heuristics). The paper uses best-area-fit: minimal
 /// "secondCores" slack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FitRule {
     /// Minimum `Area(R) − Area(F)` (the paper's rule).
     BestAreaFit,
@@ -101,7 +100,7 @@ pub enum FitRule {
 /// assert_eq!(gpu.release(PodId(0)), Some(rect));
 /// assert_eq!(gpu.free_area(), 10_000);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpuRects {
     width: u32,
     height: u32,

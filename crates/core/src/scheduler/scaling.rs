@@ -1,12 +1,11 @@
 //! The Heuristic Scaling Algorithm (paper Algorithm 1).
 
 use fastg_cluster::PodId;
-use serde::{Deserialize, Serialize};
 
 /// One profiled configuration point of a function: running one pod with SM
 /// partition `sm` (%) and time quota `quota` (fraction) yields `rps`
 /// requests/second.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfigPoint {
     /// SM partition percentage.
     pub sm: f64,

@@ -1,14 +1,13 @@
 //! Interval statistics: time-weighted integrators and sampled series.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Integrates a piecewise-constant signal over simulated time.
 ///
 /// Used for SM occupancy: the number of busy SMs is piecewise constant
 /// between events; `TimeWeighted` accumulates `value × dt` so the mean over
 /// any window is `integral / elapsed`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     value: f64,
     last_change: SimTime,
@@ -81,7 +80,7 @@ impl TimeWeighted {
 /// This is the nvidia-smi notion of "GPU utilization": the fraction of
 /// wall-clock time during which at least one kernel was resident, regardless
 /// of how many SMs it used.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BusyTracker {
     active: u32,
     busy_since: Option<SimTime>,
@@ -157,7 +156,7 @@ impl BusyTracker {
 
 /// A recorded series of `(time, value)` samples, e.g. the per-second GPU
 /// utilization exported by DCGM.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }

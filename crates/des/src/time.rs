@@ -1,6 +1,5 @@
 //! Simulation timestamps.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -10,7 +9,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// Integer microseconds keep the engine fully deterministic (no
 /// floating-point drift between platforms) while being fine-grained enough
 /// to represent individual CUDA kernel waves (tens of microseconds).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -29,17 +29,16 @@ use crate::metrics::GpuMetrics;
 use crate::mps::{MpsError, MpsMode, MpsServer};
 use crate::spec::GpuSpec;
 use fastg_des::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 pub use crate::mps::ClientId;
 
 /// Identifies one kernel launch on one device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct KernelId(pub u64);
 
 /// Description of a kernel launch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelDesc {
     /// Number of thread-blocks in the grid. Bounds the kernel's usable
     /// parallelism: granting more SMs than blocks cannot speed it up —
@@ -143,6 +142,10 @@ pub struct GpuDevice {
     /// in arrival order.
     wait_queue: VecDeque<ClientId>,
     next_kernel: u64,
+    /// Kernel-duration multiplier (≥ 1.0). 1.0 is full speed; a degraded
+    /// device (thermal throttling analogue) stretches every kernel started
+    /// while the scale is raised. Resident kernels keep their durations.
+    clock_scale: f64,
 }
 
 impl GpuDevice {
@@ -162,6 +165,7 @@ impl GpuDevice {
             running: BTreeMap::new(),
             wait_queue: VecDeque::new(),
             next_kernel: 0,
+            clock_scale: 1.0,
         }
     }
 
@@ -198,6 +202,50 @@ impl GpuDevice {
     /// SMs not currently granted to any resident kernel.
     pub fn free_sms(&self) -> u32 {
         self.free_sms
+    }
+
+    /// Current kernel-duration multiplier (1.0 = full speed).
+    pub fn clock_scale(&self) -> f64 {
+        self.clock_scale
+    }
+
+    /// Sets the kernel-duration multiplier. Values above 1.0 model a
+    /// degraded device (clock throttling): every *subsequently started*
+    /// kernel takes `factor ×` its nominal duration. Resident kernels are
+    /// unaffected. Values ≤ 0 are clamped to 1.0.
+    pub fn set_clock_scale(&mut self, factor: f64) {
+        self.clock_scale = if factor > 0.0 { factor } else { 1.0 };
+    }
+
+    /// Hard-resets the device, as when its node loses power: every resident
+    /// kernel is aborted (accounted as busy time but not as a completion),
+    /// all queued work is discarded, every MPS client is unregistered, all
+    /// device memory is reclaimed and the full SM pool is freed. The clock
+    /// scale returns to 1.0.
+    ///
+    /// [`KernelId`]s are *not* reused after a reset, so stale finish events
+    /// scheduled before the crash can be recognised and dropped by the
+    /// caller ([`Self::on_kernel_finish`] would panic on them).
+    pub fn hard_reset(&mut self, now: SimTime) {
+        let running = std::mem::take(&mut self.running);
+        for (_, run) in running {
+            self.metrics.kernel_aborted(now, run.granted);
+        }
+        self.streams.clear();
+        self.wait_queue.clear();
+        self.free_sms = self.spec.sm_count;
+        self.memory = GpuMemory::new(self.spec.memory_bytes);
+        for client in self.mps.client_ids() {
+            let _ = self.mps.unregister(client);
+        }
+        self.clock_scale = 1.0;
+    }
+
+    /// Whether a kernel id refers to a currently resident kernel. After a
+    /// [`Self::hard_reset`] all previously resident kernels report `false`;
+    /// callers use this to discard stale finish events.
+    pub fn is_resident(&self, kernel: KernelId) -> bool {
+        self.running.contains_key(&kernel)
     }
 
     /// Number of kernels currently resident.
@@ -321,7 +369,12 @@ impl GpuDevice {
         let granted = cap.min(desc.blocks.max(1)).min(self.free_sms);
         debug_assert!(granted >= 1);
         let waves = desc.blocks.max(1).div_ceil(granted) as u64;
-        let duration = desc.work_per_block * waves;
+        let nominal = desc.work_per_block * waves;
+        let duration = if self.clock_scale == 1.0 {
+            nominal
+        } else {
+            nominal.scale(self.clock_scale)
+        };
         let id = KernelId(self.next_kernel);
         self.next_kernel += 1;
         self.free_sms -= granted;
@@ -512,6 +565,56 @@ mod tests {
         gpu.on_kernel_finish(s.finish_at, s.kernel);
         gpu.unregister_client(c).unwrap();
         assert_eq!(gpu.mps().client_count(), 0);
+    }
+
+    #[test]
+    fn clock_scale_stretches_new_kernels_only() {
+        let mut gpu = v100();
+        let c = gpu.register_client(100.0).unwrap();
+        let s1 = gpu.launch(SimTime::ZERO, c, kernel(20, 10)).unwrap().unwrap();
+        assert_eq!(s1.finish_at, SimTime::from_micros(10));
+        gpu.set_clock_scale(2.0);
+        assert_eq!(gpu.clock_scale(), 2.0);
+        // Queued behind s1; starts at s1's finish with the degraded clock.
+        assert!(gpu.launch(SimTime::ZERO, c, kernel(20, 10)).unwrap().is_none());
+        let (_, started) = gpu.on_kernel_finish(s1.finish_at, s1.kernel);
+        assert_eq!(started[0].finish_at - started[0].started, SimTime::from_micros(20));
+        gpu.set_clock_scale(1.0);
+        let (_, _) = gpu.on_kernel_finish(started[0].finish_at, started[0].kernel);
+        let s3 = gpu
+            .launch(SimTime::from_micros(100), c, kernel(20, 10))
+            .unwrap()
+            .unwrap();
+        assert_eq!(s3.finish_at - s3.started, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn hard_reset_aborts_and_clears_everything() {
+        let mut gpu = v100();
+        let a = gpu.register_client(50.0).unwrap();
+        let b = gpu.register_client(100.0).unwrap();
+        gpu.memory_mut().alloc(1 << 20).unwrap();
+        let sa = gpu.launch(SimTime::ZERO, a, kernel(40, 1000)).unwrap().unwrap();
+        // b's kernel queues behind a full pool? No — 40 SMs remain, it runs.
+        let _sb = gpu.launch(SimTime::ZERO, b, kernel(40, 1000)).unwrap().unwrap();
+        // A third launch from a waits in-stream.
+        assert!(gpu.launch(SimTime::ZERO, a, kernel(10, 10)).unwrap().is_none());
+        assert_eq!(gpu.resident_kernels(), 2);
+
+        gpu.hard_reset(SimTime::from_micros(500));
+        assert_eq!(gpu.resident_kernels(), 0);
+        assert_eq!(gpu.free_sms(), gpu.spec().sm_count);
+        assert_eq!(gpu.mps().client_count(), 0);
+        assert_eq!(gpu.memory().used(), 0);
+        assert!(!gpu.is_resident(sa.kernel));
+        // Aborted kernels count busy time but no completions.
+        assert_eq!(gpu.metrics().total_kernels(), 0);
+        let stats = gpu.metrics().window_stats(SimTime::from_micros(1000));
+        assert!((stats.utilization - 0.5).abs() < 1e-9);
+        // The device is reusable after the reset.
+        let c = gpu.register_client(100.0).unwrap();
+        let s = gpu.launch(SimTime::from_micros(1000), c, kernel(1, 1)).unwrap().unwrap();
+        assert_ne!(s.kernel, sa.kernel); // ids are not reused
     }
 
     #[test]

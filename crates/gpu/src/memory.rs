@@ -7,11 +7,10 @@
 //! study fragmentation and capacity questions (e.g. "how many ResNeXt pods
 //! fit in 16 GB?").
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A device pointer: base offset and length of a live allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DevicePtr {
     /// Byte offset from the start of device memory.
     pub offset: u64,
@@ -22,7 +21,7 @@ pub struct DevicePtr {
 /// An inter-process memory handle exported for a live allocation
 /// (`cuIpcGetMemHandle` analogue). Opening it yields the same
 /// [`DevicePtr`] in another "process".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct IpcHandle(pub u64);
 
 /// Memory-management errors.
@@ -59,7 +58,7 @@ impl std::fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// The device-memory allocator for one GPU.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpuMemory {
     capacity: u64,
     /// Free extents keyed by offset; values are lengths. Invariant: sorted,

@@ -81,6 +81,15 @@ impl GpuMetrics {
             .or_insert(SimTime::ZERO) += gpu_time;
     }
 
+    /// Records a resident kernel being aborted (node crash / hard reset):
+    /// its busy interval and SM occupancy end at `now`, but it counts
+    /// neither as a completion nor toward any client's busy time — the work
+    /// was lost, not served.
+    pub fn kernel_aborted(&mut self, now: SimTime, granted_sms: u32) {
+        self.util.end(now);
+        self.occupied_sms.add(now, -(granted_sms as f64));
+    }
+
     /// Closes the current sampling window at `now`, appends the samples to
     /// the exported series, and opens a new window. Returns the window's
     /// stats (the DCGM-exporter scrape analogue).

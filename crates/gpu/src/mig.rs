@@ -14,7 +14,6 @@
 //! arbitrary spatio-temporal rectangles.
 
 use crate::spec::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// Number of compute slices on a MIG-capable part (A100/H100: 7).
 pub const COMPUTE_SLICES: u32 = 7;
@@ -22,7 +21,7 @@ pub const COMPUTE_SLICES: u32 = 7;
 pub const MEMORY_SLICES: u32 = 8;
 
 /// A MIG instance profile, named after the A100 catalogue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MigProfile {
     /// `1g.5gb`: 1 compute slice, 1 memory slice.
     P1g,
@@ -105,7 +104,7 @@ impl std::fmt::Display for MigError {
 impl std::error::Error for MigError {}
 
 /// A validated MIG layout for one physical GPU.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MigConfig {
     parent: GpuSpec,
     profiles: Vec<MigProfile>,

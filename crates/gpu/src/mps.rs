@@ -8,15 +8,14 @@
 //! ([`crate::GpuDevice`]) enforces.
 
 use crate::spec::GpuSpec;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Identifies an MPS client (one function-instance container / pod).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId(pub u32);
 
 /// How the GPU is exposed to processes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MpsMode {
     /// MPS server running: many clients share the GPU concurrently, each
     /// limited by its active-thread percentage. This is FaST-GShare's
@@ -54,7 +53,7 @@ impl std::fmt::Display for MpsError {
 
 impl std::error::Error for MpsError {}
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct ClientEntry {
     /// Active-thread percentage in `(0, 100]`.
     percentage: f64,
@@ -63,7 +62,7 @@ struct ClientEntry {
 }
 
 /// The MPS server: client registry and spatial partition bookkeeping.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MpsServer {
     mode: MpsMode,
     sm_count: u32,
@@ -161,6 +160,11 @@ impl MpsServer {
     /// Number of registered clients.
     pub fn client_count(&self) -> usize {
         self.clients.len()
+    }
+
+    /// Ids of all registered clients, in ascending order.
+    pub fn client_ids(&self) -> Vec<ClientId> {
+        self.clients.keys().copied().collect()
     }
 
     /// Sum of all clients' active-thread percentages; > 100 means the GPU is

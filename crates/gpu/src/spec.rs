@@ -1,9 +1,8 @@
 //! GPU hardware descriptions.
 
-use serde::{Deserialize, Serialize};
 
 /// Static description of a GPU device.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GpuSpec {
     /// Marketing name, e.g. "Tesla V100".
     pub name: String,

@@ -1,10 +1,9 @@
 //! Model profiles: kernel traces and memory footprints.
 
 use fastg_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One kernel launch within a stage burst.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelSpec {
     /// Thread-blocks in the grid; bounds exploitable SM parallelism.
     pub blocks: u32,
@@ -27,7 +26,7 @@ impl KernelSpec {
 
 /// A host phase followed by an asynchronous kernel burst ending at a
 /// synchronization point.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stage {
     /// Host-side time before any kernel of the burst launches
     /// (pre-processing, framework overhead, RNN step control flow).
@@ -64,7 +63,7 @@ impl Stage {
 
 /// GPU memory footprint of one function instance, split the way the
 /// model-sharing mechanism cares about.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryFootprint {
     /// Framework/runtime + activations + CUDA context: the part every
     /// instance needs privately, in bytes.
@@ -97,7 +96,7 @@ impl MemoryFootprint {
 pub const MIB: u64 = 1024 * 1024;
 
 /// A deep-learning model as the GPU-sharing stack observes it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelProfile {
     /// Model name (e.g. "resnet50").
     pub name: String,

@@ -1,7 +1,6 @@
 //! Log-bucket latency histogram (HdrHistogram-style, simplified).
 
 use fastg_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Per-bucket growth factor: ~5 % relative quantile error.
 const GROWTH: f64 = 1.05;
@@ -15,7 +14,7 @@ const BUCKETS: usize = 512;
 /// Records `SimTime` latencies and answers percentile queries with ≈5 %
 /// relative error — the precision at which the paper reports tail
 /// latencies.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     count: u64,

@@ -1,12 +1,11 @@
 //! Throughput measurement and arrival-rate prediction.
 
 use fastg_des::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Measures achieved throughput by recording event timestamps and counting
 /// them over windows.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RateMeter {
     times: Vec<SimTime>,
 }
@@ -54,7 +53,7 @@ impl RateMeter {
 /// Maintains a sliding window of arrival timestamps and exponentially
 /// smooths per-interval counts: robust to Poisson noise while still
 /// tracking ramps within a few control intervals.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RateEstimator {
     window: SimTime,
     alpha: f64,

@@ -2,11 +2,10 @@
 
 use crate::hist::LatencyHistogram;
 use fastg_des::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Tracks request latencies against a latency SLO (e.g. the paper's 69 ms
 /// ResNet objective) and reports the violation ratio.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SloTracker {
     slo: SimTime,
     histogram: LatencyHistogram,

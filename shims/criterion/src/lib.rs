@@ -1,0 +1,124 @@
+//! Offline drop-in subset of the `criterion` crate API used by this
+//! workspace's `harness = false` benchmark binaries.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of criterion the benches call:
+//! `Criterion::default().configure_from_args().sample_size(n)`,
+//! `bench_function(name, |b| b.iter(...))` and `final_summary()`.
+//!
+//! Measurement is deliberately simple: each benchmark closure runs
+//! `sample_size` timed samples (after one warm-up), and the mean/min/max
+//! wall-clock per iteration is printed to stdout. There are no plots, no
+//! statistical regression analysis, and no saved baselines.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Runs one benchmark's iterations (subset of `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, once per sample, recording wall-clock seconds.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) harness CLI arguments such as `--bench`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{name}: no samples");
+        } else {
+            let n = b.samples.len() as f64;
+            let mean = b.samples.iter().sum::<f64>() / n;
+            let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "{name}: mean {} (min {}, max {}, {} samples)",
+                fmt_secs(mean),
+                fmt_secs(min),
+                fmt_secs(max),
+                b.samples.len()
+            );
+        }
+        self
+    }
+
+    /// Prints the closing summary line (kept for API compatibility).
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut runs = 0u32;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

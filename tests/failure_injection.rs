@@ -156,6 +156,297 @@ fn backlog_drains_onto_replacement_pods() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Fault plans, node-level failures, and the recovery controller.
+// ---------------------------------------------------------------------------
+
+use fastgshare::platform::{FaultKind, FaultPlan};
+
+/// Acceptance scenario: a planned `NodeCrash` at t=30s on a two-node
+/// cluster with recovery enabled. The health controller must reschedule
+/// the lost replicas onto the surviving node and record a nonzero
+/// time-to-recovery — and the whole thing must replay event-for-event.
+#[test]
+fn planned_node_crash_recovers_on_survivor() {
+    let run = || {
+        let mut p = Platform::new(
+            PlatformConfig::default()
+                .nodes(2)
+                .policy(SharingPolicy::FaST)
+                .fault_plan(
+                    FaultPlan::new()
+                        .at(SimTime::from_secs(30), FaultKind::NodeCrash { node_index: 0 }),
+                )
+                .recovery(true)
+                .seed(50),
+        );
+        let f = p
+            .deploy(
+                FunctionConfig::new("f", "resnet50")
+                    .replicas(2)
+                    .resources(12.0, 0.5, 1.0),
+            )
+            .unwrap();
+        p.set_load(f, ArrivalProcess::poisson(30.0, 51));
+        let report = p.run_for(SimTime::from_secs(45));
+        (p, f, report)
+    };
+
+    let (p, f, report) = run();
+    assert_eq!(p.faults_injected(), 1);
+    assert!(!p.node_up(0), "crashed node should stay down");
+    assert!(p.node_up(1));
+    assert!(!report.nodes[0].up);
+    assert!(report.nodes[1].up);
+    // The Maximal-Rectangles packer consolidates both replicas onto node 0,
+    // so the crash wipes out the function; recovery must rebuild it on the
+    // survivor — the only node left that can hold pods.
+    assert_eq!(p.replicas(f), 2, "replicas not restored after node crash");
+    let fr = &report.functions[&f];
+    assert!(
+        !fr.time_to_recovery.is_empty(),
+        "recovery controller recorded no outage repair"
+    );
+    for &ttr in &fr.time_to_recovery {
+        assert!(ttr > SimTime::ZERO, "time-to-recovery must be nonzero");
+    }
+    // Service resumed: completions keep accruing well past the crash.
+    assert!(
+        fr.completed > 30 * 30,
+        "serving collapsed after the crash: {} completed",
+        fr.completed
+    );
+
+    // Event-for-event determinism with the plan active.
+    let (p2, f2, report2) = run();
+    assert_eq!(p.events_handled(), p2.events_handled());
+    assert_eq!(report.functions[&f].completed, report2.functions[&f2].completed);
+    assert_eq!(report.functions[&f].p99, report2.functions[&f2].p99);
+    assert_eq!(
+        report.functions[&f].time_to_recovery,
+        report2.functions[&f2].time_to_recovery
+    );
+}
+
+/// A degraded node stretches kernels by the plan's factor; recovery
+/// restores full clock. Latency while degraded must be visibly worse
+/// than an undegraded control run.
+#[test]
+fn degrade_and_recover_stretch_latency() {
+    let fingerprint = |plan: FaultPlan| {
+        let mut p = Platform::new(
+            PlatformConfig::default()
+                .nodes(1)
+                .policy(SharingPolicy::FaST)
+                .fault_plan(plan)
+                .seed(52),
+        );
+        let f = p
+            .deploy(
+                FunctionConfig::new("f", "resnet50")
+                    .replicas(2)
+                    .resources(12.0, 1.0, 1.0),
+            )
+            .unwrap();
+        p.set_load(f, ArrivalProcess::poisson(40.0, 53));
+        let report = p.run_for(SimTime::from_secs(10));
+        let fr = &report.functions[&f];
+        (fr.completed, fr.p99, fr.mean_latency)
+    };
+    let degraded = FaultPlan::new()
+        .at(
+            SimTime::from_secs(2),
+            FaultKind::NodeDegrade {
+                node_index: 0,
+                factor: 3.0,
+            },
+        )
+        .at(SimTime::from_secs(8), FaultKind::NodeRecover { node_index: 0 });
+    let (slow_done, slow_p99, slow_mean) = fingerprint(degraded);
+    let (fast_done, _fast_p99, fast_mean) = fingerprint(FaultPlan::new());
+    assert!(
+        slow_mean > fast_mean,
+        "3x degrade should raise mean latency: {slow_mean} vs {fast_mean}"
+    );
+    assert!(slow_p99 > SimTime::ZERO);
+    // Still serving throughout (slower, not dead).
+    assert!(slow_done > fast_done / 2, "{slow_done} vs {fast_done}");
+}
+
+/// Request timeouts + a bounded retry budget shed excess work as
+/// `dropped` instead of queueing it forever: with capacity gone and a
+/// tight timeout, arrivals are accounted for as completed, dropped,
+/// queued, or in flight — never silently lost.
+#[test]
+fn timeouts_shed_requests_when_capacity_dies() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(2)
+            .policy(SharingPolicy::FaST)
+            .fault_plan(
+                FaultPlan::new()
+                    .at(SimTime::from_secs(2), FaultKind::NodeCrash { node_index: 0 })
+                    .at(SimTime::from_secs(3), FaultKind::NodeCrash { node_index: 1 }),
+            )
+            .request_timeout_factor(4.0)
+            .retry_budget(2)
+            .seed(54),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(2)
+                .resources(12.0, 0.5, 1.0),
+        )
+        .unwrap();
+    p.set_load(f, ArrivalProcess::poisson(50.0, 55));
+    let report = p.run_for(SimTime::from_secs(10));
+    let fr = &report.functions[&f];
+    assert!(!p.node_up(0) && !p.node_up(1));
+    assert!(
+        fr.dropped > 0,
+        "with the whole cluster dead, timed-out requests must be shed"
+    );
+    let accounted =
+        fr.completed + fr.dropped + p.queued_requests(f) as u64 + p.in_flight_requests() as u64;
+    assert_eq!(
+        fr.arrivals, accounted,
+        "request conservation violated: {} arrived, {} accounted",
+        fr.arrivals, accounted
+    );
+}
+
+/// Seeded random chaos plans: whatever the mix of pod crashes, node
+/// crashes and degrades, the conservation invariant holds, surviving
+/// nodes stay consistent, and the run replays deterministically.
+#[test]
+fn random_chaos_plans_conserve_requests() {
+    for seed in [60u64, 61, 62, 63] {
+        let run = |seed: u64| {
+            let mut p = Platform::new(
+                PlatformConfig::default()
+                    .nodes(3)
+                    .policy(SharingPolicy::FaST)
+                    .fault_plan(FaultPlan::random(seed, 12, SimTime::from_secs(8)))
+                    .recovery(true)
+                    .request_timeout_factor(6.0)
+                    .retry_budget(3)
+                    .seed(seed),
+            );
+            let f = p
+                .deploy(
+                    FunctionConfig::new("f", "resnet50")
+                        .replicas(3)
+                        .resources(12.0, 0.5, 1.0),
+                )
+                .unwrap();
+            p.set_load(f, ArrivalProcess::poisson(40.0, seed + 1));
+            let report = p.run_for(SimTime::from_secs(12));
+            (p, f, report)
+        };
+        let (p, f, report) = run(seed);
+        assert_eq!(p.faults_injected(), 12, "seed {seed}: plan not fully injected");
+        let fr = &report.functions[&f];
+        let accounted = fr.completed
+            + fr.dropped
+            + p.queued_requests(f) as u64
+            + p.in_flight_requests() as u64;
+        assert_eq!(
+            fr.arrivals, accounted,
+            "seed {seed}: conservation violated ({} arrived, {} accounted)",
+            fr.arrivals, accounted
+        );
+        // Surviving nodes stay structurally sound: free SMs never exceed
+        // the device total, and dead nodes report down.
+        for i in 0..3 {
+            if p.node_up(i) {
+                assert!(report.nodes[i].up);
+            } else {
+                assert!(!report.nodes[i].up);
+                assert_eq!(p.node_memory_used(i), 0, "seed {seed}: dead node holds memory");
+            }
+        }
+        // Determinism: replaying the same chaos gives the same trace.
+        let (p2, f2, report2) = run(seed);
+        assert_eq!(p.events_handled(), p2.events_handled(), "seed {seed} diverged");
+        assert_eq!(
+            report.functions[&f].completed,
+            report2.functions[&f2].completed
+        );
+        assert_eq!(fr.dropped, report2.functions[&f2].dropped);
+    }
+}
+
+/// Pod-crash faults from a plan behave like direct `kill_pod` calls:
+/// replicas drop, and with recovery on the controller restores them.
+#[test]
+fn planned_pod_crash_is_healed() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(SharingPolicy::FaST)
+            .fault_plan(
+                FaultPlan::new()
+                    .at(SimTime::from_secs(1), FaultKind::PodCrash { func_index: 0 })
+                    .at(SimTime::from_secs(2), FaultKind::PodCrash { func_index: 0 }),
+            )
+            .recovery(true)
+            .seed(56),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(3)
+                .resources(12.0, 0.5, 1.0),
+        )
+        .unwrap();
+    p.set_load(f, ArrivalProcess::poisson(20.0, 57));
+    let report = p.run_for(SimTime::from_secs(6));
+    assert_eq!(p.faults_injected(), 2);
+    assert_eq!(p.killed_pods(), 2);
+    assert_eq!(p.replicas(f), 3, "recovery should restore the desired count");
+    assert!(!report.functions[&f].time_to_recovery.is_empty());
+}
+
+/// With recovery *off*, a planned crash leaves the function degraded —
+/// the controller must not act unless enabled.
+#[test]
+fn no_recovery_without_opt_in() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(SharingPolicy::FaST)
+            .fault_plan(
+                FaultPlan::new().at(SimTime::from_secs(1), FaultKind::PodCrash { func_index: 0 }),
+            )
+            .seed(58),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(2)
+                .resources(12.0, 0.5, 1.0),
+        )
+        .unwrap();
+    let report = p.run_for(SimTime::from_secs(4));
+    assert_eq!(p.faults_injected(), 1);
+    assert_eq!(p.replicas(f), 1, "nothing should heal the lost replica");
+    assert!(report.functions[&f].time_to_recovery.is_empty());
+}
+
+/// An empty or absent plan changes nothing: the event trace with chaos
+/// features left at their defaults is identical to the seed behaviour.
+#[test]
+fn default_config_injects_nothing() {
+    let (mut p, f) = loaded_platform(59);
+    let report = p.run_for(SimTime::from_secs(3));
+    assert_eq!(p.faults_injected(), 0);
+    assert_eq!(report.faults_injected, 0);
+    assert_eq!(report.functions[&f].dropped, 0);
+    assert!(report.functions[&f].time_to_recovery.is_empty());
+    assert!(report.nodes.iter().all(|n| n.up));
+}
+
 /// Killing an idle pod (no request in flight) tears down immediately.
 #[test]
 fn idle_pod_kill_is_immediate() {

@@ -190,16 +190,16 @@ proptest! {
             let pod = PodId(idx as u64);
             match op {
                 0 if !in_burst[idx] => {
-                    let (outcome, _side) = b.request(now, pod);
+                    let (outcome, _side) = b.request(now, pod).unwrap();
                     if let RequestOutcome::Granted(_) = outcome {
-                        b.begin_burst(pod);
+                        b.begin_burst(pod).unwrap();
                         in_burst[idx] = true;
                         has_token[idx] = true;
                     }
                 }
                 1 if in_burst[idx] => {
                     let burst = SimTime::from_micros(us);
-                    let out = b.sync_point(now, pod, burst);
+                    let out = b.sync_point(now, pod, burst).unwrap();
                     in_burst[idx] = false;
                     has_token[idx] = out.lease_valid;
                     for g in &out.granted {
