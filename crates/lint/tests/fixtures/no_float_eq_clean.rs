@@ -1,0 +1,8 @@
+// Fixture: comparisons `no-float-eq` must NOT flag: epsilon tests,
+// ordering operators on floats, and integer equality.
+pub fn checks(x: f64, y: f64, n: u32) -> bool {
+    let a = (x - 1.0).abs() < 1e-9;
+    let b = x <= 0.5 || y >= 2.0;
+    let c = n == 3;
+    a || b || c
+}

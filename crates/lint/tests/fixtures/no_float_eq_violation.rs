@@ -1,0 +1,7 @@
+// Fixture: exact float comparisons `no-float-eq` must flag (3 findings).
+pub fn checks(x: f64, y: f64, n: u32) -> bool {
+    let a = x == 1.0;
+    let b = 0.5 != y;
+    let c = n as f64 == y;
+    a || b || c
+}

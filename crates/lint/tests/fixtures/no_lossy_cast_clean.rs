@@ -1,0 +1,8 @@
+// Fixture: casts `no-lossy-cast` must NOT flag: float targets (accuracy
+// loss, not truncation), `From`/`TryFrom`, and identifiers containing "as".
+pub fn convert(quota: u64, basket: u32) -> (f64, u64, Result<u32, std::num::TryFromIntError>) {
+    let ratio = quota as f64;
+    let widened = u64::from(basket);
+    let narrowed = u32::try_from(quota);
+    (ratio, widened, narrowed)
+}

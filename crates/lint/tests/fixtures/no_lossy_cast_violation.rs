@@ -1,0 +1,4 @@
+// Fixture: truncating integer casts `no-lossy-cast` must flag (3 findings).
+pub fn truncate(quota: u64, tokens: i64, idx: usize) -> (u32, i32, u32) {
+    (quota as u32, tokens as i32, idx as u32)
+}

@@ -1,0 +1,24 @@
+// Fixture: panic-adjacent constructs `no-panic-in-lib` must NOT flag.
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> Option<u32> {
+    let a = map.get(&k).copied().unwrap_or(0);
+    let b = map.get(&k).copied().unwrap_or_else(|| 0);
+    let c = map.get(&k).copied().unwrap_or_default();
+    debug_assert!(a == b, "debug-only invariant check is fine");
+    debug_assert_eq!(b, c);
+    debug_assert_ne!(a, u32::MAX);
+    // A comment mentioning .unwrap() and panic! is not code.
+    let s = "strings with panic! and .unwrap() are not code";
+    let _ = s;
+    map.get(&k).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        v.expect("tests may expect");
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: every construct `no-panic-in-lib` must flag (8 findings).
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> u32 {
+    let a = map.get(&k).unwrap();
+    let b = map.get(&k).expect("key present");
+    if *a != *b {
+        panic!("mismatch");
+    }
+    match k {
+        0 => todo!(),
+        1 => unimplemented!(),
+        2 => unreachable!(),
+        _ => {}
+    }
+    assert!(*a > 0);
+    assert_eq!(*a, *b);
+    *a
+}

@@ -1,0 +1,9 @@
+// Fixture: ordered collections `no-unordered-iter` must NOT flag.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn build(keys: &[u32]) -> (BTreeMap<u32, u32>, BTreeSet<u32>) {
+    (
+        keys.iter().map(|&k| (k, k)).collect(),
+        keys.iter().copied().collect(),
+    )
+}

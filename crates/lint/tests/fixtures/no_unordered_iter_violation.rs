@@ -1,0 +1,10 @@
+// Fixture: randomized-order collections `no-unordered-iter` must flag
+// (4 findings: two in the use list, two in the signature).
+use std::collections::{HashMap, HashSet};
+
+pub fn build(keys: &[u32]) -> (HashMap<u32, u32>, HashSet<u32>) {
+    (
+        keys.iter().map(|&k| (k, k)).collect(),
+        keys.iter().copied().collect(),
+    )
+}

@@ -1,0 +1,10 @@
+// Fixture: deterministic time use `no-wallclock` must NOT flag.
+// `Duration` is a span, not a clock read, and is allowed; so is an
+// identifier that merely contains the word (InstantaneousRate).
+use std::time::Duration;
+
+pub struct InstantaneousRate(pub f64);
+
+pub fn span() -> Duration {
+    Duration::from_millis(5)
+}

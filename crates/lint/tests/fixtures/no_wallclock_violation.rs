@@ -1,0 +1,7 @@
+// Fixture: wall-clock time sources `no-wallclock` must flag (4 findings).
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn now_pair() -> (Instant, u64) {
+    (std::time::Instant::now(), 0)
+}

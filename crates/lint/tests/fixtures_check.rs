@@ -1,0 +1,187 @@
+//! Fixture-based self-tests: every rule has a violating fixture (known
+//! finding count) and a clean fixture (zero findings for that rule), plus
+//! an end-to-end round trip of `lint-baseline.json` through the real
+//! `--update-baseline` / `--check` CLI.
+
+use fastg_lint::{scan_file, FileScope, NO_FLOAT_EQ, NO_LOSSY_CAST, NO_PANIC, NO_UNORDERED_ITER, NO_WALLCLOCK};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn rule_hits(name: &str, rule: &str) -> usize {
+    scan_file(name, &fixture(name), FileScope::full())
+        .iter()
+        .filter(|d| d.rule == rule)
+        .count()
+}
+
+#[test]
+fn no_panic_fixture_pair() {
+    assert_eq!(rule_hits("no_panic_violation.rs", NO_PANIC), 8);
+    assert_eq!(rule_hits("no_panic_clean.rs", NO_PANIC), 0);
+}
+
+#[test]
+fn no_wallclock_fixture_pair() {
+    assert_eq!(rule_hits("no_wallclock_violation.rs", NO_WALLCLOCK), 4);
+    assert_eq!(rule_hits("no_wallclock_clean.rs", NO_WALLCLOCK), 0);
+}
+
+#[test]
+fn no_unordered_iter_fixture_pair() {
+    assert_eq!(rule_hits("no_unordered_iter_violation.rs", NO_UNORDERED_ITER), 4);
+    assert_eq!(rule_hits("no_unordered_iter_clean.rs", NO_UNORDERED_ITER), 0);
+}
+
+#[test]
+fn no_float_eq_fixture_pair() {
+    assert_eq!(rule_hits("no_float_eq_violation.rs", NO_FLOAT_EQ), 3);
+    assert_eq!(rule_hits("no_float_eq_clean.rs", NO_FLOAT_EQ), 0);
+}
+
+#[test]
+fn no_lossy_cast_fixture_pair() {
+    assert_eq!(rule_hits("no_lossy_cast_violation.rs", NO_LOSSY_CAST), 3);
+    assert_eq!(rule_hits("no_lossy_cast_clean.rs", NO_LOSSY_CAST), 0);
+}
+
+#[test]
+fn violating_fixtures_have_no_cross_rule_noise() {
+    // Each violating fixture triggers ONLY its own rule (so the pairs stay
+    // honest as rules evolve). The lossy-cast fixture's `as f64` line in
+    // no_float_eq_violation.rs is exercised on purpose and excluded here.
+    for (file, rule) in [
+        ("no_panic_violation.rs", NO_PANIC),
+        ("no_wallclock_violation.rs", NO_WALLCLOCK),
+        ("no_unordered_iter_violation.rs", NO_UNORDERED_ITER),
+        ("no_lossy_cast_violation.rs", NO_LOSSY_CAST),
+    ] {
+        let diags = scan_file(file, &fixture(file), FileScope::full());
+        assert!(
+            diags.iter().all(|d| d.rule == rule),
+            "{file} unexpectedly triggers {:?}",
+            diags
+                .iter()
+                .filter(|d| d.rule != rule)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLI round trip: --update-baseline then --check on a synthetic tree.
+// ---------------------------------------------------------------------------
+
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!("fastg-lint-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("crates/gpu/src")).expect("mkdir");
+        TempTree { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        fs::write(self.root.join(rel), content).expect("write fixture tree");
+    }
+
+    fn lint(&self, args: &[&str]) -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_fastg-lint"))
+            .arg("--root")
+            .arg(&self.root)
+            .args(args)
+            .output()
+            .expect("run fastg-lint")
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn baseline_round_trips_through_update_baseline_cli() {
+    let tree = TempTree::new("roundtrip");
+    tree.write(
+        "crates/gpu/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+
+    // Without a baseline, --check fails on the existing violation.
+    let out = tree.lint(&["--check"]);
+    assert!(!out.status.success(), "check must fail with no baseline");
+
+    // --update-baseline allowlists it; --check then passes.
+    let out = tree.lint(&["--update-baseline"]);
+    assert!(out.status.success(), "update-baseline failed: {out:?}");
+    let baseline_path = tree.root.join("lint-baseline.json");
+    let text = fs::read_to_string(&baseline_path).expect("baseline written");
+    let parsed = fastg_lint::Baseline::parse(&text).expect("baseline parses");
+    assert_eq!(parsed.allowed(NO_PANIC, "crates/gpu/src/lib.rs"), 1);
+    // The rendered form is canonical: parse -> render is the identity.
+    assert_eq!(parsed.render(), text);
+
+    let out = tree.lint(&["--check"]);
+    assert!(out.status.success(), "check must pass at baseline: {out:?}");
+
+    // A new violation in the same file exceeds the allowlisted count.
+    tree.write(
+        "crates/gpu/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\npub fn g(x: Option<u32>) -> u32 { x.expect(\"g\") }\n",
+    );
+    let out = tree.lint(&["--check"]);
+    assert!(!out.status.success(), "check must fail over baseline");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-panic-in-lib"), "stderr: {stderr}");
+}
+
+#[test]
+fn json_output_is_parseable_and_positioned() {
+    let tree = TempTree::new("json");
+    tree.write(
+        "crates/gpu/src/lib.rs",
+        "use std::time::Instant;\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let out = tree.lint(&["--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v = fastg_json::Value::parse(&stdout).expect("diagnostics JSON parses");
+    let items = v.as_array().expect("array");
+    assert_eq!(items.len(), 2);
+    let rules: Vec<&str> = items
+        .iter()
+        .filter_map(|d| d.get("rule").and_then(|r| r.as_str()))
+        .collect();
+    assert!(rules.contains(&"no-wallclock") && rules.contains(&"no-panic-in-lib"));
+    for d in items {
+        assert!(d.get("line").and_then(|l| l.as_u64()).is_some());
+        assert!(d.get("col").and_then(|c| c.as_u64()).is_some());
+        assert_eq!(
+            d.get("file").and_then(|f| f.as_str()),
+            Some("crates/gpu/src/lib.rs")
+        );
+    }
+}
+
+#[test]
+fn allow_escape_respected_end_to_end() {
+    let tree = TempTree::new("allow");
+    tree.write(
+        "crates/gpu/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // fastg-lint: allow(no-panic-in-lib)\n",
+    );
+    let out = tree.lint(&["--check"]);
+    assert!(out.status.success(), "allow escape must suppress: {out:?}");
+}
