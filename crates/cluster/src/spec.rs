@@ -33,9 +33,9 @@ pub struct ResourceSpec {
 impl ResourceSpec {
     /// Builds and validates a spec.
     ///
-    /// # Panics
-    /// Panics on out-of-range values (these come from the profiler/
-    /// scheduler, so invalid values are bugs, not user errors).
+    /// Out-of-range values come from the profiler/scheduler, so they are
+    /// bugs, not user errors: debug builds assert, release builds clamp
+    /// every field into its invariant range and carry on.
     pub fn new(sm_partition: f64, quota_request: f64, quota_limit: f64, gpu_mem: u64) -> Self {
         let s = ResourceSpec {
             sm_partition,
@@ -44,27 +44,40 @@ impl ResourceSpec {
             gpu_mem,
         };
         s.validate();
-        s
+        s.clamped()
     }
 
-    /// Checks all invariants.
+    /// Checks all invariants (debug builds only).
     pub fn validate(&self) {
-        assert!(
+        debug_assert!(
             self.sm_partition > 0.0 && self.sm_partition <= 100.0,
             "sm_partition {} outside (0, 100]",
             self.sm_partition
         );
-        assert!(
+        debug_assert!(
             self.quota_limit > 0.0 && self.quota_limit <= 1.0,
             "quota_limit {} outside (0, 1]",
             self.quota_limit
         );
-        assert!(
+        debug_assert!(
             self.quota_request >= 0.0 && self.quota_request <= self.quota_limit,
             "quota_request {} outside [0, quota_limit={}]",
             self.quota_request,
             self.quota_limit
         );
+    }
+
+    /// A copy with every field forced into its invariant range.
+    fn clamped(mut self) -> Self {
+        let sane = |v: f64, hi: f64| if v.is_finite() && v > 0.0 { v.min(hi) } else { hi };
+        self.sm_partition = sane(self.sm_partition, 100.0);
+        self.quota_limit = sane(self.quota_limit, 1.0);
+        self.quota_request = if self.quota_request.is_finite() {
+            self.quota_request.clamp(0.0, self.quota_limit)
+        } else {
+            self.quota_limit
+        };
+        self
     }
 
     /// The paper's "secondCores" area measure: `quota × SM share`, the

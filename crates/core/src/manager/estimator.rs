@@ -23,7 +23,8 @@ pub struct BurstEstimator {
 impl BurstEstimator {
     /// Creates an estimator with smoothing factor `alpha` (0 < alpha ≤ 1).
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "bad alpha {alpha}");
+        debug_assert!(alpha > 0.0 && alpha <= 1.0, "bad alpha {alpha}");
+        let alpha = if alpha.is_finite() && alpha > 0.0 { alpha.min(1.0) } else { 1.0 };
         BurstEstimator {
             alpha,
             mean_us: 0.0,

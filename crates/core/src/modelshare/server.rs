@@ -119,25 +119,30 @@ impl ModelStorageServer {
                     return Err(ShareError::OutOfMemory(e.to_string()));
                 }
             };
-            let ipc = mem
-                .ipc_get_handle(ptr)
-                .expect("fresh allocation exports a handle");
-            self.models
-                .get_mut(model)
-                .expect("model entry created above")
-                .tensors
-                .insert(
-                    tensor.to_string(),
-                    StoredTensor { ptr, ipc, refs: 0 },
-                );
+            let Ok(ipc) = mem.ipc_get_handle(ptr) else {
+                debug_assert!(false, "fresh allocation exports a handle");
+                let _ = mem.free(ptr);
+                self.gc_model(mem, model);
+                return Err(ShareError::OutOfMemory("ipc handle export failed".into()));
+            };
+            if let Some(e) = self.models.get_mut(model) {
+                e.tensors
+                    .insert(tensor.to_string(), StoredTensor { ptr, ipc, refs: 0 });
+            } else {
+                debug_assert!(false, "model entry created above");
+            }
         }
-        let entry = self
+        let Some(entry) = self
             .models
             .get_mut(model)
-            .expect("model entry exists")
-            .tensors
-            .get_mut(tensor)
-            .expect("tensor stored above");
+            .and_then(|e| e.tensors.get_mut(tensor))
+        else {
+            debug_assert!(false, "tensor stored above");
+            return Err(ShareError::UnknownTensor {
+                model: model.to_string(),
+                tensor: tensor.to_string(),
+            });
+        };
         entry.refs += 1;
         Ok((
             TensorHandle {
@@ -170,12 +175,13 @@ impl ModelStorageServer {
                 model: model.to_string(),
                 tensor: tensor.to_string(),
             })?;
-        assert!(t.refs > 0, "release without matching get ({model}/{tensor})");
-        t.refs -= 1;
+        debug_assert!(t.refs > 0, "release without matching get ({model}/{tensor})");
+        t.refs = t.refs.saturating_sub(1);
         if t.refs == 0 {
             let ptr = t.ptr;
             entry.tensors.remove(tensor);
-            mem.free(ptr).expect("stored tensor pointer is live");
+            let freed = mem.free(ptr);
+            debug_assert!(freed.is_ok(), "stored tensor pointer is live");
         }
         self.gc_model(mem, model);
         Ok(())
@@ -188,9 +194,12 @@ impl ModelStorageServer {
             .get(model)
             .is_some_and(|e| e.tensors.is_empty());
         if empty {
-            let e = self.models.remove(model).expect("checked above");
+            let Some(e) = self.models.remove(model) else {
+                return; // unreachable: presence checked above
+            };
             if e.ctx.len > 0 {
-                mem.free(e.ctx).expect("context pointer is live");
+                let freed = mem.free(e.ctx);
+                debug_assert!(freed.is_ok(), "context pointer is live");
             }
         }
     }
@@ -260,9 +269,8 @@ impl StoreLib {
     /// Releases every attached tensor (instance teardown).
     pub fn detach(&mut self, server: &mut ModelStorageServer, mem: &mut GpuMemory) {
         for (model, tensor) in self.attached.drain(..) {
-            server
-                .release(mem, &model, &tensor)
-                .expect("attached tensor releases cleanly");
+            let released = server.release(mem, &model, &tensor);
+            debug_assert!(released.is_ok(), "attached tensor releases cleanly");
         }
     }
 

@@ -124,8 +124,12 @@ impl PlatformConfig {
     /// Builds a heterogeneous cluster from explicit per-node GPU specs
     /// (e.g. [`fastg_gpu::MigConfig::instances`]).
     pub fn gpus(mut self, specs: Vec<GpuSpec>) -> Self {
-        assert!(!specs.is_empty(), "empty GPU list");
-        self.node_gpus = Some(specs);
+        debug_assert!(!specs.is_empty(), "empty GPU list");
+        // An empty list would build a node-less platform; ignore it and
+        // keep the homogeneous default instead.
+        if !specs.is_empty() {
+            self.node_gpus = Some(specs);
+        }
         self
     }
 
@@ -195,8 +199,8 @@ impl PlatformConfig {
 
     /// Sets the auto-scaler headroom factor.
     pub fn autoscale_headroom(mut self, h: f64) -> Self {
-        assert!(h >= 1.0, "headroom below 1 under-provisions by design");
-        self.autoscale_headroom = h;
+        debug_assert!(h >= 1.0, "headroom below 1 under-provisions by design");
+        self.autoscale_headroom = if h.is_finite() { h.max(1.0) } else { 1.0 };
         self
     }
 
@@ -214,15 +218,17 @@ impl PlatformConfig {
 
     /// Sets the recovery-controller health-check period.
     pub fn health_interval(mut self, d: SimTime) -> Self {
-        assert!(d > SimTime::ZERO, "zero health interval");
-        self.health_interval = d;
+        debug_assert!(d > SimTime::ZERO, "zero health interval");
+        self.health_interval = d.max(SimTime::from_micros(1));
         self
     }
 
     /// Sheds requests still queued `factor × SLO` after arrival.
     pub fn request_timeout_factor(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0, "non-positive timeout factor");
-        self.request_timeout_factor = Some(factor);
+        debug_assert!(factor > 0.0, "non-positive timeout factor");
+        if factor > 0.0 {
+            self.request_timeout_factor = Some(factor);
+        }
         self
     }
 

@@ -35,7 +35,7 @@ pub enum Event {
     MetricsSample,
     /// A scheduled fault fires (index into the configured
     /// [`FaultPlan`](crate::platform::FaultPlan)).
-    Fault(u32),
+    Fault(usize),
     /// The recovery controller's periodic health check runs.
     HealthTick,
     /// A request's queueing deadline passed; shed it if still queued.
@@ -266,11 +266,14 @@ impl Engine {
         // Model sharing: attach the weights through the store library.
         let storelib = if sharing && weights > 0 {
             let mut lib = StoreLib::new();
-            let store = self.stores.get_mut(&node).expect("store per node");
+            let store = self
+                .stores
+                .get_mut(&node)
+                .ok_or("internal: store missing for node")?;
             let gpu_mem = self
                 .cluster
                 .node_mut(node)
-                .expect("node exists")
+                .map_err(|e| e.to_string())?
                 .gpu
                 .memory_mut();
             lib.attach(store, gpu_mem, &model_name, &[("weights", weights)])
@@ -291,10 +294,11 @@ impl Engine {
         };
 
         // Backend table row (the FaSTPod controller's spec sync).
-        self.backends
-            .get_mut(&node)
-            .expect("backend per node")
-            .register(pod, resources);
+        if let Some(backend) = self.backends.get_mut(&node) {
+            backend.register(pod, resources);
+        } else {
+            debug_assert!(false, "backend per node");
+        }
 
         self.gateway.register_pod(func, pod);
         self.pods.insert(
@@ -352,25 +356,26 @@ impl Engine {
         };
         debug_assert!(rt.active.is_none(), "deleting pod with a request in flight");
         let node = rt.node;
-        let grants = self
-            .backends
-            .get_mut(&node)
-            .expect("backend per node")
-            .deregister(now, pod);
+        let grants = match self.backends.get_mut(&node) {
+            Some(b) => b.deregister(now, pod),
+            None => {
+                debug_assert!(false, "backend per node");
+                Vec::new()
+            }
+        };
         if let Some(lib) = rt.storelib.as_mut() {
-            let store = self.stores.get_mut(&node).expect("store per node");
-            let gpu_mem = self
-                .cluster
-                .node_mut(node)
-                .expect("node exists")
-                .gpu
-                .memory_mut();
-            lib.detach(store, gpu_mem);
+            if let (Some(store), Ok(n)) = (self.stores.get_mut(&node), self.cluster.node_mut(node))
+            {
+                lib.detach(store, n.gpu.memory_mut());
+            } else {
+                debug_assert!(false, "store and node outlive their pods");
+            }
         }
         if rt.bound_rect {
             self.selector.release(node, pod);
         }
-        self.cluster.delete_pod(pod).expect("pod exists in cluster");
+        let deleted = self.cluster.delete_pod(pod);
+        debug_assert!(deleted.is_ok(), "pod exists in cluster");
         self.process_grants(now, &grants, queue);
     }
 
@@ -389,17 +394,20 @@ impl Engine {
         };
         for pod in self.cluster.running_pods_of(func) {
             let node = self.pods[&pod].node;
-            let client = self.cluster.pod(pod).expect("pod").client;
-            let old = self.cluster.pod(pod).expect("pod").resources;
+            let (client, old) = self
+                .cluster
+                .pod(pod)
+                .map(|p| (p.client, p.resources))
+                .map_err(|e| e.to_string())?;
             // MPS partition: applies from the pod's next kernel launch.
-            let gpu = &mut self.cluster.node_mut(node).expect("node exists").gpu;
+            let gpu = &mut self.cluster.node_mut(node).map_err(|e| e.to_string())?.gpu;
             gpu.set_partition(client, eff_sm).map_err(|e| e.to_string())?;
-            self.cluster.pod_mut(pod).expect("pod").resources =
+            self.cluster.pod_mut(pod).map_err(|e| e.to_string())?.resources =
                 ResourceSpec::new(eff_sm, resources.quota_request, resources.quota_limit, resources.gpu_mem);
             // Backend table row (quotas take effect within this window).
             self.backends
                 .get_mut(&node)
-                .expect("backend per node")
+                .ok_or("internal: backend missing for node")?
                 .update_spec(pod, resources);
             // Rectangle binding: swap to the new shape if it fits; keep
             // the old reservation otherwise (conservative).
@@ -437,25 +445,37 @@ impl Engine {
         // otherwise reconciliation would refuse to create replacements
         // while the corpse's kernels drain.
         let _ = self.cluster.begin_terminate(pod);
-        let grants = self
-            .backends
-            .get_mut(&node)
-            .expect("backend per node")
-            .force_deregister(now, pod);
-        let rt = self.pods.get_mut(&pod).expect("checked above");
-        if rt.bound_rect {
-            rt.bound_rect = false;
+        let grants = match self.backends.get_mut(&node) {
+            Some(b) => b.force_deregister(now, pod),
+            None => {
+                debug_assert!(false, "backend per node");
+                Vec::new()
+            }
+        };
+        // Salvage the request, remember how many kernels must drain.
+        let mut release_rect = false;
+        let (lost_req, outstanding) = match self.pods.get_mut(&pod) {
+            Some(rt) => {
+                if rt.bound_rect {
+                    rt.bound_rect = false;
+                    release_rect = true;
+                }
+                let salvaged = match rt.active.take() {
+                    Some(a) => (Some(a.req), a.outstanding),
+                    None => (None, 0),
+                };
+                if salvaged.1 > 0 {
+                    rt.zombie = Some(salvaged.1);
+                }
+                salvaged
+            }
+            None => (None, 0), // unreachable: presence checked above
+        };
+        if release_rect {
             self.selector.release(node, pod);
         }
-        // Salvage the request, remember how many kernels must drain.
-        let (lost_req, outstanding) = match self.pods.get_mut(&pod).unwrap().active.take() {
-            Some(a) => (Some(a.req), a.outstanding),
-            None => (None, 0),
-        };
         if outstanding == 0 {
             self.teardown_dead_pod(pod);
-        } else {
-            self.pods.get_mut(&pod).unwrap().zombie = Some(outstanding);
         }
         // Retry the lost request (synthetic saturating requests are just
         // dropped; a fresh one spawns on whichever pod serves next).
@@ -505,16 +525,15 @@ impl Engine {
         };
         let node = rt.node;
         if let Some(lib) = rt.storelib.as_mut() {
-            let store = self.stores.get_mut(&node).expect("store per node");
-            let gpu_mem = self
-                .cluster
-                .node_mut(node)
-                .expect("node exists")
-                .gpu
-                .memory_mut();
-            lib.detach(store, gpu_mem);
+            if let (Some(store), Ok(n)) = (self.stores.get_mut(&node), self.cluster.node_mut(node))
+            {
+                lib.detach(store, n.gpu.memory_mut());
+            } else {
+                debug_assert!(false, "store and node outlive their pods");
+            }
         }
-        self.cluster.delete_pod(pod).expect("pod exists in cluster");
+        let deleted = self.cluster.delete_pod(pod);
+        debug_assert!(deleted.is_ok(), "pod exists in cluster");
     }
 
     // ----- fault injection & recovery ---------------------------------
@@ -531,7 +550,10 @@ impl Engine {
         }
         // Hardware teardown: marks the node Down, hard-resets its GPU and
         // removes all its pods from the cluster.
-        let dead = self.cluster.crash_node(now, node).expect("node is up");
+        let Ok(dead) = self.cluster.crash_node(now, node) else {
+            debug_assert!(false, "node is up (state checked above)");
+            return false;
+        };
         let mut lost_reqs = Vec::new();
         let mut affected = Vec::new();
         for pod in &dead {
@@ -571,12 +593,12 @@ impl Engine {
     }
 
     /// Fires entry `index` of the configured fault plan.
-    fn on_fault(&mut self, now: SimTime, index: u32, queue: &mut EventQueue<Event>) {
+    fn on_fault(&mut self, now: SimTime, index: usize, queue: &mut EventQueue<Event>) {
         let Some(&ev) = self
             .cfg
             .fault_plan
             .as_ref()
-            .and_then(|p| p.events().get(index as usize))
+            .and_then(|p| p.events().get(index))
         else {
             return;
         };
@@ -587,7 +609,7 @@ impl Engine {
                 if ids.is_empty() {
                     return;
                 }
-                let func = ids[func_index as usize % ids.len()];
+                let func = ids[func_index % ids.len()];
                 if let Some(&victim) = self.cluster.running_pods_of(func).first() {
                     self.kill_pod(now, victim, queue);
                 }
@@ -597,7 +619,7 @@ impl Engine {
                 if ids.is_empty() {
                     return;
                 }
-                self.crash_node(now, ids[node_index as usize % ids.len()], queue);
+                self.crash_node(now, ids[node_index % ids.len()], queue);
             }
             FaultKind::NodeDegrade { node_index, factor } => {
                 let ids = self.cluster.node_ids();
@@ -606,14 +628,14 @@ impl Engine {
                 }
                 let _ = self
                     .cluster
-                    .degrade_node(ids[node_index as usize % ids.len()], factor);
+                    .degrade_node(ids[node_index % ids.len()], factor);
             }
             FaultKind::NodeRecover { node_index } => {
                 let ids = self.cluster.node_ids();
                 if ids.is_empty() {
                     return;
                 }
-                let _ = self.cluster.recover_node(ids[node_index as usize % ids.len()]);
+                let _ = self.cluster.recover_node(ids[node_index % ids.len()]);
             }
         }
     }
@@ -633,13 +655,18 @@ impl Engine {
     /// failures back off exponentially; a fully restored function records
     /// its time-to-recovery.
     fn heal_function(&mut self, now: SimTime, func: FuncId, queue: &mut EventQueue<Event>) {
-        let rt = self.funcs.get(&func).expect("function exists");
+        let Some(rt) = self.funcs.get(&func) else {
+            debug_assert!(false, "function exists");
+            return;
+        };
         let desired = rt.desired_replicas;
         let resources = rt.resources;
         let backoff_until = rt.backoff_until;
         let running = self.cluster.running_pods_of(func).len();
         if running >= desired {
-            let rt = self.funcs.get_mut(&func).expect("function exists");
+            let Some(rt) = self.funcs.get_mut(&func) else {
+                return;
+            };
             if let Some(start) = rt.outage_since.take() {
                 // Healed outside the controller (e.g. the auto-scaler
                 // re-created capacity first): still an outage that ended.
@@ -649,7 +676,9 @@ impl Engine {
             }
             return;
         }
-        let rt = self.funcs.get_mut(&func).expect("function exists");
+        let Some(rt) = self.funcs.get_mut(&func) else {
+            return;
+        };
         let start = *rt.outage_since.get_or_insert(now);
         // Health probes have at least one interval of detection latency:
         // an outage observed the instant it happened is repaired on the
@@ -666,7 +695,9 @@ impl Engine {
             }
         }
         let interval = self.cfg.health_interval;
-        let rt = self.funcs.get_mut(&func).expect("function exists");
+        let Some(rt) = self.funcs.get_mut(&func) else {
+            return;
+        };
         if failed {
             rt.backoff_exp = (rt.backoff_exp + 1).min(6);
             rt.backoff_until = now + interval * (1u64 << rt.backoff_exp);
@@ -711,7 +742,10 @@ impl Engine {
         req: Request,
         queue: &mut EventQueue<Event>,
     ) {
-        let rt = self.pods.get_mut(&pod).expect("assigning to a live pod");
+        let Some(rt) = self.pods.get_mut(&pod) else {
+            debug_assert!(false, "assigning to a live pod");
+            return;
+        };
         debug_assert!(rt.active.is_none(), "pod {pod:?} already busy");
         let model = Arc::clone(&self.funcs[&rt.func].model);
         rt.active = Some(ActiveReq {
@@ -728,8 +762,14 @@ impl Engine {
     /// Advances a pod's inference cursor to its next blocking operation
     /// (the cursor itself skips empty phases).
     fn step_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
-        let rt = self.pods.get_mut(&pod).expect("stepping a live pod");
-        let active = rt.active.as_mut().expect("stepping requires a request");
+        let Some(rt) = self.pods.get_mut(&pod) else {
+            debug_assert!(false, "stepping a live pod");
+            return;
+        };
+        let Some(active) = rt.active.as_mut() else {
+            debug_assert!(false, "stepping requires a request");
+            return;
+        };
         match active.run.advance() {
             Op::Host(d) => {
                 queue.schedule(now + d, Event::HostDone(pod));
@@ -746,7 +786,10 @@ impl Engine {
 
     fn try_start_burst(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
         let node = self.pods[&pod].node;
-        let backend = self.backends.get_mut(&node).expect("backend per node");
+        let Some(backend) = self.backends.get_mut(&node) else {
+            debug_assert!(false, "backend per node");
+            return;
+        };
         let Ok((outcome, side_grants)) = backend.request(now, pod) else {
             // The pod's backend row is gone (crash teardown raced this
             // burst); the pod itself is being destroyed, so do nothing.
@@ -761,11 +804,11 @@ impl Engine {
                 self.launch_burst(now, pod, queue);
             }
             RequestOutcome::Queued | RequestOutcome::BlockedUntilReset => {
-                let rt = self.pods.get_mut(&pod).expect("pod exists");
-                rt.active
-                    .as_mut()
-                    .expect("burst belongs to a request")
-                    .waiting_token = true;
+                if let Some(active) = self.pods.get_mut(&pod).and_then(|rt| rt.active.as_mut()) {
+                    active.waiting_token = true;
+                } else {
+                    debug_assert!(false, "burst belongs to a request");
+                }
             }
         }
         // Capacity released by this request may have admitted other pods.
@@ -774,37 +817,52 @@ impl Engine {
 
     fn launch_burst(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
         let node = self.pods[&pod].node;
-        if self
-            .backends
-            .get_mut(&node)
-            .expect("backend per node")
-            .begin_burst(pod)
-            .is_err()
-        {
+        let Some(backend) = self.backends.get_mut(&node) else {
+            debug_assert!(false, "backend per node");
+            return;
+        };
+        if backend.begin_burst(pod).is_err() {
             // Crash teardown raced the grant; the pod is being destroyed.
             return;
         }
-        let rt = self.pods.get_mut(&pod).expect("pod exists");
-        let active = rt.active.as_mut().expect("burst belongs to a request");
+        let Some(rt) = self.pods.get_mut(&pod) else {
+            debug_assert!(false, "pod exists");
+            return;
+        };
+        let Some(active) = rt.active.as_mut() else {
+            debug_assert!(false, "burst belongs to a request");
+            return;
+        };
         active.waiting_token = false;
         let burst = std::mem::take(&mut active.pending_burst);
         debug_assert!(!burst.is_empty(), "launching an empty burst");
         active.outstanding = burst.len();
         active.burst_gpu_time = SimTime::ZERO;
-        let client = self.cluster.pod(pod).expect("pod in cluster").client;
-        let gpu = &mut self
-            .cluster
-            .node_mut(node)
-            .expect("node exists")
-            .gpu;
+        let Ok(client) = self.cluster.pod(pod).map(|p| p.client) else {
+            debug_assert!(false, "pod in cluster");
+            return;
+        };
+        let Ok(node_rt) = self.cluster.node_mut(node) else {
+            debug_assert!(false, "node exists");
+            return;
+        };
+        let gpu = &mut node_rt.gpu;
         for k in burst {
             let desc = KernelDesc {
                 blocks: k.blocks,
                 work_per_block: k.work_per_block,
                 tag: pod.0,
             };
-            if let Some(start) = gpu.launch(now, client, desc).expect("registered client") {
-                queue.schedule(start.finish_at, Event::KernelFinish(node, start.kernel));
+            match gpu.launch(now, client, desc) {
+                Ok(Some(start)) => {
+                    queue.schedule(start.finish_at, Event::KernelFinish(node, start.kernel));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // An unlaunchable kernel (client torn down mid-grant)
+                    // is dropped instead of crashing the whole run.
+                    debug_assert!(false, "kernel launch failed: {e}");
+                }
             }
         }
     }
@@ -821,12 +879,17 @@ impl Engine {
         if matches!(self.cluster.node_state(node), Ok(NodeState::Down)) {
             return;
         }
-        let gpu = &mut self
-            .cluster
-            .node_mut(node)
-            .expect("node exists")
-            .gpu;
-        let (done, started) = gpu.on_kernel_finish(now, kernel);
+        let Ok(node_rt) = self.cluster.node_mut(node) else {
+            debug_assert!(false, "node exists");
+            return;
+        };
+        let gpu = &mut node_rt.gpu;
+        // A kernel the device no longer knows (double finish, or a stale
+        // event surviving a hard reset) is dropped: the typed error says
+        // there is nothing left to account for.
+        let Ok((done, started)) = gpu.on_kernel_finish(now, kernel) else {
+            return;
+        };
         for s in started {
             queue.schedule(s.finish_at, Event::KernelFinish(node, s.kernel));
         }
@@ -847,18 +910,21 @@ impl Engine {
             }
             return;
         }
-        let active = rt.active.as_mut().expect("kernel belongs to a request");
+        let Some(active) = rt.active.as_mut() else {
+            debug_assert!(false, "kernel belongs to a request");
+            return;
+        };
         active.burst_gpu_time += done.gpu_time;
         active.outstanding -= 1;
         if active.outstanding == 0 {
             // Synchronization point: report usage, maybe lose the lease.
             let gpu_time = active.burst_gpu_time;
-            if let Ok(out) = self
+            let sync = self
                 .backends
                 .get_mut(&node)
-                .expect("backend per node")
-                .sync_point(now, pod, gpu_time)
-            {
+                .map(|b| b.sync_point(now, pod, gpu_time));
+            debug_assert!(sync.is_some(), "backend per node");
+            if let Some(Ok(out)) = sync {
                 self.process_grants(now, &out.granted, queue);
             }
             self.step_pod(now, pod, queue);
@@ -866,23 +932,34 @@ impl Engine {
     }
 
     fn complete_request(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
-        let rt = self.pods.get_mut(&pod).expect("completing on a live pod");
-        let active = rt.active.take().expect("completing a request");
+        let Some(rt) = self.pods.get_mut(&pod) else {
+            debug_assert!(false, "completing on a live pod");
+            return;
+        };
+        let Some(active) = rt.active.take() else {
+            debug_assert!(false, "completing a request");
+            return;
+        };
         let func = rt.func;
         let node = rt.node;
         let latency = now - active.req.arrived;
-        let frt = self.funcs.get_mut(&func).expect("function exists");
+        let Some(frt) = self.funcs.get_mut(&func) else {
+            debug_assert!(false, "function exists");
+            return;
+        };
         frt.slo.record(latency);
         frt.completions.record(now);
         let saturate = frt.saturate;
 
         // Terminating pods are deleted as soon as their request finishes.
         if self.cluster.pod(pod).map(|p| p.state) == Ok(PodState::Terminating) {
-            let grants = self
-                .backends
-                .get_mut(&node)
-                .expect("backend per node")
-                .release_idle(now, pod);
+            let grants = match self.backends.get_mut(&node) {
+                Some(b) => b.release_idle(now, pod),
+                None => {
+                    debug_assert!(false, "backend per node");
+                    Vec::new()
+                }
+            };
             self.process_grants(now, &grants, queue);
             self.delete_pod(now, pod, queue);
             return;
@@ -895,11 +972,13 @@ impl Engine {
                 self.assign_request(now, pod, req, queue);
             }
             None => {
-                let grants = self
-                    .backends
-                    .get_mut(&node)
-                    .expect("backend per node")
-                    .release_idle(now, pod);
+                let grants = match self.backends.get_mut(&node) {
+                    Some(b) => b.release_idle(now, pod),
+                    None => {
+                        debug_assert!(false, "backend per node");
+                        Vec::new()
+                    }
+                };
                 self.process_grants(now, &grants, queue);
             }
         }
@@ -928,19 +1007,22 @@ impl Engine {
         if matches!(self.cluster.node_state(node), Ok(NodeState::Down)) {
             return;
         }
-        let grants = self
-            .backends
-            .get_mut(&node)
-            .expect("backend per node")
-            .on_window_reset(now);
+        let grants = match self.backends.get_mut(&node) {
+            Some(b) => b.on_window_reset(now),
+            None => {
+                debug_assert!(false, "backend per node");
+                Vec::new()
+            }
+        };
         self.process_grants(now, &grants, queue);
         queue.schedule(now + self.cfg.window, Event::WindowReset(node));
     }
 
     fn on_metrics_sample(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
         for node in self.cluster.node_ids() {
-            let gpu = &mut self.cluster.node_mut(node).expect("node exists").gpu;
-            gpu.metrics_mut().sample(now);
+            if let Ok(n) = self.cluster.node_mut(node) {
+                n.gpu.metrics_mut().sample(now);
+            }
         }
         let counts: Vec<(FuncId, usize)> = self
             .funcs
@@ -948,11 +1030,9 @@ impl Engine {
             .map(|&f| (f, self.cluster.running_pods_of(f).len()))
             .collect();
         for (f, n) in counts {
-            self.funcs
-                .get_mut(&f)
-                .expect("function exists")
-                .replica_series
-                .push(now, n as f64);
+            if let Some(rt) = self.funcs.get_mut(&f) {
+                rt.replica_series.push(now, n as f64);
+            }
         }
         queue.schedule(now + self.cfg.sample_interval, Event::MetricsSample);
     }
@@ -1018,10 +1098,9 @@ impl Engine {
                     let spec = ResourceSpec::new(p.sm, p.quota, 1.0, mem);
                     // Placement failure is counted inside create_pod.
                     if self.create_pod(now, func, spec, queue).is_ok() {
-                        self.funcs
-                            .get_mut(&func)
-                            .expect("function exists")
-                            .desired_replicas += 1;
+                        if let Some(rt) = self.funcs.get_mut(&func) {
+                            rt.desired_replicas += 1;
+                        }
                     }
                 }
                 ScaleAction::Down(pod) => {
@@ -1029,8 +1108,9 @@ impl Engine {
                         self.drain_pod(now, pod, queue);
                         remaining -= 1;
                         let min = self.cfg.min_replicas;
-                        let rt = self.funcs.get_mut(&func).expect("function exists");
-                        rt.desired_replicas = rt.desired_replicas.saturating_sub(1).max(min);
+                        if let Some(rt) = self.funcs.get_mut(&func) {
+                            rt.desired_replicas = rt.desired_replicas.saturating_sub(1).max(min);
+                        }
                     }
                 }
             }
@@ -1042,8 +1122,9 @@ impl Engine {
     fn build_report(&mut self, now: SimTime) -> PlatformReport {
         // Flush a final metric sample so short runs have data.
         for node in self.cluster.node_ids() {
-            let gpu = &mut self.cluster.node_mut(node).expect("node exists").gpu;
-            gpu.metrics_mut().sample(now);
+            if let Ok(n) = self.cluster.node_mut(node) {
+                n.gpu.metrics_mut().sample(now);
+            }
         }
         let warmup = self.cfg.warmup;
         let mut functions = BTreeMap::new();
@@ -1075,7 +1156,9 @@ impl Engine {
         }
         let mut nodes = Vec::new();
         for id in self.cluster.node_ids() {
-            let node = self.cluster.node(id).expect("node exists");
+            let Ok(node) = self.cluster.node(id) else {
+                continue;
+            };
             let m = node.gpu.metrics();
             let series_mean = |s: &TimeSeries| {
                 let vals: Vec<f64> = s
@@ -1152,7 +1235,9 @@ impl Platform {
     /// server. Metric sampling and (for token policies) quota windows are
     /// armed immediately.
     pub fn new(cfg: PlatformConfig) -> Self {
-        assert!(
+        // A node-less platform is a configuration bug worth failing fast
+        // on at construction, before any simulation state exists.
+        assert!( // fastg-lint: allow(no-panic-in-lib)
             !cfg.effective_gpus().is_empty(),
             "a platform needs at least one node"
         );
@@ -1171,7 +1256,7 @@ impl Platform {
             queue.schedule(sample, Event::MetricsSample);
             if let Some(plan) = &world.cfg.fault_plan {
                 for (i, e) in plan.events().iter().enumerate() {
-                    queue.schedule(e.at, Event::Fault(i as u32));
+                    queue.schedule(e.at, Event::Fault(i));
                 }
             }
             if world.cfg.recovery {
@@ -1194,11 +1279,11 @@ impl Platform {
         if let Some(t) = load.next_after(now) {
             queue.schedule(t, Event::Arrival(func));
         }
-        world
-            .funcs
-            .get_mut(&func)
-            .expect("unknown function")
-            .load = Some(load);
+        if let Some(rt) = world.funcs.get_mut(&func) {
+            rt.load = Some(load);
+        } else {
+            debug_assert!(false, "unknown function");
+        }
     }
 
     /// Enables the auto-scaler with the given profile database.
@@ -1371,10 +1456,8 @@ impl Platform {
     /// Device memory in use on a node (bytes).
     pub fn node_memory_used(&self, node_index: usize) -> u64 {
         let ids = self.sim.world().cluster.node_ids();
-        self.sim
-            .world()
-            .cluster
-            .node(ids[node_index])
+        ids.get(node_index)
+            .and_then(|&n| self.sim.world().cluster.node(n).ok())
             .map(|n| n.gpu.memory().used())
             .unwrap_or(0)
     }

@@ -25,27 +25,27 @@ pub enum FaultKind {
     PodCrash {
         /// Index into deploy order, taken modulo the number of deployed
         /// functions at injection time.
-        func_index: u32,
+        func_index: usize,
     },
     /// Power-fail a node: every pod on it dies immediately, in-flight
     /// kernels abort, the MPS server and rectangle bindings are torn down
     /// and device memory returns. Node crashes are permanent for the run.
     NodeCrash {
         /// Index into the node list, taken modulo the number of nodes.
-        node_index: u32,
+        node_index: usize,
     },
     /// Degrade a node (thermal-throttling analogue): kernels *started*
     /// there from now on take `factor ×` their nominal duration.
     NodeDegrade {
         /// Index into the node list, taken modulo the number of nodes.
-        node_index: u32,
+        node_index: usize,
         /// Kernel-duration multiplier, > 1.0 for a slowdown.
         factor: f64,
     },
     /// Restore a degraded node to full clock speed.
     NodeRecover {
         /// Index into the node list, taken modulo the number of nodes.
-        node_index: u32,
+        node_index: usize,
     },
 }
 
@@ -116,7 +116,7 @@ impl FaultPlan {
         for _ in 0..n {
             let at = SimTime::from_micros(rng.gen_range(1..span));
             let roll: f64 = rng.gen_range(0.0..1.0);
-            let target = rng.gen_range(0u32..64);
+            let target = rng.gen_range(0usize..64);
             let kind = if roll < 0.45 {
                 FaultKind::PodCrash { func_index: target }
             } else if roll < 0.60 {

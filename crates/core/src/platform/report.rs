@@ -164,6 +164,85 @@ impl PlatformReport {
         }
         s
     }
+
+    /// A canonical, lossless rendering of every field — floats via their
+    /// bit patterns, series sample by sample — used for determinism
+    /// regression testing: two runs of the same configuration and seed
+    /// must produce the identical string, byte for byte.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let f64b = |v: f64| v.to_bits();
+        let series = |s: &mut String, ts: &TimeSeries| {
+            for &(t, v) in ts.points() {
+                let _ = write!(s, " {}:{:016x}", t.as_micros(), v.to_bits());
+            }
+        };
+        let _ = writeln!(
+            s,
+            "run duration={} warmup={} unschedulable={} faults={}",
+            self.duration.as_micros(),
+            self.warmup.as_micros(),
+            self.unschedulable_pods,
+            self.faults_injected,
+        );
+        for (id, f) in &self.functions {
+            let _ = write!(
+                s,
+                "fn {id:?} name={} model={} arr={} done={} drop={} rps={:016x} \
+                 p50={} p95={} p99={} max={} mean={} slo={} viol={} ratio={:016x} reps={}",
+                f.name,
+                f.model,
+                f.arrivals,
+                f.completed,
+                f.dropped,
+                f64b(f.throughput_rps),
+                f.p50.as_micros(),
+                f.p95.as_micros(),
+                f.p99.as_micros(),
+                f.max_latency.as_micros(),
+                f.mean_latency.as_micros(),
+                f.slo.as_micros(),
+                f.slo_violations,
+                f64b(f.violation_ratio),
+                f.replicas,
+            );
+            for ttr in &f.time_to_recovery {
+                let _ = write!(s, " ttr={}", ttr.as_micros());
+            }
+            series(&mut s, &f.replica_series);
+            s.push('\n');
+        }
+        for n in &self.nodes {
+            let _ = write!(
+                s,
+                "node {} gpu={} util={:016x} occ={:016x} kernels={} pods={} up={} mem={}",
+                n.name,
+                n.gpu,
+                f64b(n.utilization),
+                f64b(n.sm_occupancy),
+                n.kernels,
+                n.pods,
+                n.up,
+                n.memory_used,
+            );
+            series(&mut s, &n.utilization_series);
+            series(&mut s, &n.occupancy_series);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// FNV-1a digest of [`Self::canonical_text`]: a compact fingerprint
+    /// for byte-identical replay checks.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.canonical_text().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

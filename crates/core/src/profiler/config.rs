@@ -64,8 +64,10 @@ impl ConfigServer {
                 let mut out = Vec::with_capacity(spatial.len() * temporal.len());
                 for &s in spatial {
                     for &q in temporal {
-                        assert!(s > 0.0 && s <= 100.0, "spatial point {s} out of range");
-                        assert!(q > 0.0 && q <= 1.0, "temporal point {q} out of range");
+                        debug_assert!(s > 0.0 && s <= 100.0, "spatial point {s} out of range");
+                        debug_assert!(q > 0.0 && q <= 1.0, "temporal point {q} out of range");
+                        let s = s.clamp(f64::MIN_POSITIVE, 100.0);
+                        let q = q.clamp(f64::MIN_POSITIVE, 1.0);
                         out.push((s, q));
                     }
                 }

@@ -108,7 +108,7 @@ impl ProfileDb {
                     let dq = (k.quota() - quota) * 100.0;
                     ds * ds + dq * dq
                 };
-                d(a).partial_cmp(&d(b)).unwrap()
+                d(a).partial_cmp(&d(b)).unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(_, r)| r.rps)
     }

@@ -111,7 +111,8 @@ impl Experiment {
         db: &mut ProfileDb,
         threads: usize,
     ) -> Result<Vec<TrialResult>, String> {
-        assert!(threads > 0, "zero worker threads");
+        debug_assert!(threads > 0, "zero worker threads");
+        let threads = threads.max(1);
         let points = self.server.sample();
         let mut results: Vec<Option<Result<TrialResult, String>>> = Vec::new();
         results.resize_with(points.len(), || None);
@@ -126,16 +127,20 @@ impl Experiment {
                         break;
                     };
                     let r = self.run_trial(sm, quota);
-                    *slots[i].lock().expect("slot lock") = Some(r);
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(r);
+                    }
                 });
             }
         });
         for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner().expect("slot lock");
+            results[i] = slot.into_inner().unwrap_or(None);
         }
         let mut out = Vec::with_capacity(points.len());
         for r in results {
-            let trial = r.expect("every trial ran")?;
+            // A missing slot means a worker died (poisoned lock): surface
+            // it as a trial error instead of panicking the whole search.
+            let trial = r.ok_or("profiling trial did not complete")??;
             db.insert(&self.model, trial.key, trial.record);
             out.push(trial);
         }

@@ -58,7 +58,11 @@ impl SuccessiveHalving {
 
     /// Searches over an explicit candidate list.
     pub fn over(model: &str, candidates: Vec<(f64, f64)>) -> Self {
-        assert!(!candidates.is_empty(), "no candidates");
+        debug_assert!(!candidates.is_empty(), "no candidates");
+        let mut candidates = candidates;
+        if candidates.is_empty() {
+            candidates.push((100.0, 1.0));
+        }
         SuccessiveHalving {
             model: model.to_string(),
             candidates,
@@ -72,7 +76,8 @@ impl SuccessiveHalving {
     /// (later rounds overwrite earlier, cheaper measurements of the same
     /// key), and the winner is returned.
     pub fn run(&self, db: &mut ProfileDb) -> Result<SearchResult, String> {
-        assert!(self.eta >= 2, "eta must halve at least");
+        debug_assert!(self.eta >= 2, "eta must halve at least");
+        let eta = self.eta.max(2);
         let mut pool = self.candidates.clone();
         let mut duration = self.base_trial;
         let mut trials = 0usize;
@@ -96,10 +101,10 @@ impl SuccessiveHalving {
             // Keep the top 1/eta (at least one), deterministic ties.
             scored.sort_by(|a, b| {
                 b.1.partial_cmp(&a.1)
-                    .unwrap()
-                    .then(a.0.partial_cmp(&b.0).unwrap())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
             });
-            let keep = (pool.len() / self.eta).max(1);
+            let keep = (pool.len() / eta).max(1);
             pool = scored.into_iter().take(keep).map(|(c, _)| c).collect();
             duration = duration * 2;
         }
@@ -149,7 +154,7 @@ pub fn predict_rps(db: &ProfileDb, func: &str, sm: f64, quota: f64) -> Option<f6
             ((ds * ds + dq * dq).sqrt(), r.rps)
         })
         .collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let k = scored.len().min(4);
     let mut num = 0.0;
     let mut den = 0.0;

@@ -127,8 +127,11 @@ impl GpuRects {
         restructure_threshold: usize,
         fit_rule: FitRule,
     ) -> Self {
-        assert!(width > 0 && height > 0, "degenerate GPU rectangle");
-        assert!(restructure_threshold >= 1);
+        debug_assert!(width > 0 && height > 0, "degenerate GPU rectangle");
+        debug_assert!(restructure_threshold >= 1);
+        let width = width.max(1);
+        let height = height.max(1);
+        let restructure_threshold = restructure_threshold.max(1);
         GpuRects {
             width,
             height,
@@ -229,11 +232,13 @@ impl GpuRects {
     /// rectangle, or `None` when no free rectangle fits ("a new GPU
     /// required").
     pub fn place(&mut self, pod: PodId, w: u32, h: u32) -> Option<Rect> {
-        assert!(w > 0 && h > 0, "degenerate pod rectangle");
-        assert!(
-            !self.placed.contains_key(&pod),
-            "pod {pod:?} already placed on this GPU"
-        );
+        debug_assert!(w > 0 && h > 0, "degenerate pod rectangle");
+        let w = w.max(1);
+        let h = h.max(1);
+        if self.placed.contains_key(&pod) {
+            debug_assert!(false, "pod {pod:?} already placed on this GPU");
+            return None;
+        }
         let (target, _slack) = self.best_fit(w, h)?;
         // PlaceAndNewJointRect, "BottomLeft": the pod sits at the target's
         // bottom-left corner.
@@ -302,8 +307,12 @@ impl GpuRects {
                 }
             }
         }
-        let mut it = keep.iter();
-        self.free.retain(|_| *it.next().unwrap());
+        let mut idx = 0;
+        self.free.retain(|_| {
+            let kept = keep.get(idx).copied().unwrap_or(true);
+            idx += 1;
+            kept
+        });
     }
 
     /// Releases a pod's rectangle under the **keep-restructure** policy:

@@ -80,17 +80,20 @@ pub fn heuristic_scale(
         }
         // p_eff: highest RPR (ties: higher rps, then smaller area, for
         // determinism).
-        let p_eff = *profile
-            .iter()
-            .max_by(|a, b| {
-                a.rpr()
-                    .partial_cmp(&b.rpr())
-                    .unwrap()
-                    .then(a.rps.partial_cmp(&b.rps).unwrap())
-                    .then(b.quota.partial_cmp(&a.quota).unwrap())
-            })
-            .expect("non-empty profile");
-        assert!(p_eff.rps > 0.0, "profiled zero throughput for p_eff");
+        use std::cmp::Ordering;
+        let Some(&p_eff) = profile.iter().max_by(|a, b| {
+            a.rpr()
+                .partial_cmp(&b.rpr())
+                .unwrap_or(Ordering::Equal)
+                .then(a.rps.partial_cmp(&b.rps).unwrap_or(Ordering::Equal))
+                .then(b.quota.partial_cmp(&a.quota).unwrap_or(Ordering::Equal))
+        }) else {
+            return actions; // unreachable: emptiness checked above
+        };
+        debug_assert!(p_eff.rps > 0.0, "profiled zero throughput for p_eff");
+        if p_eff.rps <= 0.0 {
+            return actions;
+        }
         let n = (delta_rps / p_eff.rps).floor() as usize;
         let r = delta_rps - n as f64 * p_eff.rps;
         for _ in 0..n {
@@ -101,7 +104,11 @@ pub fn heuristic_scale(
             let p_ideal = profile
                 .iter()
                 .filter(|p| p.rps > r)
-                .min_by(|a, b| (a.rps - r).partial_cmp(&(b.rps - r)).unwrap())
+                .min_by(|a, b| {
+                    (a.rps - r)
+                        .partial_cmp(&(b.rps - r))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
                 .copied()
                 // If even the largest configuration cannot cover the
                 // residual alone (can only happen when r approaches
@@ -117,7 +124,7 @@ pub fn heuristic_scale(
             a.config
                 .rpr()
                 .partial_cmp(&b.config.rpr())
-                .unwrap()
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.pod.cmp(&b.pod))
         });
         let mut delta = delta_rps;

@@ -107,16 +107,21 @@ impl BusyTracker {
         self.active += 1;
     }
 
-    /// Marks one concurrent activity ending at `now`.
-    ///
-    /// # Panics
-    /// Panics if no activity is in progress.
+    /// Marks one concurrent activity ending at `now`. An unmatched `end`
+    /// (no activity in progress) is ignored so a stray completion event
+    /// cannot corrupt the busy accounting.
     pub fn end(&mut self, now: SimTime) {
-        assert!(self.active > 0, "BusyTracker::end with no active work");
+        debug_assert!(self.active > 0, "BusyTracker::end with no active work");
+        if self.active == 0 {
+            return;
+        }
         self.active -= 1;
         if self.active == 0 {
-            let since = self.busy_since.take().expect("busy interval open");
-            self.busy_total += now.saturating_sub(since);
+            if let Some(since) = self.busy_since.take() {
+                self.busy_total += now.saturating_sub(since);
+            } else {
+                debug_assert!(false, "busy interval open");
+            }
         }
     }
 

@@ -43,6 +43,8 @@ impl SimTime {
         if s <= 0.0 {
             SimTime::ZERO
         } else {
+            // f64→u64 `as` saturates, and the negative case is handled above.
+            // fastg-lint: allow(no-lossy-cast)
             SimTime((s * 1e6).round() as u64)
         }
     }
@@ -82,6 +84,8 @@ impl SimTime {
     #[inline]
     pub fn scale(self, factor: f64) -> SimTime {
         debug_assert!(factor >= 0.0, "negative time scale");
+        // f64→u64 `as` saturates, and the factor is asserted non-negative.
+        // fastg-lint: allow(no-lossy-cast)
         SimTime((self.0 as f64 * factor).round() as u64)
     }
 

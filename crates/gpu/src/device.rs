@@ -24,6 +24,7 @@
 //!   latency in the paper's "racing" (over-subscribed, no temporal control)
 //!   configuration.
 
+use crate::error::GpuError;
 use crate::memory::GpuMemory;
 use crate::metrics::GpuMetrics;
 use crate::mps::{MpsError, MpsMode, MpsServer};
@@ -55,7 +56,7 @@ pub struct KernelDesc {
 impl KernelDesc {
     /// Total SM-time this kernel needs regardless of how it is scheduled.
     pub fn total_work(&self) -> SimTime {
-        self.work_per_block * self.blocks as u64
+        self.work_per_block * u64::from(self.blocks)
     }
 }
 
@@ -126,7 +127,7 @@ struct ClientStream {
 ///     .expect("idle stream starts immediately");
 /// // 19 blocks on 10 SMs = 2 waves of 200 µs.
 /// assert_eq!(start.finish_at, SimTime::from_micros(400));
-/// let (done, _) = gpu.on_kernel_finish(start.finish_at, start.kernel);
+/// let (done, _) = gpu.on_kernel_finish(start.finish_at, start.kernel).unwrap();
 /// assert_eq!(done.gpu_time, SimTime::from_micros(400));
 /// ```
 #[derive(Debug)]
@@ -225,7 +226,8 @@ impl GpuDevice {
     ///
     /// [`KernelId`]s are *not* reused after a reset, so stale finish events
     /// scheduled before the crash can be recognised and dropped by the
-    /// caller ([`Self::on_kernel_finish`] would panic on them).
+    /// caller ([`Self::on_kernel_finish`] returns
+    /// [`GpuError::KernelNotResident`] for them).
     pub fn hard_reset(&mut self, now: SimTime) {
         let running = std::mem::take(&mut self.running);
         for (_, run) in running {
@@ -268,19 +270,20 @@ impl GpuDevice {
 
     /// Unregisters a client.
     ///
-    /// # Panics
-    /// Panics if the client still has queued or resident kernels; the
-    /// caller (pod teardown) must drain first.
-    pub fn unregister_client(&mut self, client: ClientId) -> Result<(), MpsError> {
+    /// # Errors
+    /// [`GpuError::WorkInFlight`] if the client still has queued or
+    /// resident kernels — the caller (pod teardown) must drain first; the
+    /// client stays registered.
+    pub fn unregister_client(&mut self, client: ClientId) -> Result<(), GpuError> {
         if let Some(s) = self.streams.get(&client) {
-            assert!(
-                s.queued.is_empty() && s.running.is_none(),
-                "unregistering MPS client {client:?} with work in flight"
-            );
+            if !s.queued.is_empty() || s.running.is_some() {
+                return Err(GpuError::WorkInFlight(client));
+            }
         }
         self.streams.remove(&client);
         self.wait_queue.retain(|&c| c != client);
-        self.mps.unregister(client)
+        self.mps.unregister(client)?;
+        Ok(())
     }
 
     /// Launches a kernel into `client`'s stream at time `now`. If the stream
@@ -291,20 +294,19 @@ impl GpuDevice {
         now: SimTime,
         client: ClientId,
         desc: KernelDesc,
-    ) -> Result<Option<KernelStart>, MpsError> {
+    ) -> Result<Option<KernelStart>, GpuError> {
         if !self.mps.is_registered(client) {
-            return Err(MpsError::UnknownClient(client));
+            return Err(GpuError::Mps(MpsError::UnknownClient(client)));
         }
-        let stream = self
-            .streams
-            .get_mut(&client)
-            .expect("registered client has a stream");
+        let Some(stream) = self.streams.get_mut(&client) else {
+            debug_assert!(false, "registered client {client:?} has no stream");
+            return Err(GpuError::MissingStream(client));
+        };
         stream.queued.push_back(desc);
         if stream.running.is_none() && !stream.waiting {
             if self.free_sms > 0 {
-                return Ok(Some(self.start_head(now, client)));
+                return self.start_head(now, client).map(Some);
             }
-            let stream = self.streams.get_mut(&client).expect("stream");
             stream.waiting = true;
             self.wait_queue.push_back(client);
         }
@@ -315,13 +317,19 @@ impl GpuDevice {
     /// any kernels that became resident because SMs (or the stream) freed
     /// up.
     ///
-    /// # Panics
-    /// Panics if `kernel` is not resident (e.g. completed twice).
-    pub fn on_kernel_finish(&mut self, now: SimTime, kernel: KernelId) -> (KernelDone, Vec<KernelStart>) {
+    /// # Errors
+    /// [`GpuError::KernelNotResident`] if `kernel` is not resident (e.g.
+    /// completed twice, or a stale event from before a hard reset); the
+    /// device state is unchanged.
+    pub fn on_kernel_finish(
+        &mut self,
+        now: SimTime,
+        kernel: KernelId,
+    ) -> Result<(KernelDone, Vec<KernelStart>), GpuError> {
         let run = self
             .running
             .remove(&kernel)
-            .unwrap_or_else(|| panic!("kernel {kernel:?} is not resident"));
+            .ok_or(GpuError::KernelNotResident(kernel))?;
         self.free_sms += run.granted;
         debug_assert!(self.free_sms <= self.spec.sm_count);
         let gpu_time = now - run.started;
@@ -337,11 +345,14 @@ impl GpuDevice {
 
         // The owner's stream is now idle; if it has queued work it joins the
         // back of the wait queue (round-robin fairness across clients).
-        let stream = self.streams.get_mut(&run.client).expect("stream");
-        stream.running = None;
-        if !stream.queued.is_empty() && !stream.waiting {
-            stream.waiting = true;
-            self.wait_queue.push_back(run.client);
+        if let Some(stream) = self.streams.get_mut(&run.client) {
+            stream.running = None;
+            if !stream.queued.is_empty() && !stream.waiting {
+                stream.waiting = true;
+                self.wait_queue.push_back(run.client);
+            }
+        } else {
+            debug_assert!(false, "resident kernel's client {:?} has no stream", run.client);
         }
 
         // Admit waiting clients while SMs remain.
@@ -350,27 +361,42 @@ impl GpuDevice {
             let Some(client) = self.wait_queue.pop_front() else {
                 break;
             };
-            let stream = self.streams.get_mut(&client).expect("stream");
+            let Some(stream) = self.streams.get_mut(&client) else {
+                debug_assert!(false, "waiting client {client:?} has no stream");
+                continue;
+            };
             stream.waiting = false;
             if stream.queued.is_empty() || stream.running.is_some() {
                 continue;
             }
-            started.push(self.start_head(now, client));
+            started.push(self.start_head(now, client)?);
         }
-        (done, started)
+        Ok((done, started))
     }
 
     /// Starts the head kernel of `client`'s stream. Caller guarantees the
-    /// stream is non-empty, not running, and `free_sms > 0`.
-    fn start_head(&mut self, now: SimTime, client: ClientId) -> KernelStart {
-        let cap = self.mps.sm_cap(client).expect("registered client");
-        let stream = self.streams.get_mut(&client).expect("stream");
-        let desc = stream.queued.pop_front().expect("non-empty stream");
+    /// stream is non-empty, not running, and `free_sms > 0`; a broken
+    /// precondition surfaces as [`GpuError::MissingStream`].
+    fn start_head(&mut self, now: SimTime, client: ClientId) -> Result<KernelStart, GpuError> {
+        let Ok(cap) = self.mps.sm_cap(client) else {
+            debug_assert!(false, "start_head on unregistered client {client:?}");
+            return Err(GpuError::Mps(MpsError::UnknownClient(client)));
+        };
+        let Some(desc) = self
+            .streams
+            .get_mut(&client)
+            .and_then(|s| s.queued.pop_front())
+        else {
+            debug_assert!(false, "start_head on empty stream for {client:?}");
+            return Err(GpuError::MissingStream(client));
+        };
         let granted = cap.min(desc.blocks.max(1)).min(self.free_sms);
         debug_assert!(granted >= 1);
-        let waves = desc.blocks.max(1).div_ceil(granted) as u64;
+        let waves = u64::from(desc.blocks.max(1).div_ceil(granted));
         let nominal = desc.work_per_block * waves;
-        let duration = if self.clock_scale == 1.0 {
+        // `clock_scale` is only ever assigned exact values (1.0 or a
+        // caller-provided factor), so a tight epsilon test is safe here.
+        let duration = if (self.clock_scale - 1.0).abs() < f64::EPSILON {
             nominal
         } else {
             nominal.scale(self.clock_scale)
@@ -378,7 +404,9 @@ impl GpuDevice {
         let id = KernelId(self.next_kernel);
         self.next_kernel += 1;
         self.free_sms -= granted;
-        stream.running = Some(id);
+        if let Some(stream) = self.streams.get_mut(&client) {
+            stream.running = Some(id);
+        }
         self.running.insert(
             id,
             Running {
@@ -389,14 +417,14 @@ impl GpuDevice {
             },
         );
         self.metrics.kernel_started(now, granted);
-        KernelStart {
+        Ok(KernelStart {
             kernel: id,
             client,
             tag: desc.tag,
             granted_sms: granted,
             started: now,
             finish_at: now + duration,
-        }
+        })
     }
 }
 
@@ -427,7 +455,7 @@ mod tests {
         assert_eq!(start.granted_sms, 20); // blocks bound the grant
         assert_eq!(start.finish_at, SimTime::from_micros(10)); // one wave
         assert_eq!(gpu.free_sms(), 60);
-        let (done, next) = gpu.on_kernel_finish(start.finish_at, start.kernel);
+        let (done, next) = gpu.on_kernel_finish(start.finish_at, start.kernel).unwrap();
         assert_eq!(done.gpu_time, SimTime::from_micros(10));
         assert!(next.is_empty());
         assert_eq!(gpu.free_sms(), 80);
@@ -450,7 +478,7 @@ mod tests {
         let s1 = gpu.launch(SimTime::ZERO, c, kernel(10, 10)).unwrap().unwrap();
         // Second launch queues behind the first.
         assert!(gpu.launch(SimTime::ZERO, c, kernel(10, 10)).unwrap().is_none());
-        let (_, started) = gpu.on_kernel_finish(s1.finish_at, s1.kernel);
+        let (_, started) = gpu.on_kernel_finish(s1.finish_at, s1.kernel).unwrap();
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].started, SimTime::from_micros(10));
         assert_eq!(started[0].finish_at, SimTime::from_micros(20));
@@ -480,11 +508,11 @@ mod tests {
         // b and c wait: no SMs free.
         assert!(gpu.launch(SimTime::ZERO, b, kernel(80, 10)).unwrap().is_none());
         assert!(gpu.launch(SimTime::ZERO, c, kernel(80, 10)).unwrap().is_none());
-        let (_, started) = gpu.on_kernel_finish(sa.finish_at, sa.kernel);
+        let (_, started) = gpu.on_kernel_finish(sa.finish_at, sa.kernel).unwrap();
         // b arrived first; it takes everything, c keeps waiting.
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].client, b);
-        let (_, started) = gpu.on_kernel_finish(started[0].finish_at, started[0].kernel);
+        let (_, started) = gpu.on_kernel_finish(started[0].finish_at, started[0].kernel).unwrap();
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].client, c);
     }
@@ -511,10 +539,10 @@ mod tests {
         // Both clients have another kernel queued.
         assert!(gpu.launch(SimTime::ZERO, a, kernel(1, 10)).unwrap().is_none());
         assert!(gpu.launch(SimTime::ZERO, b, kernel(1, 10)).unwrap().is_none());
-        let (_, next) = gpu.on_kernel_finish(s.finish_at, s.kernel);
+        let (_, next) = gpu.on_kernel_finish(s.finish_at, s.kernel).unwrap();
         // b was enqueued to the wait queue before a finished -> b runs next.
         assert_eq!(next[0].client, b);
-        let (_, next) = gpu.on_kernel_finish(next[0].finish_at, next[0].kernel);
+        let (_, next) = gpu.on_kernel_finish(next[0].finish_at, next[0].kernel).unwrap();
         assert_eq!(next[0].client, a);
     }
 
@@ -523,7 +551,7 @@ mod tests {
         let mut gpu = v100();
         let c = gpu.register_client(50.0).unwrap();
         let s = gpu.launch(SimTime::ZERO, c, kernel(40, 1000)).unwrap().unwrap();
-        gpu.on_kernel_finish(s.finish_at, s.kernel);
+        gpu.on_kernel_finish(s.finish_at, s.kernel).unwrap();
         let stats = gpu.metrics().window_stats(SimTime::from_micros(2000));
         // 40 SMs busy for 1000us of a 2000us window = 25 % occupancy.
         assert!((stats.sm_occupancy - 0.25).abs() < 1e-9);
@@ -539,22 +567,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not resident")]
-    fn double_finish_panics() {
+    fn double_finish_is_a_typed_error() {
         let mut gpu = v100();
         let c = gpu.register_client(100.0).unwrap();
         let s = gpu.launch(SimTime::ZERO, c, kernel(1, 1)).unwrap().unwrap();
-        gpu.on_kernel_finish(s.finish_at, s.kernel);
-        gpu.on_kernel_finish(s.finish_at, s.kernel);
+        gpu.on_kernel_finish(s.finish_at, s.kernel).unwrap();
+        let err = gpu.on_kernel_finish(s.finish_at, s.kernel);
+        assert_eq!(err.unwrap_err(), GpuError::KernelNotResident(s.kernel));
+        // The device stays usable after the bad completion.
+        assert_eq!(gpu.free_sms(), gpu.spec().sm_count);
     }
 
     #[test]
-    #[should_panic(expected = "work in flight")]
-    fn unregister_with_resident_kernel_panics() {
+    fn unregister_with_resident_kernel_is_a_typed_error() {
         let mut gpu = v100();
         let c = gpu.register_client(100.0).unwrap();
-        gpu.launch(SimTime::ZERO, c, kernel(1, 1)).unwrap();
-        let _ = gpu.unregister_client(c);
+        let s = gpu.launch(SimTime::ZERO, c, kernel(1, 1)).unwrap().unwrap();
+        let err = gpu.unregister_client(c);
+        assert_eq!(err.unwrap_err(), GpuError::WorkInFlight(c));
+        // The client is untouched: drain and retry succeeds.
+        gpu.on_kernel_finish(s.finish_at, s.kernel).unwrap();
+        gpu.unregister_client(c).unwrap();
     }
 
     #[test]
@@ -562,7 +595,7 @@ mod tests {
         let mut gpu = v100();
         let c = gpu.register_client(100.0).unwrap();
         let s = gpu.launch(SimTime::ZERO, c, kernel(1, 1)).unwrap().unwrap();
-        gpu.on_kernel_finish(s.finish_at, s.kernel);
+        gpu.on_kernel_finish(s.finish_at, s.kernel).unwrap();
         gpu.unregister_client(c).unwrap();
         assert_eq!(gpu.mps().client_count(), 0);
     }
@@ -577,10 +610,10 @@ mod tests {
         assert_eq!(gpu.clock_scale(), 2.0);
         // Queued behind s1; starts at s1's finish with the degraded clock.
         assert!(gpu.launch(SimTime::ZERO, c, kernel(20, 10)).unwrap().is_none());
-        let (_, started) = gpu.on_kernel_finish(s1.finish_at, s1.kernel);
+        let (_, started) = gpu.on_kernel_finish(s1.finish_at, s1.kernel).unwrap();
         assert_eq!(started[0].finish_at - started[0].started, SimTime::from_micros(20));
         gpu.set_clock_scale(1.0);
-        let (_, _) = gpu.on_kernel_finish(started[0].finish_at, started[0].kernel);
+        let (_, _) = gpu.on_kernel_finish(started[0].finish_at, started[0].kernel).unwrap();
         let s3 = gpu
             .launch(SimTime::from_micros(100), c, kernel(20, 10))
             .unwrap()

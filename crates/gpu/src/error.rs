@@ -1,0 +1,60 @@
+//! The device-level error type: every fallible [`crate::GpuDevice`]
+//! operation returns a [`GpuError`] instead of panicking, so a bad request
+//! reaching the device mid-chaos-plan surfaces as a typed result the
+//! platform can degrade on rather than a crash of the whole run.
+
+use crate::device::KernelId;
+use crate::memory::MemError;
+use crate::mps::{ClientId, MpsError};
+use std::fmt;
+
+/// Any error a [`crate::GpuDevice`] operation can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// MPS client registry rejected the operation.
+    Mps(MpsError),
+    /// Device memory allocator rejected the operation.
+    Mem(MemError),
+    /// The kernel id is not resident — completed twice, or a stale finish
+    /// event from before a [`crate::GpuDevice::hard_reset`].
+    KernelNotResident(KernelId),
+    /// A client was unregistered while it still had queued or resident
+    /// kernels; the caller (pod teardown) must drain first.
+    WorkInFlight(ClientId),
+    /// The client is registered with MPS but has no stream — an internal
+    /// bookkeeping inconsistency that callers should treat as fatal for
+    /// the device.
+    MissingStream(ClientId),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::Mps(e) => write!(f, "MPS: {e}"),
+            GpuError::Mem(e) => write!(f, "device memory: {e}"),
+            GpuError::KernelNotResident(k) => {
+                write!(f, "kernel {k:?} is not resident (double finish or stale event)")
+            }
+            GpuError::WorkInFlight(c) => {
+                write!(f, "MPS client {c:?} still has queued or resident kernels")
+            }
+            GpuError::MissingStream(c) => {
+                write!(f, "MPS client {c:?} has no stream (device state inconsistent)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+impl From<MpsError> for GpuError {
+    fn from(e: MpsError) -> Self {
+        GpuError::Mps(e)
+    }
+}
+
+impl From<MemError> for GpuError {
+    fn from(e: MemError) -> Self {
+        GpuError::Mem(e)
+    }
+}

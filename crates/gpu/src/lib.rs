@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod error;
 pub mod memory;
 pub mod metrics;
 pub mod mig;
@@ -40,6 +41,7 @@ pub mod mps;
 pub mod spec;
 
 pub use device::{ClientId, GpuDevice, KernelDesc, KernelDone, KernelId, KernelStart};
+pub use error::GpuError;
 pub use memory::{DevicePtr, GpuMemory, IpcHandle, MemError};
 pub use mig::{MigConfig, MigError, MigProfile};
 pub use mps::{MpsError, MpsMode, MpsServer};

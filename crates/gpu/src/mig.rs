@@ -143,14 +143,14 @@ impl MigConfig {
     /// memory slice.
     pub fn instances(&self) -> Vec<GpuSpec> {
         let sm_per_slice = self.parent.sm_count / COMPUTE_SLICES;
-        let mem_per_slice = self.parent.memory_bytes / MEMORY_SLICES as u64;
+        let mem_per_slice = self.parent.memory_bytes / u64::from(MEMORY_SLICES);
         self.profiles
             .iter()
             .enumerate()
             .map(|(i, p)| GpuSpec {
                 name: format!("{} MIG {} #{i}", self.parent.name, p.name()),
                 sm_count: sm_per_slice * p.compute_slices(),
-                memory_bytes: mem_per_slice * p.memory_slices() as u64,
+                memory_bytes: mem_per_slice * u64::from(p.memory_slices()),
             })
             .collect()
     }

@@ -174,6 +174,8 @@ impl MpsServer {
     }
 
     fn sm_cap_for(&self, percentage: f64) -> u32 {
+        // The rounded value is clamped into [1, sm_count] below.
+        // fastg-lint: allow(no-lossy-cast)
         ((self.sm_count as f64 * percentage / 100.0).round() as u32)
             .max(1)
             .min(self.sm_count)

@@ -51,21 +51,25 @@ impl GpuSpec {
         }
     }
 
-    /// A custom part for tests and what-if studies.
+    /// A custom part for tests and what-if studies. A zero SM count is
+    /// clamped to one — a GPU needs at least one SM.
     pub fn custom(name: &str, sm_count: u32, memory_bytes: u64) -> Self {
-        assert!(sm_count > 0, "a GPU needs at least one SM");
+        debug_assert!(sm_count > 0, "a GPU needs at least one SM");
         GpuSpec {
             name: name.to_string(),
-            sm_count,
+            sm_count: sm_count.max(1),
             memory_bytes,
         }
     }
 
     /// Number of SMs corresponding to an active-thread percentage, rounded
     /// to the nearest SM but never below one (MPS guarantees a client can
-    /// always make progress).
+    /// always make progress). Out-of-range percentages are clamped to
+    /// `[0, 100]`.
     pub fn sms_for_percentage(&self, pct: f64) -> u32 {
-        assert!((0.0..=100.0).contains(&pct), "percentage out of range: {pct}");
+        debug_assert!((0.0..=100.0).contains(&pct), "percentage out of range: {pct}");
+        let pct = pct.clamp(0.0, 100.0);
+        // fastg-lint: allow(no-lossy-cast) — rounded value is ≤ sm_count.
         ((self.sm_count as f64 * pct / 100.0).round() as u32).max(1)
     }
 }

@@ -82,7 +82,7 @@ proptest! {
             if pending.len() > 3 {
                 let std::cmp::Reverse((t, k)) = pending.pop().unwrap();
                 now = now.max(t);
-                let (_, started) = gpu.on_kernel_finish(now, k);
+                let (_, started) = gpu.on_kernel_finish(now, k).unwrap();
                 for s in started {
                     pending.push(std::cmp::Reverse((s.finish_at, s.kernel)));
                 }
@@ -91,7 +91,7 @@ proptest! {
         // Drain.
         while let Some(std::cmp::Reverse((t, k))) = pending.pop() {
             now = now.max(t);
-            let (_, started) = gpu.on_kernel_finish(now, k);
+            let (_, started) = gpu.on_kernel_finish(now, k).unwrap();
             for s in started {
                 pending.push(std::cmp::Reverse((s.finish_at, s.kernel)));
             }
@@ -119,7 +119,7 @@ proptest! {
             let start = gpu.launch(now, c, desc).unwrap().expect("idle stream starts");
             // Idle gap after each kernel.
             now = start.finish_at + SimTime::from_micros(work);
-            gpu.on_kernel_finish(start.finish_at, start.kernel);
+            gpu.on_kernel_finish(start.finish_at, start.kernel).unwrap();
         }
         let stats = gpu.metrics().window_stats(now);
         prop_assert!((0.0..=1.0 + 1e-9).contains(&stats.utilization));

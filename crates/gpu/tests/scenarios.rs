@@ -19,7 +19,7 @@ fn kernel(blocks: u32, work_us: u64, tag: u64) -> KernelDesc {
 fn drain(gpu: &mut GpuDevice, mut pending: BinaryHeap<Reverse<(SimTime, fastg_gpu::KernelId)>>) -> Vec<(u64, SimTime)> {
     let mut per_tag: std::collections::BTreeMap<u64, SimTime> = Default::default();
     while let Some(Reverse((t, k))) = pending.pop() {
-        let (done, started) = gpu.on_kernel_finish(t, k);
+        let (done, started) = gpu.on_kernel_finish(t, k).unwrap();
         *per_tag.entry(done.tag).or_insert(SimTime::ZERO) += done.gpu_time;
         for s in started {
             pending.push(Reverse((s.finish_at, s.kernel)));
@@ -88,7 +88,7 @@ fn metric_series_tracks_bursts() {
             .launch(now, c, kernel(80, 2_000, 0))
             .unwrap()
             .expect("idle stream starts");
-        gpu.on_kernel_finish(s.finish_at, s.kernel);
+        gpu.on_kernel_finish(s.finish_at, s.kernel).unwrap();
         now = s.finish_at + SimTime::from_micros(2_000);
         gpu.metrics_mut().sample(now);
     }
@@ -118,7 +118,7 @@ fn oversubscription_serializes() {
         let mut pending = heap_of(starts);
         while let Some(Reverse((t, k))) = pending.pop() {
             last_finish = last_finish.max(t);
-            let (_, started) = gpu.on_kernel_finish(t, k);
+            let (_, started) = gpu.on_kernel_finish(t, k).unwrap();
             for s in started {
                 pending.push(Reverse((s.finish_at, s.kernel)));
             }
@@ -161,7 +161,7 @@ fn repartition_applies_to_next_launch() {
     gpu.set_partition(c, 12.0).unwrap();
     // The running kernel keeps its grant.
     assert_eq!(gpu.free_sms(), 40);
-    gpu.on_kernel_finish(s1.finish_at, s1.kernel);
+    gpu.on_kernel_finish(s1.finish_at, s1.kernel).unwrap();
     let s2 = gpu
         .launch(s1.finish_at, c, kernel(40, 100, 0))
         .unwrap()
@@ -186,7 +186,7 @@ fn per_client_fifo_under_churn() {
     let mut a_order = Vec::new();
     let mut b_order = Vec::new();
     while let Some(Reverse((t, k))) = pending.pop() {
-        let (done, started) = gpu.on_kernel_finish(t, k);
+        let (done, started) = gpu.on_kernel_finish(t, k).unwrap();
         if done.tag < 100 {
             a_order.push(done.tag);
         } else {

@@ -87,6 +87,8 @@ impl Value {
     /// The numeric payload as a non-negative integer, if it is one.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            // Exact integer-ness test: fract() is exactly 0.0 for integers.
+            // fastg-lint: allow(no-float-eq)
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
@@ -98,6 +100,8 @@ impl Value {
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Num(n)
+                // Exact integer-ness test, as in `as_u64`.
+                // fastg-lint: allow(no-float-eq)
                 if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
             {
                 Some(*n as i64)
@@ -217,7 +221,7 @@ fn write_num(out: &mut String, n: f64) {
     if !n.is_finite() {
         // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
         out.push_str("null");
-    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 { // fastg-lint: allow(no-float-eq) — exact integer-ness test
         out.push_str(&format!("{}", n as i64));
     } else {
         // `{}` on f64 prints the shortest string that round-trips.
@@ -365,7 +369,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn require(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -398,7 +402,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'[')?;
+        self.require(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -421,7 +425,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, JsonError> {
-        self.expect(b'{')?;
+        self.require(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -432,7 +436,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.require(b':')?;
             self.skip_ws();
             let val = self.value()?;
             map.insert(key, val);
@@ -449,7 +453,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.require(b'"')?;
         let mut s = String::new();
         loop {
             let start = self.pos;
@@ -544,7 +548,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return Err(self.err("invalid number"));
+        };
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.err("invalid number"))

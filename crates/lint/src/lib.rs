@@ -181,6 +181,16 @@ pub fn clean(source: &str) -> Cleaned {
                 }
                 let text = String::from_utf8_lossy(&src[start..i]).into_owned();
                 record_allows(&text, line, &mut allows);
+                // A comment alone on its line escapes the *next* line, so
+                // multi-line statements can carry a lead-in allow.
+                let standalone = src[..start]
+                    .iter()
+                    .rev()
+                    .take_while(|&&b| b != b'\n')
+                    .all(|b| b.is_ascii_whitespace());
+                if standalone {
+                    record_allows(&text, line + 1, &mut allows);
+                }
                 blank(&mut code, start, i);
             }
             b'/' if i + 1 < src.len() && src[i + 1] == b'*' => {
@@ -906,6 +916,23 @@ mod tests {
     #[test]
     fn allow_escape_suppresses_one_line() {
         let src = "fn f() { x.unwrap(); // fastg-lint: allow(no-panic-in-lib)\n y.unwrap(); }";
+        let d = scan(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn standalone_allow_escapes_next_line() {
+        let src = "fn f() {\n    // fastg-lint: allow(no-panic-in-lib)\n    x.unwrap();\n    y.unwrap();\n}\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "only the un-escaped unwrap should remain");
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn trailing_allow_does_not_leak_to_next_line() {
+        // A comment that follows code on its line escapes only that line.
+        let src = "fn f() { let a = 1; // fastg-lint: allow(no-panic-in-lib)\n    x.unwrap();\n}\n";
         let d = scan(src);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].line, 2);

@@ -137,7 +137,8 @@ impl ModelProfile {
     /// growth along the temporal axis and saturation along the spatial
     /// axis.
     pub fn ideal_rps(&self, sms: u32, quota: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&quota), "quota out of range: {quota}");
+        debug_assert!((0.0..=1.0).contains(&quota), "quota out of range: {quota}");
+        let quota = if quota.is_nan() { 0.0 } else { quota.clamp(0.0, 1.0) };
         let device = self.device_time_at(sms).as_secs_f64();
         let latency = self.latency_at(sms).as_secs_f64();
         if device <= 0.0 {

@@ -33,13 +33,15 @@ enum Kind {
 impl ArrivalProcess {
     /// Evenly spaced arrivals at `rate` requests/second.
     pub fn constant(rate: f64) -> Self {
-        assert!(rate >= 0.0, "negative rate");
+        debug_assert!(rate >= 0.0, "negative rate");
+        let rate = rate.max(0.0);
         Self::with_kind(Kind::Constant { rate }, 0)
     }
 
     /// Poisson arrivals at `rate` requests/second.
     pub fn poisson(rate: f64, seed: u64) -> Self {
-        assert!(rate >= 0.0, "negative rate");
+        debug_assert!(rate >= 0.0, "negative rate");
+        let rate = rate.max(0.0);
         Self::with_kind(Kind::Poisson { rate }, seed)
     }
 
@@ -47,12 +49,22 @@ impl ArrivalProcess {
     /// be time-sorted; the rate before the first knot equals the first
     /// knot's rate and stays at the last knot's rate afterwards.
     pub fn profile(knots: Vec<(SimTime, f64)>, seed: u64) -> Self {
-        assert!(!knots.is_empty(), "empty rate profile");
-        assert!(
+        debug_assert!(!knots.is_empty(), "empty rate profile");
+        debug_assert!(
             knots.windows(2).all(|w| w[0].0 <= w[1].0),
             "rate profile knots must be time-sorted"
         );
-        assert!(knots.iter().all(|&(_, r)| r >= 0.0), "negative rate");
+        debug_assert!(knots.iter().all(|&(_, r)| r >= 0.0), "negative rate");
+        // Sanitize rather than panic: sort out-of-order knots, clamp
+        // negative rates, and treat an empty profile as always-off.
+        let mut knots = knots;
+        if knots.is_empty() {
+            knots.push((SimTime::ZERO, 0.0));
+        }
+        knots.sort_by_key(|&(t, _)| t);
+        for k in &mut knots {
+            k.1 = k.1.max(0.0);
+        }
         Self::with_kind(Kind::Profile { knots }, seed)
     }
 
@@ -102,7 +114,7 @@ impl ArrivalProcess {
                         return r0 + (r1 - r0) * frac;
                     }
                 }
-                knots.last().unwrap().1
+                knots.last().map_or(0.0, |k| k.1)
             }
             Kind::Trace { .. } => 0.0,
         }
@@ -140,7 +152,10 @@ impl ArrivalProcess {
                             .iter()
                             .find(|&&(t, r)| t > self.cursor && r > 0.0)
                             .map(|&(t, _)| t),
-                        _ => unreachable!(),
+                        _ => {
+                            debug_assert!(false, "off-rate gaps only occur in profiles");
+                            None
+                        }
                     };
                     let t = next_on?;
                     self.cursor = t;

@@ -95,7 +95,8 @@ impl LatencyHistogram {
     /// Returns the bucket's upper bound (clamped to the observed max), or
     /// zero when empty.
     pub fn quantile(&self, q: f64) -> SimTime {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        debug_assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         if self.count == 0 {
             return SimTime::ZERO;
         }

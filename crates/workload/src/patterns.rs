@@ -24,8 +24,12 @@ pub fn diurnal(
     cycles: u32,
     seed: u64,
 ) -> ArrivalProcess {
-    assert!(base_rps >= 0.0 && peak_rps >= base_rps, "peak below base");
-    assert!(period > SimTime::ZERO && cycles > 0);
+    debug_assert!(base_rps >= 0.0 && peak_rps >= base_rps, "peak below base");
+    debug_assert!(period > SimTime::ZERO && cycles > 0);
+    let base_rps = base_rps.max(0.0);
+    let peak_rps = peak_rps.max(base_rps);
+    let period = period.max(SimTime::from_micros(1));
+    let cycles = cycles.max(1);
     const KNOTS_PER_CYCLE: u32 = 32;
     let mut knots = Vec::with_capacity((cycles * KNOTS_PER_CYCLE + 1) as usize);
     let total_knots = cycles * KNOTS_PER_CYCLE;
@@ -52,8 +56,14 @@ pub fn bursty(
     duration: SimTime,
     seed: u64,
 ) -> ArrivalProcess {
-    assert!(burst_rps >= base_rps, "burst below base");
-    assert!(duration > burst_len, "duration must exceed one burst");
+    debug_assert!(burst_rps >= base_rps, "burst below base");
+    debug_assert!(duration > burst_len, "duration must exceed one burst");
+    let burst_rps = burst_rps.max(base_rps);
+    let duration = if duration > burst_len {
+        duration
+    } else {
+        burst_len + SimTime::from_micros(1)
+    };
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut starts: Vec<u64> = (0..bursts)
         .map(|_| rng.gen_range(0..duration.saturating_sub(burst_len).as_micros()))

@@ -66,8 +66,10 @@ impl RateEstimator {
     /// Creates an estimator with a sliding `window` and EWMA factor
     /// `alpha` (0 < alpha ≤ 1; higher reacts faster).
     pub fn new(window: SimTime, alpha: f64) -> Self {
-        assert!(window > SimTime::ZERO, "zero estimator window");
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "bad alpha {alpha}");
+        debug_assert!(window > SimTime::ZERO, "zero estimator window");
+        debug_assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "bad alpha {alpha}");
+        let window = window.max(SimTime::from_micros(1));
+        let alpha = if alpha.is_finite() && alpha > 0.0 { alpha.min(1.0) } else { 1.0 };
         RateEstimator {
             window,
             alpha,

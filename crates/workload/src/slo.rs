@@ -15,7 +15,8 @@ pub struct SloTracker {
 impl SloTracker {
     /// Creates a tracker for the given latency objective.
     pub fn new(slo: SimTime) -> Self {
-        assert!(slo > SimTime::ZERO, "zero SLO");
+        debug_assert!(slo > SimTime::ZERO, "zero SLO");
+        let slo = slo.max(SimTime::from_micros(1));
         SloTracker {
             slo,
             histogram: LatencyHistogram::new(),
