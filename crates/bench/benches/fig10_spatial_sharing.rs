@@ -9,8 +9,9 @@
 //! 12.5 req/s.
 
 use criterion::Criterion;
-use fastg_bench::{ms, run_sharing, SharingOutcome};
+use fastg_bench::{ms, run_sharing, sharing_outcome, sharing_scenario};
 use fastgshare::manager::SharingPolicy;
+use fastgshare::platform::run_sweep;
 
 fn config_of(label: &str) -> (SharingPolicy, f64) {
     match label {
@@ -23,6 +24,28 @@ fn config_of(label: &str) -> (SharingPolicy, f64) {
 
 fn print_figure() {
     println!("\n=== Figure 10: spatial sharing vs racing, growing pod counts ===");
+    // The whole grid (3 models × 3 configs × 4 pod counts) fans out over
+    // fastg-par worker threads; reports come back in input order, so the
+    // table is identical at any thread count.
+    let mut grid = Vec::new();
+    for model in ["resnet50", "rnnt", "gnmt"] {
+        for label in ["racing", "12% part", "24% part"] {
+            let (policy, sm) = config_of(label);
+            for pods in [1usize, 2, 4, 8] {
+                grid.push(sharing_scenario(
+                    format!("{model}/{label}/{pods}"),
+                    policy,
+                    model,
+                    pods,
+                    sm,
+                    5,
+                    1001,
+                ));
+            }
+        }
+    }
+    let results = run_sweep(grid, fastg_par::resolve_threads(None)).expect("sweep runs");
+    let mut rows = results.iter();
     for model in ["resnet50", "rnnt", "gnmt"] {
         println!("\n-- {model} --");
         println!(
@@ -30,9 +53,9 @@ fn print_figure() {
             "config", "pods", "req/s", "p99", "util", "SM occ"
         );
         for label in ["racing", "12% part", "24% part"] {
-            let (policy, sm) = config_of(label);
             for pods in [1usize, 2, 4, 8] {
-                let o: SharingOutcome = run_sharing(policy, model, pods, sm, 5, 1001);
+                let (_, report) = rows.next().expect("grid row");
+                let o = sharing_outcome(report);
                 println!(
                     "{label:<10} {pods:>5} {:>10.1} {:>10} {:>7.1}% {:>7.1}%",
                     o.rps,

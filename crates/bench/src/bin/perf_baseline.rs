@@ -1,0 +1,180 @@
+//! `perf_baseline` — the PR's wall-clock evidence, in one JSON file.
+//!
+//! Measures two things and writes them to `BENCH_3.json`:
+//!
+//! 1. **`micro_des` single-run throughput** — the `platform_second`
+//!    scenario from `benches/micro_des.rs` (1 node, 4 ResNet pods at
+//!    12 %, 120 req/s Poisson, one simulated second), reported as
+//!    events/second of wall-clock time. This is the hot path the DES
+//!    optimizations target.
+//! 2. **Sweep speedup** — a grid of sharing scenarios run through
+//!    `run_sweep` at `threads = 1` and `threads = 4`, with the digest of
+//!    every report compared across thread counts (they must be
+//!    byte-identical) and the wall-clock ratio reported as the speedup.
+//!    The host CPU count is recorded alongside: on a single-core
+//!    container the speedup is honestly ~1×.
+//!
+//! ```text
+//! perf_baseline             # full measurement, writes BENCH_3.json
+//! perf_baseline --quick     # smaller grid / fewer repeats (CI smoke)
+//! perf_baseline --out FILE  # write somewhere else
+//! ```
+//!
+//! Timing uses best-of-N wall clock, which is robust against scheduler
+//! noise on shared runners.
+
+use fastg_bench::sharing_scenario;
+use fastg_des::SimTime;
+use fastg_json::ObjectBuilder;
+use fastg_workload::ArrivalProcess;
+use fastgshare::manager::SharingPolicy;
+use fastgshare::platform::{run_sweep, FunctionConfig, Platform, PlatformConfig, Scenario};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_3.json");
+    let mut opts = Options {
+        quick: false,
+        out: default_out,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                let path = args.next().expect("--out needs a file argument");
+                opts.out = PathBuf::from(path);
+            }
+            other => {
+                eprintln!("usage: perf_baseline [--quick] [--out FILE] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// The `micro_des` platform-second: returns events handled.
+fn platform_second() -> u64 {
+    let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(3));
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(4)
+                .resources(12.0, 1.0, 1.0),
+        )
+        .expect("deploys");
+    p.set_load(f, ArrivalProcess::poisson(120.0, 4));
+    p.run_for(SimTime::from_secs(1));
+    p.events_handled()
+}
+
+/// Best-of-N wall-clock seconds for `f`, plus its (stable) return value.
+fn best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut value = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let v = f();
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+        value = Some(v);
+    }
+    (best, value.expect("at least one repeat"))
+}
+
+fn sweep_grid(quick: bool) -> Vec<Scenario> {
+    let (models, seconds): (&[&str], u64) = if quick {
+        (&["resnet50"], 1)
+    } else {
+        (&["resnet50", "rnnt"], 3)
+    };
+    let mut grid = Vec::new();
+    for model in models {
+        for pods in [1usize, 2, 4, 8] {
+            grid.push(sharing_scenario(
+                format!("{model}/{pods}pods"),
+                SharingPolicy::FaST,
+                model,
+                pods,
+                12.0,
+                seconds,
+                1001,
+            ));
+        }
+    }
+    grid
+}
+
+fn main() {
+    let opts = parse_args();
+    let repeats = if opts.quick { 2 } else { 5 };
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // 1. micro_des single-run throughput.
+    let (des_secs, events) = best_of(repeats, platform_second);
+    let events_per_sec = events as f64 / des_secs;
+    println!(
+        "micro_des: {events} events in {:.3} ms best-of-{repeats} ({events_per_sec:.0} events/s)",
+        des_secs * 1e3
+    );
+
+    // 2. Sweep wall clock at 1 vs 4 threads, with digest parity.
+    let scenarios = sweep_grid(opts.quick).len();
+    let (t1, reports_1) =
+        best_of(repeats, || run_sweep(sweep_grid(opts.quick), 1).expect("sweep t1"));
+    let (t4, reports_4) =
+        best_of(repeats, || run_sweep(sweep_grid(opts.quick), 4).expect("sweep t4"));
+    let digests_match = reports_1.len() == reports_4.len()
+        && reports_1
+            .iter()
+            .zip(&reports_4)
+            .all(|((n1, r1), (n2, r2))| n1 == n2 && r1.digest() == r2.digest());
+    assert!(digests_match, "sweep digests diverged across thread counts");
+    let speedup = t1 / t4;
+    println!(
+        "sweep ({scenarios} scenarios): threads=1 {:.3} s, threads=4 {:.3} s, speedup {speedup:.2}x \
+         (host has {cpus} cpus), digests match: {digests_match}",
+        t1, t4
+    );
+
+    let doc = ObjectBuilder::new()
+        .field("bench", "perf_baseline")
+        .field("quick", opts.quick)
+        .field("host_cpus", u64::try_from(cpus).unwrap_or(u64::MAX))
+        .field("repeats", u64::try_from(repeats).unwrap_or(u64::MAX))
+        .field(
+            "micro_des",
+            ObjectBuilder::new()
+                .field("events", events)
+                .field("wall_seconds", des_secs)
+                .field("events_per_sec", events_per_sec)
+                .build(),
+        )
+        .field(
+            "sweep",
+            ObjectBuilder::new()
+                .field("scenarios", u64::try_from(scenarios).unwrap_or(u64::MAX))
+                .field("threads_1_seconds", t1)
+                .field("threads_4_seconds", t4)
+                .field("speedup_4_vs_1", speedup)
+                .field("digests_match", digests_match)
+                .build(),
+        )
+        .build();
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&opts.out, text).expect("write BENCH_3.json");
+    println!("wrote {}", opts.out.display());
+}

@@ -8,7 +8,9 @@
 use fastg_des::SimTime;
 use fastg_workload::ArrivalProcess;
 use fastgshare::manager::SharingPolicy;
-use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig, PlatformReport};
+use fastgshare::platform::{
+    FunctionConfig, Platform, PlatformConfig, PlatformReport, Scenario,
+};
 use fastgshare::profiler::{ProfileDb, ProfileKey, ProfileRecord};
 
 /// Outcome of one saturated sharing run (one function, one node).
@@ -26,6 +28,49 @@ pub struct SharingOutcome {
     pub sm_occupancy: f64,
 }
 
+/// The one-node sharing run as a [`Scenario`], so a whole grid of them
+/// can fan out over `fastg-par` via `run_sweep`.
+pub fn sharing_scenario(
+    name: impl Into<String>,
+    policy: SharingPolicy,
+    model: &str,
+    pods: usize,
+    sm_pct: f64,
+    seconds: u64,
+    seed: u64,
+) -> Scenario {
+    let pods = if policy == SharingPolicy::Exclusive { 1 } else { pods };
+    Scenario::new(
+        name,
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(policy)
+            .oversubscribe(true)
+            .warmup(SimTime::from_secs(1))
+            .seed(seed),
+    )
+    .function(
+        FunctionConfig::new("bench", model)
+            .replicas(pods)
+            .resources(sm_pct, 1.0, 1.0)
+            .saturating(),
+    )
+    .duration(SimTime::from_secs(1 + seconds))
+}
+
+/// Condenses a single-function, single-node report into the figure row.
+pub fn sharing_outcome(report: &PlatformReport) -> SharingOutcome {
+    let fr = report.functions.values().next().expect("one function");
+    let node = &report.nodes[0];
+    SharingOutcome {
+        rps: fr.throughput_rps,
+        p50: fr.p50,
+        p99: fr.p99,
+        utilization: node.utilization,
+        sm_occupancy: node.sm_occupancy,
+    }
+}
+
 /// Runs `pods` saturating replicas of `model` on one V100 under `policy`
 /// with `sm_pct` SM partitions, measuring for `seconds` after 1 s warm-up.
 pub fn run_sharing(
@@ -36,33 +81,10 @@ pub fn run_sharing(
     seconds: u64,
     seed: u64,
 ) -> SharingOutcome {
-    let mut p = Platform::new(
-        PlatformConfig::default()
-            .nodes(1)
-            .policy(policy)
-            .oversubscribe(true)
-            .warmup(SimTime::from_secs(1))
-            .seed(seed),
-    );
-    let pods = if policy == SharingPolicy::Exclusive { 1 } else { pods };
-    let f = p
-        .deploy(
-            FunctionConfig::new("bench", model)
-                .replicas(pods)
-                .resources(sm_pct, 1.0, 1.0)
-                .saturating(),
-        )
+    let report = sharing_scenario("sharing", policy, model, pods, sm_pct, seconds, seed)
+        .run()
         .expect("bench function deploys");
-    let report = p.run_for(SimTime::from_secs(1 + seconds));
-    let fr = &report.functions[&f];
-    let node = &report.nodes[0];
-    SharingOutcome {
-        rps: fr.throughput_rps,
-        p50: fr.p50,
-        p99: fr.p99,
-        utilization: node.utilization,
-        sm_occupancy: node.sm_occupancy,
-    }
+    sharing_outcome(&report)
 }
 
 /// Deploys the Figure 11 pod set (2 BERT + 2 RNNT + 4 ResNet, descending

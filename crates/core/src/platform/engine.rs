@@ -3,6 +3,7 @@
 use crate::manager::{BackendConfig, FastBackend, RequestOutcome, SharingPolicy};
 use crate::modelshare::{footprint, ModelStorageServer, StoreLib, DEFAULT_CTX_OVERHEAD};
 use crate::platform::config::{FunctionConfig, PlatformConfig};
+use crate::platform::error::PlatformError;
 use crate::platform::faults::FaultKind;
 use crate::platform::report::{FunctionReport, NodeReport, PlatformReport};
 use crate::profiler::ProfileDb;
@@ -12,8 +13,8 @@ use fastg_cluster::{
     RequestId, ResourceSpec,
 };
 use fastg_des::{EventQueue, SimTime, Simulation, TimeSeries, World};
-use fastg_gpu::{KernelDesc, KernelId, MpsMode};
-use fastg_models::{zoo, InferenceRun, KernelSpec, ModelProfile, Op};
+use fastg_gpu::{ClientId, KernelDesc, KernelId, MpsMode};
+use fastg_models::{zoo, InferenceRun, ModelProfile, StageOp};
 use fastg_workload::{ArrivalProcess, RateMeter, SloTracker};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -65,7 +66,10 @@ struct FuncRt {
 struct ActiveReq {
     req: Request,
     run: InferenceRun,
-    pending_burst: Vec<KernelSpec>,
+    /// Stage index (into the run's profile) of a burst waiting for a
+    /// token grant. Kept as an index so the hot path never clones the
+    /// kernel vector (see [`StageOp`]).
+    pending_stage: Option<usize>,
     outstanding: usize,
     burst_gpu_time: SimTime,
     waiting_token: bool,
@@ -74,6 +78,9 @@ struct ActiveReq {
 struct PodRt {
     func: FuncId,
     node: NodeId,
+    /// The pod's MPS client id, resolved once at creation so the
+    /// per-burst launch path skips the cluster pod-table lookup.
+    client: ClientId,
     active: Option<ActiveReq>,
     storelib: Option<StoreLib>,
     bound_rect: bool,
@@ -99,6 +106,13 @@ pub struct Engine {
     unschedulable: u64,
     killed: u64,
     faults_injected: u64,
+    /// Reusable buffer of `(finish_at, KernelFinish)` pairs built while
+    /// launching a burst, so a multi-kernel burst costs zero steady-state
+    /// allocations before its batched heap push.
+    burst_scratch: Vec<(SimTime, Event)>,
+    /// Reusable buffer for kernels admitted when a completion frees SMs
+    /// (the hottest event in the simulation).
+    started_scratch: Vec<fastg_gpu::KernelStart>,
 }
 
 impl Engine {
@@ -149,6 +163,8 @@ impl Engine {
             unschedulable: 0,
             killed: 0,
             faults_injected: 0,
+            burst_scratch: Vec::new(),
+            started_scratch: Vec::new(),
         }
     }
 
@@ -159,9 +175,9 @@ impl Engine {
         now: SimTime,
         fc: &FunctionConfig,
         queue: &mut EventQueue<Event>,
-    ) -> Result<FuncId, String> {
+    ) -> Result<FuncId, PlatformError> {
         let model = zoo::by_name(&fc.model)
-            .ok_or_else(|| format!("unknown model '{}'", fc.model))?;
+            .ok_or_else(|| PlatformError::UnknownModel(fc.model.clone()))?;
         let (sm, q_req, q_lim) = fc.resources;
         let resources = ResourceSpec::new(sm, q_req, q_lim, model.memory.total());
         let id = FuncId(self.next_func);
@@ -186,8 +202,7 @@ impl Engine {
             },
         );
         for _ in 0..fc.replicas {
-            self.create_pod(now, id, resources, queue)
-                .map_err(|e| format!("deploying {}: {e}", fc.name))?;
+            self.create_pod(now, id, resources, queue)?;
         }
         Ok(id)
     }
@@ -201,8 +216,8 @@ impl Engine {
         func: FuncId,
         resources: ResourceSpec,
         queue: &mut EventQueue<Event>,
-    ) -> Result<PodId, String> {
-        let rt = self.funcs.get(&func).ok_or("unknown function")?;
+    ) -> Result<PodId, PlatformError> {
+        let rt = self.funcs.get(&func).ok_or(PlatformError::UnknownFunction)?;
         let sharing = self.cfg.model_sharing;
         let mem = &rt.model.memory;
         let model_name = rt.spec.model.clone();
@@ -247,7 +262,7 @@ impl Engine {
         };
         let Some(node) = node else {
             self.unschedulable += 1;
-            return Err("a new GPU required (no node fits)".to_string());
+            return Err(PlatformError::NoNodeFits);
         };
 
         // Effective spec for MPS registration: policies without spatial
@@ -258,10 +273,8 @@ impl Engine {
             100.0
         };
         let eff = ResourceSpec::new(eff_sm, resources.quota_request, resources.quota_limit, resources.gpu_mem);
-        let pod = self
-            .cluster
-            .create_pod(now, node, func, eff, pod_bytes)
-            .map_err(|e| e.to_string())?;
+        let pod = self.cluster.create_pod(now, node, func, eff, pod_bytes)?;
+        let client = self.cluster.pod(pod)?.client;
 
         // Model sharing: attach the weights through the store library.
         let storelib = if sharing && weights > 0 {
@@ -269,15 +282,9 @@ impl Engine {
             let store = self
                 .stores
                 .get_mut(&node)
-                .ok_or("internal: store missing for node")?;
-            let gpu_mem = self
-                .cluster
-                .node_mut(node)
-                .map_err(|e| e.to_string())?
-                .gpu
-                .memory_mut();
-            lib.attach(store, gpu_mem, &model_name, &[("weights", weights)])
-                .map_err(|e| e.to_string())?;
+                .ok_or(PlatformError::Internal("store missing for node"))?;
+            let gpu_mem = self.cluster.node_mut(node)?.gpu.memory_mut();
+            lib.attach(store, gpu_mem, &model_name, &[("weights", weights)])?;
             Some(lib)
         } else {
             None
@@ -306,6 +313,7 @@ impl Engine {
             PodRt {
                 func,
                 node,
+                client,
                 active: None,
                 storelib,
                 bound_rect,
@@ -383,9 +391,12 @@ impl Engine {
     /// by the profiler/scheduler and synchronized to the backend table):
     /// updates the function's default resources and re-applies partition,
     /// quotas, MPS limit and rectangle binding to every running pod.
-    fn reconfigure(&mut self, func: FuncId, resources: ResourceSpec) -> Result<(), String> {
+    fn reconfigure(&mut self, func: FuncId, resources: ResourceSpec) -> Result<(), PlatformError> {
         resources.validate();
-        let rt = self.funcs.get_mut(&func).ok_or("unknown function")?;
+        let rt = self
+            .funcs
+            .get_mut(&func)
+            .ok_or(PlatformError::UnknownFunction)?;
         rt.resources = resources;
         let eff_sm = if self.cfg.policy.uses_partitions() {
             resources.sm_partition
@@ -394,20 +405,16 @@ impl Engine {
         };
         for pod in self.cluster.running_pods_of(func) {
             let node = self.pods[&pod].node;
-            let (client, old) = self
-                .cluster
-                .pod(pod)
-                .map(|p| (p.client, p.resources))
-                .map_err(|e| e.to_string())?;
+            let (client, old) = self.cluster.pod(pod).map(|p| (p.client, p.resources))?;
             // MPS partition: applies from the pod's next kernel launch.
-            let gpu = &mut self.cluster.node_mut(node).map_err(|e| e.to_string())?.gpu;
-            gpu.set_partition(client, eff_sm).map_err(|e| e.to_string())?;
-            self.cluster.pod_mut(pod).map_err(|e| e.to_string())?.resources =
+            let gpu = &mut self.cluster.node_mut(node)?.gpu;
+            gpu.set_partition(client, eff_sm)?;
+            self.cluster.pod_mut(pod)?.resources =
                 ResourceSpec::new(eff_sm, resources.quota_request, resources.quota_limit, resources.gpu_mem);
             // Backend table row (quotas take effect within this window).
             self.backends
                 .get_mut(&node)
-                .ok_or("internal: backend missing for node")?
+                .ok_or(PlatformError::Internal("backend missing for node"))?
                 .update_spec(pod, resources);
             // Rectangle binding: swap to the new shape if it fits; keep
             // the old reservation otherwise (conservative).
@@ -751,7 +758,7 @@ impl Engine {
         rt.active = Some(ActiveReq {
             req,
             run: InferenceRun::new(model),
-            pending_burst: Vec::new(),
+            pending_stage: None,
             outstanding: 0,
             burst_gpu_time: SimTime::ZERO,
             waiting_token: false,
@@ -770,15 +777,15 @@ impl Engine {
             debug_assert!(false, "stepping requires a request");
             return;
         };
-        match active.run.advance() {
-            Op::Host(d) => {
+        match active.run.advance_indexed() {
+            StageOp::Host(d) => {
                 queue.schedule(now + d, Event::HostDone(pod));
             }
-            Op::Burst(kernels) => {
-                active.pending_burst = kernels;
+            StageOp::Burst(stage) => {
+                active.pending_stage = Some(stage);
                 self.try_start_burst(now, pod, queue);
             }
-            Op::Done => {
+            StageOp::Done => {
                 self.complete_request(now, pod, queue);
             }
         }
@@ -834,20 +841,25 @@ impl Engine {
             return;
         };
         active.waiting_token = false;
-        let burst = std::mem::take(&mut active.pending_burst);
-        debug_assert!(!burst.is_empty(), "launching an empty burst");
-        active.outstanding = burst.len();
-        active.burst_gpu_time = SimTime::ZERO;
-        let Ok(client) = self.cluster.pod(pod).map(|p| p.client) else {
-            debug_assert!(false, "pod in cluster");
+        let Some(stage) = active.pending_stage.take() else {
+            debug_assert!(false, "launching an empty burst");
             return;
         };
+        // The profile Arc keeps the kernel specs alive without cloning
+        // the spec vector; the cursor guarantees the stage is non-empty.
+        let profile = Arc::clone(active.run.profile());
+        let kernels = &profile.stages[stage].kernels;
+        active.outstanding = kernels.len();
+        active.burst_gpu_time = SimTime::ZERO;
+        let client = rt.client;
         let Ok(node_rt) = self.cluster.node_mut(node) else {
             debug_assert!(false, "node exists");
             return;
         };
         let gpu = &mut node_rt.gpu;
-        for k in burst {
+        let mut starts = std::mem::take(&mut self.burst_scratch);
+        debug_assert!(starts.is_empty(), "scratch drained after each burst");
+        for k in kernels {
             let desc = KernelDesc {
                 blocks: k.blocks,
                 work_per_block: k.work_per_block,
@@ -855,7 +867,7 @@ impl Engine {
             };
             match gpu.launch(now, client, desc) {
                 Ok(Some(start)) => {
-                    queue.schedule(start.finish_at, Event::KernelFinish(node, start.kernel));
+                    starts.push((start.finish_at, Event::KernelFinish(node, start.kernel)));
                 }
                 Ok(None) => {}
                 Err(e) => {
@@ -865,6 +877,8 @@ impl Engine {
                 }
             }
         }
+        queue.schedule_batch(starts.drain(..));
+        self.burst_scratch = starts;
     }
 
     fn on_kernel_finish(
@@ -874,25 +888,31 @@ impl Engine {
         kernel: KernelId,
         queue: &mut EventQueue<Event>,
     ) {
-        // A finish scheduled before the node crashed: the kernel died with
-        // the hardware and was already accounted as aborted.
-        if matches!(self.cluster.node_state(node), Ok(NodeState::Down)) {
-            return;
-        }
         let Ok(node_rt) = self.cluster.node_mut(node) else {
             debug_assert!(false, "node exists");
             return;
         };
+        // A finish scheduled before the node crashed: the kernel died with
+        // the hardware and was already accounted as aborted.
+        if node_rt.state == NodeState::Down {
+            return;
+        }
         let gpu = &mut node_rt.gpu;
         // A kernel the device no longer knows (double finish, or a stale
         // event surviving a hard reset) is dropped: the typed error says
         // there is nothing left to account for.
-        let Ok((done, started)) = gpu.on_kernel_finish(now, kernel) else {
+        let mut started = std::mem::take(&mut self.started_scratch);
+        debug_assert!(started.is_empty(), "scratch drained after each finish");
+        let finish = gpu.on_kernel_finish_into(now, kernel, &mut started);
+        queue.schedule_batch(
+            started
+                .drain(..)
+                .map(|s| (s.finish_at, Event::KernelFinish(node, s.kernel))),
+        );
+        self.started_scratch = started;
+        let Ok(done) = finish else {
             return;
         };
-        for s in started {
-            queue.schedule(s.finish_at, Event::KernelFinish(node, s.kernel));
-        }
         let pod = PodId(done.tag);
         let Some(rt) = self.pods.get_mut(&pod) else {
             // The pod was deleted while its last kernels drained — cannot
@@ -995,7 +1015,7 @@ impl Engine {
                 .pods
                 .get(&g.pod)
                 .and_then(|rt| rt.active.as_ref())
-                .is_some_and(|a| a.waiting_token && !a.pending_burst.is_empty());
+                .is_some_and(|a| a.waiting_token && a.pending_stage.is_some());
             if has_burst {
                 self.launch_burst(now, g.pod, queue);
             }
@@ -1058,8 +1078,8 @@ impl Engine {
         db: &ProfileDb,
         queue: &mut EventQueue<Event>,
     ) {
-        let model_name = self.funcs[&func].spec.model.clone();
-        let profile = db.config_points(&model_name);
+        let model_name = &self.funcs[&func].spec.model;
+        let profile = db.config_points(model_name);
         if profile.is_empty() {
             return;
         }
@@ -1077,7 +1097,7 @@ impl Engine {
                 // Capacity accounting uses the guaranteed share; elastic
                 // headroom above the request is a bonus, not a promise.
                 let quota = pod.resources.quota_request;
-                let rps = db.throughput_of(&model_name, sm, quota)?;
+                let rps = db.throughput_of(model_name, sm, quota)?;
                 Some(RunningPod {
                     pod: p,
                     config: ConfigPoint { sm, quota, rps },
@@ -1268,7 +1288,7 @@ impl Platform {
 
     /// Deploys a function (FaSTFunc CRD): creates its initial replicas via
     /// node selection and registers them with the gateway and backends.
-    pub fn deploy(&mut self, fc: FunctionConfig) -> Result<FuncId, String> {
+    pub fn deploy(&mut self, fc: FunctionConfig) -> Result<FuncId, PlatformError> {
         let (world, queue, now) = self.sim.parts_mut();
         world.deploy(now, &fc, queue)
     }
@@ -1351,13 +1371,13 @@ impl Platform {
         sm_partition: f64,
         quota_request: f64,
         quota_limit: f64,
-    ) -> Result<(), String> {
+    ) -> Result<(), PlatformError> {
         let mem = self
             .sim
             .world()
             .funcs
             .get(&func)
-            .ok_or("unknown function")?
+            .ok_or(PlatformError::UnknownFunction)?
             .resources
             .gpu_mem;
         let spec = ResourceSpec::new(sm_partition, quota_request, quota_limit, mem);

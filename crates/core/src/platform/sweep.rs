@@ -1,0 +1,154 @@
+//! Named scenario grids executed in parallel.
+//!
+//! A [`Scenario`] is a self-contained recipe for one deterministic
+//! platform run: config, function set, open-loop loads and a duration.
+//! [`run_sweep`] fans a grid of scenarios out over `fastg-par` worker
+//! threads and returns the reports **in input order**, so the output —
+//! and every digest derived from it — is byte-identical no matter how
+//! many threads execute it (including the `threads = 1` sequential
+//! path). Determinism holds because each scenario owns its entire
+//! simulation: no state is shared between workers, and result slots are
+//! indexed by input position, not completion order.
+
+use crate::platform::config::{FunctionConfig, PlatformConfig};
+use crate::platform::engine::Platform;
+use crate::platform::error::PlatformError;
+use crate::platform::report::PlatformReport;
+use fastg_des::SimTime;
+use fastg_workload::ArrivalProcess;
+
+/// One named, self-contained platform run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Label carried into the sweep result (figure point, grid cell…).
+    pub name: String,
+    /// Platform construction parameters (nodes, policy, seed, faults…).
+    pub config: PlatformConfig,
+    /// Functions deployed, in order, before the clock starts.
+    pub functions: Vec<FunctionConfig>,
+    /// Open-loop arrival processes keyed by index into `functions`.
+    pub loads: Vec<(usize, ArrivalProcess)>,
+    /// Simulated time to run before reporting.
+    pub duration: SimTime,
+}
+
+impl Scenario {
+    /// A scenario with no functions and a 1 s duration; chain the
+    /// builder methods to fill it in.
+    pub fn new(name: impl Into<String>, config: PlatformConfig) -> Self {
+        Scenario {
+            name: name.into(),
+            config,
+            functions: Vec::new(),
+            loads: Vec::new(),
+            duration: SimTime::from_secs(1),
+        }
+    }
+
+    /// Adds a function deployed at construction.
+    pub fn function(mut self, fc: FunctionConfig) -> Self {
+        self.functions.push(fc);
+        self
+    }
+
+    /// Attaches an arrival process to the `func_index`-th function.
+    pub fn load(mut self, func_index: usize, process: ArrivalProcess) -> Self {
+        self.loads.push((func_index, process));
+        self
+    }
+
+    /// Sets the simulated run duration.
+    pub fn duration(mut self, duration: SimTime) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Builds the platform, deploys every function, attaches loads and
+    /// runs to completion.
+    pub fn run(self) -> Result<PlatformReport, PlatformError> {
+        let mut platform = Platform::new(self.config);
+        let mut ids = Vec::with_capacity(self.functions.len());
+        for fc in self.functions {
+            ids.push(platform.deploy(fc)?);
+        }
+        for (index, process) in self.loads {
+            let Some(&func) = ids.get(index) else {
+                return Err(PlatformError::UnknownFunction);
+            };
+            platform.set_load(func, process);
+        }
+        Ok(platform.run_for(self.duration))
+    }
+}
+
+/// Runs every scenario, `threads` at a time, returning `(name, report)`
+/// pairs in the same order as the input grid. `threads = 1` is exactly
+/// the sequential loop; any other count produces byte-identical reports
+/// (see module docs). The first failing scenario's error is returned,
+/// and a worker panic surfaces as [`PlatformError::Worker`].
+pub fn run_sweep(
+    scenarios: Vec<Scenario>,
+    threads: usize,
+) -> Result<Vec<(String, PlatformReport)>, PlatformError> {
+    fastg_par::try_par_map(scenarios, threads, |_, scenario| {
+        let name = scenario.name.clone();
+        Ok((name, scenario.run()?))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<Scenario> {
+        [12.0, 24.0]
+            .iter()
+            .map(|&sm| {
+                Scenario::new(
+                    format!("resnet-sm{sm}"),
+                    PlatformConfig::default()
+                        .nodes(1)
+                        .warmup(SimTime::from_millis(200))
+                        .seed(7),
+                )
+                .function(
+                    FunctionConfig::new("f", "resnet50")
+                        .replicas(1)
+                        .resources(sm, 0.4, 1.0)
+                        .saturating(),
+                )
+                .duration(SimTime::from_millis(700))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_returns_input_order_and_matches_sequential() {
+        let seq = run_sweep(grid(), 1).expect("sequential sweep");
+        let par = run_sweep(grid(), 3).expect("parallel sweep");
+        assert_eq!(seq.len(), 2);
+        let names: Vec<&str> = par.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["resnet-sm12", "resnet-sm24"]);
+        for ((n1, r1), (n2, r2)) in seq.iter().zip(&par) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1.digest(), r2.digest());
+        }
+    }
+
+    #[test]
+    fn bad_load_index_is_a_typed_error() {
+        let sc = Scenario::new("bad", PlatformConfig::default().nodes(1))
+            .load(0, ArrivalProcess::poisson(10.0, 1));
+        assert_eq!(sc.run().unwrap_err(), PlatformError::UnknownFunction);
+    }
+
+    #[test]
+    fn unknown_model_propagates_through_sweep() {
+        let sc = Scenario::new("ghost", PlatformConfig::default().nodes(1))
+            .function(FunctionConfig::new("f", "not-a-model"));
+        match run_sweep(vec![sc], 2) {
+            Err(PlatformError::UnknownModel(name)) => assert_eq!(name, "not-a-model"),
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+    }
+}

@@ -3,7 +3,8 @@
 use super::config::ConfigServer;
 use super::db::{ProfileDb, ProfileKey, ProfileRecord};
 use crate::manager::SharingPolicy;
-use crate::platform::{FunctionConfig, Platform, PlatformConfig};
+use crate::platform::{FunctionConfig, Platform, PlatformConfig, PlatformError};
+use fastg_cluster::FuncId;
 use fastg_des::SimTime;
 
 /// One trial's collected metrics (what the Client stores in the DB).
@@ -58,8 +59,10 @@ impl Experiment {
         &self.model
     }
 
-    /// Runs one trial at `(sm %, quota)`.
-    pub fn run_trial(&self, sm: f64, quota: f64) -> Result<TrialResult, String> {
+    /// Starts a trial at `(sm %, quota)` without running any simulated
+    /// time: builds the dedicated one-GPU platform and deploys the
+    /// saturating pod. Drive it with [`TrialRun::extend_to`].
+    pub fn start_trial(&self, sm: f64, quota: f64) -> Result<TrialRun, PlatformError> {
         let mut platform = Platform::new(
             PlatformConfig::default()
                 .nodes(1)
@@ -72,24 +75,23 @@ impl Experiment {
                 .resources(sm, quota, quota)
                 .saturating(),
         )?;
-        let report = platform.run_for(self.warmup + self.trial_duration);
-        let f = &report.functions[&func];
-        let node = &report.nodes[0];
-        Ok(TrialResult {
+        Ok(TrialRun {
+            platform,
+            func,
             key: ProfileKey::new(sm, quota),
-            record: ProfileRecord {
-                rps: f.throughput_rps,
-                p50: f.p50,
-                p99: f.p99,
-                utilization: node.utilization,
-                sm_occupancy: node.sm_occupancy,
-            },
+            warmup: self.warmup,
         })
+    }
+
+    /// Runs one trial at `(sm %, quota)` for the experiment's
+    /// `trial_duration`.
+    pub fn run_trial(&self, sm: f64, quota: f64) -> Result<TrialResult, PlatformError> {
+        Ok(self.start_trial(sm, quota)?.extend_to(self.trial_duration))
     }
 
     /// Runs the whole experiment, inserting every trial into `db` under
     /// the model's name. Returns the trials in sampling order.
-    pub fn run(&self, db: &mut ProfileDb) -> Result<Vec<TrialResult>, String> {
+    pub fn run(&self, db: &mut ProfileDb) -> Result<Vec<TrialResult>, PlatformError> {
         let mut out = Vec::new();
         for (sm, quota) in self.server.sample() {
             let trial = self.run_trial(sm, quota)?;
@@ -99,52 +101,71 @@ impl Experiment {
         Ok(out)
     }
 
-    /// Runs the experiment with trials spread over `threads` OS threads.
+    /// Runs the experiment with trials spread over `threads` worker
+    /// threads via `fastg-par`.
     ///
     /// Each trial is a fully independent simulation (own platform, own
     /// seed), so this is embarrassingly parallel; results are returned in
     /// sampling order and the database content is identical to
     /// [`Self::run`] — parallelism changes wall-clock time only, never
-    /// results.
+    /// results. A panicking trial surfaces as [`PlatformError::Worker`].
     pub fn run_parallel(
         &self,
         db: &mut ProfileDb,
         threads: usize,
-    ) -> Result<Vec<TrialResult>, String> {
-        debug_assert!(threads > 0, "zero worker threads");
-        let threads = threads.max(1);
+    ) -> Result<Vec<TrialResult>, PlatformError> {
         let points = self.server.sample();
-        let mut results: Vec<Option<Result<TrialResult, String>>> = Vec::new();
-        results.resize_with(points.len(), || None);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let slots: Vec<std::sync::Mutex<Option<Result<TrialResult, String>>>> =
-            (0..points.len()).map(|_| std::sync::Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(points.len().max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(sm, quota)) = points.get(i) else {
-                        break;
-                    };
-                    let r = self.run_trial(sm, quota);
-                    if let Ok(mut slot) = slots[i].lock() {
-                        *slot = Some(r);
-                    }
-                });
-            }
-        });
-        for (i, slot) in slots.into_iter().enumerate() {
-            results[i] = slot.into_inner().unwrap_or(None);
-        }
-        let mut out = Vec::with_capacity(points.len());
-        for r in results {
-            // A missing slot means a worker died (poisoned lock): surface
-            // it as a trial error instead of panicking the whole search.
-            let trial = r.ok_or("profiling trial did not complete")??;
+        let out = fastg_par::try_par_map(points, threads, |_, (sm, quota)| {
+            self.run_trial(sm, quota)
+        })?;
+        for trial in &out {
             db.insert(&self.model, trial.key, trial.record);
-            out.push(trial);
         }
         Ok(out)
+    }
+}
+
+/// A live, resumable trial: the platform keeps its simulated state
+/// between measurements, so a search round that doubles the trial
+/// duration only pays the *incremental* simulated time instead of
+/// re-running the survivor's configuration from scratch.
+pub struct TrialRun {
+    platform: Platform,
+    func: FuncId,
+    key: ProfileKey,
+    warmup: SimTime,
+}
+
+impl TrialRun {
+    /// The configuration under measurement.
+    pub fn key(&self) -> ProfileKey {
+        self.key
+    }
+
+    /// Post-warmup simulated time this trial has already measured.
+    pub fn measured(&self) -> SimTime {
+        self.platform.now().saturating_sub(self.warmup)
+    }
+
+    /// Advances the trial until `trial_duration` of post-warmup time has
+    /// been measured (a no-op if already there) and reports the
+    /// cumulative measurement.
+    pub fn extend_to(&mut self, trial_duration: SimTime) -> TrialResult {
+        let deadline = self.warmup + trial_duration;
+        let delta = deadline.saturating_sub(self.platform.now());
+        let report = self.platform.run_for(delta);
+        let f = &report.functions[&self.func];
+        let node = &report.nodes[0];
+        TrialResult {
+            key: self.key,
+            record: ProfileRecord {
+                rps: f.throughput_rps,
+                p50: f.p50,
+                p99: f.p99,
+                utilization: node.utilization,
+                sm_occupancy: node.sm_occupancy,
+            },
+        }
     }
 }
 

@@ -15,7 +15,8 @@
 //!   were never run (the regression-model role in Morphling).
 
 use super::db::{ProfileDb, ProfileKey};
-use super::experiment::Experiment;
+use super::experiment::{Experiment, TrialRun};
+use crate::platform::PlatformError;
 use crate::profiler::config::{ConfigServer, SamplePlan};
 use crate::scheduler::ConfigPoint;
 use fastg_des::SimTime;
@@ -72,50 +73,96 @@ impl SuccessiveHalving {
         }
     }
 
+    /// Runs the search with one worker thread per candidate slot as
+    /// resolved from the environment (`FASTG_THREADS`, defaulting to the
+    /// machine's parallelism). See [`Self::run_with_threads`].
+    pub fn run(&self, db: &mut ProfileDb) -> Result<SearchResult, PlatformError> {
+        self.run_with_threads(db, fastg_par::resolve_threads(None))
+    }
+
     /// Runs the search. Every trial's measurement is inserted into `db`
     /// (later rounds overwrite earlier, cheaper measurements of the same
     /// key), and the winner is returned.
-    pub fn run(&self, db: &mut ProfileDb) -> Result<SearchResult, String> {
+    ///
+    /// All candidates of a round run concurrently over `threads` worker
+    /// threads, and each survivor *carries its live platform forward*
+    /// between rounds: doubling the trial duration only simulates the
+    /// incremental time, instead of re-running the survivor's
+    /// configuration from scratch. The thread count never changes the
+    /// result — trials are independent seeded simulations collected in
+    /// candidate order.
+    pub fn run_with_threads(
+        &self,
+        db: &mut ProfileDb,
+        threads: usize,
+    ) -> Result<SearchResult, PlatformError> {
         debug_assert!(self.eta >= 2, "eta must halve at least");
         let eta = self.eta.max(2);
-        let mut pool = self.candidates.clone();
+        let mut experiment = Experiment::new(
+            &self.model,
+            ConfigServer::new(SamplePlan::Grid {
+                spatial: vec![],
+                temporal: vec![],
+            }),
+        );
+        experiment.seed = self.seed;
+        let mut pool: Vec<((f64, f64), Option<TrialRun>)> =
+            self.candidates.iter().map(|&c| (c, None)).collect();
         let mut duration = self.base_trial;
         let mut trials = 0usize;
         let mut sim_seconds = 0.0f64;
         while pool.len() > 1 {
-            let experiment =
-                Experiment::new(&self.model, ConfigServer::new(SamplePlan::Grid {
-                    spatial: vec![],
-                    temporal: vec![],
-                }))
-                .trial_duration(duration);
-            let mut scored: Vec<((f64, f64), f64)> = Vec::with_capacity(pool.len());
-            for &(sm, q) in &pool {
-                let trial = experiment.run_trial(sm, q)?;
+            let pool_len = pool.len();
+            let measured = fastg_par::try_par_map(pool, threads, |_, ((sm, q), run)| {
+                let mut run = match run {
+                    Some(run) => run,
+                    None => experiment.start_trial(sm, q)?,
+                };
+                let already = run.measured();
+                let trial = run.extend_to(duration);
+                let paid = duration.saturating_sub(already);
+                Ok::<_, PlatformError>(((sm, q), run, trial, paid))
+            })?;
+            let mut scored = Vec::with_capacity(measured.len());
+            for ((sm, q), run, trial, paid) in measured {
                 db.insert(&self.model, trial.key, trial.record);
                 trials += 1;
-                sim_seconds += duration.as_secs_f64();
+                sim_seconds += paid.as_secs_f64();
                 let rpr = trial.record.rps / (sm / 100.0 * q);
-                scored.push(((sm, q), rpr));
+                scored.push((((sm, q), run), rpr));
             }
             // Keep the top 1/eta (at least one), deterministic ties.
             scored.sort_by(|a, b| {
                 b.1.partial_cmp(&a.1)
                     .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal))
+                    .then(
+                        (a.0)
+                            .0
+                            .partial_cmp(&(b.0).0)
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
             });
-            let keep = (pool.len() / eta).max(1);
-            pool = scored.into_iter().take(keep).map(|(c, _)| c).collect();
+            let keep = (pool_len / eta).max(1);
+            pool = scored
+                .into_iter()
+                .take(keep)
+                .map(|(((sm, q), run), _)| ((sm, q), Some(run)))
+                .collect();
             duration = duration * 2;
         }
-        let (sm, q) = pool[0];
-        // Final high-fidelity measurement of the winner.
-        let final_trial = Experiment::new(&self.model, ConfigServer::paper_grid())
-            .trial_duration(SimTime::from_secs(3))
-            .run_trial(sm, q)?;
+        // Final high-fidelity measurement of the winner: extend its live
+        // run to 3 s of measured time (paying only the remainder).
+        let ((sm, q), run) = pool.remove(0);
+        let mut run = match run {
+            Some(run) => run,
+            None => experiment.start_trial(sm, q)?,
+        };
+        let fidelity = SimTime::from_secs(3).max(run.measured());
+        let paid = fidelity.saturating_sub(run.measured());
+        let final_trial = run.extend_to(fidelity);
         db.insert(&self.model, final_trial.key, final_trial.record);
         trials += 1;
-        sim_seconds += 3.0;
+        sim_seconds += paid.as_secs_f64();
         Ok(SearchResult {
             best: ConfigPoint {
                 sm,

@@ -30,7 +30,7 @@ use crate::metrics::GpuMetrics;
 use crate::mps::{MpsError, MpsMode, MpsServer};
 use crate::spec::GpuSpec;
 use fastg_des::SimTime;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 pub use crate::mps::ClientId;
 
@@ -137,8 +137,13 @@ pub struct GpuDevice {
     memory: GpuMemory,
     metrics: GpuMetrics,
     free_sms: u32,
-    streams: BTreeMap<ClientId, ClientStream>,
-    running: BTreeMap<KernelId, Running>,
+    /// Per-client streams, keyed by linear scan: a device hosts a handful
+    /// of clients, and the kernel-completion path runs hot enough that a
+    /// short Vec probe beats tree traversal.
+    streams: Vec<(ClientId, ClientStream)>,
+    /// Resident kernels (same linear-scan rationale; at most one kernel
+    /// per client stream is resident at a time).
+    running: Vec<(KernelId, Running)>,
     /// Clients whose stream head is ready but could not be granted SMs,
     /// in arrival order.
     wait_queue: VecDeque<ClientId>,
@@ -162,8 +167,8 @@ impl GpuDevice {
             memory,
             metrics,
             free_sms,
-            streams: BTreeMap::new(),
-            running: BTreeMap::new(),
+            streams: Vec::new(),
+            running: Vec::new(),
             wait_queue: VecDeque::new(),
             next_kernel: 0,
             clock_scale: 1.0,
@@ -218,6 +223,13 @@ impl GpuDevice {
         self.clock_scale = if factor > 0.0 { factor } else { 1.0 };
     }
 
+    fn stream_mut(&mut self, client: ClientId) -> Option<&mut ClientStream> {
+        self.streams
+            .iter_mut()
+            .find(|(id, _)| *id == client)
+            .map(|(_, s)| s)
+    }
+
     /// Hard-resets the device, as when its node loses power: every resident
     /// kernel is aborted (accounted as busy time but not as a completion),
     /// all queued work is discarded, every MPS client is unregistered, all
@@ -247,7 +259,7 @@ impl GpuDevice {
     /// [`Self::hard_reset`] all previously resident kernels report `false`;
     /// callers use this to discard stale finish events.
     pub fn is_resident(&self, kernel: KernelId) -> bool {
-        self.running.contains_key(&kernel)
+        self.running.iter().any(|(id, _)| *id == kernel)
     }
 
     /// Number of kernels currently resident.
@@ -258,7 +270,7 @@ impl GpuDevice {
     /// Registers an MPS client with an active-thread percentage.
     pub fn register_client(&mut self, percentage: f64) -> Result<ClientId, MpsError> {
         let id = self.mps.register(percentage)?;
-        self.streams.insert(id, ClientStream::default());
+        self.streams.push((id, ClientStream::default()));
         Ok(id)
     }
 
@@ -275,12 +287,12 @@ impl GpuDevice {
     /// resident kernels — the caller (pod teardown) must drain first; the
     /// client stays registered.
     pub fn unregister_client(&mut self, client: ClientId) -> Result<(), GpuError> {
-        if let Some(s) = self.streams.get(&client) {
+        if let Some((_, s)) = self.streams.iter().find(|(id, _)| *id == client) {
             if !s.queued.is_empty() || s.running.is_some() {
                 return Err(GpuError::WorkInFlight(client));
             }
         }
-        self.streams.remove(&client);
+        self.streams.retain(|(id, _)| *id != client);
         self.wait_queue.retain(|&c| c != client);
         self.mps.unregister(client)?;
         Ok(())
@@ -298,13 +310,14 @@ impl GpuDevice {
         if !self.mps.is_registered(client) {
             return Err(GpuError::Mps(MpsError::UnknownClient(client)));
         }
-        let Some(stream) = self.streams.get_mut(&client) else {
+        let has_free_sms = self.free_sms > 0;
+        let Some(stream) = self.stream_mut(client) else {
             debug_assert!(false, "registered client {client:?} has no stream");
             return Err(GpuError::MissingStream(client));
         };
         stream.queued.push_back(desc);
         if stream.running.is_none() && !stream.waiting {
-            if self.free_sms > 0 {
+            if has_free_sms {
                 return self.start_head(now, client).map(Some);
             }
             stream.waiting = true;
@@ -326,10 +339,26 @@ impl GpuDevice {
         now: SimTime,
         kernel: KernelId,
     ) -> Result<(KernelDone, Vec<KernelStart>), GpuError> {
-        let run = self
+        let mut started = Vec::new();
+        let done = self.on_kernel_finish_into(now, kernel, &mut started)?;
+        Ok((done, started))
+    }
+
+    /// Like [`Self::on_kernel_finish`], but appends the newly started
+    /// kernels to a caller-supplied buffer so the simulation's hottest
+    /// event handler can reuse one allocation across every completion.
+    pub fn on_kernel_finish_into(
+        &mut self,
+        now: SimTime,
+        kernel: KernelId,
+        started: &mut Vec<KernelStart>,
+    ) -> Result<KernelDone, GpuError> {
+        let i = self
             .running
-            .remove(&kernel)
+            .iter()
+            .position(|(id, _)| *id == kernel)
             .ok_or(GpuError::KernelNotResident(kernel))?;
+        let (_, run) = self.running.swap_remove(i);
         self.free_sms += run.granted;
         debug_assert!(self.free_sms <= self.spec.sm_count);
         let gpu_time = now - run.started;
@@ -345,7 +374,7 @@ impl GpuDevice {
 
         // The owner's stream is now idle; if it has queued work it joins the
         // back of the wait queue (round-robin fairness across clients).
-        if let Some(stream) = self.streams.get_mut(&run.client) {
+        if let Some(stream) = self.stream_mut(run.client) {
             stream.running = None;
             if !stream.queued.is_empty() && !stream.waiting {
                 stream.waiting = true;
@@ -356,12 +385,11 @@ impl GpuDevice {
         }
 
         // Admit waiting clients while SMs remain.
-        let mut started = Vec::new();
         while self.free_sms > 0 {
             let Some(client) = self.wait_queue.pop_front() else {
                 break;
             };
-            let Some(stream) = self.streams.get_mut(&client) else {
+            let Some(stream) = self.stream_mut(client) else {
                 debug_assert!(false, "waiting client {client:?} has no stream");
                 continue;
             };
@@ -371,7 +399,7 @@ impl GpuDevice {
             }
             started.push(self.start_head(now, client)?);
         }
-        Ok((done, started))
+        Ok(done)
     }
 
     /// Starts the head kernel of `client`'s stream. Caller guarantees the
@@ -382,11 +410,7 @@ impl GpuDevice {
             debug_assert!(false, "start_head on unregistered client {client:?}");
             return Err(GpuError::Mps(MpsError::UnknownClient(client)));
         };
-        let Some(desc) = self
-            .streams
-            .get_mut(&client)
-            .and_then(|s| s.queued.pop_front())
-        else {
+        let Some(desc) = self.stream_mut(client).and_then(|s| s.queued.pop_front()) else {
             debug_assert!(false, "start_head on empty stream for {client:?}");
             return Err(GpuError::MissingStream(client));
         };
@@ -404,10 +428,10 @@ impl GpuDevice {
         let id = KernelId(self.next_kernel);
         self.next_kernel += 1;
         self.free_sms -= granted;
-        if let Some(stream) = self.streams.get_mut(&client) {
+        if let Some(stream) = self.stream_mut(client) {
             stream.running = Some(id);
         }
-        self.running.insert(
+        self.running.push((
             id,
             Running {
                 client,
@@ -415,7 +439,7 @@ impl GpuDevice {
                 granted,
                 started: now,
             },
-        );
+        ));
         self.metrics.kernel_started(now, granted);
         Ok(KernelStart {
             kernel: id,

@@ -25,6 +25,13 @@
 //! * **`no-lossy-cast`** — integer `as` casts are denied everywhere; use
 //!   `From`/`TryFrom` or widen the accumulator so quota/memory accounting
 //!   can never silently truncate.
+//! * **`no-threads-outside-par`** — `std::thread` and the blocking
+//!   `std::sync` primitives (`Mutex`, `RwLock`, `Condvar`, channels,
+//!   atomics) are denied in library code outside `crates/par`: all
+//!   parallelism must flow through `fastg-par`, whose input-order result
+//!   collection is what keeps sweeps byte-identical across thread counts.
+//!   `Arc` stays allowed (immutable sharing is deterministic); binaries,
+//!   tests and benches are exempt.
 //!
 //! Diagnostics carry `file:line:col` positions. Existing violations are
 //! allowlisted per-rule-per-file in a checked-in baseline
@@ -44,14 +51,17 @@ pub const NO_UNORDERED_ITER: &str = "no-unordered-iter";
 pub const NO_FLOAT_EQ: &str = "no-float-eq";
 /// Deny integer `as` casts.
 pub const NO_LOSSY_CAST: &str = "no-lossy-cast";
+/// Deny raw threading/synchronization primitives outside `crates/par`.
+pub const NO_THREADS: &str = "no-threads-outside-par";
 
 /// Every rule, in diagnostic order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     NO_PANIC,
     NO_WALLCLOCK,
     NO_UNORDERED_ITER,
     NO_FLOAT_EQ,
     NO_LOSSY_CAST,
+    NO_THREADS,
 ];
 
 /// One finding at a source position.
@@ -86,6 +96,8 @@ pub struct FileScope {
     pub lib_code: bool,
     /// `no-wallclock` / `no-unordered-iter` apply (deterministic crate).
     pub deterministic: bool,
+    /// `no-threads-outside-par` applies (library code outside `crates/par`).
+    pub threads_banned: bool,
 }
 
 impl FileScope {
@@ -94,6 +106,7 @@ impl FileScope {
         FileScope {
             lib_code: true,
             deterministic: true,
+            threads_banned: true,
         }
     }
 }
@@ -124,9 +137,11 @@ pub fn classify(rel_path: &str) -> Option<FileScope> {
     let deterministic = DETERMINISTIC_CRATES
         .iter()
         .any(|prefix| rel_path.starts_with(prefix));
+    let lib_code = !in_bin;
     Some(FileScope {
-        lib_code: !in_bin,
+        lib_code,
         deterministic,
+        threads_banned: lib_code && !rel_path.starts_with("crates/par/"),
     })
 }
 
@@ -533,10 +548,38 @@ pub fn scan_file(rel_path: &str, source: &str, scope: FileScope) -> Vec<Diagnost
             );
         });
     }
+    if scope.threads_banned {
+        scan_words(code, &THREAD_WORDS, |off, word| {
+            push(
+                NO_THREADS,
+                off,
+                format!(
+                    "`{word}` is a raw threading primitive; parallelism outside `crates/par` \
+                     must go through `fastg_par::par_map` to stay deterministic"
+                ),
+            );
+        });
+    }
     scan_float_eq(code, &mut push);
     scan_lossy_cast(code, &mut push);
     out
 }
+
+/// Tokens denied by `no-threads-outside-par`. `Arc` is deliberately
+/// absent: shared immutable data is deterministic.
+const THREAD_WORDS: [&str; 11] = [
+    "thread",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "JoinHandle",
+    "mpsc",
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicIsize",
+    "AtomicU64",
+    "AtomicU32",
+];
 
 fn scan_no_panic(code: &[u8], push: &mut impl FnMut(&'static str, usize, String)) {
     // Method calls: `.unwrap()` and `.expect(`.
@@ -942,7 +985,7 @@ mod tests {
     fn wallclock_and_hash_flagged_in_deterministic_scope_only() {
         let src = "use std::time::Instant;\nuse std::collections::HashMap;\n";
         assert_eq!(scan(src).len(), 2);
-        let lib_only = FileScope { lib_code: true, deterministic: false };
+        let lib_only = FileScope { lib_code: true, deterministic: false, threads_banned: false };
         assert!(scan_file("lib.rs", src, lib_only).is_empty());
     }
 
@@ -974,7 +1017,7 @@ mod tests {
 
     #[test]
     fn bin_scope_skips_no_panic_only() {
-        let scope = FileScope { lib_code: false, deterministic: true };
+        let scope = FileScope { lib_code: false, deterministic: true, threads_banned: false };
         let src = "fn main() { x.unwrap(); let m: HashMap<u8, u8> = HashMap::new(); }";
         let d = scan_file("main.rs", src, scope);
         assert!(d.iter().all(|d| d.rule == NO_UNORDERED_ITER));
@@ -982,11 +1025,24 @@ mod tests {
     }
 
     #[test]
+    fn thread_primitives_flagged_outside_par() {
+        let src = "use std::sync::Mutex;\nfn f() { std::thread::spawn(|| {}); }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.rule == NO_THREADS));
+        // Arc and plural identifiers stay clean; scope off disables it.
+        assert!(scan("use std::sync::Arc;\nfn f(threads: usize) {}\n").is_empty());
+        let par_scope = FileScope { lib_code: true, deterministic: false, threads_banned: false };
+        assert!(scan_file("crates/par/src/lib.rs", src, par_scope).is_empty());
+    }
+
+    #[test]
     fn classify_paths() {
-        assert_eq!(classify("crates/gpu/src/device.rs"), Some(FileScope { lib_code: true, deterministic: true }));
-        assert_eq!(classify("crates/workload/src/rate.rs"), Some(FileScope { lib_code: true, deterministic: false }));
-        assert_eq!(classify("crates/core/src/bin/fastgshare.rs"), Some(FileScope { lib_code: false, deterministic: true }));
-        assert_eq!(classify("crates/lint/src/main.rs"), Some(FileScope { lib_code: false, deterministic: false }));
+        assert_eq!(classify("crates/gpu/src/device.rs"), Some(FileScope { lib_code: true, deterministic: true, threads_banned: true }));
+        assert_eq!(classify("crates/workload/src/rate.rs"), Some(FileScope { lib_code: true, deterministic: false, threads_banned: true }));
+        assert_eq!(classify("crates/par/src/lib.rs"), Some(FileScope { lib_code: true, deterministic: false, threads_banned: false }));
+        assert_eq!(classify("crates/core/src/bin/fastgshare.rs"), Some(FileScope { lib_code: false, deterministic: true, threads_banned: false }));
+        assert_eq!(classify("crates/lint/src/main.rs"), Some(FileScope { lib_code: false, deterministic: false, threads_banned: false }));
         assert_eq!(classify("crates/gpu/tests/scenarios.rs"), None);
         assert_eq!(classify("tests/end_to_end.rs"), None);
         assert_eq!(classify("examples/quickstart.rs"), None);

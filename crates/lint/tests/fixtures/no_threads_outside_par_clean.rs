@@ -1,0 +1,10 @@
+// Fixture: deterministic parallelism `no-threads-outside-par` must NOT
+// flag. `Arc` (immutable sharing) is allowed, plural identifiers like
+// `threads` are not the banned token, and `fastg_par` is the sanctioned
+// entry point for worker threads.
+use std::sync::Arc;
+
+pub fn sweep(threads: usize, items: Vec<u64>) -> Vec<u64> {
+    let shared = Arc::new(items);
+    fastg_par::par_map((0..shared.len()).collect(), threads, |_, i| shared[i] * 2)
+}

@@ -1,0 +1,13 @@
+// Fixture: raw threading primitives `no-threads-outside-par` must flag
+// (8 findings: Mutex ×2, RwLock ×2, Condvar ×2, mpsc, thread).
+use std::sync::{Condvar, Mutex, RwLock};
+
+pub fn spawn_worker() {
+    let guard = Mutex::new(0u64);
+    let lock = RwLock::new(0u64);
+    let cv = Condvar::new();
+    let (tx, rx) = std::sync::mpsc::channel::<u64>();
+    std::thread::scope(|s| {
+        let _ = (&guard, &lock, &cv, &tx, &rx, s);
+    });
+}

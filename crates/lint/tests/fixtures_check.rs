@@ -3,7 +3,7 @@
 //! an end-to-end round trip of `lint-baseline.json` through the real
 //! `--update-baseline` / `--check` CLI.
 
-use fastg_lint::{scan_file, FileScope, NO_FLOAT_EQ, NO_LOSSY_CAST, NO_PANIC, NO_UNORDERED_ITER, NO_WALLCLOCK};
+use fastg_lint::{scan_file, FileScope, NO_FLOAT_EQ, NO_LOSSY_CAST, NO_PANIC, NO_THREADS, NO_UNORDERED_ITER, NO_WALLCLOCK};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -53,6 +53,12 @@ fn no_lossy_cast_fixture_pair() {
 }
 
 #[test]
+fn no_threads_outside_par_fixture_pair() {
+    assert_eq!(rule_hits("no_threads_outside_par_violation.rs", NO_THREADS), 8);
+    assert_eq!(rule_hits("no_threads_outside_par_clean.rs", NO_THREADS), 0);
+}
+
+#[test]
 fn violating_fixtures_have_no_cross_rule_noise() {
     // Each violating fixture triggers ONLY its own rule (so the pairs stay
     // honest as rules evolve). The lossy-cast fixture's `as f64` line in
@@ -62,6 +68,7 @@ fn violating_fixtures_have_no_cross_rule_noise() {
         ("no_wallclock_violation.rs", NO_WALLCLOCK),
         ("no_unordered_iter_violation.rs", NO_UNORDERED_ITER),
         ("no_lossy_cast_violation.rs", NO_LOSSY_CAST),
+        ("no_threads_outside_par_violation.rs", NO_THREADS),
     ] {
         let diags = scan_file(file, &fixture(file), FileScope::full());
         assert!(

@@ -32,4 +32,4 @@ pub mod run;
 pub mod zoo;
 
 pub use profile::{KernelSpec, MemoryFootprint, ModelProfile, Stage};
-pub use run::{InferenceRun, Op};
+pub use run::{InferenceRun, Op, StageOp};

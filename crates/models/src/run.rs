@@ -17,6 +17,22 @@ pub enum Op {
     Done,
 }
 
+/// The next operation, with the burst identified *by stage index* instead
+/// of a cloned kernel vector. [`InferenceRun::advance_indexed`] returns
+/// this so per-request hot paths can iterate
+/// `profile.stages[i].kernels` through their own `Arc<ModelProfile>`
+/// handle — the per-stage `Vec<KernelSpec>` clone in [`Op::Burst`] is the
+/// single largest allocation source in a saturated simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageOp {
+    /// Spend host-side time (GPU idle for this request).
+    Host(SimTime),
+    /// Launch the kernels of `profile.stages[index]`, then synchronize.
+    Burst(usize),
+    /// The request is complete.
+    Done,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     Host,
@@ -54,22 +70,35 @@ impl InferenceRun {
     /// of zero length and empty bursts are skipped. After `Done` is
     /// returned, subsequent calls keep returning `Done`.
     pub fn advance(&mut self) -> Op {
+        match self.advance_indexed() {
+            StageOp::Host(t) => Op::Host(t),
+            StageOp::Burst(i) => Op::Burst(self.profile.stages[i].kernels.clone()),
+            StageOp::Done => Op::Done,
+        }
+    }
+
+    /// Allocation-free variant of [`advance`](Self::advance): bursts are
+    /// returned as a stage index into [`profile`](Self::profile) rather
+    /// than a cloned kernel vector. The indexed stage is guaranteed to
+    /// have a non-empty kernel list.
+    pub fn advance_indexed(&mut self) -> StageOp {
         loop {
             let Some(stage) = self.profile.stages.get(self.stage) else {
-                return Op::Done;
+                return StageOp::Done;
             };
             match self.phase {
                 Phase::Host => {
                     self.phase = Phase::Burst;
                     if stage.host > SimTime::ZERO {
-                        return Op::Host(stage.host);
+                        return StageOp::Host(stage.host);
                     }
                 }
                 Phase::Burst => {
+                    let index = self.stage;
                     self.phase = Phase::Host;
                     self.stage += 1;
                     if !stage.kernels.is_empty() {
-                        return Op::Burst(stage.kernels.clone());
+                        return StageOp::Burst(index);
                     }
                 }
             }

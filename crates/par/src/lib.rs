@@ -1,0 +1,357 @@
+//! # fastg-par — deterministic parallel execution for independent runs
+//!
+//! Every sweep in this workspace — the Figure 8 profiler grid, a
+//! `SuccessiveHalving` round, the figure benches — is a fan-out of
+//! *independent, seeded, deterministic* simulations. Parallelism across
+//! such runs is purely a wall-clock optimization: each run owns all of
+//! its state, so executing them on worker threads and collecting results
+//! **in input order** produces byte-identical output to the sequential
+//! loop, regardless of completion order.
+//!
+//! This crate is the only place in the workspace allowed to touch
+//! `std::thread` / `std::sync` (enforced by `fastg-lint`'s
+//! `no-threads-outside-par` rule): the DES core stays provably
+//! single-threaded, and callers opt into parallelism through [`par_map`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism** — results are returned in input order; worker
+//!    scheduling can never leak into the output. `threads = 1` takes an
+//!    exact sequential path (no threads spawned, no queue, same closure
+//!    call order as a `for` loop).
+//! 2. **No dependencies** — scoped `std::thread`s and a fixed-chunk
+//!    atomic work queue, consistent with the offline-shims policy (no
+//!    rayon).
+//! 3. **Typed failure** — a panicking worker item is captured
+//!    ([`std::panic::catch_unwind`]) and surfaced as
+//!    [`ParError::WorkerPanic`] with the item index, instead of tearing
+//!    down the whole sweep.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-thread count for every
+/// sweep that resolves its threads through [`resolve_threads`].
+pub const THREADS_ENV: &str = "FASTG_THREADS";
+
+/// Items claimed per queue operation. Each item here is a whole
+/// simulation (milliseconds to seconds of work), so the finest chunk
+/// gives the best load balance across heterogeneous run lengths while
+/// the claim itself (one `fetch_add`) stays negligible.
+const CHUNK: usize = 1;
+
+/// An error from a parallel map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParError {
+    /// The closure panicked while processing the item at `index`.
+    WorkerPanic {
+        /// Input-order index of the item whose closure panicked.
+        index: usize,
+        /// Rendered panic payload (`&str`/`String` payloads verbatim).
+        message: String,
+    },
+    /// A worker thread died outside the per-item panic capture, losing
+    /// the items it had claimed. This indicates a bug in `fastg-par`
+    /// itself rather than in the caller's closure.
+    WorkerLost,
+}
+
+impl std::fmt::Display for ParError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParError::WorkerPanic { index, message } => {
+                write!(f, "worker panicked on item {index}: {message}")
+            }
+            ParError::WorkerLost => write!(f, "a worker thread was lost mid-sweep"),
+        }
+    }
+}
+
+impl std::error::Error for ParError {}
+
+/// Resolves a worker-thread count: an explicit request wins, then the
+/// `FASTG_THREADS` environment variable, then the machine's available
+/// parallelism. The result is always ≥ 1.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Maps `f` over `items` on `threads` worker threads, returning results
+/// **in input order**.
+///
+/// The closure receives `(index, item)` and takes ownership of the item;
+/// state can therefore be threaded *through* a sweep (e.g. a live
+/// simulation carried between search rounds). Items are claimed from a
+/// fixed-chunk atomic queue, so a slow run never staves the pool, and
+/// completion order cannot affect the output: slot `i` of the result is
+/// always the value `f(i, items[i])` produced, exactly as the sequential
+/// loop would produce it.
+///
+/// `threads = 1` (or a single item) is *exactly* the sequential path: no
+/// threads are spawned and items are processed in order. A panicking
+/// closure is captured in both modes and returned as
+/// [`ParError::WorkerPanic`] for the smallest failing index.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Result<Vec<R>, ParError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.into_iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(r) => out.push(r),
+                Err(p) => {
+                    return Err(ParError::WorkerPanic {
+                        index: i,
+                        message: panic_message(p),
+                    })
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    let total = items.len();
+    // Input items behind per-slot locks so any worker can claim-and-take,
+    // and output slots the same way; lock contention is nil because every
+    // slot is touched exactly once.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<Result<R, String>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= total {
+                    break;
+                }
+                let end = start.saturating_add(CHUNK).min(total);
+                for i in start..end {
+                    let item = match inputs[i].lock() {
+                        Ok(mut slot) => slot.take(),
+                        Err(_) => None,
+                    };
+                    let Some(item) = item else {
+                        continue;
+                    };
+                    let r = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                    if let Ok(mut slot) = outputs[i].lock() {
+                        *slot = Some(r.map_err(panic_message));
+                    }
+                }
+            });
+        }
+    });
+
+    let mut out = Vec::with_capacity(total);
+    for (i, slot) in outputs.into_iter().enumerate() {
+        match slot.into_inner().unwrap_or(None) {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(message)) => return Err(ParError::WorkerPanic { index: i, message }),
+            None => return Err(ParError::WorkerLost),
+        }
+    }
+    Ok(out)
+}
+
+/// [`par_map`] over a fallible closure: short-circuits to the error of
+/// the smallest failing input index (deterministic even when a later
+/// item fails first in wall-clock time). Panics still surface as
+/// [`ParError::WorkerPanic`], converted through `From`.
+pub fn try_par_map<T, R, E, F>(items: Vec<T>, threads: usize, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send + From<ParError>,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    let results = par_map(items, threads, f)?;
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order_any_thread_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = par_map(items.clone(), threads, |_, x| x * x).unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn order_survives_reversed_completion_order() {
+        // Early items sleep longest: completion order is the reverse of
+        // input order, output order must not be.
+        let items: Vec<u64> = (0..8).collect();
+        let got = par_map(items, 4, |i, x| {
+            std::thread::sleep(std::time::Duration::from_millis(8 - i as u64));
+            x * 10
+        })
+        .unwrap();
+        assert_eq!(got, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_thread_is_sequential_call_order() {
+        // With threads=1 the closure must observe strictly increasing
+        // indices (the exact sequential path).
+        let seen = Mutex::new(Vec::new());
+        par_map((0..16).collect::<Vec<u32>>(), 1, |i, x| {
+            if let Ok(mut s) = seen.lock() {
+                s.push(i);
+            }
+            x
+        })
+        .unwrap();
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen, (0..16).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<u32> = par_map(Vec::<u32>::new(), 4, |_, x| x).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn panic_is_captured_with_index() {
+        for threads in [1, 4] {
+            let err = par_map((0..10).collect::<Vec<u32>>(), threads, |i, x| {
+                assert!(i != 7, "boom at 7");
+                x
+            })
+            .unwrap_err();
+            match err {
+                ParError::WorkerPanic { index, message } => {
+                    assert_eq!(index, 7);
+                    assert!(message.contains("boom"), "message: {message}");
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn panic_error_is_smallest_index() {
+        // Two panicking items: the reported index must be the smaller
+        // one regardless of which worker hit its panic first.
+        let err = par_map((0..32).collect::<Vec<u32>>(), 4, |i, x| {
+            if i == 5 || i == 30 {
+                panic!("fail {i}");
+            }
+            x
+        })
+        .unwrap_err();
+        assert!(matches!(err, ParError::WorkerPanic { index: 5, .. }), "{err:?}");
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum TestErr {
+        Par(ParError),
+        Odd(usize),
+    }
+
+    impl From<ParError> for TestErr {
+        fn from(e: ParError) -> Self {
+            TestErr::Par(e)
+        }
+    }
+
+    #[test]
+    fn try_par_map_short_circuits_smallest_index() {
+        for threads in [1, 4] {
+            let err = try_par_map((0..20).collect::<Vec<u32>>(), threads, |i, x| {
+                if i % 2 == 1 && i > 10 {
+                    Err(TestErr::Odd(i))
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, TestErr::Odd(11), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_success() {
+        let got = try_par_map((0..10).collect::<Vec<u64>>(), 3, |_, x| {
+            Ok::<u64, TestErr>(x + 1)
+        })
+        .unwrap();
+        assert_eq!(got, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn owned_items_move_through() {
+        // Items are moved into the closure (not borrowed): simulate the
+        // carry-forward pattern where state flows through a round.
+        let states: Vec<Vec<u8>> = (0..6).map(|i| vec![i as u8]).collect();
+        let advanced = par_map(states, 4, |_, mut v| {
+            v.push(99);
+            v
+        })
+        .unwrap();
+        for (i, v) in advanced.iter().enumerate() {
+            assert_eq!(v, &vec![i as u8, 99]);
+        }
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "explicit zero clamps to 1");
+        // Env var path: set, resolve, unset. (Test processes may run
+        // concurrently; use a dedicated guard-free check since this is
+        // the only test touching the variable.)
+        std::env::set_var(THREADS_ENV, "5");
+        assert_eq!(resolve_threads(None), 5);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        let fallback = resolve_threads(None);
+        assert!(fallback >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let got = par_map(vec![1u32, 2], 16, |_, x| x * 2).unwrap();
+        assert_eq!(got, vec![2, 4]);
+    }
+}

@@ -4,7 +4,9 @@
 use fastg_des::SimTime;
 use fastg_workload::ArrivalProcess;
 use fastgshare::manager::SharingPolicy;
-use fastgshare::platform::{FaultKind, FaultPlan, FunctionConfig, Platform, PlatformConfig};
+use fastgshare::platform::{
+    run_sweep, FaultKind, FaultPlan, FunctionConfig, Platform, PlatformConfig, Scenario,
+};
 
 /// A run fingerprint: event count plus the externally visible outcomes.
 fn fingerprint(policy: SharingPolicy, seed: u64) -> (u64, u64, SimTime, SimTime, u64) {
@@ -143,6 +145,79 @@ fn report_digest_replays_exactly_under_faults() {
     // the fault-free trace), or this test would be vacuous.
     let (dc, _) = digest_run(None);
     assert_ne!(da, dc, "fault plan should change the trace");
+}
+
+/// A small sweep grid mixing clean and chaotic scenarios.
+fn sweep_grid(with_faults: bool) -> Vec<Scenario> {
+    [11u64, 12, 13]
+        .iter()
+        .map(|&seed| {
+            let mut cfg = PlatformConfig::default()
+                .nodes(2)
+                .policy(SharingPolicy::FaST)
+                .recovery(true)
+                .seed(seed);
+            if with_faults {
+                cfg = cfg.fault_plan(chaos_plan());
+            }
+            Scenario::new(format!("seed-{seed}"), cfg)
+                .function(
+                    FunctionConfig::new("resnet", "resnet50")
+                        .replicas(2)
+                        .resources(25.0, 0.5, 0.8),
+                )
+                .load(0, ArrivalProcess::poisson(50.0, seed.wrapping_add(2)))
+                .duration(SimTime::from_secs(5))
+        })
+        .collect()
+}
+
+/// Sequential scenario runs and `run_sweep` at 1 and 4 worker threads all
+/// produce byte-identical report digests, in input order — parallelism is
+/// a pure wall-clock optimization.
+#[test]
+fn sweep_digests_identical_across_thread_counts() {
+    let sequential: Vec<(String, u64)> = sweep_grid(false)
+        .into_iter()
+        .map(|sc| {
+            let name = sc.name.clone();
+            (name, sc.run().unwrap().digest())
+        })
+        .collect();
+    for threads in [1, 4] {
+        let swept = run_sweep(sweep_grid(false), threads).unwrap();
+        let digests: Vec<(String, u64)> = swept
+            .into_iter()
+            .map(|(name, report)| (name, report.digest()))
+            .collect();
+        assert_eq!(
+            digests, sequential,
+            "threads={threads} must replay the sequential digests in order"
+        );
+    }
+}
+
+/// The same holds with a chaos [`FaultPlan`] injected into every scenario:
+/// faults, drains and recovery ride the same deterministic event queue, so
+/// thread count still cannot perturb the trace.
+#[test]
+fn sweep_digests_identical_across_thread_counts_under_faults() {
+    let sequential: Vec<u64> = sweep_grid(true)
+        .into_iter()
+        .map(|sc| sc.run().unwrap().digest())
+        .collect();
+    for threads in [1, 4] {
+        let swept = run_sweep(sweep_grid(true), threads).unwrap();
+        let digests: Vec<u64> = swept.iter().map(|(_, r)| r.digest()).collect();
+        assert_eq!(digests, sequential, "threads={threads} chaos sweep diverged");
+    }
+    // The chaos grid must genuinely differ from the clean grid, or the
+    // fault half of this property would be vacuous.
+    let clean: Vec<u64> = sweep_grid(false)
+        .into_iter()
+        .map(|sc| sc.run().unwrap().digest())
+        .collect();
+    assert_ne!(sequential, clean, "fault plan should change every trace");
 }
 
 /// Two platforms advanced in different increments reach the same state:

@@ -4,11 +4,11 @@
 
 use fastg_des::SimTime;
 use fastg_workload::ArrivalProcess;
-use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig};
+use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig, PlatformError};
 
 const MIB: u64 = 1024 * 1024;
 
-fn deploy_n(model: &str, n: usize, sharing: bool) -> Result<(Platform, u64), String> {
+fn deploy_n(model: &str, n: usize, sharing: bool) -> Result<(Platform, u64), PlatformError> {
     let mut p = Platform::new(
         PlatformConfig::default()
             .nodes(1)

@@ -331,6 +331,8 @@ fn partial_deploy_failure_reports() {
     );
     // 3 × (60 × 50) = 9000 > … actually two fit (6000), the third fails.
     assert!(err.is_err());
-    assert!(err.unwrap_err().contains("new GPU required"));
+    let err = err.unwrap_err();
+    assert_eq!(err, fastgshare::platform::PlatformError::NoNodeFits);
+    assert!(err.to_string().contains("new GPU required"));
     assert_eq!(p.unschedulable_pods(), 1);
 }
