@@ -17,8 +17,8 @@ fn print_figure() {
         "model", "mechanism", "req/s", "util", "SM occ"
     );
     for model in ["resnet50", "rnnt"] {
-        let excl = run_sharing(SharingPolicy::Exclusive, model, 1, 100.0, 5, 101);
-        let ts = run_sharing(SharingPolicy::SingleToken, model, 8, 100.0, 5, 101);
+        let excl = run_sharing(SharingPolicy::Exclusive, model, 1, 100.0, 5, 101).expect("runs");
+        let ts = run_sharing(SharingPolicy::SingleToken, model, 8, 100.0, 5, 101).expect("runs");
         println!(
             "{model:<10} {:<28} {:>10.1} {:>7.1}% {:>7.1}%",
             "device plugin (1 pod)",

@@ -55,7 +55,7 @@ fn print_figure() {
         for label in ["racing", "12% part", "24% part"] {
             for pods in [1usize, 2, 4, 8] {
                 let (_, report) = rows.next().expect("grid row");
-                let o = sharing_outcome(report);
+                let o = sharing_outcome(report).expect("grid row shape");
                 println!(
                     "{label:<10} {pods:>5} {:>10.1} {:>10} {:>7.1}% {:>7.1}%",
                     o.rps,

@@ -12,8 +12,8 @@ use fastgshare::manager::SharingPolicy;
 
 fn print_figure() {
     println!("\n=== Figure 11: scheduling the paper's pod set on 4 GPUs ===\n");
-    let (fast_gpus, fast) = run_fig11(SharingPolicy::FaST, 6, 111);
-    let (ts_gpus, ts) = run_fig11(SharingPolicy::SingleToken, 6, 111);
+    let (fast_gpus, fast) = run_fig11(SharingPolicy::FaST, 6, 111).expect("runs");
+    let (ts_gpus, ts) = run_fig11(SharingPolicy::SingleToken, 6, 111).expect("runs");
     println!(
         "{:<26} {:>6} {:>8} {:>8} {:>12}",
         "scheduler", "GPUs", "util", "SM occ", "total req/s"

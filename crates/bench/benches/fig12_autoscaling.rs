@@ -7,7 +7,7 @@ use fastg_bench::{ms, run_autoscaling};
 
 fn print_figure() {
     println!("\n=== Figure 12: auto-scaling to meet the 69ms ResNet SLO ===\n");
-    let (samples, report) = run_autoscaling(121, 12, 5);
+    let (samples, report) = run_autoscaling(121, 12, 5).expect("runs");
     println!("{:>6} {:>7} {:>12} {:>12}", "t", "pods", "served", "p99 (cum)");
     for (t, pods, served, p99) in &samples {
         println!("{t:>5}s {pods:>7} {served:>10.1}/s {:>12}", ms(*p99));

@@ -14,8 +14,8 @@ fn print_figure() {
     let mut speedups = Vec::new();
     println!("{:<10} {:>14} {:>14} {:>9}", "model", "time-sharing", "FaST (8x12%)", "speedup");
     for model in ["resnet50", "rnnt", "gnmt"] {
-        let ts = run_sharing(SharingPolicy::SingleToken, model, 8, 100.0, 5, 7);
-        let fast = run_sharing(SharingPolicy::FaST, model, 8, 12.0, 5, 7);
+        let ts = run_sharing(SharingPolicy::SingleToken, model, 8, 100.0, 5, 7).expect("runs");
+        let fast = run_sharing(SharingPolicy::FaST, model, 8, 12.0, 5, 7).expect("runs");
         let s = fast.rps / ts.rps;
         speedups.push(s);
         println!(
@@ -26,8 +26,8 @@ fn print_figure() {
     let mean_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
 
     // Utilization / occupancy: the Figure 11 scheduling scenario.
-    let (_, fast) = run_fig11(SharingPolicy::FaST, 6, 7);
-    let (_, ts) = run_fig11(SharingPolicy::SingleToken, 6, 7);
+    let (_, fast) = run_fig11(SharingPolicy::FaST, 6, 7).expect("runs");
+    let (_, ts) = run_fig11(SharingPolicy::SingleToken, 6, 7).expect("runs");
     let util_ratio = fast.mean_utilization_active() / ts.mean_utilization_active();
     let occ_ratio = fast.mean_occupancy_active() / ts.mean_occupancy_active();
 

@@ -1,21 +1,27 @@
 //! `perf_baseline` — the PR's wall-clock evidence, in one JSON file.
 //!
-//! Measures two things and writes them to `BENCH_3.json`:
+//! Measures three things and writes them to `BENCH_4.json`:
 //!
-//! 1. **`micro_des` single-run throughput** — the `platform_second`
-//!    scenario from `benches/micro_des.rs` (1 node, 4 ResNet pods at
-//!    12 %, 120 req/s Poisson, one simulated second), reported as
-//!    events/second of wall-clock time. This is the hot path the DES
-//!    optimizations target.
-//! 2. **Sweep speedup** — a grid of sharing scenarios run through
+//! 1. **`micro_des` throughput, fast-forward on vs off** — the
+//!    `platform_second` scenario from `benches/micro_des.rs` (1 node,
+//!    4 ResNet pods at 12 %, 120 req/s Poisson) run for several simulated
+//!    seconds with event coalescing enabled and disabled. Both modes must
+//!    produce a byte-identical canonical report (the parity hard bar);
+//!    the headline metric is platform-seconds simulated per wall-clock
+//!    second with coalescing on.
+//! 2. **Coalescing effectiveness** — how many bursts became macro-events,
+//!    how many per-kernel completions they absorbed, and the fraction of
+//!    events that never had to exist (`1 - events_on / events_off`).
+//! 3. **Sweep speedup** — a grid of sharing scenarios run through
 //!    `run_sweep` at `threads = 1` and `threads = 4`, with the digest of
 //!    every report compared across thread counts (they must be
 //!    byte-identical) and the wall-clock ratio reported as the speedup.
-//!    The host CPU count is recorded alongside: on a single-core
-//!    container the speedup is honestly ~1×.
+//!    The host CPU count and the `fastg-par` resolved worker count are
+//!    recorded alongside: on a single-core container the speedup is
+//!    honestly ~1×.
 //!
 //! ```text
-//! perf_baseline             # full measurement, writes BENCH_3.json
+//! perf_baseline             # full measurement, writes BENCH_4.json
 //! perf_baseline --quick     # smaller grid / fewer repeats (CI smoke)
 //! perf_baseline --out FILE  # write somewhere else
 //! ```
@@ -41,7 +47,7 @@ fn parse_args() -> Options {
     let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("..")
         .join("..")
-        .join("BENCH_3.json");
+        .join("BENCH_4.json");
     let mut opts = Options {
         quick: false,
         out: default_out,
@@ -63,9 +69,25 @@ fn parse_args() -> Options {
     opts
 }
 
-/// The `micro_des` platform-second: returns events handled.
-fn platform_second() -> u64 {
-    let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(3));
+/// One `micro_des` run outcome: enough to time it and to prove parity.
+/// Canonical-text rendering happens outside the timed region (the metric
+/// is simulation throughput, not report serialization).
+struct MicroRun {
+    events: u64,
+    report: fastgshare::platform::PlatformReport,
+    ff_bursts: u64,
+    coalesced_kernels: u64,
+}
+
+/// The `micro_des` scenario run for `sim_secs` simulated seconds with
+/// fast-forward forced on or off.
+fn platform_seconds(sim_secs: u64, fastforward: bool) -> MicroRun {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .seed(3)
+            .fastforward(fastforward),
+    );
     let f = p
         .deploy(
             FunctionConfig::new("f", "resnet50")
@@ -74,8 +96,13 @@ fn platform_second() -> u64 {
         )
         .expect("deploys");
     p.set_load(f, ArrivalProcess::poisson(120.0, 4));
-    p.run_for(SimTime::from_secs(1));
-    p.events_handled()
+    let report = p.run_for(SimTime::from_secs(sim_secs));
+    MicroRun {
+        events: p.events_handled(),
+        report,
+        ff_bursts: p.ff_bursts(),
+        coalesced_kernels: p.coalesced_kernels(),
+    }
 }
 
 /// Best-of-N wall-clock seconds for `f`, plus its (stable) return value.
@@ -120,14 +147,37 @@ fn sweep_grid(quick: bool) -> Vec<Scenario> {
 fn main() {
     let opts = parse_args();
     let repeats = if opts.quick { 2 } else { 5 };
+    let sim_secs = if opts.quick { 5 } else { 20 };
     let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads_resolved = fastg_par::resolve_threads(None);
 
-    // 1. micro_des single-run throughput.
-    let (des_secs, events) = best_of(repeats, platform_second);
-    let events_per_sec = events as f64 / des_secs;
+    // 1. micro_des throughput with the coalescing layer on and off. The
+    //    canonical report text must be byte-identical in both modes — the
+    //    fast-forward parity hard bar, asserted in-job.
+    let (t_on, on) = best_of(repeats, || platform_seconds(sim_secs, true));
+    let (t_off, off) = best_of(repeats, || platform_seconds(sim_secs, false));
+    let digests_match = on.report.canonical_text() == off.report.canonical_text();
+    assert!(digests_match, "fast-forward parity broke in micro_des");
+    assert!(on.ff_bursts > 0, "fast-forward never engaged in micro_des");
+    assert_eq!(off.ff_bursts, 0, "disabled fast-forward coalesced a burst");
+    let platform_secs_per_sec_on = sim_secs as f64 / t_on;
+    let platform_secs_per_sec_off = sim_secs as f64 / t_off;
+    let event_ratio = 1.0 - on.events as f64 / off.events as f64;
     println!(
-        "micro_des: {events} events in {:.3} ms best-of-{repeats} ({events_per_sec:.0} events/s)",
-        des_secs * 1e3
+        "micro_des ({sim_secs} platform-seconds, best-of-{repeats}): \
+         ff-on {:.3} ms ({platform_secs_per_sec_on:.0} platform-s/s, {} events), \
+         ff-off {:.3} ms ({platform_secs_per_sec_off:.0} platform-s/s, {} events)",
+        t_on * 1e3,
+        on.events,
+        t_off * 1e3,
+        off.events,
+    );
+    println!(
+        "coalescing: {} bursts absorbed {} kernel completions \
+         ({:.1}% of ff-off events never existed), digests match: {digests_match}",
+        on.ff_bursts,
+        on.coalesced_kernels,
+        event_ratio * 100.0,
     );
 
     // 2. Sweep wall clock at 1 vs 4 threads, with digest parity.
@@ -136,16 +186,16 @@ fn main() {
         best_of(repeats, || run_sweep(sweep_grid(opts.quick), 1).expect("sweep t1"));
     let (t4, reports_4) =
         best_of(repeats, || run_sweep(sweep_grid(opts.quick), 4).expect("sweep t4"));
-    let digests_match = reports_1.len() == reports_4.len()
+    let sweep_match = reports_1.len() == reports_4.len()
         && reports_1
             .iter()
             .zip(&reports_4)
             .all(|((n1, r1), (n2, r2))| n1 == n2 && r1.digest() == r2.digest());
-    assert!(digests_match, "sweep digests diverged across thread counts");
+    assert!(sweep_match, "sweep digests diverged across thread counts");
     let speedup = t1 / t4;
     println!(
         "sweep ({scenarios} scenarios): threads=1 {:.3} s, threads=4 {:.3} s, speedup {speedup:.2}x \
-         (host has {cpus} cpus), digests match: {digests_match}",
+         (host has {cpus} cpus, {threads_resolved} workers resolved), digests match: {sweep_match}",
         t1, t4
     );
 
@@ -153,13 +203,43 @@ fn main() {
         .field("bench", "perf_baseline")
         .field("quick", opts.quick)
         .field("host_cpus", u64::try_from(cpus).unwrap_or(u64::MAX))
+        .field(
+            "threads_resolved",
+            u64::try_from(threads_resolved).unwrap_or(u64::MAX),
+        )
         .field("repeats", u64::try_from(repeats).unwrap_or(u64::MAX))
         .field(
             "micro_des",
             ObjectBuilder::new()
-                .field("events", events)
-                .field("wall_seconds", des_secs)
-                .field("events_per_sec", events_per_sec)
+                .field("sim_seconds", sim_secs)
+                .field("digests_match", digests_match)
+                .field(
+                    "ff_on",
+                    ObjectBuilder::new()
+                        .field("events", on.events)
+                        .field("wall_seconds", t_on)
+                        .field("events_per_sec", on.events as f64 / t_on)
+                        .field("platform_seconds_per_sec", platform_secs_per_sec_on)
+                        .build(),
+                )
+                .field(
+                    "ff_off",
+                    ObjectBuilder::new()
+                        .field("events", off.events)
+                        .field("wall_seconds", t_off)
+                        .field("events_per_sec", off.events as f64 / t_off)
+                        .field("platform_seconds_per_sec", platform_secs_per_sec_off)
+                        .build(),
+                )
+                .field(
+                    "coalescing",
+                    ObjectBuilder::new()
+                        .field("ff_bursts", on.ff_bursts)
+                        .field("coalesced_kernels", on.coalesced_kernels)
+                        .field("event_ratio", event_ratio)
+                        .field("wall_speedup_on_vs_off", t_off / t_on)
+                        .build(),
+                )
                 .build(),
         )
         .field(
@@ -169,12 +249,12 @@ fn main() {
                 .field("threads_1_seconds", t1)
                 .field("threads_4_seconds", t4)
                 .field("speedup_4_vs_1", speedup)
-                .field("digests_match", digests_match)
+                .field("digests_match", sweep_match)
                 .build(),
         )
         .build();
     let mut text = doc.to_string_pretty();
     text.push('\n');
-    std::fs::write(&opts.out, text).expect("write BENCH_3.json");
+    std::fs::write(&opts.out, text).expect("write BENCH_4.json");
     println!("wrote {}", opts.out.display());
 }

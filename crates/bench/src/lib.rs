@@ -9,7 +9,7 @@ use fastg_des::SimTime;
 use fastg_workload::ArrivalProcess;
 use fastgshare::manager::SharingPolicy;
 use fastgshare::platform::{
-    FunctionConfig, Platform, PlatformConfig, PlatformReport, Scenario,
+    FunctionConfig, Platform, PlatformConfig, PlatformError, PlatformReport, Scenario,
 };
 use fastgshare::profiler::{ProfileDb, ProfileKey, ProfileRecord};
 
@@ -59,16 +59,23 @@ pub fn sharing_scenario(
 }
 
 /// Condenses a single-function, single-node report into the figure row.
-pub fn sharing_outcome(report: &PlatformReport) -> SharingOutcome {
-    let fr = report.functions.values().next().expect("one function");
-    let node = &report.nodes[0];
-    SharingOutcome {
+pub fn sharing_outcome(report: &PlatformReport) -> Result<SharingOutcome, PlatformError> {
+    let fr = report
+        .functions
+        .values()
+        .next()
+        .ok_or(PlatformError::Internal("sharing report has no function"))?;
+    let node = report
+        .nodes
+        .first()
+        .ok_or(PlatformError::Internal("sharing report has no node"))?;
+    Ok(SharingOutcome {
         rps: fr.throughput_rps,
         p50: fr.p50,
         p99: fr.p99,
         utilization: node.utilization,
         sm_occupancy: node.sm_occupancy,
-    }
+    })
 }
 
 /// Runs `pods` saturating replicas of `model` on one V100 under `policy`
@@ -80,17 +87,19 @@ pub fn run_sharing(
     sm_pct: f64,
     seconds: u64,
     seed: u64,
-) -> SharingOutcome {
-    let report = sharing_scenario("sharing", policy, model, pods, sm_pct, seconds, seed)
-        .run()
-        .expect("bench function deploys");
+) -> Result<SharingOutcome, PlatformError> {
+    let report = sharing_scenario("sharing", policy, model, pods, sm_pct, seconds, seed).run()?;
     sharing_outcome(&report)
 }
 
 /// Deploys the Figure 11 pod set (2 BERT + 2 RNNT + 4 ResNet, descending
 /// area order) on a 4-node cluster under `policy`, saturating, and runs
 /// for `seconds` after 1 s warm-up. Returns `(gpus bound, report)`.
-pub fn run_fig11(policy: SharingPolicy, seconds: u64, seed: u64) -> (usize, PlatformReport) {
+pub fn run_fig11(
+    policy: SharingPolicy,
+    seconds: u64,
+    seed: u64,
+) -> Result<(usize, PlatformReport), PlatformError> {
     let mut p = Platform::new(
         PlatformConfig::default()
             .nodes(4)
@@ -103,25 +112,22 @@ pub fn run_fig11(policy: SharingPolicy, seconds: u64, seed: u64) -> (usize, Plat
             .replicas(2)
             .resources(50.0, 0.6, 0.6)
             .saturating(),
-    )
-    .expect("bert deploys");
+    )?;
     p.deploy(
         FunctionConfig::new("rnnt", "rnnt")
             .replicas(2)
             .resources(24.0, 0.4, 0.4)
             .saturating(),
-    )
-    .expect("rnnt deploys");
+    )?;
     p.deploy(
         FunctionConfig::new("resnet", "resnet50")
             .replicas(4)
             .resources(12.0, 0.4, 0.4)
             .saturating(),
-    )
-    .expect("resnet deploys");
+    )?;
     let gpus = p.gpus_in_use();
     let report = p.run_for(SimTime::from_secs(1 + seconds));
-    (gpus, report)
+    Ok((gpus, report))
 }
 
 /// An analytic ResNet-50 profile database (Figure 8 shaped) for
@@ -147,27 +153,29 @@ pub fn resnet_profile_db() -> ProfileDb {
     db
 }
 
+/// One Figure 12 auto-scaling interval: `(time, replicas, served_rate,
+/// p99)`.
+pub type ScalingSample = (u64, usize, f64, SimTime);
+
 /// The Figure 12 auto-scaling scenario: returns per-interval
-/// `(time, replicas, served_rate, p99)` samples and the final report.
+/// [`ScalingSample`]s and the final report.
 pub fn run_autoscaling(
     seed: u64,
     intervals: usize,
     interval_secs: u64,
-) -> (Vec<(u64, usize, f64, SimTime)>, PlatformReport) {
+) -> Result<(Vec<ScalingSample>, PlatformReport), PlatformError> {
     let mut p = Platform::new(
         PlatformConfig::default()
             .nodes(4)
             .warmup(SimTime::from_secs(2))
             .seed(seed),
     );
-    let f = p
-        .deploy(
-            FunctionConfig::new("resnet", "resnet50")
-                .slo_ms(69)
-                .replicas(1)
-                .resources(12.0, 0.4, 1.0),
-        )
-        .expect("deploys");
+    let f = p.deploy(
+        FunctionConfig::new("resnet", "resnet50")
+            .slo_ms(69)
+            .replicas(1)
+            .resources(12.0, 0.4, 1.0),
+    )?;
     p.enable_autoscaler(resnet_profile_db());
     let total = intervals as u64 * interval_secs;
     p.set_load(
@@ -195,7 +203,8 @@ pub fn run_autoscaling(
         samples.push((i as u64 * interval_secs, fr.replicas, served, fr.p99));
         last = Some(report);
     }
-    (samples, last.expect("at least one interval"))
+    let last = last.ok_or(PlatformError::Internal("autoscaling needs >= 1 interval"))?;
+    Ok((samples, last))
 }
 
 /// Formats a `SimTime` latency as milliseconds for tables.

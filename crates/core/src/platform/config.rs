@@ -72,6 +72,13 @@ pub struct PlatformConfig {
     /// Maximum times a request may be requeued after losing its pod to a
     /// crash before the gateway sheds it. `None` retries forever.
     pub retry_budget: Option<u32>,
+    /// Event-coalescing fast-forward: uncontended bursts are advanced
+    /// analytically as one macro-event instead of one event per kernel,
+    /// with byte-identical reports. On by default; the
+    /// `FASTG_FASTFORWARD=0` environment variable (read once, at config
+    /// construction) or [`Self::fastforward`] disables it for A/B parity
+    /// checks.
+    pub fastforward: bool,
 }
 
 impl Default for PlatformConfig {
@@ -98,6 +105,7 @@ impl Default for PlatformConfig {
             health_interval: SimTime::from_millis(500),
             request_timeout_factor: None,
             retry_budget: None,
+            fastforward: std::env::var("FASTG_FASTFORWARD").map_or(true, |v| v != "0"),
         }
     }
 }
@@ -235,6 +243,13 @@ impl PlatformConfig {
     /// Caps crash-requeues per request before the gateway sheds it.
     pub fn retry_budget(mut self, budget: u32) -> Self {
         self.retry_budget = Some(budget);
+        self
+    }
+
+    /// Enables or disables the event-coalescing fast-forward layer
+    /// (overrides the `FASTG_FASTFORWARD` environment default).
+    pub fn fastforward(mut self, on: bool) -> Self {
+        self.fastforward = on;
         self
     }
 }

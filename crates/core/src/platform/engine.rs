@@ -12,7 +12,7 @@ use fastg_cluster::{
     Cluster, FuncId, FaSTFuncSpec, Gateway, NodeId, NodeState, PodId, PodState, Request,
     RequestId, ResourceSpec,
 };
-use fastg_des::{EventQueue, SimTime, Simulation, TimeSeries, World};
+use fastg_des::{CancelToken, EventQueue, SimTime, Simulation, TimeSeries, World};
 use fastg_gpu::{ClientId, KernelDesc, KernelId, MpsMode};
 use fastg_models::{zoo, InferenceRun, ModelProfile, StageOp};
 use fastg_workload::{ArrivalProcess, RateMeter, SloTracker};
@@ -28,6 +28,11 @@ pub enum Event {
     HostDone(PodId),
     /// A kernel completed on a node's GPU.
     KernelFinish(NodeId, KernelId),
+    /// A fast-forwarded burst reached its analytic end: one macro-event
+    /// standing in for every per-kernel finish of an uncontended burst.
+    /// Scheduled cancellably; every contention change cancels it and
+    /// falls back to per-kernel stepping.
+    BurstFastForward(NodeId, PodId),
     /// A quota window closed on a node.
     WindowReset(NodeId),
     /// The auto-scaler control loop runs.
@@ -73,6 +78,9 @@ struct ActiveReq {
     outstanding: usize,
     burst_gpu_time: SimTime,
     waiting_token: bool,
+    /// Cancellation token of the burst's pending macro-event, when the
+    /// burst was coalesced by the fast-forward layer.
+    ff: Option<CancelToken>,
 }
 
 struct PodRt {
@@ -106,6 +114,11 @@ pub struct Engine {
     unschedulable: u64,
     killed: u64,
     faults_injected: u64,
+    /// Bursts coalesced into a single macro-event so far.
+    ff_bursts: u64,
+    /// Kernel completions those bursts covered (the per-kernel events the
+    /// fast-forward layer never had to schedule).
+    ff_coalesced_kernels: u64,
     /// Reusable buffer of `(finish_at, KernelFinish)` pairs built while
     /// launching a burst, so a multi-kernel burst costs zero steady-state
     /// allocations before its batched heap push.
@@ -163,6 +176,8 @@ impl Engine {
             unschedulable: 0,
             killed: 0,
             faults_injected: 0,
+            ff_bursts: 0,
+            ff_coalesced_kernels: 0,
             burst_scratch: Vec::new(),
             started_scratch: Vec::new(),
         }
@@ -275,6 +290,19 @@ impl Engine {
         let eff = ResourceSpec::new(eff_sm, resources.quota_request, resources.quota_limit, resources.gpu_mem);
         let pod = self.cluster.create_pod(now, node, func, eff, pod_bytes)?;
         let client = self.cluster.pod(pod)?.client;
+
+        // The new client's SM cap may push the node out of the capped
+        // regime; fast-forwarded schedules are only exact inside it, so
+        // any in-flight macro-event on this node must be invalidated
+        // before the pod can contend.
+        let regime_ok = self
+            .cluster
+            .node(node)
+            .map(|n| n.gpu.ff_regime_ok())
+            .unwrap_or(true);
+        if !regime_ok {
+            self.ff_break_node(now, node, queue);
+        }
 
         // Model sharing: attach the weights through the store library.
         let storelib = if sharing && weights > 0 {
@@ -391,7 +419,13 @@ impl Engine {
     /// by the profiler/scheduler and synchronized to the backend table):
     /// updates the function's default resources and re-applies partition,
     /// quotas, MPS limit and rectangle binding to every running pod.
-    fn reconfigure(&mut self, func: FuncId, resources: ResourceSpec) -> Result<(), PlatformError> {
+    fn reconfigure(
+        &mut self,
+        now: SimTime,
+        func: FuncId,
+        resources: ResourceSpec,
+        queue: &mut EventQueue<Event>,
+    ) -> Result<(), PlatformError> {
         resources.validate();
         let rt = self
             .funcs
@@ -403,6 +437,19 @@ impl Engine {
         } else {
             100.0
         };
+        // Repartitioning changes contention: every fast-forwarded burst
+        // on an affected node (this function's or a neighbour's) falls
+        // back to per-kernel stepping before MPS caps move.
+        let mut touched: Vec<NodeId> = Vec::new();
+        for pod in self.cluster.running_pods_of(func) {
+            let node = self.pods[&pod].node;
+            if !touched.contains(&node) {
+                touched.push(node);
+            }
+        }
+        for node in touched {
+            self.ff_break_node(now, node, queue);
+        }
         for pod in self.cluster.running_pods_of(func) {
             let node = self.pods[&pod].node;
             let (client, old) = self.cluster.pod(pod).map(|p| (p.client, p.resources))?;
@@ -447,6 +494,11 @@ impl Engine {
         let func = rt.func;
         let node = rt.node;
         self.killed += 1;
+        // An in-flight fast-forwarded burst must be broken back to exact
+        // per-kernel state before the corpse is inspected: the
+        // materialized mid-flight kernel (and the requeued remainder)
+        // drain as the zombie, and `outstanding` is reconciled first.
+        self.ff_break_pod(now, pod, queue);
         self.gateway.deregister_pod(func, pod);
         // The cluster must stop counting the pod as Running right away —
         // otherwise reconciliation would refuse to create replacements
@@ -570,6 +622,12 @@ impl Engine {
                     affected.push(rt.func);
                 }
                 if let Some(a) = rt.active.take() {
+                    // The device's hard reset already aborted any
+                    // fast-forward timeline; only the macro-event in the
+                    // queue is left to revoke.
+                    if let Some(token) = a.ff {
+                        queue.cancel(token);
+                    }
                     lost_reqs.push(a.req);
                 }
             }
@@ -633,16 +691,20 @@ impl Engine {
                 if ids.is_empty() {
                     return;
                 }
-                let _ = self
-                    .cluster
-                    .degrade_node(ids[node_index % ids.len()], factor);
+                let node = ids[node_index % ids.len()];
+                // A clock change redraws every future kernel duration;
+                // analytic schedules on the node are no longer exact.
+                self.ff_break_node(now, node, queue);
+                let _ = self.cluster.degrade_node(node, factor);
             }
             FaultKind::NodeRecover { node_index } => {
                 let ids = self.cluster.node_ids();
                 if ids.is_empty() {
                     return;
                 }
-                let _ = self.cluster.recover_node(ids[node_index % ids.len()]);
+                let node = ids[node_index % ids.len()];
+                self.ff_break_node(now, node, queue);
+                let _ = self.cluster.recover_node(node);
             }
         }
     }
@@ -762,6 +824,7 @@ impl Engine {
             outstanding: 0,
             burst_gpu_time: SimTime::ZERO,
             waiting_token: false,
+            ff: None,
         });
         self.step_pod(now, pod, queue);
     }
@@ -857,6 +920,30 @@ impl Engine {
             return;
         };
         let gpu = &mut node_rt.gpu;
+
+        // Fast-forward: an uncontended burst in the capped regime is
+        // coalesced into one macro-event at its analytic end instead of
+        // one KernelFinish per kernel. Any contention change cancels the
+        // macro-event and reconstructs per-kernel state (`ff_break_pod`).
+        if self.cfg.fastforward {
+            let descs = kernels.iter().map(|k| KernelDesc {
+                blocks: k.blocks,
+                work_per_block: k.work_per_block,
+                tag: pod.0,
+            });
+            if let Some(end) = gpu.fast_forward_burst(now, client, descs) {
+                let token = queue.schedule_cancellable(end, Event::BurstFastForward(node, pod));
+                if let Some(active) = self.pods.get_mut(&pod).and_then(|rt| rt.active.as_mut()) {
+                    active.ff = Some(token);
+                } else {
+                    debug_assert!(false, "burst belongs to a request");
+                }
+                self.ff_bursts += 1;
+                self.ff_coalesced_kernels += u64::try_from(kernels.len()).unwrap_or(u64::MAX);
+                return;
+            }
+        }
+
         let mut starts = std::mem::take(&mut self.burst_scratch);
         debug_assert!(starts.is_empty(), "scratch drained after each burst");
         for k in kernels {
@@ -937,17 +1024,119 @@ impl Engine {
         active.burst_gpu_time += done.gpu_time;
         active.outstanding -= 1;
         if active.outstanding == 0 {
-            // Synchronization point: report usage, maybe lose the lease.
             let gpu_time = active.burst_gpu_time;
-            let sync = self
-                .backends
-                .get_mut(&node)
-                .map(|b| b.sync_point(now, pod, gpu_time));
-            debug_assert!(sync.is_some(), "backend per node");
-            if let Some(Ok(out)) = sync {
-                self.process_grants(now, &out.granted, queue);
-            }
-            self.step_pod(now, pod, queue);
+            self.burst_sync_point(now, node, pod, gpu_time, queue);
+        }
+    }
+
+    /// Synchronization point after a burst's last kernel: report usage to
+    /// the backend (maybe losing the lease), admit whoever the released
+    /// capacity unblocks, and advance the pod's inference cursor.
+    fn burst_sync_point(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        pod: PodId,
+        gpu_time: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let sync = self
+            .backends
+            .get_mut(&node)
+            .map(|b| b.sync_point(now, pod, gpu_time));
+        debug_assert!(sync.is_some(), "backend per node");
+        if let Some(Ok(out)) = sync {
+            self.process_grants(now, &out.granted, queue);
+        }
+        self.step_pod(now, pod, queue);
+    }
+
+    /// Delivers a burst's coalesced macro-event: the analytic end of a
+    /// fast-forwarded burst. Every invalidation path cancels the token
+    /// first, so a delivered macro-event always finds its timeline.
+    fn on_burst_ff(&mut self, now: SimTime, node: NodeId, pod: PodId, queue: &mut EventQueue<Event>) {
+        let Some(rt) = self.pods.get_mut(&pod) else {
+            debug_assert!(false, "macro-event for a dead pod (token not cancelled)");
+            return;
+        };
+        let Some(active) = rt.active.as_mut() else {
+            debug_assert!(false, "macro-event without a request");
+            return;
+        };
+        active.ff = None;
+        let client = rt.client;
+        let Ok(node_rt) = self.cluster.node_mut(node) else {
+            debug_assert!(false, "node exists");
+            return;
+        };
+        let Some(done) = node_rt.gpu.ff_complete(now, client) else {
+            debug_assert!(false, "macro-event without a timeline (token not cancelled)");
+            return;
+        };
+        let Some(active) = self.pods.get_mut(&pod).and_then(|rt| rt.active.as_mut()) else {
+            return;
+        };
+        debug_assert_eq!(
+            usize::try_from(done.completed).ok(),
+            Some(active.outstanding),
+            "macro-event accounts the whole burst"
+        );
+        active.outstanding = 0;
+        active.burst_gpu_time += done.gpu_time;
+        let gpu_time = active.burst_gpu_time;
+        self.burst_sync_point(now, node, pod, gpu_time, queue);
+    }
+
+    /// Invalidates a pod's fast-forwarded burst (if any): cancels its
+    /// macro-event, has the device reconstruct exact per-kernel state, and
+    /// resumes normal stepping from the materialized mid-flight kernel.
+    fn ff_break_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
+        let Some(rt) = self.pods.get_mut(&pod) else {
+            return;
+        };
+        let Some(active) = rt.active.as_mut() else {
+            return;
+        };
+        let Some(token) = active.ff.take() else {
+            return;
+        };
+        let cancelled = queue.cancel(token);
+        debug_assert!(cancelled, "macro token is live until broken or delivered");
+        let client = rt.client;
+        let node = rt.node;
+        let Ok(node_rt) = self.cluster.node_mut(node) else {
+            debug_assert!(false, "node exists");
+            return;
+        };
+        let Some(brk) = node_rt.gpu.ff_break(now, client) else {
+            debug_assert!(false, "live token implies a timeline");
+            return;
+        };
+        queue.schedule(
+            brk.resumed.finish_at,
+            Event::KernelFinish(node, brk.resumed.kernel),
+        );
+        if let Some(active) = self.pods.get_mut(&pod).and_then(|rt| rt.active.as_mut()) {
+            active.outstanding = active
+                .outstanding
+                .saturating_sub(usize::try_from(brk.completed).unwrap_or(usize::MAX));
+            active.burst_gpu_time += brk.gpu_time;
+        }
+    }
+
+    /// Invalidates every fast-forwarded burst on a node; called before any
+    /// contention change (new client, repartition, clock change).
+    fn ff_break_node(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<Event>) {
+        let pods: Vec<PodId> = self
+            .pods
+            .iter()
+            .filter(|(_, rt)| {
+                rt.node == node && rt.active.as_ref().is_some_and(|a| a.ff.is_some())
+            })
+            .map(|(&p, _)| p)
+            .collect();
+        for p in pods {
+            self.ff_break_pod(now, p, queue);
         }
     }
 
@@ -1041,6 +1230,10 @@ impl Engine {
     fn on_metrics_sample(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
         for node in self.cluster.node_ids() {
             if let Ok(n) = self.cluster.node_mut(node) {
+                // Land deferred fast-forward boundaries (strictly before
+                // `now`; same-instant finishes order after the sample,
+                // exactly as their per-kernel events would).
+                n.gpu.ff_sync(now);
                 n.gpu.metrics_mut().sample(now);
             }
         }
@@ -1140,9 +1333,13 @@ impl Engine {
     // ----- reporting ----------------------------------------------------
 
     fn build_report(&mut self, now: SimTime) -> PlatformReport {
-        // Flush a final metric sample so short runs have data.
+        // Flush a final metric sample so short runs have data. The report
+        // boundary is inclusive: a per-kernel run would have delivered
+        // finish events at exactly `now` before the caller could report,
+        // so deferred fast-forward boundaries at `now` land first too.
         for node in self.cluster.node_ids() {
             if let Ok(n) = self.cluster.node_mut(node) {
+                n.gpu.ff_sync_inclusive(now);
                 n.gpu.metrics_mut().sample(now);
             }
         }
@@ -1234,6 +1431,7 @@ impl World for Engine {
                 }
             }
             Event::KernelFinish(node, kernel) => self.on_kernel_finish(now, node, kernel, queue),
+            Event::BurstFastForward(node, pod) => self.on_burst_ff(now, node, pod, queue),
             Event::WindowReset(node) => self.on_window_reset(now, node, queue),
             Event::ScaleTick => self.on_scale_tick(now, queue),
             Event::MetricsSample => self.on_metrics_sample(now, queue),
@@ -1381,7 +1579,8 @@ impl Platform {
             .resources
             .gpu_mem;
         let spec = ResourceSpec::new(sm_partition, quota_request, quota_limit, mem);
-        self.sim.world_mut().reconfigure(func, spec)
+        let (world, queue, now) = self.sim.parts_mut();
+        world.reconfigure(now, func, spec, queue)
     }
 
     /// Failure injection: crash a pod immediately. Its in-flight request
@@ -1433,6 +1632,17 @@ impl Platform {
     /// Faults fired from the configured plan so far.
     pub fn faults_injected(&self) -> u64 {
         self.sim.world().faults_injected
+    }
+
+    /// Bursts the fast-forward layer coalesced into one macro-event.
+    pub fn ff_bursts(&self) -> u64 {
+        self.sim.world().ff_bursts
+    }
+
+    /// Kernel completions covered by coalesced macro-events (per-kernel
+    /// events the simulation never had to schedule).
+    pub fn coalesced_kernels(&self) -> u64 {
+        self.sim.world().ff_coalesced_kernels
     }
 
     /// Requests of a function waiting in the gateway queue.

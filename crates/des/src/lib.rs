@@ -45,7 +45,7 @@ mod series;
 mod sim;
 mod time;
 
-pub use queue::EventQueue;
+pub use queue::{CancelToken, EventQueue};
 pub use series::{BusyTracker, TimeSeries, TimeWeighted};
 pub use sim::{Simulation, StepOutcome, World};
 pub use time::SimTime;

@@ -2,7 +2,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// An entry in the queue: ordered by time, then by insertion sequence so
 /// same-instant events pop in FIFO order (determinism).
@@ -33,11 +33,24 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// A handle to a cancellable entry, returned by
+/// [`EventQueue::schedule_cancellable`]. The token is generation-stamped:
+/// it wraps the entry's unique insertion sequence number, so a stale token
+/// (from an entry that already fired) can never alias a newer one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CancelToken(u64);
+
 /// A priority queue of `(SimTime, E)` pairs with deterministic FIFO
 /// tie-breaking for events scheduled at the same instant.
+///
+/// Entries scheduled through [`Self::schedule_cancellable`] can later be
+/// revoked with [`Self::cancel`]; dead entries are skipped by [`Self::pop`]
+/// and never surface through [`Self::peek_time`] (the queue eagerly purges
+/// a cancelled head so the reported horizon is always a live event).
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    cancelled: BTreeSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -52,6 +65,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            cancelled: BTreeSet::new(),
         }
     }
 
@@ -66,51 +80,123 @@ impl<E> EventQueue<E> {
         });
     }
 
-    /// Schedules `event` to fire `delay` after `now`.
-    pub fn schedule_after(&mut self, now: SimTime, delay: SimTime, event: E) {
-        self.schedule(now + delay, event);
+    /// Schedules `event` to fire at absolute time `at` and returns a token
+    /// that can later revoke it via [`Self::cancel`]. The entry otherwise
+    /// behaves exactly like one from [`Self::schedule`] (same FIFO
+    /// tie-breaking, same sequence space).
+    pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> CancelToken {
+        let seq = self.next_seq;
+        self.schedule(at, event);
+        CancelToken(seq)
     }
 
-    /// Schedules a batch of `(time, event)` pairs, reserving heap
-    /// capacity once up front so a multi-kernel burst pays one
-    /// allocation check instead of one per push. Sequence numbers are
-    /// assigned in iteration order, so same-instant batch entries pop
-    /// FIFO exactly as individual [`Self::schedule`] calls would.
+    /// Revokes the entry behind `token`. Returns `true` if the entry was
+    /// still pending and is now dead, `false` if it had already fired or
+    /// been cancelled. Must only be called with tokens whose entry has not
+    /// been popped (the caller clears its token when the event fires);
+    /// cancelling an already-delivered token is detected and ignored.
+    pub fn cancel(&mut self, token: CancelToken) -> bool {
+        // Tokens for entries that already popped have seq < next_seq too, so
+        // membership in the heap is what decides. We cannot look inside the
+        // heap cheaply; instead rely on the caller contract and keep the
+        // cancelled set consistent by purging on pop. A double-cancel is
+        // caught by the set insert.
+        if token.0 >= self.next_seq || !self.cancelled.insert(token.0) {
+            return false;
+        }
+        // Eagerly drop a dead head so `peek_time` never reports a cancelled
+        // entry's timestamp (which would make drivers overrun deadlines).
+        self.purge_dead_head();
+        true
+    }
+
+    /// Schedules a batch of `(time, event)` pairs, reserving exact heap
+    /// capacity up front (the iterator must be [`ExactSizeIterator`]) so a
+    /// multi-kernel burst pays one allocation check instead of one per
+    /// push. Sequence numbers are assigned in iteration order, so
+    /// same-instant batch entries pop FIFO exactly as individual
+    /// [`Self::schedule`] calls would.
     pub fn schedule_batch<I>(&mut self, events: I)
     where
         I: IntoIterator<Item = (SimTime, E)>,
+        I::IntoIter: ExactSizeIterator,
     {
         let iter = events.into_iter();
-        let (lower, _) = iter.size_hint();
-        self.heap.reserve(lower);
+        self.heap.reserve(iter.len());
         for (at, event) in iter {
             self.schedule(at, event);
         }
     }
 
-    /// Removes and returns the earliest event, or `None` when empty.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+    /// Schedules `event` to fire `delay` after `now`.
+    pub fn schedule_after(&mut self, now: SimTime, delay: SimTime, event: E) {
+        self.schedule(now + delay, event);
     }
 
-    /// The timestamp of the earliest pending event, if any.
+    /// Removes and returns the earliest live event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(e) = self.heap.pop() {
+            if self.cancelled.remove(&e.seq) {
+                continue;
+            }
+            // An entry cancelled while buried in the heap may have risen
+            // to the head just now; keep the head-is-live invariant that
+            // `peek_time` relies on.
+            self.purge_dead_head();
+            return Some((e.time, e.event));
+        }
+        None
+    }
+
+    /// Removes and returns the earliest live event if its timestamp is at
+    /// or before `deadline` (events at exactly `deadline` are delivered).
+    /// A single heap operation replaces the peek-then-pop dance drivers
+    /// would otherwise do.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// The timestamp of the earliest live pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
+        debug_assert!(
+            self.heap
+                .peek()
+                .map_or(true, |e| !self.cancelled.contains(&e.seq)),
+            "queue head must never be a cancelled entry"
+        );
         self.heap.peek().map(|e| e.time)
     }
 
-    /// Number of pending events.
+    /// Number of live pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
-    /// Whether no events are pending.
+    /// Whether no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.cancelled.clear();
+    }
+
+    /// Pops cancelled entries off the head so the next live event (or
+    /// nothing) is on top.
+    fn purge_dead_head(&mut self) {
+        while let Some(e) = self.heap.peek() {
+            if !self.cancelled.contains(&e.seq) {
+                break;
+            }
+            let seq = e.seq;
+            self.heap.pop();
+            self.cancelled.remove(&seq);
+        }
     }
 }
 
@@ -192,5 +278,72 @@ mod tests {
         q.schedule(t, 2);
         assert_eq!(q.pop(), Some((t, 1)));
         assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn cancelled_entry_is_skipped() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), "live");
+        let tok = q.schedule_cancellable(SimTime::from_micros(20), "dead");
+        q.schedule(SimTime::from_micros(30), "later");
+        assert!(q.cancel(tok));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(10), "live")));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(30), "later")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancelling_head_updates_peek_time() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_cancellable(SimTime::from_micros(10), "head");
+        q.schedule(SimTime::from_micros(40), "next");
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(10)));
+        assert!(q.cancel(tok));
+        // The dead head must not pin the horizon at t=10.
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(40)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(5), "x");
+        let tok = q.schedule_cancellable(SimTime::from_micros(20), "dead");
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_before_respects_deadline_inclusively() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), "a");
+        q.schedule(SimTime::from_micros(20), "b");
+        q.schedule(SimTime::from_micros(30), "c");
+        assert_eq!(
+            q.pop_before(SimTime::from_micros(20)),
+            Some((SimTime::from_micros(10), "a"))
+        );
+        // Exactly at the deadline: delivered.
+        assert_eq!(
+            q.pop_before(SimTime::from_micros(20)),
+            Some((SimTime::from_micros(20), "b"))
+        );
+        // Strictly after: held back.
+        assert_eq!(q.pop_before(SimTime::from_micros(20)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_before_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_cancellable(SimTime::from_micros(10), "dead");
+        q.schedule(SimTime::from_micros(15), "live");
+        q.cancel(tok);
+        assert_eq!(
+            q.pop_before(SimTime::from_micros(20)),
+            Some((SimTime::from_micros(15), "live"))
+        );
     }
 }

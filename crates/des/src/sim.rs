@@ -90,15 +90,20 @@ impl<W: World> Simulation<W> {
     pub fn step(&mut self) -> StepOutcome {
         match self.queue.pop() {
             Some((t, ev)) => {
-                debug_assert!(t >= self.now, "event scheduled in the past: {t:?} < {:?}", self.now);
-                self.now = self.now.max(t);
-                self.handled += 1;
-                let now = self.now;
-                self.world.handle(now, ev, &mut self.queue);
+                self.deliver(t, ev);
                 StepOutcome::Handled
             }
             None => StepOutcome::Idle,
         }
+    }
+
+    /// Advances the clock to `t` and hands `ev` to the world.
+    fn deliver(&mut self, t: SimTime, ev: W::Event) {
+        debug_assert!(t >= self.now, "event scheduled in the past: {t:?} < {:?}", self.now);
+        self.now = self.now.max(t);
+        self.handled += 1;
+        let now = self.now;
+        self.world.handle(now, ev, &mut self.queue);
     }
 
     /// Runs until the queue is empty. The clock stops at the last event.
@@ -111,11 +116,8 @@ impl<W: World> Simulation<W> {
     /// Finally advances the clock to `deadline` if it is ahead of the last
     /// event, so interval statistics can be closed at a known instant.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
+        while let Some((t, ev)) = self.queue.pop_before(deadline) {
+            self.deliver(t, ev);
         }
         if self.now < deadline {
             self.now = deadline;

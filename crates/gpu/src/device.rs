@@ -102,6 +102,64 @@ struct Running {
     started: SimTime,
 }
 
+/// One kernel of a fast-forwarded burst: its launch description plus the
+/// analytically derived residency interval and grant.
+#[derive(Debug, Clone, Copy)]
+struct FfKernel {
+    desc: KernelDesc,
+    start: SimTime,
+    finish: SimTime,
+    granted: u32,
+}
+
+/// The analytic schedule of one client's uncontended burst. The `resident`
+/// kernel's start has already been accounted (it *is* running as far as
+/// metrics and the SM pool are concerned); `rest` holds the projected
+/// future kernels in order.
+#[derive(Debug)]
+struct FfTimeline {
+    client: ClientId,
+    resident: FfKernel,
+    rest: VecDeque<FfKernel>,
+    /// Kernels whose finish boundary has been applied so far.
+    completed: u64,
+    /// Total GPU time of the applied finishes.
+    served: SimTime,
+    /// Prefix of `completed` whose integer counter tallies have been
+    /// flushed into the metrics (the boundary halves are always applied
+    /// eagerly; the commutative tallies batch up between syncs).
+    tallied: u64,
+    /// Prefix of `served` covered by `tallied`.
+    tallied_served: SimTime,
+}
+
+/// Result of completing an entire fast-forwarded burst
+/// ([`GpuDevice::ff_complete`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FfDone {
+    /// Kernels the burst completed.
+    pub completed: u64,
+    /// Total GPU residency time across all of them (what the FaST Backend
+    /// charges at the synchronization point).
+    pub gpu_time: SimTime,
+}
+
+/// Result of invalidating a fast-forwarded burst mid-flight
+/// ([`GpuDevice::ff_break`]): the analytically reconstructed per-kernel
+/// state the caller resumes stepping from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FfBreak {
+    /// Kernels whose completion had already been accounted.
+    pub completed: u64,
+    /// Total GPU time of those completions.
+    pub gpu_time: SimTime,
+    /// The kernel that was mid-flight at the break instant, now a real
+    /// resident; the caller must schedule its finish at
+    /// [`KernelStart::finish_at`]. Remaining kernels were requeued into
+    /// the client's stream and start through the normal per-kernel path.
+    pub resumed: KernelStart,
+}
+
 #[derive(Debug, Clone, Default)]
 struct ClientStream {
     queued: VecDeque<KernelDesc>,
@@ -152,6 +210,12 @@ pub struct GpuDevice {
     /// device (thermal throttling analogue) stretches every kernel started
     /// while the scale is raised. Resident kernels keep their durations.
     clock_scale: f64,
+    /// Active fast-forward timelines, one per coalesced client burst.
+    /// Their metric/SM-pool boundary events are applied lazily, in global
+    /// time order, by [`Self::ff_sync`] before any other device activity.
+    ff: Vec<FfTimeline>,
+    /// Recycled timeline buffers (a burst per request makes this hot).
+    ff_pool: Vec<VecDeque<FfKernel>>,
 }
 
 impl GpuDevice {
@@ -172,6 +236,8 @@ impl GpuDevice {
             wait_queue: VecDeque::new(),
             next_kernel: 0,
             clock_scale: 1.0,
+            ff: Vec::new(),
+            ff_pool: Vec::new(),
         }
     }
 
@@ -220,6 +286,10 @@ impl GpuDevice {
     /// kernel takes `factor ×` its nominal duration. Resident kernels are
     /// unaffected. Values ≤ 0 are clamped to 1.0.
     pub fn set_clock_scale(&mut self, factor: f64) {
+        debug_assert!(
+            self.ff.is_empty(),
+            "clock change invalidates fast-forward (caller must ff_break first)"
+        );
         self.clock_scale = if factor > 0.0 { factor } else { 1.0 };
     }
 
@@ -241,6 +311,16 @@ impl GpuDevice {
     /// caller ([`Self::on_kernel_finish`] returns
     /// [`GpuError::KernelNotResident`] for them).
     pub fn hard_reset(&mut self, now: SimTime) {
+        // Bring lazily-deferred fast-forward accounting up to the crash
+        // instant, then abort each timeline's in-flight kernel exactly as
+        // a real resident would be (busy time accounted, no completion).
+        self.ff_sync(now);
+        let ff = std::mem::take(&mut self.ff);
+        for mut tl in ff {
+            self.metrics.kernel_aborted(now, tl.resident.granted);
+            tl.rest.clear();
+            self.ff_pool.push(tl.rest);
+        }
         let running = std::mem::take(&mut self.running);
         for (_, run) in running {
             self.metrics.kernel_aborted(now, run.granted);
@@ -277,6 +357,10 @@ impl GpuDevice {
     /// Changes a client's spatial partition. Takes effect for subsequent
     /// kernel starts; resident kernels keep their grant.
     pub fn set_partition(&mut self, client: ClientId, percentage: f64) -> Result<(), MpsError> {
+        debug_assert!(
+            self.ff.is_empty(),
+            "repartition invalidates fast-forward (caller must ff_break first)"
+        );
         self.mps.set_percentage(client, percentage)
     }
 
@@ -291,6 +375,11 @@ impl GpuDevice {
             if !s.queued.is_empty() || s.running.is_some() {
                 return Err(GpuError::WorkInFlight(client));
             }
+        }
+        // A fast-forwarded burst is in-flight work even though the stream
+        // looks idle (its kernels live in the timeline, not the queue).
+        if self.ff.iter().any(|t| t.client == client) {
+            return Err(GpuError::WorkInFlight(client));
         }
         self.streams.retain(|(id, _)| *id != client);
         self.wait_queue.retain(|&c| c != client);
@@ -307,6 +396,11 @@ impl GpuDevice {
         client: ClientId,
         desc: KernelDesc,
     ) -> Result<Option<KernelStart>, GpuError> {
+        self.ff_sync(now);
+        debug_assert!(
+            !self.ff.iter().any(|t| t.client == client),
+            "launch into a fast-forwarded stream (caller must ff_break first)"
+        );
         if !self.mps.is_registered(client) {
             return Err(GpuError::Mps(MpsError::UnknownClient(client)));
         }
@@ -353,6 +447,7 @@ impl GpuDevice {
         kernel: KernelId,
         started: &mut Vec<KernelStart>,
     ) -> Result<KernelDone, GpuError> {
+        self.ff_sync(now);
         let i = self
             .running
             .iter()
@@ -448,6 +543,294 @@ impl GpuDevice {
             granted_sms: granted,
             started: now,
             finish_at: now + duration,
+        })
+    }
+
+    // ----- analytic fast-forward --------------------------------------
+    //
+    // When a burst runs in the *capped regime* — the sum of every client's
+    // SM cap fits in the device, nobody is waiting for SMs, and no
+    // resident grant exceeds its owner's cap — each kernel start is
+    // guaranteed its full `min(cap, blocks)` grant no matter what other
+    // clients do, so a client's whole burst schedule can be computed up
+    // front with wave arithmetic. The device then holds the schedule as a
+    // timeline and applies its per-kernel metric/SM-pool boundary events
+    // lazily (in global time order, via `ff_sync`) so that utilization,
+    // occupancy, per-client busy time and completion counters stay
+    // byte-identical to per-kernel stepping.
+
+    /// Whether the device is in the capped regime (see module comment):
+    /// the precondition under which fast-forwarded schedules are exact.
+    pub fn ff_regime_ok(&self) -> bool {
+        if !self.wait_queue.is_empty() {
+            return false;
+        }
+        if self.mps.total_sm_cap() > u64::from(self.spec.sm_count) {
+            return false;
+        }
+        self.running
+            .iter()
+            .all(|(_, r)| self.mps.sm_cap(r.client).is_ok_and(|cap| r.granted <= cap))
+    }
+
+    /// Whether `client` has an active fast-forward timeline.
+    pub fn ff_active(&self, client: ClientId) -> bool {
+        self.ff.iter().any(|t| t.client == client)
+    }
+
+    /// Whether any fast-forward timeline is active on this device.
+    pub fn has_ff(&self) -> bool {
+        !self.ff.is_empty()
+    }
+
+    /// Attempts to coalesce an entire burst for `client` into one analytic
+    /// timeline. On success the first kernel becomes (virtually) resident
+    /// immediately — exactly as [`Self::launch`] would start it — and the
+    /// completion time of the burst's final kernel is returned so the
+    /// caller can schedule a single macro-event for it. Returns `None`
+    /// (leaving the device untouched) when the burst is not provably
+    /// uncontended: the caller must fall back to per-kernel launches.
+    pub fn fast_forward_burst<I>(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        descs: I,
+    ) -> Option<SimTime>
+    where
+        I: IntoIterator<Item = KernelDesc>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        self.ff_sync(now);
+        let idle = self
+            .streams
+            .iter()
+            .find(|(id, _)| *id == client)
+            .is_some_and(|(_, s)| s.running.is_none() && s.queued.is_empty() && !s.waiting);
+        if !idle || self.ff_active(client) || !self.ff_regime_ok() {
+            return None;
+        }
+        let cap = self.mps.sm_cap(client).ok()?;
+        let iter = descs.into_iter();
+        if iter.len() == 0 {
+            return None;
+        }
+        let mut rest = self.ff_pool.pop().unwrap_or_default();
+        rest.reserve(iter.len().saturating_sub(1));
+        let mut t = now;
+        let mut first: Option<FfKernel> = None;
+        for desc in iter {
+            // Same wave arithmetic as `start_head`; in the capped regime
+            // `free_sms` never binds below `min(cap, blocks)`.
+            let granted = cap.min(desc.blocks.max(1));
+            let waves = u64::from(desc.blocks.max(1).div_ceil(granted));
+            let nominal = desc.work_per_block * waves;
+            let duration = if (self.clock_scale - 1.0).abs() < f64::EPSILON {
+                nominal
+            } else {
+                nominal.scale(self.clock_scale)
+            };
+            let k = FfKernel {
+                desc,
+                start: t,
+                finish: t + duration,
+                granted,
+            };
+            t = k.finish;
+            if first.is_none() {
+                first = Some(k);
+            } else {
+                rest.push_back(k);
+            }
+        }
+        let resident = first?;
+        debug_assert!(self.free_sms >= resident.granted, "capped regime violated");
+        self.free_sms -= resident.granted;
+        self.metrics.kernel_started(now, resident.granted);
+        self.ff.push(FfTimeline {
+            client,
+            resident,
+            rest,
+            completed: 0,
+            served: SimTime::ZERO,
+            tallied: 0,
+            tallied_served: SimTime::ZERO,
+        });
+        Some(t)
+    }
+
+    /// Applies every deferred fast-forward boundary event *strictly
+    /// before* `now`, across all timelines in global time order. Called
+    /// at the top of every device entry point; boundaries at exactly
+    /// `now` are left pending, matching the event-queue order in which
+    /// per-kernel stepping would deliver them (a finish scheduled in the
+    /// past always outranks one scheduled at the current instant).
+    pub fn ff_sync(&mut self, now: SimTime) {
+        self.ff_sync_to(now, false);
+    }
+
+    /// Like [`Self::ff_sync`] but inclusive of boundaries at exactly
+    /// `now`: the report/sampling flush at the end of a run, where
+    /// per-kernel stepping would already have delivered same-instant
+    /// finish events.
+    pub fn ff_sync_inclusive(&mut self, now: SimTime) {
+        self.ff_sync_to(now, true);
+    }
+
+    fn ff_sync_to(&mut self, now: SimTime, inclusive: bool) {
+        if self.ff.is_empty() {
+            return;
+        }
+        loop {
+            // Earliest pending boundary across timelines; ties break by
+            // client id (same-instant cross-client boundaries commute in
+            // every metric, so any fixed order is parity-safe).
+            let next = self
+                .ff
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.rest.is_empty())
+                .min_by_key(|(_, t)| (t.resident.finish, t.client));
+            let Some((i, t)) = next else {
+                break;
+            };
+            let due = if inclusive {
+                t.resident.finish <= now
+            } else {
+                t.resident.finish < now
+            };
+            if !due {
+                break;
+            }
+            self.ff_advance(i);
+        }
+        self.ff_flush_tallies();
+    }
+
+    /// Flushes the batched completion counters of every live timeline, so
+    /// any external metrics read after a sync sees exactly what per-kernel
+    /// stepping would have recorded.
+    fn ff_flush_tallies(&mut self) {
+        let metrics = &mut self.metrics;
+        for tl in &mut self.ff {
+            let kernels = tl.completed - tl.tallied;
+            if kernels > 0 {
+                let busy = tl.served - tl.tallied_served;
+                tl.tallied = tl.completed;
+                tl.tallied_served = tl.served;
+                metrics.tally_finished(tl.client, kernels, busy);
+            }
+        }
+    }
+
+    /// Applies one finish/start boundary pair of timeline `i`: the
+    /// resident kernel finishes and its successor becomes resident, with
+    /// the exact metric-call sequence `on_kernel_finish_into` +
+    /// `start_head` would have produced. Caller guarantees `rest` is
+    /// non-empty (the final finish is applied only by [`Self::ff_complete`],
+    /// because it carries the burst's synchronization point).
+    fn ff_advance(&mut self, i: usize) {
+        let Some(tl) = self.ff.get_mut(i) else {
+            debug_assert!(false, "ff_advance on missing timeline");
+            return;
+        };
+        let Some(next) = tl.rest.pop_front() else {
+            debug_assert!(false, "ff_advance past the final kernel");
+            return;
+        };
+        let k = tl.resident;
+        debug_assert_eq!(next.start, k.finish, "burst timelines are gapless");
+        tl.completed += 1;
+        tl.served += k.finish - k.start;
+        tl.resident = next;
+        self.free_sms += k.granted;
+        self.free_sms -= next.granted;
+        self.metrics
+            .kernel_handoff(k.finish, k.granted, next.granted);
+    }
+
+    /// Completes a fast-forwarded burst at its macro-event time `now` (the
+    /// analytic finish of its final kernel): applies every remaining
+    /// boundary and returns the burst's totals for the caller's
+    /// synchronization point. Returns `None` if `client` has no timeline
+    /// (e.g. a stale macro-event after an invalidation the caller missed).
+    pub fn ff_complete(&mut self, now: SimTime, client: ClientId) -> Option<FfDone> {
+        // Other timelines' earlier boundaries must land first so the
+        // global metric ordering matches per-kernel stepping.
+        self.ff_sync(now);
+        let i = self.ff.iter().position(|t| t.client == client)?;
+        let mut tl = self.ff.swap_remove(i);
+        loop {
+            let k = tl.resident;
+            debug_assert!(k.finish <= now, "macro-event fired before its burst end");
+            tl.completed += 1;
+            tl.served += k.finish - k.start;
+            self.free_sms += k.granted;
+            match tl.rest.pop_front() {
+                Some(next) => {
+                    self.free_sms -= next.granted;
+                    self.metrics
+                        .kernel_handoff(k.finish, k.granted, next.granted);
+                    tl.resident = next;
+                }
+                None => {
+                    self.metrics.kernel_finish_boundary(k.finish, k.granted);
+                    break;
+                }
+            }
+        }
+        self.metrics
+            .tally_finished(tl.client, tl.completed - tl.tallied, tl.served - tl.tallied_served);
+        debug_assert_eq!(tl.resident.finish, now, "burst end mismatch");
+        self.ff_pool.push(tl.rest);
+        Some(FfDone {
+            completed: tl.completed,
+            gpu_time: tl.served,
+        })
+    }
+
+    /// Invalidates `client`'s fast-forwarded burst at `now`, analytically
+    /// reconstructing exact per-kernel state: boundaries strictly before
+    /// `now` are applied, the mid-flight kernel is materialized as a real
+    /// resident (the caller schedules its finish), and the untouched
+    /// remainder is requeued into the client's stream for normal stepping
+    /// under whatever contention change triggered the break.
+    pub fn ff_break(&mut self, now: SimTime, client: ClientId) -> Option<FfBreak> {
+        self.ff_sync(now);
+        let i = self.ff.iter().position(|t| t.client == client)?;
+        let mut tl = self.ff.swap_remove(i);
+        debug_assert_eq!(tl.tallied, tl.completed, "sync flushes tallies");
+        let k = tl.resident;
+        let id = KernelId(self.next_kernel);
+        self.next_kernel += 1;
+        self.running.push((
+            id,
+            Running {
+                client,
+                tag: k.desc.tag,
+                granted: k.granted,
+                started: k.start,
+            },
+        ));
+        if let Some(stream) = self.stream_mut(client) {
+            stream.running = Some(id);
+            for q in tl.rest.drain(..) {
+                stream.queued.push_back(q.desc);
+            }
+        } else {
+            debug_assert!(false, "fast-forwarded client {client:?} has no stream");
+        }
+        self.ff_pool.push(tl.rest);
+        Some(FfBreak {
+            completed: tl.completed,
+            gpu_time: tl.served,
+            resumed: KernelStart {
+                kernel: id,
+                client,
+                tag: k.desc.tag,
+                granted_sms: k.granted,
+                started: k.start,
+                finish_at: k.finish,
+            },
         })
     }
 }
@@ -681,5 +1064,146 @@ mod tests {
         let s = gpu.launch(SimTime::ZERO, c, kernel(0, 10)).unwrap().unwrap();
         assert_eq!(s.granted_sms, 1);
         assert_eq!(s.finish_at, SimTime::from_micros(10));
+    }
+
+    /// Steps a burst through the per-kernel path: launch everything, then
+    /// drive each finish at its scheduled time. Returns the last finish.
+    fn run_per_kernel(gpu: &mut GpuDevice, client: ClientId, descs: &[KernelDesc]) -> SimTime {
+        let mut pending: VecDeque<KernelStart> = VecDeque::new();
+        for &d in descs {
+            if let Some(s) = gpu.launch(SimTime::ZERO, client, d).unwrap() {
+                pending.push_back(s);
+            }
+        }
+        let mut last = SimTime::ZERO;
+        while let Some(s) = pending.pop_front() {
+            last = s.finish_at;
+            let (_, started) = gpu.on_kernel_finish(s.finish_at, s.kernel).unwrap();
+            pending.extend(started);
+        }
+        last
+    }
+
+    #[test]
+    fn fast_forward_matches_per_kernel_metrics() {
+        let descs = [kernel(19, 200), kernel(40, 100), kernel(5, 50)];
+        let mut stepped = v100();
+        let cs = stepped.register_client(12.0).unwrap();
+        let end_stepped = run_per_kernel(&mut stepped, cs, &descs);
+
+        let mut ffwd = v100();
+        let cf = ffwd.register_client(12.0).unwrap();
+        let end_ff = ffwd
+            .fast_forward_burst(SimTime::ZERO, cf, descs.iter().copied())
+            .expect("idle capped-regime burst coalesces");
+        assert_eq!(end_ff, end_stepped);
+        let done = ffwd.ff_complete(end_ff, cf).unwrap();
+        assert_eq!(done.completed, descs.len() as u64);
+
+        assert_eq!(ffwd.free_sms(), stepped.free_sms());
+        assert_eq!(ffwd.metrics().total_kernels(), stepped.metrics().total_kernels());
+        assert_eq!(ffwd.metrics().client_busy(cf), stepped.metrics().client_busy(cs));
+        let w = end_ff + SimTime::from_micros(1);
+        let a = ffwd.metrics_mut().sample(w);
+        let b = stepped.metrics_mut().sample(w);
+        assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+        assert_eq!(a.sm_occupancy.to_bits(), b.sm_occupancy.to_bits());
+    }
+
+    #[test]
+    fn fast_forward_sync_interleaves_two_clients_in_time_order() {
+        // Two concurrent FF bursts whose boundaries interleave; a third
+        // per-kernel client observes the pool afterwards.
+        let mut gpu = v100();
+        let a = gpu.register_client(25.0).unwrap(); // 20 SMs
+        let b = gpu.register_client(50.0).unwrap(); // 40 SMs
+        let ba = [kernel(20, 100), kernel(20, 100)];
+        let bb = [kernel(40, 70), kernel(40, 70), kernel(40, 70)];
+        let end_a = gpu.fast_forward_burst(SimTime::ZERO, a, ba.iter().copied()).unwrap();
+        let end_b = gpu.fast_forward_burst(SimTime::ZERO, b, bb.iter().copied()).unwrap();
+        assert_eq!(end_a, SimTime::from_micros(200));
+        assert_eq!(end_b, SimTime::from_micros(210));
+        gpu.ff_complete(end_a, a).unwrap();
+        gpu.ff_complete(end_b, b).unwrap();
+        assert_eq!(gpu.metrics().total_kernels(), 5);
+        assert_eq!(gpu.free_sms(), 80);
+        assert_eq!(gpu.metrics().client_busy(a), SimTime::from_micros(200));
+        assert_eq!(gpu.metrics().client_busy(b), SimTime::from_micros(210));
+    }
+
+    #[test]
+    fn fast_forward_refused_outside_capped_regime() {
+        let mut gpu = v100();
+        let a = gpu.register_client(100.0).unwrap();
+        let b = gpu.register_client(100.0).unwrap(); // 200 % total: contended
+        assert!(gpu
+            .fast_forward_burst(SimTime::ZERO, a, [kernel(1, 1)].iter().copied())
+            .is_none());
+        gpu.unregister_client(b).unwrap();
+        // Alone at 100 % the regime holds again.
+        assert!(gpu
+            .fast_forward_burst(SimTime::ZERO, a, [kernel(1, 1)].iter().copied())
+            .is_some());
+    }
+
+    #[test]
+    fn ff_break_reconstructs_exact_per_kernel_state() {
+        let descs = [kernel(10, 100), kernel(10, 100), kernel(10, 100)];
+        let mut gpu = v100();
+        let c = gpu.register_client(12.0).unwrap(); // 10 SMs, 1 wave each
+        let end = gpu.fast_forward_burst(SimTime::ZERO, c, descs.iter().copied()).unwrap();
+        assert_eq!(end, SimTime::from_micros(300));
+
+        // Break mid-flight of kernel #2 (t = 150): kernel #1's boundary is
+        // applied, #2 is materialized as a real resident, #3 requeues.
+        let brk = gpu.ff_break(SimTime::from_micros(150), c).unwrap();
+        assert_eq!(brk.completed, 1);
+        assert_eq!(brk.gpu_time, SimTime::from_micros(100));
+        assert_eq!(brk.resumed.started, SimTime::from_micros(100));
+        assert_eq!(brk.resumed.finish_at, SimTime::from_micros(200));
+        assert_eq!(brk.resumed.granted_sms, 10);
+        assert!(gpu.is_resident(brk.resumed.kernel));
+        assert!(!gpu.has_ff());
+        assert_eq!(gpu.free_sms(), 70);
+        assert_eq!(gpu.metrics().total_kernels(), 1);
+
+        // Normal stepping resumes and finishes the burst identically.
+        let (done, started) = gpu
+            .on_kernel_finish(brk.resumed.finish_at, brk.resumed.kernel)
+            .unwrap();
+        assert_eq!(done.gpu_time, SimTime::from_micros(100));
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].finish_at, SimTime::from_micros(300));
+        gpu.on_kernel_finish(started[0].finish_at, started[0].kernel).unwrap();
+        assert_eq!(gpu.metrics().total_kernels(), 3);
+        assert_eq!(gpu.metrics().client_busy(c), SimTime::from_micros(300));
+        assert_eq!(gpu.free_sms(), 80);
+    }
+
+    #[test]
+    fn hard_reset_aborts_ff_timeline() {
+        let mut gpu = v100();
+        let c = gpu.register_client(50.0).unwrap();
+        gpu.fast_forward_burst(SimTime::ZERO, c, [kernel(40, 1000); 2].iter().copied())
+            .unwrap();
+        gpu.hard_reset(SimTime::from_micros(500));
+        assert!(!gpu.has_ff());
+        assert_eq!(gpu.free_sms(), gpu.spec().sm_count);
+        // The in-flight kernel was aborted: busy time, no completion.
+        assert_eq!(gpu.metrics().total_kernels(), 0);
+        let stats = gpu.metrics().window_stats(SimTime::from_micros(1000));
+        assert!((stats.utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unregister_with_ff_timeline_is_a_typed_error() {
+        let mut gpu = v100();
+        let c = gpu.register_client(50.0).unwrap();
+        let end = gpu
+            .fast_forward_burst(SimTime::ZERO, c, [kernel(1, 10)].iter().copied())
+            .unwrap();
+        assert_eq!(gpu.unregister_client(c).unwrap_err(), GpuError::WorkInFlight(c));
+        gpu.ff_complete(end, c).unwrap();
+        gpu.unregister_client(c).unwrap();
     }
 }

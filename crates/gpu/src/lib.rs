@@ -40,7 +40,9 @@ pub mod mig;
 pub mod mps;
 pub mod spec;
 
-pub use device::{ClientId, GpuDevice, KernelDesc, KernelDone, KernelId, KernelStart};
+pub use device::{
+    ClientId, FfBreak, FfDone, GpuDevice, KernelDesc, KernelDone, KernelId, KernelStart,
+};
 pub use error::GpuError;
 pub use memory::{DevicePtr, GpuMemory, IpcHandle, MemError};
 pub use mig::{MigConfig, MigError, MigProfile};

@@ -81,6 +81,45 @@ impl GpuMetrics {
             .or_insert(SimTime::ZERO) += gpu_time;
     }
 
+    /// The pure time-integral half of [`Self::kernel_finished`] — busy
+    /// interval end plus SM release — without the completion tallies. The
+    /// fast-forward drain applies these boundaries one by one (their order
+    /// against other clients' boundaries is what report parity hangs on)
+    /// and batches the commutative integer counters through
+    /// [`Self::tally_finished`] instead.
+    pub fn kernel_finish_boundary(&mut self, now: SimTime, granted_sms: u32) {
+        self.util.end(now);
+        self.occupied_sms.add(now, -(granted_sms as f64));
+    }
+
+    /// The merged boundary of a back-to-back kernel handoff: one kernel
+    /// finishes and its successor starts at the same instant `now`.
+    /// Bit-identical to [`Self::kernel_finish_boundary`] followed by
+    /// [`Self::kernel_started`] at equal timestamps: the busy tracker's
+    /// end+begin pair telescopes to a no-op (integer busy sums are
+    /// associative and the active count is unchanged), and the two
+    /// occupancy deltas — exact small integers in `f64` — sum into one.
+    pub fn kernel_handoff(&mut self, now: SimTime, finished_sms: u32, started_sms: u32) {
+        self.occupied_sms
+            .add(now, f64::from(started_sms) - f64::from(finished_sms));
+    }
+
+    /// Batched counter updates equivalent to `kernels` individual
+    /// [`Self::kernel_finished`] calls whose boundary halves were already
+    /// applied via [`Self::kernel_finish_boundary`]: pure integer sums, so
+    /// one call per sync is bit-identical to one call per kernel.
+    pub fn tally_finished(&mut self, client: ClientId, kernels: u64, busy: SimTime) {
+        if kernels == 0 {
+            return;
+        }
+        self.kernels_completed += kernels;
+        self.window_kernels += kernels;
+        *self
+            .per_client_busy
+            .entry(client)
+            .or_insert(SimTime::ZERO) += busy;
+    }
+
     /// Records a resident kernel being aborted (node crash / hard reset):
     /// its busy interval and SM occupancy end at `now`, but it counts
     /// neither as a completion nor toward any client's busy time — the work

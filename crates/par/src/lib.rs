@@ -74,19 +74,22 @@ impl std::error::Error for ParError {}
 
 /// Resolves a worker-thread count: an explicit request wins, then the
 /// `FASTG_THREADS` environment variable, then the machine's available
-/// parallelism. The result is always ≥ 1.
+/// parallelism. Every path is capped at the machine's available
+/// parallelism — each worker runs a whole simulation, so threads beyond
+/// the hardware only add scheduler churn — and the result is always ≥ 1.
 pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if let Some(n) = explicit {
-        return n.max(1);
+        return n.clamp(1, hw);
     }
     if let Ok(v) = std::env::var(THREADS_ENV) {
         if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+            return n.clamp(1, hw);
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    hw
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -335,18 +338,26 @@ mod tests {
 
     #[test]
     fn resolve_threads_precedence() {
-        assert_eq!(resolve_threads(Some(3)), 3);
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(resolve_threads(Some(3)), 3.clamp(1, hw));
         assert_eq!(resolve_threads(Some(0)), 1, "explicit zero clamps to 1");
+        assert_eq!(
+            resolve_threads(Some(usize::MAX)),
+            hw,
+            "requests are capped at the machine's parallelism"
+        );
         // Env var path: set, resolve, unset. (Test processes may run
         // concurrently; use a dedicated guard-free check since this is
         // the only test touching the variable.)
         std::env::set_var(THREADS_ENV, "5");
-        assert_eq!(resolve_threads(None), 5);
+        assert_eq!(resolve_threads(None), 5.clamp(1, hw));
         std::env::set_var(THREADS_ENV, "not-a-number");
         let fallback = resolve_threads(None);
         assert!(fallback >= 1);
         std::env::remove_var(THREADS_ENV);
-        assert!(resolve_threads(None) >= 1);
+        assert_eq!(resolve_threads(None), hw);
     }
 
     #[test]

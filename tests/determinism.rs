@@ -85,13 +85,15 @@ fn policies_actually_differ() {
 }
 
 /// Runs a full platform (recovery on, optional fault plan) and returns the
-/// report's FNV digest over its canonical byte rendering.
-fn digest_run(plan: Option<FaultPlan>) -> (u64, String) {
+/// report's FNV digest over its canonical byte rendering, plus the number
+/// of bursts the fast-forward layer coalesced.
+fn digest_run_ff(plan: Option<FaultPlan>, fastforward: bool) -> (u64, String, u64) {
     let mut cfg = PlatformConfig::default()
         .nodes(2)
         .policy(SharingPolicy::FaST)
         .recovery(true)
-        .seed(11);
+        .seed(11)
+        .fastforward(fastforward);
     if let Some(plan) = plan {
         cfg = cfg.fault_plan(plan);
     }
@@ -105,7 +107,14 @@ fn digest_run(plan: Option<FaultPlan>) -> (u64, String) {
         .unwrap();
     p.set_load(f, ArrivalProcess::poisson(50.0, 13));
     let report = p.run_for(SimTime::from_secs(6));
-    (report.digest(), report.canonical_text())
+    (report.digest(), report.canonical_text(), p.ff_bursts())
+}
+
+/// Runs with whatever fast-forward mode the environment selected (the
+/// default configuration most tests and users get).
+fn digest_run(plan: Option<FaultPlan>) -> (u64, String) {
+    let (d, t, _) = digest_run_ff(plan, PlatformConfig::default().fastforward);
+    (d, t)
 }
 
 fn chaos_plan() -> FaultPlan {
@@ -145,6 +154,32 @@ fn report_digest_replays_exactly_under_faults() {
     // the fault-free trace), or this test would be vacuous.
     let (dc, _) = digest_run(None);
     assert_ne!(da, dc, "fault plan should change the trace");
+}
+
+/// Event coalescing is a pure optimization: with fast-forward forced on
+/// and forced off, the whole report — every counter, float bit pattern
+/// and time-series sample — is byte-identical, and the coalescing layer
+/// genuinely engaged (the parity claim would be vacuous otherwise).
+#[test]
+fn fastforward_parity_clean() {
+    let (d_on, t_on, bursts) = digest_run_ff(None, true);
+    let (d_off, t_off, none) = digest_run_ff(None, false);
+    assert!(bursts > 0, "fast-forward never engaged");
+    assert_eq!(none, 0, "disabled fast-forward must not coalesce");
+    assert_eq!(t_on, t_off, "coalesced run must be byte-identical");
+    assert_eq!(d_on, d_off);
+}
+
+/// ...and the same under chaos: crashes, clock degradation and recovery
+/// all invalidate in-flight macro-events mid-burst, reconstructing exact
+/// per-kernel state.
+#[test]
+fn fastforward_parity_under_chaos() {
+    let (d_on, t_on, bursts) = digest_run_ff(Some(chaos_plan()), true);
+    let (d_off, t_off, _) = digest_run_ff(Some(chaos_plan()), false);
+    assert!(bursts > 0, "fast-forward never engaged under chaos");
+    assert_eq!(t_on, t_off, "chaos run must be byte-identical");
+    assert_eq!(d_on, d_off);
 }
 
 /// A small sweep grid mixing clean and chaotic scenarios.
@@ -218,6 +253,35 @@ fn sweep_digests_identical_across_thread_counts_under_faults() {
         .map(|sc| sc.run().unwrap().digest())
         .collect();
     assert_ne!(sequential, clean, "fault plan should change every trace");
+}
+
+/// Fast-forward parity survives the parallel sweep runner: at 1 and 4
+/// worker threads, a chaos grid with coalescing forced on digests
+/// identically to the same grid with coalescing forced off.
+#[test]
+fn fastforward_parity_across_thread_counts() {
+    let grid = |ff: bool| -> Vec<Scenario> {
+        sweep_grid(true)
+            .into_iter()
+            .map(|mut sc| {
+                sc.config = sc.config.fastforward(ff);
+                sc
+            })
+            .collect()
+    };
+    for threads in [1, 4] {
+        let on: Vec<u64> = run_sweep(grid(true), threads)
+            .unwrap()
+            .iter()
+            .map(|(_, r)| r.digest())
+            .collect();
+        let off: Vec<u64> = run_sweep(grid(false), threads)
+            .unwrap()
+            .iter()
+            .map(|(_, r)| r.digest())
+            .collect();
+        assert_eq!(on, off, "threads={threads} fast-forward parity broke");
+    }
 }
 
 /// Two platforms advanced in different increments reach the same state:

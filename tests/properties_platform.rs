@@ -6,7 +6,7 @@
 use fastg_des::SimTime;
 use fastg_workload::ArrivalProcess;
 use fastgshare::manager::SharingPolicy;
-use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig};
+use fastgshare::platform::{FaultKind, FaultPlan, FunctionConfig, Platform, PlatformConfig};
 use proptest::prelude::*;
 
 /// One step of the operation alphabet.
@@ -106,6 +106,118 @@ proptest! {
     #[test]
     fn op_sequences_are_deterministic(ops in prop::collection::vec(arb_op(), 1..12)) {
         prop_assert_eq!(drive(&ops, 11), drive(&ops, 11));
+    }
+}
+
+/// A random platform grid for fast-forward parity: node count, partition
+/// size, replica count, load and mid-run perturbations all drawn at
+/// random, so the coalescing layer is exercised across capped and
+/// over-subscribed regimes, invalidation paths included.
+#[derive(Debug, Clone, Copy)]
+struct FfGrid {
+    nodes: usize,
+    replicas: usize,
+    /// Index into the partition menu (12 %–50 %): small values keep the
+    /// device in the capped regime, large ones push it out of it.
+    sm_idx: usize,
+    rate: f64,
+    seed: u64,
+    /// Kill one pod at the 1 s mark (mid-burst invalidation).
+    kill: bool,
+    /// Repartition the function at the 1 s mark (regime change).
+    repartition: bool,
+    /// Inject the clock-degrade/node-crash chaos plan.
+    chaos: bool,
+}
+
+const SM_MENU: [f64; 4] = [12.0, 24.0, 25.0, 50.0];
+
+fn arb_ff_grid() -> impl Strategy<Value = FfGrid> {
+    (
+        1usize..3,
+        1usize..4,
+        0usize..SM_MENU.len(),
+        5u32..70,
+        0u64..1000,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(nodes, replicas, sm_idx, rate, seed, kill, repartition, chaos)| FfGrid {
+                nodes,
+                replicas,
+                sm_idx,
+                rate: f64::from(rate),
+                seed,
+                kill,
+                repartition,
+                chaos,
+            },
+        )
+}
+
+/// Runs one grid point with fast-forward forced on or off and returns the
+/// canonical report text (every counter and float bit pattern) plus how
+/// many bursts were coalesced.
+fn ff_grid_run(g: FfGrid, fastforward: bool) -> (String, u64) {
+    let mut cfg = PlatformConfig::default()
+        .nodes(g.nodes)
+        .policy(SharingPolicy::FaST)
+        .oversubscribe(true)
+        .seed(g.seed)
+        .fastforward(fastforward);
+    if g.chaos {
+        cfg = cfg.fault_plan(
+            FaultPlan::new()
+                .at(
+                    SimTime::from_millis(700),
+                    FaultKind::NodeDegrade {
+                        node_index: 0,
+                        factor: 1.5,
+                    },
+                )
+                .at(
+                    SimTime::from_millis(1400),
+                    FaultKind::NodeRecover { node_index: 0 },
+                ),
+        );
+    }
+    let mut p = Platform::new(cfg);
+    let f = p
+        .deploy(
+            FunctionConfig::new("resnet", "resnet50")
+                .replicas(g.replicas)
+                .resources(SM_MENU[g.sm_idx], 0.5, 1.0),
+        )
+        .unwrap();
+    p.set_load(f, ArrivalProcess::poisson(g.rate, g.seed.wrapping_add(1)));
+    p.run_for(SimTime::from_secs(1));
+    if g.kill {
+        if let Some(&victim) = p.pods_of(f).first() {
+            p.kill_pod(victim);
+        }
+    }
+    if g.repartition {
+        let next = SM_MENU[(g.sm_idx + 1) % SM_MENU.len()];
+        let _ = p.reconfigure(f, next, 0.5, 1.0);
+    }
+    let report = p.run_for(SimTime::from_millis(1500));
+    (report.canonical_text(), p.ff_bursts())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fast-forward digest parity over random grids: whatever the regime,
+    /// load or mid-run perturbation, coalescing must never change a byte
+    /// of the report.
+    #[test]
+    fn fastforward_parity_on_random_grids(g in arb_ff_grid()) {
+        let (on, _) = ff_grid_run(g, true);
+        let (off, coalesced) = ff_grid_run(g, false);
+        prop_assert_eq!(coalesced, 0, "disabled fast-forward must not coalesce");
+        prop_assert_eq!(on, off, "fast-forward parity broke on {:?}", g);
     }
 }
 
