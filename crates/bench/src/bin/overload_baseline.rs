@@ -1,0 +1,265 @@
+//! `overload_baseline` — the overload control plane's evidence, in one
+//! JSON file.
+//!
+//! Runs the flash-crowd scenario (two replicas at half quota, ~70 rps of
+//! capacity, hit by a 400 rps crowd) with the overload plane armed and
+//! disarmed, and writes `BENCH_5.json` with:
+//!
+//! 1. **Goodput and waste, control on vs off** — completions inside SLO
+//!    per steady-state second and GPU-seconds burned on replies that
+//!    missed their SLO anyway. The hard bars, asserted in-job: goodput is
+//!    *strictly higher* and wasted work *strictly lower* with the control
+//!    plane on.
+//! 2. **Overload accounting** — rejected (bounded admission), shed
+//!    (deadline-aware), browned-out servings and breaker trips, plus the
+//!    conservation identity over arrivals.
+//! 3. **Determinism matrix** — every cell of
+//!    {control on/off} × {fast-forward on/off} × {clean/chaos} replayed
+//!    through `run_sweep` at 1 and 4 threads; digests must be
+//!    byte-identical per cell across thread counts and replays, and the
+//!    fast-forward pair of each cell must agree byte-for-byte.
+//!
+//! ```text
+//! overload_baseline             # full run, writes BENCH_5.json
+//! overload_baseline --quick     # shorter crowd (CI smoke)
+//! overload_baseline --out FILE  # write somewhere else
+//! ```
+
+use fastg_bench::flash_crowd_scenario;
+use fastg_des::SimTime;
+use fastg_json::ObjectBuilder;
+use fastgshare::platform::{run_sweep, FaultKind, FaultPlan, PlatformReport};
+use std::path::PathBuf;
+
+struct Options {
+    quick: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_5.json");
+    let mut opts = Options {
+        quick: false,
+        out: default_out,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                let path = args.next().expect("--out needs a file argument");
+                opts.out = PathBuf::from(path);
+            }
+            other => {
+                eprintln!("usage: overload_baseline [--quick] [--out FILE] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+const BASE_RPS: f64 = 30.0;
+const PEAK_RPS: f64 = 400.0;
+const SEED: u64 = 61;
+
+/// A chaos plan layered on the crowd: one pod dies mid-ramp and a node
+/// browns out thermally during the hold, recovering in the tail.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new()
+        .at(SimTime::from_millis(5_500), FaultKind::PodCrash { func_index: 0 })
+        .at(
+            SimTime::from_secs(8),
+            FaultKind::NodeDegrade {
+                node_index: 1,
+                factor: 1.5,
+            },
+        )
+        .at(SimTime::from_secs(13), FaultKind::NodeRecover { node_index: 1 })
+}
+
+/// The per-run numbers the JSON (and the hard bars) are built from.
+struct Outcome {
+    goodput_rps: f64,
+    good_completions: u64,
+    wasted_service: SimTime,
+    arrivals: u64,
+    completed: u64,
+    rejected: u64,
+    shed_deadline: u64,
+    dropped: u64,
+    browned_out: u64,
+    breaker_trips: u64,
+    p99: SimTime,
+    digest: u64,
+}
+
+fn outcome(report: &PlatformReport) -> Outcome {
+    let fr = report
+        .functions
+        .values()
+        .next()
+        .expect("flash scenario has one function");
+    Outcome {
+        goodput_rps: fr.goodput_rps,
+        good_completions: fr.good_completions,
+        wasted_service: fr.wasted_service,
+        arrivals: fr.arrivals,
+        completed: fr.completed,
+        rejected: fr.rejected,
+        shed_deadline: fr.shed_deadline,
+        dropped: fr.dropped,
+        browned_out: fr.browned_out,
+        breaker_trips: fr.breaker_trips,
+        p99: fr.p99,
+        digest: report.digest(),
+    }
+}
+
+fn outcome_json(o: &Outcome) -> fastg_json::Value {
+    ObjectBuilder::new()
+        .field("goodput_rps", o.goodput_rps)
+        .field("good_completions", o.good_completions)
+        .field("wasted_service_seconds", o.wasted_service.as_secs_f64())
+        .field("arrivals", o.arrivals)
+        .field("completed", o.completed)
+        .field("rejected", o.rejected)
+        .field("shed_deadline", o.shed_deadline)
+        .field("dropped", o.dropped)
+        .field("browned_out", o.browned_out)
+        .field("breaker_trips", o.breaker_trips)
+        .field("p99_ms", o.p99.as_millis_f64())
+        .field("digest", format!("{:016x}", o.digest))
+        .build()
+}
+
+fn main() {
+    let opts = parse_args();
+    let seconds = if opts.quick { 15 } else { 30 };
+
+    // 1. The headline pair: the same crowd with the plane on and off.
+    let run = |control: bool| -> Outcome {
+        let name = if control { "flash/on" } else { "flash/off" };
+        let report = flash_crowd_scenario(
+            name, control, true, None, BASE_RPS, PEAK_RPS, seconds, SEED,
+        )
+        .run()
+        .expect("flash crowd runs");
+        outcome(&report)
+    };
+    let on = run(true);
+    let off = run(false);
+
+    assert!(
+        on.goodput_rps > off.goodput_rps,
+        "goodput hard bar: on {:.2} rps must beat off {:.2} rps",
+        on.goodput_rps,
+        off.goodput_rps
+    );
+    assert!(
+        on.wasted_service < off.wasted_service,
+        "waste hard bar: on {} must be below off {}",
+        on.wasted_service,
+        off.wasted_service
+    );
+    assert!(on.rejected > 0, "the crowd never hit the admission bound");
+    assert!(on.shed_deadline > 0, "deadline shedding never engaged");
+    assert!(on.breaker_trips > 0, "the breaker never tripped");
+    println!(
+        "flash crowd ({seconds}s, {BASE_RPS}->{PEAK_RPS} rps): control on \
+         goodput {:.2} rps / waste {:.2}s, off goodput {:.2} rps / waste {:.2}s",
+        on.goodput_rps,
+        on.wasted_service.as_secs_f64(),
+        off.goodput_rps,
+        off.wasted_service.as_secs_f64(),
+    );
+    println!(
+        "overload accounting (on): rejected {} shed {} browned-out {} trips {}",
+        on.rejected, on.shed_deadline, on.browned_out, on.breaker_trips,
+    );
+
+    // 2. Determinism matrix: each {control, chaos} cell replayed at 1 and
+    //    4 sweep threads and across fast-forward, all digest-compared.
+    let mut matrix = Vec::new();
+    let mut all_match = true;
+    for (control, chaos) in [(true, false), (false, false), (true, true), (false, true)] {
+        let plan = chaos.then(chaos_plan);
+        let cell = |ff: bool| {
+            let label = format!(
+                "flash/{}{}/ff-{}",
+                if control { "on" } else { "off" },
+                if chaos { "/chaos" } else { "" },
+                if ff { "on" } else { "off" },
+            );
+            flash_crowd_scenario(
+                label, control, ff, plan.clone(), BASE_RPS, PEAK_RPS, seconds, SEED,
+            )
+        };
+        let grid = || vec![cell(true), cell(false)];
+        let t1 = run_sweep(grid(), 1).expect("sweep t1");
+        let t4 = run_sweep(grid(), 4).expect("sweep t4");
+        let thread_parity = t1
+            .iter()
+            .zip(&t4)
+            .all(|((n1, r1), (n2, r2))| n1 == n2 && r1.digest() == r2.digest());
+        let ff_parity = t1[0].1.canonical_text() == t1[1].1.canonical_text();
+        let replay = run_sweep(grid(), 1).expect("sweep replay");
+        let replay_parity = t1
+            .iter()
+            .zip(&replay)
+            .all(|((_, r1), (_, r2))| r1.digest() == r2.digest());
+        all_match &= thread_parity && ff_parity && replay_parity;
+        println!(
+            "determinism {}: threads {} ff {} replay {}",
+            t1[0].0, thread_parity, ff_parity, replay_parity,
+        );
+        matrix.push(
+            ObjectBuilder::new()
+                .field("control", control)
+                .field("chaos", chaos)
+                .field("digest", format!("{:016x}", t1[0].1.digest()))
+                .field("threads_1_vs_4_match", thread_parity)
+                .field("fastforward_parity", ff_parity)
+                .field("replay_match", replay_parity)
+                .build(),
+        );
+    }
+    assert!(all_match, "overload determinism matrix has a diverging cell");
+
+    let doc = ObjectBuilder::new()
+        .field("bench", "overload_baseline")
+        .field("quick", opts.quick)
+        .field(
+            "scenario",
+            ObjectBuilder::new()
+                .field("base_rps", BASE_RPS)
+                .field("peak_rps", PEAK_RPS)
+                .field("seconds", seconds)
+                .field("seed", SEED)
+                .field("capacity_rps_approx", 70.0)
+                .build(),
+        )
+        .field("control_on", outcome_json(&on))
+        .field("control_off", outcome_json(&off))
+        .field(
+            "hard_bars",
+            ObjectBuilder::new()
+                .field("goodput_on_gt_off", on.goodput_rps > off.goodput_rps)
+                .field("waste_on_lt_off", on.wasted_service < off.wasted_service)
+                .field(
+                    "goodput_gain",
+                    on.goodput_rps / off.goodput_rps.max(f64::MIN_POSITIVE),
+                )
+                .build(),
+        )
+        .field("determinism_matrix", matrix)
+        .field("determinism_all_match", all_match)
+        .build();
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&opts.out, text).expect("write BENCH_5.json");
+    println!("wrote {}", opts.out.display());
+}

@@ -6,10 +6,11 @@
 //! benches stay declarative.
 
 use fastg_des::SimTime;
-use fastg_workload::ArrivalProcess;
+use fastg_workload::{patterns, ArrivalProcess};
 use fastgshare::manager::SharingPolicy;
 use fastgshare::platform::{
-    FunctionConfig, Platform, PlatformConfig, PlatformError, PlatformReport, Scenario,
+    FaultPlan, FunctionConfig, OverloadConfig, Platform, PlatformConfig, PlatformError,
+    PlatformReport, Scenario,
 };
 use fastgshare::profiler::{ProfileDb, ProfileKey, ProfileRecord};
 
@@ -56,6 +57,59 @@ pub fn sharing_scenario(
             .saturating(),
     )
     .duration(SimTime::from_secs(1 + seconds))
+}
+
+/// The flash-crowd overload scenario: two replicas at half quota
+/// (~70 rps capacity) on two nodes, hit by a crowd that ramps from
+/// `base_rps` to `peak_rps` and holds — far beyond anything the scaler
+/// could absorb. With `control` the overload plane (bounded admission,
+/// deadline shedding, circuit breaker, brownout) is armed; without it the
+/// platform queues silently without limit. An optional `FaultPlan` layers
+/// node chaos on top of the crowd.
+#[allow(clippy::too_many_arguments)]
+pub fn flash_crowd_scenario(
+    name: impl Into<String>,
+    control: bool,
+    fastforward: bool,
+    plan: Option<FaultPlan>,
+    base_rps: f64,
+    peak_rps: f64,
+    seconds: u64,
+    seed: u64,
+) -> Scenario {
+    let mut cfg = PlatformConfig::default()
+        .nodes(2)
+        .policy(SharingPolicy::FaST)
+        .warmup(SimTime::from_secs(1))
+        .fastforward(fastforward)
+        .seed(seed);
+    if control {
+        cfg = cfg.overload(OverloadConfig::default());
+    }
+    if let Some(plan) = plan {
+        cfg = cfg.fault_plan(plan);
+    }
+    Scenario::new(name, cfg)
+        .function(
+            FunctionConfig::new("flash", "resnet50")
+                .slo_ms(200)
+                .replicas(2)
+                .resources(50.0, 0.5, 0.8),
+        )
+        .load(
+            0,
+            patterns::flash_crowd(
+                base_rps,
+                peak_rps,
+                SimTime::from_secs(5),
+                SimTime::from_secs(1),
+                SimTime::from_secs(5),
+                SimTime::from_secs(seconds),
+                1,
+                seed.wrapping_add(1),
+            ),
+        )
+        .duration(SimTime::from_secs(seconds))
 }
 
 /// Condenses a single-function, single-node report into the figure row.

@@ -20,6 +20,22 @@ pub struct Request {
     /// Gateway arrival time (latency is measured from here, as the load
     /// generator observes it).
     pub arrived: SimTime,
+    /// Absolute completion deadline; [`SimTime::MAX`] means no deadline.
+    /// The overload control plane sheds the request once queue wait plus
+    /// estimated service time proves the deadline unmeetable.
+    pub deadline: SimTime,
+}
+
+/// Outcome of offering a request to the gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// An idle pod existed; the request was dispatched to it.
+    Dispatch(Request, PodId),
+    /// All pods busy; the request joined the function's queue.
+    Queue(Request),
+    /// The function's bounded admission queue is full: the request is
+    /// refused immediately instead of queueing without limit.
+    Overloaded(Request),
 }
 
 #[derive(Debug, Default)]
@@ -30,6 +46,12 @@ struct FuncState {
     arrivals: Vec<SimTime>,
     /// Requests shed at the gateway (queue timeout or retry budget).
     dropped: u64,
+    /// Bound on `queue` depth; `None` = unbounded (legacy behaviour).
+    capacity: Option<usize>,
+    /// Requests refused at admission (queue full or breaker fast-fail).
+    rejected: u64,
+    /// Requests shed because their deadline became provably unmeetable.
+    shed_deadline: u64,
     /// Crash-retry counts for requests that were re-admitted at least once.
     retries: BTreeMap<RequestId, u32>,
 }
@@ -75,26 +97,91 @@ impl Gateway {
         st.idle_pods.remove(&pod)
     }
 
-    /// Accepts a new request at `now`. If an idle pod exists it is
-    /// dispatched immediately (`Some((request, pod))`); otherwise the
-    /// request queues and `None` is returned.
-    pub fn on_arrival(&mut self, now: SimTime, func: FuncId) -> (Request, Option<PodId>) {
+    /// Offers a new request at `now` carrying an absolute `deadline`
+    /// ([`SimTime::MAX`] = none). If an idle pod exists it is dispatched
+    /// immediately; otherwise it queues — unless the function's bounded
+    /// admission queue is at capacity, in which case the request is
+    /// refused with [`Admission::Overloaded`] instead of queueing
+    /// silently without limit.
+    pub fn on_arrival(&mut self, now: SimTime, func: FuncId, deadline: SimTime) -> Admission {
         let id = RequestId(self.next_request);
         self.next_request += 1;
         let req = Request {
             id,
             func,
             arrived: now,
+            deadline,
         };
         let st = self.funcs.entry(func).or_default();
         st.arrivals.push(now);
         if let Some(&pod) = st.idle_pods.iter().next() {
             st.idle_pods.remove(&pod);
-            (req, Some(pod))
+            Admission::Dispatch(req, pod)
+        } else if st.capacity.is_some_and(|cap| st.queue.len() >= cap) {
+            st.rejected += 1;
+            Admission::Overloaded(req)
         } else {
             st.queue.push_back(req);
-            (req, None)
+            Admission::Queue(req)
         }
+    }
+
+    /// The id the next arrival will be assigned (peek only). Admission
+    /// controllers use this to register probe outcomes before calling
+    /// [`Self::on_arrival`].
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request
+    }
+
+    /// Counts an arrival that the overload control plane refused before it
+    /// ever reached the queue (circuit breaker fast-fail). The request is
+    /// materialised so accounting stays uniform but never queues.
+    pub fn reject_arrival(&mut self, now: SimTime, func: FuncId) -> Request {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        let st = self.funcs.entry(func).or_default();
+        st.arrivals.push(now);
+        st.rejected += 1;
+        Request {
+            id,
+            func,
+            arrived: now,
+            deadline: now,
+        }
+    }
+
+    /// Bounds (or unbounds, with `None`) a function's admission queue.
+    pub fn set_queue_capacity(&mut self, func: FuncId, capacity: Option<usize>) {
+        self.funcs.entry(func).or_default().capacity = capacity;
+    }
+
+    /// Sheds the queue prefix whose deadlines are provably unmeetable:
+    /// every queued request with `now + est_service > deadline`. The queue
+    /// is ordered by `(arrived, id)` and deadlines are monotone in arrival
+    /// time per function, so the unmeetable requests form a prefix and
+    /// capacity is never burned on already-dead work. Returns the shed
+    /// requests in queue order.
+    pub fn shed_unmeetable(
+        &mut self,
+        now: SimTime,
+        func: FuncId,
+        est_service: SimTime,
+    ) -> Vec<Request> {
+        let Some(st) = self.funcs.get_mut(&func) else {
+            return Vec::new();
+        };
+        let eta = now.checked_add(est_service).unwrap_or(SimTime::MAX);
+        let mut shed = Vec::new();
+        while let Some(head) = st.queue.front().copied() {
+            if eta <= head.deadline {
+                break;
+            }
+            st.queue.pop_front();
+            st.shed_deadline += 1;
+            st.retries.remove(&head.id);
+            shed.push(head);
+        }
+        shed
     }
 
     /// Re-admits a request that was dispatched but never completed (its
@@ -154,6 +241,17 @@ impl Gateway {
     /// Requests shed at the gateway for a function.
     pub fn dropped(&self, func: FuncId) -> u64 {
         self.funcs.get(&func).map_or(0, |st| st.dropped)
+    }
+
+    /// Requests refused at admission (bounded queue full or breaker
+    /// fast-fail) for a function.
+    pub fn rejected(&self, func: FuncId) -> u64 {
+        self.funcs.get(&func).map_or(0, |st| st.rejected)
+    }
+
+    /// Requests shed because their deadline became unmeetable.
+    pub fn shed_deadline(&self, func: FuncId) -> u64 {
+        self.funcs.get(&func).map_or(0, |st| st.shed_deadline)
     }
 
     /// A pod finished its request and asks for more work. Returns the next
@@ -252,23 +350,99 @@ mod tests {
 
     const F: FuncId = FuncId(0);
 
+    /// Legacy-shaped arrival helper: no deadline, `(request, maybe pod)`.
+    fn arrive(g: &mut Gateway, now: SimTime, func: FuncId) -> (Request, Option<PodId>) {
+        match g.on_arrival(now, func, SimTime::MAX) {
+            Admission::Dispatch(req, pod) => (req, Some(pod)),
+            Admission::Queue(req) | Admission::Overloaded(req) => (req, None),
+        }
+    }
+
     #[test]
     fn dispatches_to_idle_pod_immediately() {
         let mut g = Gateway::new();
         g.register_pod(F, PodId(1));
-        let (req, pod) = g.on_arrival(SimTime::ZERO, F);
+        let (req, pod) = arrive(&mut g, SimTime::ZERO, F);
         assert_eq!(pod, Some(PodId(1)));
         assert_eq!(req.id, RequestId(0));
         assert_eq!(g.idle_count(F), 0);
     }
 
     #[test]
+    fn bounded_queue_rejects_at_capacity() {
+        let mut g = Gateway::new();
+        g.register_pod(F, PodId(1));
+        g.set_queue_capacity(F, Some(2));
+        // One dispatches, two queue, the rest are refused.
+        for i in 0..5u64 {
+            g.on_arrival(SimTime::from_millis(i), F, SimTime::MAX);
+        }
+        assert_eq!(g.queue_len(F), 2);
+        assert_eq!(g.rejected(F), 2);
+        assert_eq!(g.total_arrivals(F), 5);
+        // Refusals are explicit.
+        let adm = g.on_arrival(SimTime::from_millis(9), F, SimTime::MAX);
+        assert!(matches!(adm, Admission::Overloaded(_)));
+        assert_eq!(g.rejected(F), 3);
+        // Draining one slot re-opens admission.
+        assert!(g.on_pod_idle(F, PodId(1)).is_some());
+        let adm = g.on_arrival(SimTime::from_millis(10), F, SimTime::MAX);
+        assert!(matches!(adm, Admission::Queue(_)));
+    }
+
+    #[test]
+    fn unbounded_queue_never_rejects() {
+        let mut g = Gateway::new();
+        g.register_func(F);
+        for i in 0..1_000u64 {
+            let adm = g.on_arrival(SimTime::from_millis(i), F, SimTime::MAX);
+            assert!(matches!(adm, Admission::Queue(_)));
+        }
+        assert_eq!(g.rejected(F), 0);
+        assert_eq!(g.queue_len(F), 1_000);
+    }
+
+    #[test]
+    fn shed_unmeetable_pops_exactly_the_dead_prefix() {
+        let mut g = Gateway::new();
+        g.register_func(F);
+        // Deadlines 10 ms, 20 ms, 30 ms after a common arrival ordering.
+        for (i, dl) in [10u64, 20, 30].iter().enumerate() {
+            g.on_arrival(SimTime::from_millis(i as u64), F, SimTime::from_millis(*dl));
+        }
+        // At t = 12 ms with 5 ms estimated service: eta 17 ms kills only
+        // the 10 ms deadline.
+        let shed = g.shed_unmeetable(SimTime::from_millis(12), F, SimTime::from_millis(5));
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].deadline, SimTime::from_millis(10));
+        assert_eq!(g.shed_deadline(F), 1);
+        assert_eq!(g.queue_len(F), 2);
+        // A huge estimate kills the rest; MAX deadlines never shed.
+        g.on_arrival(SimTime::from_millis(13), F, SimTime::MAX);
+        let shed = g.shed_unmeetable(SimTime::from_millis(14), F, SimTime::from_secs(10));
+        assert_eq!(shed.len(), 2);
+        assert_eq!(g.shed_deadline(F), 3);
+        assert_eq!(g.queue_len(F), 1, "MAX-deadline request survives");
+    }
+
+    #[test]
+    fn reject_arrival_counts_without_queueing() {
+        let mut g = Gateway::new();
+        g.register_func(F);
+        let req = g.reject_arrival(SimTime::from_millis(5), F);
+        assert_eq!(req.arrived, SimTime::from_millis(5));
+        assert_eq!(g.total_arrivals(F), 1);
+        assert_eq!(g.rejected(F), 1);
+        assert_eq!(g.queue_len(F), 0);
+    }
+
+    #[test]
     fn queues_when_all_busy_and_drains_fifo() {
         let mut g = Gateway::new();
         g.register_pod(F, PodId(1));
-        let (_r0, _) = g.on_arrival(SimTime::ZERO, F);
-        let (r1, p1) = g.on_arrival(SimTime::from_millis(1), F);
-        let (r2, p2) = g.on_arrival(SimTime::from_millis(2), F);
+        let (_r0, _) = arrive(&mut g, SimTime::ZERO, F);
+        let (r1, p1) = arrive(&mut g, SimTime::from_millis(1), F);
+        let (r2, p2) = arrive(&mut g, SimTime::from_millis(2), F);
         assert_eq!(p1, None);
         assert_eq!(p2, None);
         assert_eq!(g.queue_len(F), 2);
@@ -285,8 +459,8 @@ mod tests {
         let mut g = Gateway::new();
         g.register_pod(F, PodId(1));
         g.register_pod(F, PodId(2));
-        let (_, pa) = g.on_arrival(SimTime::ZERO, F);
-        let (_, pb) = g.on_arrival(SimTime::ZERO, F);
+        let (_, pa) = arrive(&mut g, SimTime::ZERO, F);
+        let (_, pb) = arrive(&mut g, SimTime::ZERO, F);
         let mut got = vec![pa.unwrap(), pb.unwrap()];
         got.sort();
         assert_eq!(got, vec![PodId(1), PodId(2)]);
@@ -296,14 +470,14 @@ mod tests {
     fn parked_pod_can_poll_for_backlog() {
         let mut g = Gateway::new();
         // Requests queue while no pod exists.
-        let (r0, p0) = g.on_arrival(SimTime::ZERO, F);
+        let (r0, p0) = arrive(&mut g, SimTime::ZERO, F);
         assert_eq!(p0, None);
         g.register_pod(F, PodId(1)); // registers idle
         // The new pod polls and gets the backlog — and leaves the idle
         // set so arrivals cannot double-dispatch to it.
         assert_eq!(g.on_pod_idle(F, PodId(1)).unwrap().id, r0.id);
         assert_eq!(g.idle_count(F), 0);
-        let (_, p1) = g.on_arrival(SimTime::from_millis(1), F);
+        let (_, p1) = arrive(&mut g, SimTime::from_millis(1), F);
         assert_eq!(p1, None, "busy pod must not be double-dispatched");
     }
 
@@ -311,7 +485,7 @@ mod tests {
     fn deregistered_pod_is_not_parked() {
         let mut g = Gateway::new();
         g.register_pod(F, PodId(1));
-        let (_, p) = g.on_arrival(SimTime::ZERO, F);
+        let (_, p) = arrive(&mut g, SimTime::ZERO, F);
         assert_eq!(p, Some(PodId(1)));
         // Drained while busy.
         let was_idle = g.deregister_pod(F, PodId(1));
@@ -333,7 +507,7 @@ mod tests {
         let mut g = Gateway::new();
         g.register_func(F);
         for i in 0..100 {
-            g.on_arrival(SimTime::from_millis(i * 10), F); // 100 rps
+            g.on_arrival(SimTime::from_millis(i * 10), F, SimTime::MAX); // 100 rps
         }
         let r = g.arrival_rate(F, SimTime::from_secs(1), SimTime::from_secs(1));
         assert!((r - 100.0).abs() < 2.0, "r = {r}");
@@ -349,10 +523,10 @@ mod tests {
         g.register_func(F);
         // First 2 s at 50 rps, next 2 s at 150 rps.
         for i in 0..100u64 {
-            g.on_arrival(SimTime::from_millis(i * 20), F);
+            g.on_arrival(SimTime::from_millis(i * 20), F, SimTime::MAX);
         }
         for i in 0..300u64 {
-            g.on_arrival(SimTime::from_secs(2) + SimTime::from_micros(i * 6_667), F);
+            g.on_arrival(SimTime::from_secs(2) + SimTime::from_micros(i * 6_667), F, SimTime::MAX);
         }
         let now = SimTime::from_secs(4);
         let window = SimTime::from_secs(4);
@@ -369,7 +543,7 @@ mod tests {
         g.register_func(F);
         // A burst followed by silence: the raw trend would be negative.
         for i in 0..200u64 {
-            g.on_arrival(SimTime::from_millis(i), F);
+            g.on_arrival(SimTime::from_millis(i), F, SimTime::MAX);
         }
         let p = g.predicted_rate(F, SimTime::from_secs(10), SimTime::from_secs(4));
         assert_eq!(p, 0.0);
@@ -388,10 +562,10 @@ mod tests {
         let mut g = Gateway::new();
         g.register_pod(F, PodId(1));
         // r0 dispatches to the only pod; r1 and r2 queue behind it.
-        let (r0, p0) = g.on_arrival(SimTime::ZERO, F);
+        let (r0, p0) = arrive(&mut g, SimTime::ZERO, F);
         assert_eq!(p0, Some(PodId(1)));
-        let (r1, _) = g.on_arrival(SimTime::from_millis(1), F);
-        let (r2, _) = g.on_arrival(SimTime::from_millis(2), F);
+        let (r1, _) = arrive(&mut g, SimTime::from_millis(1), F);
+        let (r2, _) = arrive(&mut g, SimTime::from_millis(2), F);
         // The pod crashes: r0 (the oldest request) is re-admitted and
         // must dispatch before the younger r1 and r2.
         assert_eq!(g.requeue(r0), None);
@@ -406,9 +580,9 @@ mod tests {
         let mut g = Gateway::new();
         g.register_pod(F, PodId(1));
         g.register_pod(F, PodId(2));
-        let (ra, _) = g.on_arrival(SimTime::ZERO, F); // → pod 1
-        let (rb, _) = g.on_arrival(SimTime::from_millis(1), F); // → pod 2
-        let (rc, _) = g.on_arrival(SimTime::from_millis(2), F); // queued
+        let (ra, _) = arrive(&mut g, SimTime::ZERO, F); // → pod 1
+        let (rb, _) = arrive(&mut g, SimTime::from_millis(1), F); // → pod 2
+        let (rc, _) = arrive(&mut g, SimTime::from_millis(2), F); // queued
         // Both pods crash; their requests requeue youngest-first — the
         // order a node-level crash tears pods down in is arbitrary.
         assert_eq!(g.requeue(rb), None);
@@ -424,7 +598,7 @@ mod tests {
     fn retries_are_counted_per_request() {
         let mut g = Gateway::new();
         g.register_func(F);
-        let (r, _) = g.on_arrival(SimTime::ZERO, F);
+        let (r, _) = arrive(&mut g, SimTime::ZERO, F);
         assert_eq!(g.retries_of(&r), 0);
         g.requeue(r);
         assert_eq!(g.retries_of(&r), 1);
@@ -439,8 +613,8 @@ mod tests {
     fn cancel_queued_sheds_only_waiting_requests() {
         let mut g = Gateway::new();
         g.register_pod(F, PodId(1));
-        let (r0, _) = g.on_arrival(SimTime::ZERO, F); // dispatched
-        let (r1, _) = g.on_arrival(SimTime::from_millis(1), F); // queued
+        let (r0, _) = arrive(&mut g, SimTime::ZERO, F); // dispatched
+        let (r1, _) = arrive(&mut g, SimTime::from_millis(1), F); // queued
         assert_eq!(g.cancel_queued(F, r0.id), None, "in-flight is untouchable");
         let got = g.cancel_queued(F, r1.id).unwrap();
         assert_eq!(got.id, r1.id);
@@ -456,8 +630,8 @@ mod tests {
         let mut g = Gateway::new();
         g.register_func(F);
         g.register_func(FuncId(1));
-        let (a, _) = g.on_arrival(SimTime::ZERO, F);
-        let (b, _) = g.on_arrival(SimTime::ZERO, FuncId(1));
+        let (a, _) = arrive(&mut g, SimTime::ZERO, F);
+        let (b, _) = arrive(&mut g, SimTime::ZERO, FuncId(1));
         assert_ne!(a.id, b.id);
     }
 }

@@ -27,5 +27,5 @@ pub mod gateway;
 pub mod spec;
 
 pub use cluster::{Cluster, ClusterError, Node, NodeId, NodeState, Pod, PodId, PodState};
-pub use gateway::{Gateway, Request, RequestId};
+pub use gateway::{Admission, Gateway, Request, RequestId};
 pub use spec::{FaSTFuncSpec, FuncId, ResourceSpec};

@@ -58,8 +58,9 @@ proptest! {
                 // Request arrives.
                 1 => {
                     arrivals += 1;
-                    let (_req, pod) = g.on_arrival(now, f);
-                    if let Some(p) = pod {
+                    if let fastg_cluster::Admission::Dispatch(_req, p) =
+                        g.on_arrival(now, f, SimTime::MAX)
+                    {
                         prop_assert!(!busy.contains(&p), "dispatched to busy pod");
                         busy.push(p);
                         dispatched += 1;

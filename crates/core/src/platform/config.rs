@@ -1,6 +1,7 @@
 //! Platform and function configuration surfaces.
 
 use super::faults::FaultPlan;
+use super::overload::OverloadConfig;
 use crate::manager::SharingPolicy;
 use fastg_des::SimTime;
 use fastg_gpu::GpuSpec;
@@ -72,6 +73,10 @@ pub struct PlatformConfig {
     /// Maximum times a request may be requeued after losing its pod to a
     /// crash before the gateway sheds it. `None` retries forever.
     pub retry_budget: Option<u32>,
+    /// Overload control plane: bounded admission queues, deadline-aware
+    /// shedding, per-function circuit breakers and brownout serving.
+    /// `None` (the default) keeps the legacy unbounded-queue behaviour.
+    pub overload: Option<OverloadConfig>,
     /// Event-coalescing fast-forward: uncontended bursts are advanced
     /// analytically as one macro-event instead of one event per kernel,
     /// with byte-identical reports. On by default; the
@@ -105,6 +110,7 @@ impl Default for PlatformConfig {
             health_interval: SimTime::from_millis(500),
             request_timeout_factor: None,
             retry_budget: None,
+            overload: None,
             fastforward: std::env::var("FASTG_FASTFORWARD").map_or(true, |v| v != "0"),
         }
     }
@@ -243,6 +249,24 @@ impl PlatformConfig {
     /// Caps crash-requeues per request before the gateway sheds it.
     pub fn retry_budget(mut self, budget: u32) -> Self {
         self.retry_budget = Some(budget);
+        self
+    }
+
+    /// Attaches the overload control plane (bounded admission, deadline
+    /// shedding, circuit breaking, brownout).
+    pub fn overload(mut self, cfg: OverloadConfig) -> Self {
+        self.overload = Some(cfg);
+        self
+    }
+
+    /// Enables the overload control plane with default tuning, or
+    /// disables it entirely.
+    pub fn overload_control(mut self, on: bool) -> Self {
+        self.overload = if on {
+            Some(OverloadConfig::default())
+        } else {
+            None
+        };
         self
     }
 

@@ -1,10 +1,13 @@
 //! The platform engine: the event loop wiring every component together.
 
-use crate::manager::{BackendConfig, FastBackend, RequestOutcome, SharingPolicy};
+use crate::manager::{BackendConfig, BurstEstimator, FastBackend, RequestOutcome, SharingPolicy};
 use crate::modelshare::{footprint, ModelStorageServer, StoreLib, DEFAULT_CTX_OVERHEAD};
 use crate::platform::config::{FunctionConfig, PlatformConfig};
 use crate::platform::error::PlatformError;
 use crate::platform::faults::FaultKind;
+use crate::platform::overload::{
+    AdmitDecision, BreakerAction, BreakerState, CircuitBreaker, OverloadConfig,
+};
 use crate::platform::report::{FunctionReport, NodeReport, PlatformReport};
 use crate::profiler::ProfileDb;
 use crate::scheduler::{heuristic_scale, ConfigPoint, NodeSelector, PlacementPolicy, RunningPod, ScaleAction};
@@ -46,6 +49,11 @@ pub enum Event {
     HealthTick,
     /// A request's queueing deadline passed; shed it if still queued.
     RequestTimeout(FuncId, RequestId),
+    /// The overload control plane's periodic breaker evaluation: every
+    /// function's circuit breaker advances one window (trip, probe,
+    /// close, brownout enter/exit). Scheduled only when overload control
+    /// is configured, so legacy runs see an identical event stream.
+    BreakerTick,
 }
 
 struct FuncRt {
@@ -66,10 +74,26 @@ struct FuncRt {
     backoff_until: SimTime,
     /// Time-to-recovery of every healed outage.
     recoveries: Vec<SimTime>,
+    /// EWMA service-time estimate feeding deadline-aware shedding.
+    service_est: BurstEstimator,
+    /// SLO-met completions (goodput).
+    goodput: RateMeter,
+    /// Service time burned on completions that missed their SLO.
+    wasted_service: SimTime,
+    /// Requests admitted while serving browned-out.
+    browned_out: u64,
+    /// The function's circuit breaker (overload control plane).
+    breaker: CircuitBreaker,
+    /// Full-quota resources to restore when brownout ends. The snapshot
+    /// is taken at brownout entry; an external reconfigure during
+    /// brownout is superseded by the restore.
+    normal_resources: ResourceSpec,
 }
 
 struct ActiveReq {
     req: Request,
+    /// When service began (wasted-work accounting excludes queue wait).
+    started: SimTime,
     run: InferenceRun,
     /// Stage index (into the run's profile) of a burst waiting for a
     /// token grant. Kept as an index so the hot path never clones the
@@ -198,6 +222,9 @@ impl Engine {
         let id = FuncId(self.next_func);
         self.next_func += 1;
         self.gateway.register_func(id);
+        if let Some(o) = &self.cfg.overload {
+            self.gateway.set_queue_capacity(id, Some(o.queue_capacity));
+        }
         self.funcs.insert(
             id,
             FuncRt {
@@ -214,6 +241,12 @@ impl Engine {
                 backoff_exp: 0,
                 backoff_until: SimTime::ZERO,
                 recoveries: Vec::new(),
+                service_est: BurstEstimator::new(BurstEstimator::default_alpha()),
+                goodput: RateMeter::new(),
+                wasted_service: SimTime::ZERO,
+                browned_out: 0,
+                breaker: CircuitBreaker::new(),
+                normal_resources: resources,
             },
         );
         for _ in 0..fc.replicas {
@@ -351,7 +384,7 @@ impl Engine {
         if saturate {
             let req = self.synth_request(now, func);
             self.assign_request(now, pod, req, queue);
-        } else if let Some(req) = self.gateway.on_pod_idle(func, pod) {
+        } else if let Some(req) = self.pull_next(now, func, pod) {
             // Backlog may have accumulated while no pod was routable
             // (e.g. every replica crashed); a new pod picks it up
             // immediately instead of waiting for an arrival.
@@ -367,6 +400,7 @@ impl Engine {
             id,
             func,
             arrived: now,
+            deadline: SimTime::MAX,
         }
     }
 
@@ -551,6 +585,13 @@ impl Engine {
     fn retry_or_shed(&mut self, now: SimTime, req: Request, queue: &mut EventQueue<Event>) {
         if req.id.0 >= 1 << 60 {
             return; // synthetic saturating request: just dropped
+        }
+        // Every call here is a crash-lost request: feed the breaker's
+        // failure counter so a dying node fast-fails instead of queueing.
+        if self.cfg.overload.is_some() {
+            if let Some(frt) = self.funcs.get_mut(&req.func) {
+                frt.breaker.on_failure(req.id.0);
+            }
         }
         if let Some(budget) = self.cfg.retry_budget {
             if self.gateway.retries_of(&req) >= budget {
@@ -782,7 +823,75 @@ impl Engine {
     fn on_request_timeout(&mut self, func: FuncId, id: RequestId) {
         if let Some(req) = self.gateway.cancel_queued(func, id) {
             self.gateway.drop_request(&req);
+            if self.cfg.overload.is_some() {
+                if let Some(frt) = self.funcs.get_mut(&func) {
+                    frt.breaker.on_shed(req.id.0);
+                }
+            }
         }
+    }
+
+    // ----- overload control plane -------------------------------------
+
+    /// One breaker evaluation window: shed stale queue prefixes, advance
+    /// every function's breaker, and apply brownout transitions through
+    /// the regular `reconfigure` path (which breaks fast-forward state on
+    /// touched nodes, so replay stays digest-exact).
+    fn on_breaker_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        let Some(o) = self.cfg.overload else {
+            return; // overload control disabled after scheduling: disarm
+        };
+        queue.schedule(now + o.breaker_window, Event::BreakerTick);
+        let func_ids: Vec<FuncId> = self.funcs.keys().copied().collect();
+        for func in func_ids {
+            // Requests can outlive their deadline between dispatch
+            // opportunities; sweep them each window so the shed counters
+            // see overload even when no pod goes idle.
+            self.shed_dead_prefix(now, func);
+            let Some(frt) = self.funcs.get_mut(&func) else {
+                continue;
+            };
+            match frt.breaker.tick(now, &o) {
+                BreakerAction::None => {}
+                BreakerAction::EnterBrownout => self.enter_brownout(now, func, &o, queue),
+                BreakerAction::ExitBrownout => self.exit_brownout(now, func, queue),
+            }
+        }
+    }
+
+    /// Brownout entry: snapshot full-quota resources and reconfigure
+    /// every replica to a reduced quota request (elastic limit kept), so
+    /// the function keeps serving degraded instead of hard-failing.
+    fn enter_brownout(
+        &mut self,
+        now: SimTime,
+        func: FuncId,
+        o: &OverloadConfig,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let Some(frt) = self.funcs.get_mut(&func) else {
+            return;
+        };
+        let full = frt.resources;
+        frt.normal_resources = full;
+        let reduced = ResourceSpec::new(
+            full.sm_partition,
+            (full.quota_request * o.brownout_quota_factor).max(0.01),
+            full.quota_limit,
+            full.gpu_mem,
+        );
+        let applied = self.reconfigure(now, func, reduced, queue);
+        debug_assert!(applied.is_ok(), "browning out a deployed function");
+    }
+
+    /// Brownout exit: restore the snapshot taken at entry.
+    fn exit_brownout(&mut self, now: SimTime, func: FuncId, queue: &mut EventQueue<Event>) {
+        let Some(frt) = self.funcs.get(&func) else {
+            return;
+        };
+        let full = frt.normal_resources;
+        let applied = self.reconfigure(now, func, full, queue);
+        debug_assert!(applied.is_ok(), "restoring a deployed function");
     }
 
     // ----- request lifecycle ------------------------------------------
@@ -794,13 +903,66 @@ impl Engine {
                 queue.schedule(t, Event::Arrival(func));
             }
         }
-        let (req, pod) = self.gateway.on_arrival(now, func);
-        if let Some(factor) = self.cfg.request_timeout_factor {
-            let deadline = now + self.funcs[&func].slo.slo().scale(factor);
-            queue.schedule(deadline, Event::RequestTimeout(func, req.id));
+        let overload = self.cfg.overload;
+        let slo = self.funcs.get(&func).map(|f| f.slo.slo());
+        // Breaker admission runs before the request touches the queue: an
+        // Open breaker fast-fails (or serves browned-out) without burning
+        // queue capacity. The probe id is the id the gateway will assign.
+        let mut browned = false;
+        if let (Some(o), Some(frt)) = (overload.as_ref(), self.funcs.get_mut(&func)) {
+            let next_id = self.gateway.next_request_id();
+            if frt.breaker.admit(o, next_id) == AdmitDecision::Refuse {
+                self.gateway.reject_arrival(now, func);
+                return;
+            }
+            browned = frt.breaker.browned();
         }
-        if let Some(pod) = pod {
-            self.assign_request(now, pod, req, queue);
+        let deadline = match (overload.as_ref(), slo) {
+            (Some(o), Some(slo)) => now
+                .checked_add(slo.scale(o.deadline_factor))
+                .unwrap_or(SimTime::MAX),
+            _ => SimTime::MAX,
+        };
+        match self.gateway.on_arrival(now, func, deadline) {
+            fastg_cluster::Admission::Overloaded(req) => {
+                // Bounded queue full: counted as rejected by the gateway,
+                // and as a shed signal for the breaker's trip ratio.
+                if let Some(frt) = self.funcs.get_mut(&func) {
+                    frt.breaker.on_shed(req.id.0);
+                }
+            }
+            fastg_cluster::Admission::Dispatch(req, pod) => {
+                if browned {
+                    if let Some(frt) = self.funcs.get_mut(&func) {
+                        frt.browned_out += 1;
+                    }
+                }
+                self.schedule_request_timeout(now, func, req.id, queue);
+                self.assign_request(now, pod, req, queue);
+            }
+            fastg_cluster::Admission::Queue(req) => {
+                if browned {
+                    if let Some(frt) = self.funcs.get_mut(&func) {
+                        frt.browned_out += 1;
+                    }
+                }
+                self.schedule_request_timeout(now, func, req.id, queue);
+            }
+        }
+    }
+
+    fn schedule_request_timeout(
+        &self,
+        now: SimTime,
+        func: FuncId,
+        id: RequestId,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if let Some(factor) = self.cfg.request_timeout_factor {
+            if let Some(frt) = self.funcs.get(&func) {
+                let deadline = now + frt.slo.slo().scale(factor);
+                queue.schedule(deadline, Event::RequestTimeout(func, id));
+            }
         }
     }
 
@@ -819,6 +981,7 @@ impl Engine {
         let model = Arc::clone(&self.funcs[&rt.func].model);
         rt.active = Some(ActiveReq {
             req,
+            started: now,
             run: InferenceRun::new(model),
             pending_stage: None,
             outstanding: 0,
@@ -1140,6 +1303,35 @@ impl Engine {
         }
     }
 
+    /// Sheds the provably dead queue prefix, then pulls the next request
+    /// for an idle pod. With overload control off (or a cold estimator)
+    /// this is exactly `gateway.on_pod_idle`.
+    fn pull_next(&mut self, now: SimTime, func: FuncId, pod: PodId) -> Option<Request> {
+        self.shed_dead_prefix(now, func);
+        self.gateway.on_pod_idle(func, pod)
+    }
+
+    /// Deadline-aware shedding: drops every queued request whose deadline
+    /// is unmeetable even if service started right now, per the EWMA
+    /// service-time estimate. Each shed feeds the breaker.
+    fn shed_dead_prefix(&mut self, now: SimTime, func: FuncId) {
+        if self.cfg.overload.is_none() {
+            return;
+        }
+        let Some(est) = self.funcs.get(&func).and_then(|f| f.service_est.mean()) else {
+            return; // no completions yet: nothing to estimate with
+        };
+        let shed = self.gateway.shed_unmeetable(now, func, est);
+        if shed.is_empty() {
+            return;
+        }
+        if let Some(frt) = self.funcs.get_mut(&func) {
+            for r in &shed {
+                frt.breaker.on_shed(r.id.0);
+            }
+        }
+    }
+
     fn complete_request(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
         let Some(rt) = self.pods.get_mut(&pod) else {
             debug_assert!(false, "completing on a live pod");
@@ -1158,6 +1350,19 @@ impl Engine {
         };
         frt.slo.record(latency);
         frt.completions.record(now);
+        let met = latency <= frt.slo.slo();
+        let service = now.saturating_sub(active.started);
+        frt.service_est.observe(service);
+        if met {
+            frt.goodput.record(now);
+        } else {
+            // Capacity burned on a request that was already over its SLO:
+            // the wasted work overload control exists to avoid.
+            frt.wasted_service += service;
+        }
+        if self.cfg.overload.is_some() && active.req.id.0 < 1 << 60 {
+            frt.breaker.on_completion(active.req.id.0, met);
+        }
         let saturate = frt.saturate;
 
         // Terminating pods are deleted as soon as their request finishes.
@@ -1174,7 +1379,7 @@ impl Engine {
             return;
         }
         // Pull the next request, or park idle.
-        match self.gateway.on_pod_idle(func, pod) {
+        match self.pull_next(now, func, pod) {
             Some(req) => self.assign_request(now, pod, req, queue),
             None if saturate => {
                 let req = self.synth_request(now, func);
@@ -1367,6 +1572,13 @@ impl Engine {
                     replicas: self.cluster.running_pods_of(id).len(),
                     replica_series: rt.replica_series.clone(),
                     dropped: self.gateway.dropped(id),
+                    rejected: self.gateway.rejected(id),
+                    shed_deadline: self.gateway.shed_deadline(id),
+                    browned_out: rt.browned_out,
+                    breaker_trips: rt.breaker.trips(),
+                    good_completions: rt.goodput.count(),
+                    goodput_rps: rt.goodput.rate_between(warmup, now),
+                    wasted_service: rt.wasted_service,
                     time_to_recovery: rt.recoveries.clone(),
                 },
             );
@@ -1438,6 +1650,7 @@ impl World for Engine {
             Event::Fault(index) => self.on_fault(now, index, queue),
             Event::HealthTick => self.on_health_tick(now, queue),
             Event::RequestTimeout(func, id) => self.on_request_timeout(func, id),
+            Event::BreakerTick => self.on_breaker_tick(now, queue),
         }
     }
 }
@@ -1479,6 +1692,9 @@ impl Platform {
             }
             if world.cfg.recovery {
                 queue.schedule(world.cfg.health_interval, Event::HealthTick);
+            }
+            if let Some(o) = &world.cfg.overload {
+                queue.schedule(o.breaker_window, Event::BreakerTick);
             }
         }
         Platform { sim }
@@ -1653,6 +1869,43 @@ impl Platform {
     /// Requests of a function shed by the gateway so far.
     pub fn dropped_requests(&self, func: FuncId) -> u64 {
         self.sim.world().gateway.dropped(func)
+    }
+
+    /// Requests refused at admission (bounded queue full or breaker
+    /// fast-fail).
+    pub fn rejected_requests(&self, func: FuncId) -> u64 {
+        self.sim.world().gateway.rejected(func)
+    }
+
+    /// Requests shed because their deadline was provably unmeetable.
+    pub fn shed_requests(&self, func: FuncId) -> u64 {
+        self.sim.world().gateway.shed_deadline(func)
+    }
+
+    /// The function's circuit-breaker state (`None` if the function is
+    /// unknown).
+    pub fn breaker_state(&self, func: FuncId) -> Option<BreakerState> {
+        self.sim.world().funcs.get(&func).map(|f| f.breaker.state())
+    }
+
+    /// Times the function's breaker has tripped to Open.
+    pub fn breaker_trips(&self, func: FuncId) -> u64 {
+        self.sim
+            .world()
+            .funcs
+            .get(&func)
+            .map(|f| f.breaker.trips())
+            .unwrap_or(0)
+    }
+
+    /// Whether the function is currently serving browned-out (reduced
+    /// quota).
+    pub fn brownout_active(&self, func: FuncId) -> bool {
+        self.sim
+            .world()
+            .funcs
+            .get(&func)
+            .is_some_and(|f| f.breaker.browned())
     }
 
     /// Real (gateway-arrived) requests currently executing on a pod;

@@ -21,12 +21,14 @@ pub mod csv;
 pub mod engine;
 pub mod error;
 pub mod faults;
+pub mod overload;
 pub mod report;
 pub mod sweep;
 
 pub use config::{FunctionConfig, PlatformConfig};
 pub use engine::Platform;
 pub use error::PlatformError;
+pub use overload::{BreakerState, CircuitBreaker, OverloadConfig};
 pub use sweep::{run_sweep, Scenario};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use report::{FunctionReport, NodeReport, PlatformReport};

@@ -18,6 +18,25 @@ pub struct FunctionReport {
     /// Requests shed by the gateway: timed out in the queue, or lost to a
     /// crash with no retry budget left.
     pub dropped: u64,
+    /// Requests refused at admission: bounded queue full or circuit
+    /// breaker fast-fail (overload control plane only).
+    pub rejected: u64,
+    /// Requests shed because queue wait plus the estimated service time
+    /// proved their deadline unmeetable.
+    pub shed_deadline: u64,
+    /// Requests admitted while the function served in brownout
+    /// (reduced-quota) mode.
+    pub browned_out: u64,
+    /// Times the function's circuit breaker tripped to Open.
+    pub breaker_trips: u64,
+    /// Goodput: steady-state SLO-met completions per second after
+    /// warm-up — the number overload control exists to protect.
+    pub goodput_rps: f64,
+    /// Completions that met the SLO.
+    pub good_completions: u64,
+    /// Wasted work: service time spent on completions that missed their
+    /// SLO (capacity burned on already-dead requests).
+    pub wasted_service: SimTime,
     /// Time from each detected replica outage to the run of health checks
     /// that restored the desired replica count (recovery controller only;
     /// empty when recovery is off or no outage occurred).
@@ -98,6 +117,28 @@ impl PlatformReport {
     /// Total steady-state throughput across functions.
     pub fn total_throughput(&self) -> f64 {
         self.functions.values().map(|f| f.throughput_rps).sum()
+    }
+
+    /// Total goodput (SLO-met completions/second) across functions.
+    pub fn total_goodput(&self) -> f64 {
+        self.functions.values().map(|f| f.goodput_rps).sum()
+    }
+
+    /// Total service time burned on SLO-missing completions.
+    pub fn total_wasted_service(&self) -> SimTime {
+        self.functions
+            .values()
+            .fold(SimTime::ZERO, |acc, f| acc + f.wasted_service)
+    }
+
+    /// Total admission rejections (queue full + breaker fast-fails).
+    pub fn total_rejected(&self) -> u64 {
+        self.functions.values().map(|f| f.rejected).sum()
+    }
+
+    /// Total deadline-driven sheds.
+    pub fn total_shed(&self) -> u64 {
+        self.functions.values().map(|f| f.shed_deadline).sum()
     }
 
     /// Mean utilization across nodes that ran at least one kernel (the
@@ -189,13 +230,21 @@ impl PlatformReport {
         for (id, f) in &self.functions {
             let _ = write!(
                 s,
-                "fn {id:?} name={} model={} arr={} done={} drop={} rps={:016x} \
+                "fn {id:?} name={} model={} arr={} done={} drop={} rej={} shed={} \
+                 brown={} trips={} good={} goodrps={:016x} waste={} rps={:016x} \
                  p50={} p95={} p99={} max={} mean={} slo={} viol={} ratio={:016x} reps={}",
                 f.name,
                 f.model,
                 f.arrivals,
                 f.completed,
                 f.dropped,
+                f.rejected,
+                f.shed_deadline,
+                f.browned_out,
+                f.breaker_trips,
+                f.good_completions,
+                f64b(f.goodput_rps),
+                f.wasted_service.as_micros(),
                 f64b(f.throughput_rps),
                 f.p50.as_micros(),
                 f.p95.as_micros(),

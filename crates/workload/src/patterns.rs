@@ -88,6 +88,68 @@ pub fn bursty(
     ArrivalProcess::profile(knots, seed.wrapping_add(1))
 }
 
+/// A flash crowd: a flat `base_rps` until `at`, a steep linear ramp to
+/// `peak_rps` over `ramp`, a `hold` at the peak, an equally steep decay
+/// back, then base rate until `duration`. Optional seeded aftershocks —
+/// `aftershocks` half-height, half-length echo spikes in the tail — model
+/// the retry storms that follow real incidents. The profile is the
+/// canonical overload-control stressor: the ramp outruns any scaler, so
+/// survival depends on admission control and shedding, not capacity.
+#[allow(clippy::too_many_arguments)]
+pub fn flash_crowd(
+    base_rps: f64,
+    peak_rps: f64,
+    at: SimTime,
+    ramp: SimTime,
+    hold: SimTime,
+    duration: SimTime,
+    aftershocks: u32,
+    seed: u64,
+) -> ArrivalProcess {
+    debug_assert!(peak_rps >= base_rps, "peak below base");
+    debug_assert!(duration > at, "crowd must arrive before the end");
+    let base_rps = base_rps.max(0.0);
+    let peak_rps = peak_rps.max(base_rps);
+    let ramp = ramp.max(SimTime::from_micros(1));
+    let at = at.min(duration);
+    let crest = (at + ramp).min(duration);
+    let fall = (crest + hold).min(duration);
+    let settled = (fall + ramp).min(duration);
+    let mut knots: Vec<(SimTime, f64)> = vec![
+        (SimTime::ZERO, base_rps),
+        (at, base_rps),
+        (crest, peak_rps),
+        (fall, peak_rps),
+        (settled, base_rps),
+    ];
+    // Echo spikes in the tail after the main crowd settles.
+    if aftershocks > 0 && settled < duration {
+        let echo_rps = base_rps + (peak_rps - base_rps) / 2.0;
+        let echo_len = SimTime::from_micros((hold.as_micros() / 2).max(1));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tail = duration.saturating_sub(settled).saturating_sub(echo_len);
+        let mut starts: Vec<u64> = (0..aftershocks)
+            .map(|_| rng.gen_range(0..tail.as_micros().max(1)))
+            .collect();
+        starts.sort_unstable();
+        let mut echo_end = settled;
+        for s in starts {
+            let start = (settled + SimTime::from_micros(s)).max(echo_end);
+            let end = (start + echo_len).min(duration);
+            if start >= end {
+                continue;
+            }
+            knots.push((start, base_rps));
+            knots.push((start, echo_rps));
+            knots.push((end, echo_rps));
+            knots.push((end, base_rps));
+            echo_end = end;
+        }
+    }
+    knots.push((duration, base_rps));
+    ArrivalProcess::profile(knots, seed.wrapping_add(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +213,65 @@ mod tests {
     #[should_panic(expected = "peak below base")]
     fn diurnal_validates_range() {
         diurnal(100.0, 10.0, SimTime::from_secs(1), 1, 0);
+    }
+
+    #[test]
+    fn flash_crowd_ramps_holds_and_settles() {
+        let p = flash_crowd(
+            20.0,
+            400.0,
+            SimTime::from_secs(10),
+            SimTime::from_secs(2),
+            SimTime::from_secs(5),
+            SimTime::from_secs(60),
+            0,
+            7,
+        );
+        assert!((p.rate_at(SimTime::from_secs(5)) - 20.0).abs() < 1e-6);
+        // Mid-ramp is between base and peak.
+        let mid = p.rate_at(SimTime::from_secs(11));
+        assert!(mid > 100.0 && mid < 350.0, "mid-ramp {mid}");
+        // The hold sits at the peak.
+        assert!((p.rate_at(SimTime::from_secs(14)) - 400.0).abs() < 1e-6);
+        // Long after the crowd, base again.
+        assert!((p.rate_at(SimTime::from_secs(50)) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flash_crowd_aftershocks_echo_in_the_tail() {
+        let p = flash_crowd(
+            10.0,
+            210.0,
+            SimTime::from_secs(5),
+            SimTime::from_secs(1),
+            SimTime::from_secs(4),
+            SimTime::from_secs(120),
+            3,
+            11,
+        );
+        // Somewhere after the crowd settles (t > 11s) the rate reaches the
+        // half-height echo level.
+        let echo = (12..120)
+            .map(|s| p.rate_at(SimTime::from_secs(s)))
+            .fold(0.0f64, f64::max);
+        assert!((echo - 110.0).abs() < 1e-6, "echo {echo}");
+    }
+
+    #[test]
+    fn flash_crowd_is_deterministic_per_seed() {
+        let mk = || {
+            flash_crowd(
+                5.0,
+                150.0,
+                SimTime::from_secs(3),
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                SimTime::from_secs(30),
+                2,
+                13,
+            )
+            .collect_until(SimTime::from_secs(30))
+        };
+        assert_eq!(mk(), mk());
     }
 }

@@ -57,11 +57,12 @@ impl Criterion {
         self
     }
 
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. Zero is a caller
+    /// bug (debug-asserted); release builds clamp to one sample.
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
-        assert!(n > 0, "sample_size must be positive");
-        self.sample_size = n;
+        debug_assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n.max(1);
         self
     }
 

@@ -84,9 +84,13 @@ pub mod test_runner {
             result
         }
 
-        /// Uniform draw from `[0, n)`.
+        /// Uniform draw from `[0, n)`. `n = 0` is a caller bug
+        /// (debug-asserted); release builds return 0 rather than panic.
         pub fn below(&mut self, n: u64) -> u64 {
-            assert!(n > 0);
+            debug_assert!(n > 0);
+            if n == 0 {
+                return 0;
+            }
             self.next_u64() % n
         }
 
@@ -139,7 +143,12 @@ pub mod strategy {
             impl Strategy for Range<$t> {
                 type Value = $t;
                 fn new_value(&self, rng: &mut TestRng) -> $t {
-                    assert!(self.start < self.end, "empty strategy range");
+                    // An empty range is a caller bug (debug-asserted);
+                    // release builds degrade to `start` rather than panic.
+                    debug_assert!(self.start < self.end, "empty strategy range");
+                    if self.start >= self.end {
+                        return self.start;
+                    }
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.below(span) as i128) as $t
                 }
@@ -148,7 +157,10 @@ pub mod strategy {
                 type Value = $t;
                 fn new_value(&self, rng: &mut TestRng) -> $t {
                     let (lo, hi) = (*self.start(), *self.end());
-                    assert!(lo <= hi, "empty strategy range");
+                    debug_assert!(lo <= hi, "empty strategy range");
+                    if lo >= hi {
+                        return lo;
+                    }
                     let span = (hi as i128 - lo as i128) as u64 + 1;
                     (lo as i128 + rng.below(span) as i128) as $t
                 }
@@ -161,9 +173,15 @@ pub mod strategy {
     impl Strategy for Range<f64> {
         type Value = f64;
         fn new_value(&self, rng: &mut TestRng) -> f64 {
-            assert!(self.start < self.end, "empty strategy range");
-            let v = self.start + rng.unit_f64() * (self.end - self.start);
-            if v >= self.end { self.start } else { v }
+            // An empty (or NaN-bounded) range is a caller bug
+            // (debug-asserted); release builds degrade to `start`.
+            debug_assert!(self.start < self.end, "empty strategy range");
+            if self.start < self.end {
+                let v = self.start + rng.unit_f64() * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            } else {
+                self.start
+            }
         }
     }
 
@@ -232,7 +250,12 @@ pub mod strategy {
     }
 
     /// Builds a [`OneOf`] from boxed arms; used by `prop_oneof!`.
+    ///
+    /// A zero-arm `OneOf` can never produce a value, so construction
+    /// panics with a clear message — that failure mode *is* the API, as
+    /// in the real crate.
     pub fn one_of<V>(arms: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+        // fastg-lint: allow(no-panic-in-lib)
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
         OneOf { arms }
     }
@@ -306,16 +329,18 @@ pub mod collection {
         len: Range<usize>,
     }
 
-    /// Generates `Vec<S::Value>` with a length drawn from `len`.
+    /// Generates `Vec<S::Value>` with a length drawn from `len`. An empty
+    /// length range is a caller bug (debug-asserted); release builds
+    /// degrade to always generating `len.start` elements.
     pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
-        assert!(len.start < len.end, "empty length range");
+        debug_assert!(len.start < len.end, "empty length range");
         VecStrategy { element, len }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn new_value(&self, rng: &mut TestRng) -> Self::Value {
-            let span = (self.len.end - self.len.start) as u64;
+            let span = self.len.end.saturating_sub(self.len.start) as u64;
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.element.new_value(rng)).collect()
         }
@@ -407,6 +432,9 @@ macro_rules! __proptest_fns {
                         ::std::result::Result::Ok(())
                     })();
                     if let ::std::result::Result::Err(e) = __result {
+                        // Panicking is how a property test reports failure
+                        // to the test harness — this is the macro's API.
+                        // fastg-lint: allow(no-panic-in-lib)
                         panic!("property failed: {e}");
                     }
                 }
@@ -416,20 +444,26 @@ macro_rules! __proptest_fns {
 }
 
 /// Asserts a condition inside a property test (no shrinking: plain panic).
+/// Panicking on failure is the macro's API — it expands into test code.
 #[macro_export]
 macro_rules! prop_assert {
+    // fastg-lint: allow(no-panic-in-lib)
     ($($t:tt)*) => { assert!($($t)*) };
 }
 
 /// Asserts equality inside a property test (no shrinking: plain panic).
+/// Panicking on failure is the macro's API — it expands into test code.
 #[macro_export]
 macro_rules! prop_assert_eq {
+    // fastg-lint: allow(no-panic-in-lib)
     ($($t:tt)*) => { assert_eq!($($t)*) };
 }
 
 /// Asserts inequality inside a property test (no shrinking: plain panic).
+/// Panicking on failure is the macro's API — it expands into test code.
 #[macro_export]
 macro_rules! prop_assert_ne {
+    // fastg-lint: allow(no-panic-in-lib)
     ($($t:tt)*) => { assert_ne!($($t)*) };
 }
 

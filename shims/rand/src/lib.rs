@@ -40,8 +40,12 @@ pub trait Rng: RngCore {
     }
 
     /// Returns `true` with probability `p`.
+    ///
+    /// Out-of-range `p` is a caller bug (debug-asserted); release builds
+    /// clamp to `[0, 1]` — with `NaN` treated as 0 — rather than panic.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
         unit_f64(self.next_u64()) < p
     }
 }
@@ -63,7 +67,12 @@ macro_rules! int_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
             fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
-                assert!(self.start < self.end, "empty range in gen_range");
+                // An empty range is a caller bug (debug-asserted); release
+                // builds degrade to returning `start` rather than panic.
+                debug_assert!(self.start < self.end, "empty range in gen_range");
+                if self.start >= self.end {
+                    return self.start;
+                }
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let off = (next() as u128) % span;
                 (self.start as i128 + off as i128) as $t
@@ -72,7 +81,10 @@ macro_rules! int_sample_range {
         impl SampleRange<$t> for RangeInclusive<$t> {
             fn sample_from(self, next: &mut dyn FnMut() -> u64) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
-                assert!(lo <= hi, "empty range in gen_range");
+                debug_assert!(lo <= hi, "empty range in gen_range");
+                if lo >= hi {
+                    return lo;
+                }
                 let span = (hi as i128 - lo as i128) as u128 + 1;
                 let off = (next() as u128) % span;
                 (lo as i128 + off as i128) as $t
@@ -85,26 +97,41 @@ int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleRange<f64> for Range<f64> {
     fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f64 {
-        assert!(self.start < self.end, "empty range in gen_range");
-        let v = self.start + unit_f64(next()) * (self.end - self.start);
-        // Floating-point rounding can land exactly on the exclusive bound.
-        if v >= self.end { self.start } else { v }
+        // An empty (or NaN-bounded) range is a caller bug
+        // (debug-asserted); release builds degrade to `start`.
+        debug_assert!(self.start < self.end, "empty range in gen_range");
+        if self.start < self.end {
+            let v = self.start + unit_f64(next()) * (self.end - self.start);
+            // Floating-point rounding can land exactly on the exclusive
+            // bound.
+            if v >= self.end { self.start } else { v }
+        } else {
+            self.start
+        }
     }
 }
 
 impl SampleRange<f64> for RangeInclusive<f64> {
     fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f64 {
         let (lo, hi) = (*self.start(), *self.end());
-        assert!(lo <= hi, "empty range in gen_range");
-        lo + unit_f64(next()) * (hi - lo)
+        debug_assert!(lo <= hi, "empty range in gen_range");
+        if lo <= hi {
+            lo + unit_f64(next()) * (hi - lo)
+        } else {
+            lo
+        }
     }
 }
 
 impl SampleRange<f32> for Range<f32> {
     fn sample_from(self, next: &mut dyn FnMut() -> u64) -> f32 {
-        assert!(self.start < self.end, "empty range in gen_range");
-        let v = self.start + (unit_f64(next()) as f32) * (self.end - self.start);
-        if v >= self.end { self.start } else { v }
+        debug_assert!(self.start < self.end, "empty range in gen_range");
+        if self.start < self.end {
+            let v = self.start + (unit_f64(next()) as f32) * (self.end - self.start);
+            if v >= self.end { self.start } else { v }
+        } else {
+            self.start
+        }
     }
 }
 

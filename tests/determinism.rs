@@ -284,6 +284,137 @@ fn fastforward_parity_across_thread_counts() {
     }
 }
 
+/// A flash-crowd scenario with the overload control plane on or off:
+/// the new state machines (bounded admission, deadline shedding, breaker,
+/// brownout reconfigure) must be digest-deterministic in every mode.
+fn overload_digest(
+    control: bool,
+    plan: Option<FaultPlan>,
+    fastforward: bool,
+) -> (u64, String) {
+    let mut cfg = PlatformConfig::default()
+        .nodes(2)
+        .policy(SharingPolicy::FaST)
+        .recovery(true)
+        .seed(17)
+        .fastforward(fastforward)
+        .overload_control(control);
+    if let Some(plan) = plan {
+        cfg = cfg.fault_plan(plan);
+    }
+    let mut p = Platform::new(cfg);
+    let f = p
+        .deploy(
+            FunctionConfig::new("flash", "resnet50")
+                .slo_ms(200)
+                .replicas(2)
+                .resources(50.0, 0.5, 0.8),
+        )
+        .unwrap();
+    p.set_load(
+        f,
+        fastg_workload::patterns::flash_crowd(
+            30.0,
+            400.0,
+            SimTime::from_secs(1),
+            SimTime::from_millis(500),
+            SimTime::from_secs(2),
+            SimTime::from_secs(6),
+            1,
+            19,
+        ),
+    );
+    let report = p.run_for(SimTime::from_secs(6));
+    (report.digest(), report.canonical_text())
+}
+
+/// The overload control plane replays byte-for-byte in the full mode
+/// matrix: control {on, off} × fast-forward {on, off} × {clean, chaos}.
+/// Each mode must also genuinely differ from its neighbours where the
+/// dynamics differ (control on vs off), or the matrix would be vacuous.
+#[test]
+fn overload_control_replays_exactly_in_every_mode() {
+    for control in [false, true] {
+        for ff in [false, true] {
+            for chaos in [false, true] {
+                let plan = || chaos.then(chaos_plan);
+                let (da, ta) = overload_digest(control, plan(), ff);
+                let (db, tb) = overload_digest(control, plan(), ff);
+                assert_eq!(
+                    ta, tb,
+                    "control={control} ff={ff} chaos={chaos} must replay byte-for-byte"
+                );
+                assert_eq!(da, db);
+            }
+        }
+    }
+    // Control on/off are different systems under a flash crowd.
+    let (on, _) = overload_digest(true, None, true);
+    let (off, _) = overload_digest(false, None, true);
+    assert_ne!(on, off, "overload control should change the trace");
+}
+
+/// Fast-forward stays a pure optimization with the overload plane active:
+/// brownout reconfigures ride the same `ff_break_node` invalidation as
+/// every other contention change, so coalesced and per-kernel runs digest
+/// identically, clean and under chaos.
+#[test]
+fn overload_fastforward_parity() {
+    for chaos in [false, true] {
+        let plan = || chaos.then(chaos_plan);
+        let (d_on, t_on) = overload_digest(true, plan(), true);
+        let (d_off, t_off) = overload_digest(true, plan(), false);
+        assert_eq!(t_on, t_off, "chaos={chaos} overload FF parity broke");
+        assert_eq!(d_on, d_off);
+    }
+}
+
+/// The overload flash-crowd scenario digests identically through the
+/// parallel sweep runner at 1 and 4 worker threads, on and off.
+#[test]
+fn overload_sweep_digests_identical_across_thread_counts() {
+    let grid = |control: bool| -> Vec<Scenario> {
+        [17u64, 18]
+            .iter()
+            .map(|&seed| {
+                let cfg = PlatformConfig::default()
+                    .nodes(2)
+                    .policy(SharingPolicy::FaST)
+                    .recovery(true)
+                    .seed(seed)
+                    .overload_control(control)
+                    .fault_plan(chaos_plan());
+                Scenario::new(format!("flash-{seed}-{control}"), cfg)
+                    .function(
+                        FunctionConfig::new("flash", "resnet50")
+                            .slo_ms(200)
+                            .replicas(2)
+                            .resources(50.0, 0.5, 0.8),
+                    )
+                    .load(0, ArrivalProcess::poisson(150.0, seed.wrapping_add(2)))
+                    .duration(SimTime::from_secs(5))
+            })
+            .collect()
+    };
+    for control in [false, true] {
+        let sequential: Vec<u64> = grid(control)
+            .into_iter()
+            .map(|sc| sc.run().unwrap().digest())
+            .collect();
+        for threads in [1, 4] {
+            let swept: Vec<u64> = run_sweep(grid(control), threads)
+                .unwrap()
+                .iter()
+                .map(|(_, r)| r.digest())
+                .collect();
+            assert_eq!(
+                swept, sequential,
+                "control={control} threads={threads} overload sweep diverged"
+            );
+        }
+    }
+}
+
 /// Two platforms advanced in different increments reach the same state:
 /// `run_for` boundaries must not perturb the trace.
 #[test]

@@ -447,6 +447,171 @@ fn default_config_injects_nothing() {
     assert!(report.nodes.iter().all(|n| n.up));
 }
 
+// ---------------------------------------------------------------------------
+// Retry-budget edge cases: budget exhaustion at the crash instant, retries
+// racing gateway timeouts, and `dropped` never double-counting.
+// ---------------------------------------------------------------------------
+
+/// A zero retry budget exhausts exactly at the pod crash: the in-flight
+/// request is dropped at the crash instant instead of requeueing, and the
+/// accounting identity still balances.
+#[test]
+fn zero_retry_budget_drops_at_the_crash_instant() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(SharingPolicy::FaST)
+            .retry_budget(0)
+            .seed(70),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(1)
+                .resources(50.0, 1.0, 1.0),
+        )
+        .unwrap();
+    p.set_load(f, ArrivalProcess::constant(30.0));
+    p.run_for(SimTime::from_millis(500));
+    let before = p.dropped_requests(f);
+    // The single replica is saturated at 30 rps, so it has a request in
+    // flight; killing it must shed that request immediately (budget 0).
+    let pods = p.pods_of(f);
+    assert!(p.kill_pod(pods[0]));
+    assert_eq!(
+        p.dropped_requests(f),
+        before + 1,
+        "budget 0 must drop the crash-lost request at the crash"
+    );
+    // Quiesce and check conservation end to end.
+    p.set_load(f, ArrivalProcess::constant(0.0));
+    p.scale_to(f, 1);
+    let report = p.run_for(SimTime::from_secs(3));
+    let fr = &report.functions[&f];
+    let accounted =
+        fr.completed + fr.dropped + p.queued_requests(f) as u64 + p.in_flight_requests() as u64;
+    assert_eq!(fr.arrivals, accounted, "conservation violated");
+}
+
+/// A crash-requeued request racing its own gateway timeout: with capacity
+/// gone, the retried request sits queued until the timeout fires and
+/// sheds it. The drop must land exactly once whichever event wins.
+#[test]
+fn retry_races_gateway_timeout_without_losing_requests() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(1)
+            .policy(SharingPolicy::FaST)
+            .request_timeout_factor(2.0) // 400 ms on a 200 ms SLO
+            .retry_budget(3)
+            .seed(71),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .replicas(2)
+                .resources(50.0, 0.5, 1.0),
+        )
+        .unwrap();
+    p.set_load(f, ArrivalProcess::poisson(40.0, 72));
+    p.run_for(SimTime::from_secs(1));
+    // Kill all capacity: in-flight requests requeue (budget allows) and
+    // then race their pending RequestTimeout events in the empty queue.
+    for pod in p.pods_of(f) {
+        p.kill_pod(pod);
+    }
+    p.run_for(SimTime::from_secs(2));
+    assert_eq!(p.replicas(f), 0);
+    let report = p.report();
+    let fr = &report.functions[&f];
+    assert!(fr.dropped > 0, "timeouts must shed the stranded retries");
+    // Every arrival is accounted exactly once.
+    let accounted =
+        fr.completed + fr.dropped + p.queued_requests(f) as u64 + p.in_flight_requests() as u64;
+    assert_eq!(
+        fr.arrivals, accounted,
+        "retry/timeout race lost or double-counted requests"
+    );
+    // The whole race replays deterministically.
+    let rerun = || {
+        let mut p = Platform::new(
+            PlatformConfig::default()
+                .nodes(1)
+                .policy(SharingPolicy::FaST)
+                .request_timeout_factor(2.0)
+                .retry_budget(3)
+                .seed(71),
+        );
+        let f = p
+            .deploy(
+                FunctionConfig::new("f", "resnet50")
+                    .replicas(2)
+                    .resources(50.0, 0.5, 1.0),
+            )
+            .unwrap();
+        p.set_load(f, ArrivalProcess::poisson(40.0, 72));
+        p.run_for(SimTime::from_secs(1));
+        for pod in p.pods_of(f) {
+            p.kill_pod(pod);
+        }
+        p.run_for(SimTime::from_secs(2));
+        (p.events_handled(), p.dropped_requests(f))
+    };
+    assert_eq!(rerun(), rerun());
+}
+
+/// A request can be *both* over its retry budget (dropped at a crash) and
+/// past its queueing deadline (a timeout already scheduled): the later
+/// timeout must find nothing to cancel and `dropped` counts it once.
+#[test]
+fn over_budget_and_timed_out_requests_count_once() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(2)
+            .policy(SharingPolicy::FaST)
+            .request_timeout_factor(10.0) // 2 s on a 200 ms SLO
+            .retry_budget(0) // crash losses drop instantly, timeout pending
+            .fault_plan(
+                FaultPlan::new()
+                    .at(SimTime::from_secs(1), FaultKind::NodeCrash { node_index: 0 })
+                    .at(
+                        SimTime::from_millis(1200),
+                        FaultKind::NodeCrash { node_index: 1 },
+                    ),
+            )
+            .seed(73),
+    );
+    let f = p
+        .deploy(
+            FunctionConfig::new("f", "resnet50")
+                .slo_ms(200)
+                .replicas(2)
+                .resources(50.0, 0.5, 1.0),
+        )
+        .unwrap();
+    p.set_load(f, ArrivalProcess::poisson(60.0, 74));
+    // Run long past every pending timeout: requests dropped over budget at
+    // the crashes still have RequestTimeout events scheduled, and queued
+    // survivors time out normally. Any double-count would break the
+    // conservation identity below.
+    let report = p.run_for(SimTime::from_secs(6));
+    let fr = &report.functions[&f];
+    assert!(!p.node_up(0) && !p.node_up(1));
+    assert!(fr.dropped > 0);
+    assert!(
+        fr.dropped <= fr.arrivals,
+        "dropped {} exceeds arrivals {} — double counting",
+        fr.dropped,
+        fr.arrivals
+    );
+    let accounted =
+        fr.completed + fr.dropped + p.queued_requests(f) as u64 + p.in_flight_requests() as u64;
+    assert_eq!(
+        fr.arrivals, accounted,
+        "a request was counted both over-budget and timed-out"
+    );
+}
+
 /// Killing an idle pod (no request in flight) tears down immediately.
 #[test]
 fn idle_pod_kill_is_immediate() {
