@@ -1,0 +1,81 @@
+//! Tie-break perturbation race detector.
+//!
+//! Runs every scenario of the determinism/chaos/overload/sweep matrix
+//! under several tie-break orders (FIFO baseline, LIFO, two seeded
+//! shuffles) and asserts that `PlatformReport::digest()` is identical
+//! under all of them. A divergence means some handler depends on the
+//! delivery order of same-instant events — a latent race. The detector
+//! delta-debugs it to the first differently-ordered event and prints
+//! both traces, then exits nonzero.
+//!
+//! ```text
+//! cargo run --release -p fastg-bench --bin race_detector
+//! ```
+
+use std::process::ExitCode;
+
+use fastg_bench::race::{detect_races, order_label, RaceOutcome, DEFAULT_ORDERS};
+
+fn print_divergence(outcome: &RaceOutcome) {
+    let Some(d) = &outcome.divergence else { return };
+    println!("\n=== RACE in scenario `{}` ===", outcome.scenario);
+    println!(
+        "first divergent event: #{} (orders `{}` vs `{}`)",
+        d.first_event, d.order_a, d.order_b
+    );
+    println!("--- trace under `{}` ---", d.order_a);
+    for line in &d.context_a {
+        println!("  {line}");
+    }
+    println!("--- trace under `{}` ---", d.order_b);
+    for line in &d.context_b {
+        println!("  {line}");
+    }
+    println!(
+        "replay: FASTG_TIEBREAK={} cargo run -p fastg-bench --bin race_detector",
+        d.order_b
+    );
+}
+
+fn main() -> ExitCode {
+    let orders: Vec<String> = DEFAULT_ORDERS.iter().map(|&tb| order_label(tb)).collect();
+    println!("tie-break perturbation race detector");
+    println!("orders: {}", orders.join(", "));
+
+    let outcomes = match detect_races(&DEFAULT_ORDERS) {
+        Ok(outcomes) => outcomes,
+        Err(err) => {
+            eprintln!("scenario failed to run: {err:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut races = 0usize;
+    println!("\n{:<28} {:>18}  status", "scenario", "digest(fifo)");
+    for outcome in &outcomes {
+        let base = outcome.digests.first().map_or(0, |&(_, d)| d);
+        let status = if outcome.clean() { "ok" } else { "RACE" };
+        println!("{:<28} {:>#18x}  {}", outcome.scenario, base, status);
+        if !outcome.clean() {
+            races += 1;
+        }
+    }
+    for outcome in &outcomes {
+        print_divergence(outcome);
+    }
+
+    if races == 0 {
+        println!(
+            "\nall {} scenarios digest-identical under {} tie-break orders",
+            outcomes.len(),
+            DEFAULT_ORDERS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\n{races} of {} scenarios diverge under tie-break perturbation",
+            outcomes.len()
+        );
+        ExitCode::FAILURE
+    }
+}

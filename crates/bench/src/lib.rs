@@ -14,6 +14,8 @@ use fastgshare::platform::{
 };
 use fastgshare::profiler::{ProfileDb, ProfileKey, ProfileRecord};
 
+pub mod race;
+
 /// Outcome of one saturated sharing run (one function, one node).
 #[derive(Debug, Clone, Copy)]
 pub struct SharingOutcome {
@@ -231,7 +233,9 @@ pub fn run_autoscaling(
             .resources(12.0, 0.4, 1.0),
     )?;
     p.enable_autoscaler(resnet_profile_db());
-    let total = intervals as u64 * interval_secs;
+    let total = u64::try_from(intervals)
+        .unwrap_or(u64::MAX)
+        .saturating_mul(interval_secs);
     p.set_load(
         f,
         ArrivalProcess::profile(
@@ -249,12 +253,14 @@ pub fn run_autoscaling(
     let mut samples = Vec::new();
     let mut prev_completed = 0u64;
     let mut last = None;
-    for i in 1..=intervals {
+    let mut elapsed = 0u64;
+    for _ in 0..intervals {
         let report = p.run_for(SimTime::from_secs(interval_secs));
         let fr = &report.functions[&f];
         let served = (fr.completed - prev_completed) as f64 / interval_secs as f64;
         prev_completed = fr.completed;
-        samples.push((i as u64 * interval_secs, fr.replicas, served, fr.p99));
+        elapsed += interval_secs;
+        samples.push((elapsed, fr.replicas, served, fr.p99));
         last = Some(report);
     }
     let last = last.ok_or(PlatformError::Internal("autoscaling needs >= 1 interval"))?;

@@ -335,7 +335,9 @@ impl Gateway {
 
     /// Total requests ever accepted for a function.
     pub fn total_arrivals(&self, func: FuncId) -> u64 {
-        self.funcs.get(&func).map_or(0, |st| st.arrivals.len() as u64)
+        self.funcs
+            .get(&func)
+            .map_or(0, |st| u64::try_from(st.arrivals.len()).unwrap_or(u64::MAX))
     }
 
     /// Functions with registered state.

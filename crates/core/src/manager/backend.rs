@@ -44,6 +44,15 @@ pub struct BackendConfig {
     /// Adaptive leases: size each lease from the pod's burst estimate
     /// (clamped to `[1 ms, token_lease]`) instead of the fixed duration.
     pub adaptive_lease: bool,
+    /// Defer grant passes to an explicit [`FastBackend::dispatch_pass`]
+    /// call instead of dispatching inline from `request`/`sync_point`/
+    /// release paths. The platform engine turns this on and runs one
+    /// batched pass per node at the end of each simulated instant, so
+    /// that token grants depend only on the set of same-instant requests
+    /// — never on the order they were delivered in (a tie-break race
+    /// otherwise: the first requester would grab free capacity before
+    /// the others even queued).
+    pub deferred_dispatch: bool,
 }
 
 impl Default for BackendConfig {
@@ -56,6 +65,7 @@ impl Default for BackendConfig {
             dispatch_order: DispatchOrder::QMissDesc,
             strict_admission: false,
             adaptive_lease: false,
+            deferred_dispatch: false,
         }
     }
 }
@@ -142,9 +152,14 @@ struct PodEntry {
     q_used: SimTime,
     lease: Option<Lease>,
     waiting: bool,
-    /// Monotone sequence assigned when the pod last entered the ready
-    /// queue, for FIFO dispatch.
-    waiting_since: u64,
+    /// Simulated time at which the pod last entered the ready queue, for
+    /// FIFO dispatch. Sim time, not an enqueue sequence number: pods that
+    /// queue at the same instant are logically concurrent, and ordering
+    /// them by arrival history would make token grants depend on
+    /// same-instant event delivery order (a tie-break race the detector
+    /// caught under `SingleToken`). Equal times fall through to the
+    /// dispatch sort's PodId tie-break instead.
+    waiting_since: SimTime,
     in_burst: bool,
     next_epoch: u64,
     estimator: BurstEstimator,
@@ -169,7 +184,7 @@ impl PodEntry {
     }
     /// `Q_miss = Q_request − Q_used`, in signed microseconds.
     fn q_miss(&self, window: SimTime) -> i128 {
-        self.q_request_time(window).as_micros() as i128 - self.q_used.as_micros() as i128
+        i128::from(self.q_request_time(window).as_micros()) - i128::from(self.q_used.as_micros())
     }
     fn quota_exhausted(&self, window: SimTime) -> bool {
         self.q_used >= self.q_limit_time(window)
@@ -210,7 +225,6 @@ pub struct FastBackend {
     /// Sum of adapter shares of current lease holders.
     sm_running: f64,
     tokens_dispatched: u64,
-    next_wait_seq: u64,
 }
 
 impl FastBackend {
@@ -228,7 +242,6 @@ impl FastBackend {
             pods: BTreeMap::new(),
             sm_running: 0.0,
             tokens_dispatched: 0,
-            next_wait_seq: 0,
         }
     }
 
@@ -248,7 +261,7 @@ impl FastBackend {
                 q_used: SimTime::ZERO,
                 lease: None,
                 waiting: false,
-                waiting_since: 0,
+                waiting_since: SimTime::ZERO,
                 in_burst: false,
                 next_epoch: 0,
                 estimator: BurstEstimator::new(BurstEstimator::default_alpha()),
@@ -293,7 +306,7 @@ impl FastBackend {
         if let Some(lease) = e.lease {
             self.sm_running = (self.sm_running - lease.share).max(0.0);
         }
-        self.dispatch(now)
+        self.dispatch_or_defer(now)
     }
 
     /// A pod's hook asks for a token so it can launch its next burst.
@@ -322,7 +335,6 @@ impl FastBackend {
         }
         let window = self.cfg.window;
         let strict = self.cfg.strict_admission;
-        let wait_seq = self.next_wait_seq;
         let e = self.entry_mut(pod)?;
         // Strict admission applies per burst, even on a held lease: if the
         // estimated next burst would overrun the remaining quota, the pod
@@ -349,8 +361,7 @@ impl FastBackend {
         let released = e.lease.take();
         if !e.waiting {
             e.waiting = true;
-            e.waiting_since = wait_seq;
-            self.next_wait_seq += 1;
+            e.waiting_since = now;
         }
         if let Some(lease) = released {
             self.sm_running = (self.sm_running - lease.share).max(0.0);
@@ -358,7 +369,7 @@ impl FastBackend {
         let blocked = self.entry(pod)?.quota_exhausted(window);
         // Dispatch regardless: the released capacity may admit others
         // even when the requester itself is quota-blocked.
-        let mut grants = self.dispatch(now);
+        let mut grants = self.dispatch_or_defer(now);
         let own = grants.iter().position(|g| g.pod == pod);
         Ok(match own {
             Some(i) => {
@@ -418,7 +429,7 @@ impl FastBackend {
             }
             SyncOutcome {
                 lease_valid: false,
-                granted: self.dispatch(now),
+                granted: self.dispatch_or_defer(now),
             }
         } else {
             SyncOutcome {
@@ -437,7 +448,7 @@ impl FastBackend {
         e.waiting = false;
         if let Some(lease) = e.lease.take() {
             self.sm_running = (self.sm_running - lease.share).max(0.0);
-            self.dispatch(now)
+            self.dispatch_or_defer(now)
         } else {
             Vec::new()
         }
@@ -454,9 +465,26 @@ impl FastBackend {
             Some(l) if l.epoch == epoch && !e.in_burst => {
                 e.lease = None;
                 self.sm_running = (self.sm_running - l.share).max(0.0);
-                self.dispatch(now)
+                self.dispatch_or_defer(now)
             }
             _ => Vec::new(),
+        }
+    }
+
+    /// Runs one explicit grant pass over the ready queue (the engine's
+    /// end-of-instant batched dispatch under
+    /// [`BackendConfig::deferred_dispatch`]).
+    pub fn dispatch_pass(&mut self, now: SimTime) -> Vec<Grant> {
+        self.dispatch(now)
+    }
+
+    /// Inline dispatch, suppressed under deferred dispatch (the engine
+    /// will run [`Self::dispatch_pass`] at the end of the instant).
+    fn dispatch_or_defer(&mut self, now: SimTime) -> Vec<Grant> {
+        if self.cfg.deferred_dispatch {
+            Vec::new()
+        } else {
+            self.dispatch(now)
         }
     }
 
@@ -466,7 +494,7 @@ impl FastBackend {
         for e in self.pods.values_mut() {
             e.q_used = SimTime::ZERO;
         }
-        self.dispatch(now)
+        self.dispatch_or_defer(now)
     }
 
     /// The multi-token dispatch pass: filtering → priority queue →
@@ -482,7 +510,7 @@ impl FastBackend {
         // still untouched, which guarantees forward progress even for
         // bursts larger than the whole quota.
         let strict = self.cfg.strict_admission;
-        let mut ready: Vec<(i128, u64, PodId)> = self
+        let mut ready: Vec<(i128, SimTime, PodId)> = self
             .pods
             .iter()
             .filter(|(_, e)| e.waiting && e.lease.is_none() && !e.quota_exhausted(window))

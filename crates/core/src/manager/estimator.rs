@@ -57,7 +57,7 @@ impl BurstEstimator {
         if self.observations == 0 {
             None
         } else {
-            Some(SimTime::from_micros(self.mean_us.round() as u64))
+            Some(SimTime::from_micros_f64(self.mean_us))
         }
     }
 
@@ -66,9 +66,7 @@ impl BurstEstimator {
         if self.observations == 0 {
             None
         } else {
-            Some(SimTime::from_micros(
-                (self.mean_us + 2.0 * self.dev_us).round() as u64,
-            ))
+            Some(SimTime::from_micros_f64(self.mean_us + 2.0 * self.dev_us))
         }
     }
 

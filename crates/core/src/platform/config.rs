@@ -3,7 +3,7 @@
 use super::faults::FaultPlan;
 use super::overload::OverloadConfig;
 use crate::manager::SharingPolicy;
-use fastg_des::SimTime;
+use fastg_des::{SimTime, TieBreak};
 use fastg_gpu::GpuSpec;
 
 /// Cluster-wide configuration. Builder-style setters return `self`.
@@ -84,6 +84,19 @@ pub struct PlatformConfig {
     /// construction) or [`Self::fastforward`] disables it for A/B parity
     /// checks.
     pub fastforward: bool,
+    /// Same-instant event ordering policy ([`TieBreak::Fifo`] by
+    /// default). `Lifo` and `SeededShuffle` are deterministic adversarial
+    /// permutations used by the race detector to prove handler outcomes
+    /// do not depend on tie order; shuffles additionally fold in
+    /// [`Self::seed`] at platform construction. Overridable via the
+    /// `FASTG_TIEBREAK` environment variable (`fifo`, `lifo`, `shuffle`,
+    /// `shuffle:<seed>`; read once, at config construction) or
+    /// [`Self::tiebreak`].
+    pub tiebreak: TieBreak,
+    /// Records a `{time} {event:?}` line for every delivered event. Off
+    /// by default (it allocates per event); the race detector turns it on
+    /// to delta-debug a digest divergence to the first differing event.
+    pub trace_events: bool,
 }
 
 impl Default for PlatformConfig {
@@ -112,6 +125,12 @@ impl Default for PlatformConfig {
             retry_budget: None,
             overload: None,
             fastforward: std::env::var("FASTG_FASTFORWARD").map_or(true, |v| v != "0"),
+            tiebreak: std::env::var("FASTG_TIEBREAK")
+                .ok()
+                .as_deref()
+                .and_then(TieBreak::parse)
+                .unwrap_or(TieBreak::Fifo),
+            trace_events: false,
         }
     }
 }
@@ -276,6 +295,20 @@ impl PlatformConfig {
         self.fastforward = on;
         self
     }
+
+    /// Sets the same-instant tie-break policy (overrides the
+    /// `FASTG_TIEBREAK` environment default).
+    pub fn tiebreak(mut self, tiebreak: TieBreak) -> Self {
+        self.tiebreak = tiebreak;
+        self
+    }
+
+    /// Enables or disables per-event trace recording (see
+    /// [`Platform::event_trace`](super::Platform::event_trace)).
+    pub fn trace_events(mut self, on: bool) -> Self {
+        self.trace_events = on;
+        self
+    }
 }
 
 /// Per-function deployment configuration.
@@ -388,7 +421,7 @@ impl FunctionConfig {
         let sm = ann("sm_partition", 100.0)?;
         let q_req = ann("quota_request", 1.0)?;
         let q_lim = ann("quota_limit", q_req.max(1.0))?;
-        let replicas = v["spec"]["replicas"].as_u64().unwrap_or(1) as usize;
+        let replicas = usize::try_from(v["spec"]["replicas"].as_u64().unwrap_or(1)).unwrap_or(usize::MAX);
         let slo_ms = v["spec"]["slo_ms"].as_u64().unwrap_or(1_000);
         Ok(FunctionConfig::new(name, model)
             .replicas(replicas)

@@ -15,11 +15,11 @@ use fastg_cluster::{
     Cluster, FuncId, FaSTFuncSpec, Gateway, NodeId, NodeState, PodId, PodState, Request,
     RequestId, ResourceSpec,
 };
-use fastg_des::{CancelToken, EventQueue, SimTime, Simulation, TimeSeries, World};
+use fastg_des::{sanitizer, CancelToken, EventQueue, SimTime, Simulation, TimeSeries, World};
 use fastg_gpu::{ClientId, KernelDesc, KernelId, MpsMode};
 use fastg_models::{zoo, InferenceRun, ModelProfile, StageOp};
 use fastg_workload::{ArrivalProcess, RateMeter, SloTracker};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Events driving the platform.
@@ -54,6 +54,45 @@ pub enum Event {
     /// close, brownout enter/exit). Scheduled only when overload control
     /// is configured, so legacy runs see an identical event stream.
     BreakerTick,
+    /// A node's batched token-dispatch pass: grants are decided once per
+    /// node per instant, after every same-instant request/release has
+    /// landed, so who wins a token never depends on same-instant event
+    /// delivery order. Scheduled (deduplicated) by any operation that
+    /// frees capacity or queues a waiter.
+    Dispatch(NodeId),
+}
+
+impl Event {
+    /// Same-instant delivery rank (see [`EventQueue::set_classifier`]).
+    ///
+    /// Cross-kind order at a shared instant is part of the platform's
+    /// semantics, so it is pinned here instead of left to insertion
+    /// order: faults preempt everything, then the control-plane ticks in
+    /// a fixed cadence (scaler, health, metrics, breaker, quota window —
+    /// matching the order their periodic reschedules produce under FIFO
+    /// with the default intervals), and finally the data-plane "work"
+    /// events. All work events share one class: their relative order
+    /// stays insertion-seq under FIFO (preserving fast-forward's
+    /// materialized-finish semantics exactly), and the tie-break
+    /// perturbation policies shuffle only within this class — which is
+    /// precisely the orderings the race detector asserts are
+    /// digest-neutral.
+    fn class(&self) -> u8 {
+        match self {
+            Event::Fault(_) => 0,
+            Event::ScaleTick => 1,
+            Event::HealthTick => 2,
+            Event::MetricsSample => 3,
+            Event::BreakerTick => 4,
+            Event::WindowReset(_) => 5,
+            Event::Arrival(_)
+            | Event::HostDone(_)
+            | Event::KernelFinish(_, _)
+            | Event::BurstFastForward(_, _)
+            | Event::RequestTimeout(_, _) => 6,
+            Event::Dispatch(_) => 7,
+        }
+    }
 }
 
 struct FuncRt {
@@ -150,6 +189,13 @@ pub struct Engine {
     /// Reusable buffer for kernels admitted when a completion frees SMs
     /// (the hottest event in the simulation).
     started_scratch: Vec<fastg_gpu::KernelStart>,
+    /// Nodes with a batched [`Event::Dispatch`] pass already scheduled
+    /// for the current instant (deduplication set; see
+    /// [`Engine::poke_dispatch`]).
+    dispatch_pending: BTreeSet<NodeId>,
+    /// Per-event `{time} {event}` lines when `cfg.trace_events` is set
+    /// (the race detector's delta-debugging input); empty otherwise.
+    trace: Vec<String>,
 }
 
 impl Engine {
@@ -180,6 +226,7 @@ impl Engine {
                     window: cfg.window,
                     token_lease: cfg.effective_token_lease(),
                     sm_global_limit: cfg.sm_global_limit,
+                    deferred_dispatch: true,
                     ..BackendConfig::default()
                 }),
             );
@@ -204,6 +251,8 @@ impl Engine {
             ff_coalesced_kernels: 0,
             burst_scratch: Vec::new(),
             started_scratch: Vec::new(),
+            dispatch_pending: BTreeSet::new(),
+            trace: Vec::new(),
         }
     }
 
@@ -447,6 +496,7 @@ impl Engine {
         let deleted = self.cluster.delete_pod(pod);
         debug_assert!(deleted.is_ok(), "pod exists in cluster");
         self.process_grants(now, &grants, queue);
+        self.poke_dispatch(now, node, queue);
     }
 
     /// Live FaSTPod spec sync (§3.2: resource configurations are filled
@@ -577,6 +627,7 @@ impl Engine {
         }
         self.mark_outage(now, func);
         self.process_grants(now, &grants, queue);
+        self.poke_dispatch(now, node, queue);
         true
     }
 
@@ -684,6 +735,7 @@ impl Engine {
                 window: self.cfg.window,
                 token_lease: self.cfg.effective_token_lease(),
                 sm_global_limit: self.cfg.sm_global_limit,
+                deferred_dispatch: true,
                 ..BackendConfig::default()
             }),
         );
@@ -1042,6 +1094,7 @@ impl Engine {
                 } else {
                     debug_assert!(false, "burst belongs to a request");
                 }
+                self.poke_dispatch(now, node, queue);
             }
         }
         // Capacity released by this request may have admitted other pods.
@@ -1210,6 +1263,11 @@ impl Engine {
         debug_assert!(sync.is_some(), "backend per node");
         if let Some(Ok(out)) = sync {
             self.process_grants(now, &out.granted, queue);
+            // A dropped lease freed SM budget: re-decide token holders at
+            // the end of this instant.
+            if !out.lease_valid {
+                self.poke_dispatch(now, node, queue);
+            }
         }
         self.step_pod(now, pod, queue);
     }
@@ -1375,6 +1433,7 @@ impl Engine {
                 }
             };
             self.process_grants(now, &grants, queue);
+            self.poke_dispatch(now, node, queue);
             self.delete_pod(now, pod, queue);
             return;
         }
@@ -1394,8 +1453,35 @@ impl Engine {
                     }
                 };
                 self.process_grants(now, &grants, queue);
+                self.poke_dispatch(now, node, queue);
             }
         }
+    }
+
+    /// Schedules (at most once per node per instant) the batched
+    /// end-of-instant dispatch pass. Called by every operation that may
+    /// change who should hold a token: queueing a waiter, releasing a
+    /// lease, resetting a window, tearing down a pod. Grant decisions
+    /// are thereby a function of the instant's final backend state, not
+    /// of same-instant event delivery order.
+    fn poke_dispatch(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<Event>) {
+        if !self.cfg.policy.uses_tokens() {
+            return;
+        }
+        if self.dispatch_pending.insert(node) {
+            queue.schedule(now, Event::Dispatch(node));
+        }
+    }
+
+    /// Delivers a node's batched dispatch pass: one canonical-order walk
+    /// of the ready queue, granting tokens until the SM budget stops it.
+    fn on_dispatch(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<Event>) {
+        self.dispatch_pending.remove(&node);
+        let grants = match self.backends.get_mut(&node) {
+            Some(b) => b.dispatch_pass(now),
+            None => Vec::new(),
+        };
+        self.process_grants(now, &grants, queue);
     }
 
     fn process_grants(
@@ -1429,6 +1515,7 @@ impl Engine {
             }
         };
         self.process_grants(now, &grants, queue);
+        self.poke_dispatch(now, node, queue);
         queue.schedule(now + self.cfg.window, Event::WindowReset(node));
     }
 
@@ -1615,6 +1702,9 @@ impl Engine {
                 occupancy_series: m.occupancy_series().clone(),
             });
         }
+        if sanitizer::active() {
+            self.sanitize_conservation(&functions);
+        }
         PlatformReport {
             duration: now,
             warmup,
@@ -1624,12 +1714,60 @@ impl Engine {
             faults_injected: self.faults_injected,
         }
     }
+
+    /// Shadow-check (`FASTG_SANITIZE=1`): the overload conservation
+    /// identity at every report flush — every real arrival is accounted
+    /// for exactly once across terminal and pending states. Saturating
+    /// functions are excluded (their synthetic requests bypass the
+    /// gateway's arrival accounting).
+    fn sanitize_conservation(&self, functions: &BTreeMap<FuncId, FunctionReport>) {
+        for (&id, fr) in functions {
+            if self.funcs.get(&id).map_or(true, |rt| rt.saturate) {
+                continue;
+            }
+            let queued = u64::try_from(self.gateway.queue_len(id)).unwrap_or(u64::MAX);
+            let in_flight = u64::try_from(
+                self.pods
+                    .values()
+                    .filter(|p| p.func == id)
+                    .filter_map(|p| p.active.as_ref())
+                    .filter(|a| a.req.id.0 < 1 << 60)
+                    .count(),
+            )
+            .unwrap_or(u64::MAX);
+            let accounted = fr.completed
+                + fr.rejected
+                + fr.shed_deadline
+                + fr.dropped
+                + queued
+                + in_flight;
+            sanitizer::check(fr.arrivals == accounted, "overload-conservation", || {
+                format!(
+                    "function {:?} ({}): arrivals {} != completed {} + rejected {} + shed {} \
+                     + dropped {} + queued {} + in_flight {} = {}",
+                    id,
+                    fr.name,
+                    fr.arrivals,
+                    fr.completed,
+                    fr.rejected,
+                    fr.shed_deadline,
+                    fr.dropped,
+                    queued,
+                    in_flight,
+                    accounted
+                )
+            });
+        }
+    }
 }
 
 impl World for Engine {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        if self.cfg.trace_events {
+            self.trace.push(format!("{now:?} {event:?}"));
+        }
         match event {
             Event::Arrival(func) => self.on_arrival(now, func, queue),
             // A host phase may complete for a pod that crashed meanwhile.
@@ -1651,6 +1789,7 @@ impl World for Engine {
             Event::HealthTick => self.on_health_tick(now, queue),
             Event::RequestTimeout(func, id) => self.on_request_timeout(func, id),
             Event::BreakerTick => self.on_breaker_tick(now, queue),
+            Event::Dispatch(node) => self.on_dispatch(now, node, queue),
         }
     }
 }
@@ -1675,10 +1814,22 @@ impl Platform {
         let uses_tokens = cfg.policy.uses_tokens();
         let window = cfg.window;
         let sample = cfg.sample_interval;
+        // Shuffle permutations are drawn from the scenario seed so two
+        // seeds never share an adversarial ordering.
+        let tiebreak = cfg.tiebreak.derive(cfg.seed);
+        if sanitizer::active() {
+            sanitizer::set_run_context(sanitizer::RunContext {
+                seed: cfg.seed,
+                tiebreak,
+                fastforward: cfg.fastforward,
+            });
+        }
         let engine = Engine::new(cfg);
         let mut sim = Simulation::new(engine);
         {
             let (world, queue, _) = sim.parts_mut();
+            queue.set_tiebreak(tiebreak);
+            queue.set_classifier(|e: &Event| e.class());
             if uses_tokens {
                 for node in world.cluster.node_ids() {
                     queue.schedule(window, Event::WindowReset(node));
@@ -1754,6 +1905,16 @@ impl Platform {
 
     /// Runs for `duration` of simulated time and reports.
     pub fn run_for(&mut self, duration: SimTime) -> PlatformReport {
+        if sanitizer::active() {
+            // Re-register this platform's replay recipe: another platform
+            // built later on this thread may have overwritten it.
+            let (world, queue, _) = self.sim.parts_mut();
+            sanitizer::set_run_context(sanitizer::RunContext {
+                seed: world.cfg.seed,
+                tiebreak: queue.tiebreak(),
+                fastforward: world.cfg.fastforward,
+            });
+        }
         let deadline = self.sim.now() + duration;
         self.sim.run_until(deadline);
         let now = self.sim.now();
@@ -1934,6 +2095,13 @@ impl Platform {
     pub fn report(&mut self) -> PlatformReport {
         let now = self.sim.now();
         self.sim.world_mut().build_report(now)
+    }
+
+    /// The per-event delivery trace (`{time} {event}` lines), recorded
+    /// only when [`PlatformConfig::trace_events`] is set. The race
+    /// detector diffs two traces to find the first divergent event.
+    pub fn event_trace(&self) -> &[String] {
+        &self.sim.world().trace
     }
 
     /// Device memory in use on a node (bytes).

@@ -26,6 +26,7 @@ pub mod report;
 pub mod sweep;
 
 pub use config::{FunctionConfig, PlatformConfig};
+pub use fastg_des::TieBreak;
 pub use engine::Platform;
 pub use error::PlatformError;
 pub use overload::{BreakerState, CircuitBreaker, OverloadConfig};

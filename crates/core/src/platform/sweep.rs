@@ -66,6 +66,14 @@ impl Scenario {
     /// Builds the platform, deploys every function, attaches loads and
     /// runs to completion.
     pub fn run(self) -> Result<PlatformReport, PlatformError> {
+        self.run_traced().map(|(report, _)| report)
+    }
+
+    /// Like [`Self::run`], but also returns the per-event delivery trace
+    /// (empty unless [`PlatformConfig::trace_events`] is set). The race
+    /// detector uses this to delta-debug a digest divergence to the first
+    /// differently-ordered event.
+    pub fn run_traced(self) -> Result<(PlatformReport, Vec<String>), PlatformError> {
         let mut platform = Platform::new(self.config);
         let mut ids = Vec::with_capacity(self.functions.len());
         for fc in self.functions {
@@ -77,7 +85,8 @@ impl Scenario {
             };
             platform.set_load(func, process);
         }
-        Ok(platform.run_for(self.duration))
+        let report = platform.run_for(self.duration);
+        Ok((report, platform.event_trace().to_vec()))
     }
 }
 

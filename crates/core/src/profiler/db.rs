@@ -14,12 +14,19 @@ pub struct ProfileKey {
     pub quota_centi: u32,
 }
 
+/// Quantizes a small non-negative ratio to integer centi-units.
+fn centi(x: f64) -> u32 {
+    // f64→u32 `as` saturates; profile inputs are small and non-negative.
+    // fastg-lint: allow(no-lossy-cast)
+    (x * 100.0).round() as u32
+}
+
 impl ProfileKey {
     /// Quantizes a `(sm %, quota fraction)` configuration.
     pub fn new(sm_partition: f64, quota: f64) -> Self {
         ProfileKey {
-            sm_centi: (sm_partition * 100.0).round() as u32,
-            quota_centi: (quota * 100.0).round() as u32,
+            sm_centi: centi(sm_partition),
+            quota_centi: centi(quota),
         }
     }
 
@@ -175,8 +182,8 @@ impl ProfileDb {
                         .ok_or_else(|| format!("{field} missing for {name}"))
                 };
                 let key = ProfileKey {
-                    sm_centi: int("sm_centi")? as u32,
-                    quota_centi: int("quota_centi")? as u32,
+                    sm_centi: u32::try_from(int("sm_centi")?).unwrap_or(u32::MAX),
+                    quota_centi: u32::try_from(int("quota_centi")?).unwrap_or(u32::MAX),
                 };
                 let record = ProfileRecord {
                     rps: num("rps")?,

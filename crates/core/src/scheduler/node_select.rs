@@ -58,9 +58,13 @@ impl NodeSelector {
     /// partition in percent. Under time-sharing-only the height is pinned
     /// to the full SM axis. Specs with a zero request reserve one unit.
     pub fn demand_of(&self, spec: &ResourceSpec) -> (u32, u32) {
+        // f64→u32 `as` saturates, and both axes are clamped to ..=100
+        // below, so the casts cannot smuggle in out-of-range demand.
+        // fastg-lint: allow(no-lossy-cast)
         let w = (spec.quota_request * 100.0).round().max(1.0) as u32;
         let h = match self.policy {
             PlacementPolicy::TimeSharingOnly => 100,
+            // fastg-lint: allow(no-lossy-cast)
             _ => spec.sm_partition.round().max(1.0) as u32,
         };
         (w.min(100), h.min(100))

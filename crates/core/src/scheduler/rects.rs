@@ -35,7 +35,7 @@ impl Rect {
 
     /// The paper's "secondCores" measure: `quota × SMs`.
     pub fn area(&self) -> u64 {
-        self.w as u64 * self.h as u64
+        u64::from(self.w) * u64::from(self.h)
     }
 
     /// Right edge (exclusive).
@@ -155,7 +155,7 @@ impl GpuRects {
 
     /// Total capacity ("secondCores").
     pub fn capacity(&self) -> u64 {
-        self.width as u64 * self.height as u64
+        u64::from(self.width) * u64::from(self.height)
     }
 
     /// Area currently bound to pods.
@@ -213,9 +213,9 @@ impl GpuRects {
     pub fn best_fit(&self, w: u32, h: u32) -> Option<(Rect, u64)> {
         let key = |r: &Rect| -> (u64, u32, u32) {
             match self.fit_rule {
-                FitRule::BestAreaFit => (r.area() - (w as u64 * h as u64), r.y, r.x),
+                FitRule::BestAreaFit => (r.area() - u64::from(w) * u64::from(h), r.y, r.x),
                 FitRule::BestShortSideFit => {
-                    let short = (r.w - w).min(r.h - h) as u64;
+                    let short = u64::from((r.w - w).min(r.h - h));
                     (short, r.y, r.x)
                 }
                 FitRule::BottomLeft => (0, r.y, r.x),
@@ -225,7 +225,7 @@ impl GpuRects {
             .iter()
             .filter(|r| r.fits(w, h))
             .min_by_key(|r| key(r))
-            .map(|r| (*r, r.area() - (w as u64 * h as u64)))
+            .map(|r| (*r, r.area() - u64::from(w) * u64::from(h)))
     }
 
     /// Places `pod` (size `w × h`) using Algorithm 2. Returns its bound

@@ -94,6 +94,9 @@ pub fn heuristic_scale(
         if p_eff.rps <= 0.0 {
             return actions;
         }
+        // f64→usize `as` saturates, and the ratio is non-negative (both
+        // operands are positive by the guard above).
+        // fastg-lint: allow(no-lossy-cast)
         let n = (delta_rps / p_eff.rps).floor() as usize;
         let r = delta_rps - n as f64 * p_eff.rps;
         for _ in 0..n {

@@ -41,11 +41,12 @@
 #![warn(missing_docs)]
 
 mod queue;
+pub mod sanitizer;
 mod series;
 mod sim;
 mod time;
 
-pub use queue::{CancelToken, EventQueue};
+pub use queue::{CancelToken, EventQueue, TieBreak};
 pub use series::{BusyTracker, TimeSeries, TimeWeighted};
 pub use sim::{Simulation, StepOutcome, World};
 pub use time::SimTime;

@@ -1,13 +1,83 @@
 //! The timed event queue.
 
+use crate::sanitizer;
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap};
 
-/// An entry in the queue: ordered by time, then by insertion sequence so
-/// same-instant events pop in FIFO order (determinism).
+/// How the queue orders entries scheduled for the same instant *within one
+/// semantic class* (see [`EventQueue::set_classifier`]). Cross-class order
+/// is always fixed by the class rank; the tie-break policy only permutes
+/// entries the simulation claims are order-insensitive. Running the same
+/// scenario under several policies and diffing report digests is the
+/// repo's determinism-race detector (`race_detector` bench bin): any
+/// digest divergence means a handler silently depended on same-instant
+/// arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Insertion order (the default, and the historical behaviour).
+    Fifo,
+    /// Reverse insertion order — the cheapest adversarial permutation.
+    Lifo,
+    /// A deterministic pseudo-random permutation keyed by the given seed
+    /// (mix of seed and insertion sequence — never wall-clock).
+    SeededShuffle(u64),
+}
+
+impl TieBreak {
+    /// The heap ordering key for insertion sequence `seq` under this
+    /// policy. Lower keys pop first among same-time, same-class entries.
+    fn key(self, seq: u64) -> u64 {
+        match self {
+            TieBreak::Fifo => seq,
+            TieBreak::Lifo => u64::MAX - seq,
+            TieBreak::SeededShuffle(seed) => splitmix64(seed ^ seq),
+        }
+    }
+
+    /// Parses an environment override: `fifo`, `lifo`, `shuffle` (seed 1)
+    /// or `shuffle:<seed>`. Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<TieBreak> {
+        match s {
+            "fifo" => Some(TieBreak::Fifo),
+            "lifo" => Some(TieBreak::Lifo),
+            "shuffle" => Some(TieBreak::SeededShuffle(1)),
+            _ => s
+                .strip_prefix("shuffle:")
+                .and_then(|n| n.parse().ok())
+                .map(TieBreak::SeededShuffle),
+        }
+    }
+
+    /// Folds the scenario seed into a shuffle so the permutation is drawn
+    /// from the run's own randomness (`Fifo`/`Lifo` are unaffected).
+    #[must_use]
+    pub fn derive(self, scenario_seed: u64) -> TieBreak {
+        match self {
+            TieBreak::SeededShuffle(s) => {
+                TieBreak::SeededShuffle(splitmix64(s.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ scenario_seed))
+            }
+            other => other,
+        }
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An entry in the queue: ordered by time, then semantic class, then the
+/// tie-break key (insertion sequence under FIFO), with the raw sequence as
+/// the final total-order anchor so shuffle-key collisions stay
+/// deterministic.
 struct Entry<E> {
     time: SimTime,
+    class: u8,
+    key: u64,
     seq: u64,
     event: E,
 }
@@ -29,6 +99,8 @@ impl<E> Ord for Entry<E> {
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.class.cmp(&self.class))
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -51,6 +123,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     cancelled: BTreeSet<u64>,
+    tiebreak: TieBreak,
+    classify: fn(&E) -> u8,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -60,34 +134,78 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with FIFO tie-breaking and a single event
+    /// class.
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             cancelled: BTreeSet::new(),
+            tiebreak: TieBreak::Fifo,
+            classify: |_| 0,
         }
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
+    /// Sets the same-instant, same-class ordering policy. Must be called
+    /// before any events are scheduled (already-pushed entries keep the
+    /// keys they were assigned at insertion).
+    pub fn set_tiebreak(&mut self, tiebreak: TieBreak) {
+        debug_assert!(
+            self.heap.is_empty(),
+            "tie-break policy must be set before scheduling"
+        );
+        self.tiebreak = tiebreak;
+    }
+
+    /// The active same-instant ordering policy.
+    pub fn tiebreak(&self) -> TieBreak {
+        self.tiebreak
+    }
+
+    /// Sets the semantic event classifier. Same-instant entries always pop
+    /// in ascending class order regardless of the tie-break policy; the
+    /// policy only permutes within a class. Simulations use this to pin
+    /// the cross-kind orderings that are part of their semantics (e.g.
+    /// "metric samples observe state before same-instant completions land")
+    /// while leaving genuinely commutative orderings free for the race
+    /// detector to perturb. Must be called before any events are scheduled.
+    pub fn set_classifier(&mut self, classify: fn(&E) -> u8) {
+        debug_assert!(
+            self.heap.is_empty(),
+            "classifier must be set before scheduling"
+        );
+        self.classify = classify;
+    }
+
+    /// The single insertion point: assigns the next sequence number and
+    /// the tie-break key, pushes the entry, and returns the sequence. All
+    /// scheduling paths (`schedule`, `schedule_batch`,
+    /// `schedule_cancellable`) funnel through here so the tie-break policy
+    /// lives in exactly one place.
+    fn push_entry(&mut self, at: SimTime, event: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry {
             time: at,
+            class: (self.classify)(&event),
+            key: self.tiebreak.key(seq),
             seq,
             event,
         });
+        seq
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.push_entry(at, event);
     }
 
     /// Schedules `event` to fire at absolute time `at` and returns a token
     /// that can later revoke it via [`Self::cancel`]. The entry otherwise
-    /// behaves exactly like one from [`Self::schedule`] (same FIFO
-    /// tie-breaking, same sequence space).
+    /// behaves exactly like one from [`Self::schedule`] (same tie-break
+    /// policy, same sequence space).
     pub fn schedule_cancellable(&mut self, at: SimTime, event: E) -> CancelToken {
-        let seq = self.next_seq;
-        self.schedule(at, event);
-        CancelToken(seq)
+        CancelToken(self.push_entry(at, event))
     }
 
     /// Revokes the entry behind `token`. Returns `true` if the entry was
@@ -101,6 +219,9 @@ impl<E> EventQueue<E> {
         // heap cheaply; instead rely on the caller contract and keep the
         // cancelled set consistent by purging on pop. A double-cancel is
         // caught by the set insert.
+        if sanitizer::active() {
+            self.sanitize_cancel(token);
+        }
         if token.0 >= self.next_seq || !self.cancelled.insert(token.0) {
             return false;
         }
@@ -110,12 +231,43 @@ impl<E> EventQueue<E> {
         true
     }
 
+    /// Shadow-check for [`Self::cancel`]: a token must come from this
+    /// queue's own sequence space (generation validity) and, if it is not
+    /// a detected double-cancel, its entry must still be live in the heap.
+    /// O(n) heap scan — only ever runs under `FASTG_SANITIZE=1`.
+    #[cfg(debug_assertions)]
+    fn sanitize_cancel(&self, token: CancelToken) {
+        sanitizer::check(token.0 < self.next_seq, "cancel-token-generation", || {
+            format!(
+                "token seq {} is from the future (next_seq {}): token from another queue?",
+                token.0, self.next_seq
+            )
+        });
+        if token.0 < self.next_seq && !self.cancelled.contains(&token.0) {
+            sanitizer::check(
+                self.heap.iter().any(|e| e.seq == token.0),
+                "cancel-token-generation",
+                || {
+                    format!(
+                        "token seq {} names an entry that already fired — stale token",
+                        token.0
+                    )
+                },
+            );
+        }
+    }
+
+    /// Release builds compile the cancel shadow-check out entirely.
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn sanitize_cancel(&self, _token: CancelToken) {}
+
     /// Schedules a batch of `(time, event)` pairs, reserving exact heap
     /// capacity up front (the iterator must be [`ExactSizeIterator`]) so a
     /// multi-kernel burst pays one allocation check instead of one per
     /// push. Sequence numbers are assigned in iteration order, so
-    /// same-instant batch entries pop FIFO exactly as individual
-    /// [`Self::schedule`] calls would.
+    /// same-instant batch entries pop in the same order as individual
+    /// [`Self::schedule`] calls would under the active tie-break policy.
     pub fn schedule_batch<I>(&mut self, events: I)
     where
         I: IntoIterator<Item = (SimTime, E)>,
@@ -124,7 +276,7 @@ impl<E> EventQueue<E> {
         let iter = events.into_iter();
         self.heap.reserve(iter.len());
         for (at, event) in iter {
-            self.schedule(at, event);
+            self.push_entry(at, event);
         }
     }
 
@@ -333,6 +485,87 @@ mod tests {
         // Strictly after: held back.
         assert_eq!(q.pop_before(SimTime::from_micros(20)), None);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn lifo_reverses_same_instant_order() {
+        let mut q = EventQueue::new();
+        q.set_tiebreak(TieBreak::Lifo);
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        // Later time still pops later regardless of policy.
+        q.schedule(SimTime::from_micros(6), 99);
+        for i in (0..10).rev() {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_micros(6), 99)));
+    }
+
+    #[test]
+    fn shuffle_is_a_deterministic_permutation() {
+        let drain = |seed: u64| {
+            let mut q = EventQueue::new();
+            q.set_tiebreak(TieBreak::SeededShuffle(seed));
+            let t = SimTime::from_micros(5);
+            for i in 0..32 {
+                q.schedule(t, i);
+            }
+            let mut order = Vec::new();
+            while let Some((_, i)) = q.pop() {
+                order.push(i);
+            }
+            order
+        };
+        let a = drain(7);
+        assert_eq!(a, drain(7), "same seed must replay the same permutation");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "must be a permutation");
+        assert_ne!(a, drain(8), "different seeds should permute differently");
+        assert_ne!(a, (0..32).collect::<Vec<_>>(), "should not be identity");
+    }
+
+    #[test]
+    fn class_order_beats_tiebreak_policy() {
+        // Odd events are class 0, even events class 1: all odds pop first
+        // at a shared instant, even under LIFO within each class.
+        let mut q = EventQueue::new();
+        q.set_classifier(|e: &i32| if e % 2 == 0 { 1 } else { 0 });
+        q.set_tiebreak(TieBreak::Lifo);
+        let t = SimTime::from_micros(5);
+        for i in 0..6 {
+            q.schedule(t, i);
+        }
+        let mut order = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            order.push(i);
+        }
+        assert_eq!(order, vec![5, 3, 1, 4, 2, 0]);
+    }
+
+    #[test]
+    fn tiebreak_parse_round_trips() {
+        assert_eq!(TieBreak::parse("fifo"), Some(TieBreak::Fifo));
+        assert_eq!(TieBreak::parse("lifo"), Some(TieBreak::Lifo));
+        assert_eq!(TieBreak::parse("shuffle"), Some(TieBreak::SeededShuffle(1)));
+        assert_eq!(
+            TieBreak::parse("shuffle:42"),
+            Some(TieBreak::SeededShuffle(42))
+        );
+        assert_eq!(TieBreak::parse("random"), None);
+        assert_eq!(TieBreak::parse("shuffle:x"), None);
+    }
+
+    #[test]
+    fn derive_mixes_scenario_seed_into_shuffle_only() {
+        assert_eq!(TieBreak::Fifo.derive(9), TieBreak::Fifo);
+        assert_eq!(TieBreak::Lifo.derive(9), TieBreak::Lifo);
+        let a = TieBreak::SeededShuffle(1).derive(9);
+        let b = TieBreak::SeededShuffle(1).derive(10);
+        assert_ne!(a, b, "scenario seed must perturb the permutation");
+        assert_eq!(a, TieBreak::SeededShuffle(1).derive(9), "derive is pure");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The simulation driver.
 
 use crate::queue::EventQueue;
+use crate::sanitizer;
 use crate::time::SimTime;
 
 /// The state and event handler of a simulated system.
@@ -99,6 +100,12 @@ impl<W: World> Simulation<W> {
 
     /// Advances the clock to `t` and hands `ev` to the world.
     fn deliver(&mut self, t: SimTime, ev: W::Event) {
+        if sanitizer::active() {
+            sanitizer::on_event(self.handled, t);
+            sanitizer::check(t >= self.now, "monotone-dispatch", || {
+                format!("event scheduled in the past: {t:?} < {:?}", self.now)
+            });
+        }
         debug_assert!(t >= self.now, "event scheduled in the past: {t:?} < {:?}", self.now);
         self.now = self.now.max(t);
         self.handled += 1;

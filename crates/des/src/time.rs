@@ -79,6 +79,18 @@ impl SimTime {
         self.0.checked_add(rhs.0).map(SimTime)
     }
 
+    /// Builds an instant from a microsecond count that arrives as a
+    /// float (estimator means, histogram bucket bounds), rounding to the
+    /// nearest microsecond. Negative inputs are a caller bug
+    /// (debug-asserted) and clamp to zero.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        debug_assert!(us >= 0.0, "negative microsecond count");
+        // f64→u64 `as` saturates, and the input is clamped non-negative.
+        // fastg-lint: allow(no-lossy-cast)
+        SimTime(us.max(0.0).round() as u64)
+    }
+
     /// Scales a duration by a dimensionless factor, rounding to the nearest
     /// microsecond. Intended for durations (e.g. "80 % of the window").
     #[inline]

@@ -29,7 +29,7 @@ use crate::memory::GpuMemory;
 use crate::metrics::GpuMetrics;
 use crate::mps::{MpsError, MpsMode, MpsServer};
 use crate::spec::GpuSpec;
-use fastg_des::SimTime;
+use fastg_des::{sanitizer, SimTime};
 use std::collections::VecDeque;
 
 pub use crate::mps::ClientId;
@@ -494,6 +494,9 @@ impl GpuDevice {
             }
             started.push(self.start_head(now, client)?);
         }
+        if sanitizer::active() {
+            self.sanitize_sm_conservation("on_kernel_finish");
+        }
         Ok(done)
     }
 
@@ -511,6 +514,18 @@ impl GpuDevice {
         };
         let granted = cap.min(desc.blocks.max(1)).min(self.free_sms);
         debug_assert!(granted >= 1);
+        if sanitizer::active() {
+            sanitizer::check(
+                granted <= cap && cap <= self.spec.sm_count,
+                "sm-conservation",
+                || {
+                    format!(
+                        "grant chain broken for {client:?}: granted {granted} <= cap {cap} <= device {}",
+                        self.spec.sm_count
+                    )
+                },
+            );
+        }
         let waves = u64::from(desc.blocks.max(1).div_ceil(granted));
         let nominal = desc.work_per_block * waves;
         // `clock_scale` is only ever assigned exact values (1.0 or a
@@ -645,6 +660,18 @@ impl GpuDevice {
         let resident = first?;
         debug_assert!(self.free_sms >= resident.granted, "capped regime violated");
         self.free_sms -= resident.granted;
+        if sanitizer::active() {
+            sanitizer::check(
+                resident.granted <= self.spec.sm_count,
+                "sm-conservation",
+                || {
+                    format!(
+                        "fast-forward grant {} exceeds device {}",
+                        resident.granted, self.spec.sm_count
+                    )
+                },
+            );
+        }
         self.metrics.kernel_started(now, resident.granted);
         self.ff.push(FfTimeline {
             client,
@@ -680,6 +707,7 @@ impl GpuDevice {
         if self.ff.is_empty() {
             return;
         }
+        let mut last_landed = SimTime::ZERO;
         loop {
             // Earliest pending boundary across timelines; ties break by
             // client id (same-instant cross-client boundaries commute in
@@ -701,9 +729,53 @@ impl GpuDevice {
             if !due {
                 break;
             }
+            if sanitizer::active() {
+                let boundary = t.resident.finish;
+                sanitizer::check(
+                    boundary >= last_landed
+                        && (boundary < now || (inclusive && boundary == now)),
+                    "ff-sync-order",
+                    || {
+                        format!(
+                            "boundary {boundary:?} violates {} replay to {now:?} (last landed {last_landed:?})",
+                            if inclusive { "inclusive" } else { "strict-<" }
+                        )
+                    },
+                );
+                last_landed = boundary;
+            }
             self.ff_advance(i);
         }
         self.ff_flush_tallies();
+        if sanitizer::active() {
+            self.sanitize_sm_conservation("ff_sync");
+        }
+    }
+
+    /// Shadow-check (`FASTG_SANITIZE=1`): every SM is either free or
+    /// granted to exactly one resident kernel — real or fast-forwarded —
+    /// at all times. O(residents); only ever runs with the sanitizer
+    /// armed.
+    fn sanitize_sm_conservation(&self, site: &'static str) {
+        let granted: u32 = self
+            .running
+            .iter()
+            .map(|(_, r)| r.granted)
+            .chain(self.ff.iter().map(|t| t.resident.granted))
+            .sum();
+        sanitizer::check(
+            granted + self.free_sms == self.spec.sm_count,
+            "sm-conservation",
+            || {
+                format!(
+                    "{site}: granted {granted} + free {} != device {} ({} running, {} ff timelines)",
+                    self.free_sms,
+                    self.spec.sm_count,
+                    self.running.len(),
+                    self.ff.len()
+                )
+            },
+        );
     }
 
     /// Flushes the batched completion counters of every live timeline, so
@@ -781,6 +853,15 @@ impl GpuDevice {
         self.metrics
             .tally_finished(tl.client, tl.completed - tl.tallied, tl.served - tl.tallied_served);
         debug_assert_eq!(tl.resident.finish, now, "burst end mismatch");
+        if sanitizer::active() {
+            sanitizer::check(tl.resident.finish == now, "ff-sync-order", || {
+                format!(
+                    "macro-event for {client:?} fired at {now:?} but its burst ends at {:?}",
+                    tl.resident.finish
+                )
+            });
+            self.sanitize_sm_conservation("ff_complete");
+        }
         self.ff_pool.push(tl.rest);
         Some(FfDone {
             completed: tl.completed,
@@ -800,6 +881,17 @@ impl GpuDevice {
         let mut tl = self.ff.swap_remove(i);
         debug_assert_eq!(tl.tallied, tl.completed, "sync flushes tallies");
         let k = tl.resident;
+        if sanitizer::active() {
+            // Strict-< sync left the mid-flight kernel resident: it must
+            // span the break instant, or the reconstruction re-runs (or
+            // drops) GPU time.
+            sanitizer::check(k.start <= now && k.finish >= now, "ff-sync-order", || {
+                format!(
+                    "materialized kernel [{:?}, {:?}] does not span break at {now:?}",
+                    k.start, k.finish
+                )
+            });
+        }
         let id = KernelId(self.next_kernel);
         self.next_kernel += 1;
         self.running.push((

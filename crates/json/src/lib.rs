@@ -90,6 +90,8 @@ impl Value {
             // Exact integer-ness test: fract() is exactly 0.0 for integers.
             // fastg-lint: allow(no-float-eq)
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                // In-range integer by the guard above; `as` is exact.
+                // fastg-lint: allow(no-lossy-cast)
                 Some(*n as u64)
             }
             _ => None,
@@ -104,6 +106,8 @@ impl Value {
                 // fastg-lint: allow(no-float-eq)
                 if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
             {
+                // In-range integer by the guard above; `as` is exact.
+                // fastg-lint: allow(no-lossy-cast)
                 Some(*n as i64)
             }
             _ => None,
@@ -222,6 +226,8 @@ fn write_num(out: &mut String, n: f64) {
         // JSON has no Inf/NaN; mirror serde_json's lossy `null`.
         out.push_str("null");
     } else if n.fract() == 0.0 && n.abs() < 9.0e15 { // fastg-lint: allow(no-float-eq) — exact integer-ness test
+        // In-range integer by the guard above; `as` is exact.
+        // fastg-lint: allow(no-lossy-cast)
         out.push_str(&format!("{}", n as i64));
     } else {
         // `{}` on f64 prints the shortest string that round-trips.
@@ -238,7 +244,7 @@ fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }

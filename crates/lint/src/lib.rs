@@ -32,6 +32,19 @@
 //!   collection is what keeps sweeps byte-identical across thread counts.
 //!   `Arc` stays allowed (immutable sharing is deterministic); binaries,
 //!   tests and benches are exempt.
+//! * **`no-default-hasher`** — `HashMap`/`HashSet` are denied in library
+//!   code *outside* the deterministic crates too (inside them
+//!   `no-unordered-iter` already applies): the default hasher is
+//!   randomly seeded, so iteration order is a latent determinism race
+//!   the moment such code migrates toward the core.
+//! * **`no-tiebreak-sensitive-drain`** — comparators that order events by
+//!   `time` alone (`.time.cmp(..)` without a `.then` chain, or
+//!   `sort_by_key`/`min_by_key`/`max_by_key` keyed by a bare `.time`)
+//!   are denied in the deterministic crates: equal-time order would be
+//!   whatever the container happens to hold, i.e. a tie-break race.
+//! * **`exhaustive-event-match`** — `_ =>` arms are denied in matches
+//!   over the platform `Event` enum, so a new event variant cannot
+//!   silently bypass the class ranking or sanitizer hooks.
 //!
 //! Diagnostics carry `file:line:col` positions. Existing violations are
 //! allowlisted per-rule-per-file in a checked-in baseline
@@ -53,15 +66,26 @@ pub const NO_FLOAT_EQ: &str = "no-float-eq";
 pub const NO_LOSSY_CAST: &str = "no-lossy-cast";
 /// Deny raw threading/synchronization primitives outside `crates/par`.
 pub const NO_THREADS: &str = "no-threads-outside-par";
+/// Deny std-default-hasher collections in library code everywhere (the
+/// non-deterministic-crate complement of `no-unordered-iter`).
+pub const NO_DEFAULT_HASHER: &str = "no-default-hasher";
+/// Deny time-only comparators over event-like orderings in deterministic
+/// crates (missing tie-break keys are latent races).
+pub const NO_TIEBREAK_DRAIN: &str = "no-tiebreak-sensitive-drain";
+/// Deny wildcard arms in matches over the platform `Event` enum.
+pub const EXHAUSTIVE_EVENT_MATCH: &str = "exhaustive-event-match";
 
 /// Every rule, in diagnostic order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 9] = [
     NO_PANIC,
     NO_WALLCLOCK,
     NO_UNORDERED_ITER,
     NO_FLOAT_EQ,
     NO_LOSSY_CAST,
     NO_THREADS,
+    NO_DEFAULT_HASHER,
+    NO_TIEBREAK_DRAIN,
+    EXHAUSTIVE_EVENT_MATCH,
 ];
 
 /// One finding at a source position.
@@ -233,7 +257,14 @@ pub fn clean(source: &str) -> Cleaned {
                 i += 1;
                 while i < src.len() {
                     match src[i] {
-                        b'\\' => i += 2,
+                        // An escape may hide a newline (`\` line
+                        // continuation); keep the line count honest.
+                        b'\\' => {
+                            if src.get(i + 1) == Some(&b'\n') {
+                                line += 1;
+                            }
+                            i += 2;
+                        }
                         b'\n' => {
                             line += 1;
                             i += 1;
@@ -560,9 +591,178 @@ pub fn scan_file(rel_path: &str, source: &str, scope: FileScope) -> Vec<Diagnost
             );
         });
     }
+    if scope.lib_code && !scope.deterministic {
+        // Inside the deterministic crates `no-unordered-iter` already
+        // denies these (with a stronger rationale); this rule extends the
+        // ban to the rest of the workspace's library code so helper
+        // crates can migrate into the core without smuggling in a
+        // randomized iteration order.
+        scan_words(code, &["HashMap", "HashSet"], |off, word| {
+            push(
+                NO_DEFAULT_HASHER,
+                off,
+                format!(
+                    "`{word}` uses the randomly-seeded default hasher; iteration order is a \
+                     latent determinism race — use `BTree{}`",
+                    &word[4..]
+                ),
+            );
+        });
+    }
+    if scope.deterministic {
+        scan_tiebreak_drain(code, &mut push);
+        scan_event_match(code, &mut push);
+    }
     scan_float_eq(code, &mut push);
     scan_lossy_cast(code, &mut push);
     out
+}
+
+/// `no-tiebreak-sensitive-drain`: a comparator that orders events by
+/// `time` alone. Two findings families:
+///
+/// * `.time.cmp(..)` not chained into `.then`/`.then_with` — an `Ord`
+///   implementation (or sort comparator) whose result for equal-time
+///   entries is unspecified, i.e. whatever the container's internal
+///   order happens to be;
+/// * `sort_by_key`/`min_by_key`/`max_by_key` with a closure returning a
+///   bare `<expr>.time` — equal-time elements keep slice order, so the
+///   drain result silently depends on how the slice was built.
+///
+/// Both are latent tie-break races: append a discriminating key
+/// (sequence number, id) to make equal-time order explicit.
+fn scan_tiebreak_drain(code: &[u8], push: &mut impl FnMut(&'static str, usize, String)) {
+    let needle = b".time.cmp(";
+    let mut i = 0usize;
+    while let Some(off) = find_from(code, i, needle) {
+        i = off + needle.len();
+        let open = off + needle.len() - 1;
+        let Some(close) = matching(code, open, b'(', b')') else {
+            continue;
+        };
+        let mut j = close + 1;
+        while code.get(j).copied().is_some_and(|b| b.is_ascii_whitespace()) {
+            j += 1;
+        }
+        if find_from(code, j, b".then") != Some(j) {
+            push(
+                NO_TIEBREAK_DRAIN,
+                off + 1,
+                "comparator orders by `time` alone; equal-time order is a latent race — \
+                 chain `.then_with(..)` on a discriminating key (seq, id)"
+                    .to_string(),
+            );
+        }
+    }
+    for name in ["sort_by_key", "min_by_key", "max_by_key"] {
+        let needle = name.as_bytes();
+        let mut i = 0usize;
+        while let Some(off) = find_from(code, i, needle) {
+            i = off + needle.len();
+            if off > 0 && is_ident(code[off - 1]) {
+                continue;
+            }
+            let mut j = i;
+            while code.get(j).copied().is_some_and(|b| b.is_ascii_whitespace()) {
+                j += 1;
+            }
+            if code.get(j) != Some(&b'(') {
+                continue;
+            }
+            let Some(close) = matching(code, j, b'(', b')') else {
+                continue;
+            };
+            let body: Vec<u8> = code[j + 1..close]
+                .iter()
+                .copied()
+                .filter(|b| !b.is_ascii_whitespace())
+                .collect();
+            if body.contains(&b'|') && body.ends_with(b".time") {
+                push(
+                    NO_TIEBREAK_DRAIN,
+                    off,
+                    format!(
+                        "`{name}` keyed by `time` alone leaves equal-time order to the \
+                         container; key by a tuple like `(e.time, e.seq)` instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `exhaustive-event-match`: a `match` whose body has `Event::` arms must
+/// not have a `_ =>` arm. A wildcard silently absorbs every future event
+/// variant — exactly how a new event kind bypasses the class ranking,
+/// sanitizer hooks or trace coverage without the compiler noticing.
+fn scan_event_match(code: &[u8], push: &mut impl FnMut(&'static str, usize, String)) {
+    let needle = b"match ";
+    let mut i = 0usize;
+    while let Some(off) = find_from(code, i, needle) {
+        i = off + needle.len();
+        if off > 0 && is_ident(code[off - 1]) {
+            continue;
+        }
+        let Some(open) = find_from(code, off, b"{") else {
+            continue;
+        };
+        let Some(close) = matching(code, open, b'{', b'}') else {
+            continue;
+        };
+        let body = &code[open..=close];
+        if !has_event_arm(body) {
+            continue;
+        }
+        let mut k = 0usize;
+        while let Some(u) = find_from(body, k, b"_") {
+            k = u + 1;
+            if u > 0 && is_ident(body[u - 1]) {
+                continue;
+            }
+            if body.get(u + 1).copied().is_some_and(is_ident) {
+                continue;
+            }
+            // A wildcard *arm* starts at an arm boundary (`{`, `,` or a
+            // block arm's `}`) — `Some(_)` / `|_|` / `(_, x)` do not.
+            let prev = body[..u]
+                .iter()
+                .rev()
+                .find(|b| !b.is_ascii_whitespace())
+                .copied()
+                .unwrap_or(b' ');
+            if !matches!(prev, b'{' | b',' | b'}') {
+                continue;
+            }
+            let mut v = u + 1;
+            while body.get(v).copied().is_some_and(|b| b.is_ascii_whitespace()) {
+                v += 1;
+            }
+            if find_from(body, v, b"=>") == Some(v) {
+                push(
+                    EXHAUSTIVE_EVENT_MATCH,
+                    open + u,
+                    "wildcard arm in a match over `Event`; new event variants would be \
+                     silently absorbed — list every variant explicitly"
+                        .to_string(),
+                );
+            }
+        }
+        i = close;
+    }
+}
+
+/// Whether a match body contains an `Event::` path at an identifier
+/// boundary (so `FaultEvent::` does not count).
+fn has_event_arm(body: &[u8]) -> bool {
+    let needle = b"Event::";
+    let mut i = 0usize;
+    while let Some(off) = find_from(body, i, needle) {
+        i = off + needle.len();
+        if off == 0 || !is_ident(body[off - 1]) {
+            return true;
+        }
+    }
+    false
 }
 
 /// Tokens denied by `no-threads-outside-par`. `Arc` is deliberately
@@ -985,8 +1185,22 @@ mod tests {
     fn wallclock_and_hash_flagged_in_deterministic_scope_only() {
         let src = "use std::time::Instant;\nuse std::collections::HashMap;\n";
         assert_eq!(scan(src).len(), 2);
+        // Outside the deterministic crates the unordered-iter and
+        // wallclock rules stand down, but the default-hasher rule picks
+        // the HashMap up instead.
         let lib_only = FileScope { lib_code: true, deterministic: false, threads_banned: false };
-        assert!(scan_file("lib.rs", src, lib_only).is_empty());
+        let d = scan_file("lib.rs", src, lib_only);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, NO_DEFAULT_HASHER);
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_count() {
+        // A `\` line continuation inside a string hides a newline from a
+        // naive scanner; allow escapes after it must still land on the
+        // right line.
+        let src = "fn f() {\n    let s = \"a \\\n       b\";\n    x.unwrap(); // fastg-lint: allow(no-panic-in-lib)\n}\n";
+        assert!(scan(src).is_empty());
     }
 
     #[test]

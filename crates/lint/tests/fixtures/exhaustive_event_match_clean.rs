@@ -1,0 +1,24 @@
+// Fixture: matches over `Event` list every variant (inner `(_)` binders
+// are fine), and wildcard arms over non-event types are allowed;
+// `exhaustive-event-match` must stay silent.
+
+pub enum Event {
+    Arrival(u64),
+    KernelFinish(u64),
+    Fault,
+}
+
+pub fn class(e: &Event) -> u8 {
+    match e {
+        Event::Fault => 0,
+        Event::Arrival(_) => 1,
+        Event::KernelFinish(_) => 2,
+    }
+}
+
+pub fn is_zero(x: Option<u64>) -> bool {
+    match x {
+        Some(0) => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: wildcard arms in matches over `Event` — a new variant would
+// be silently absorbed. `exhaustive-event-match` must flag (2 findings,
+// one per match).
+
+pub enum Event {
+    Arrival(u64),
+    KernelFinish(u64),
+    Fault,
+}
+
+pub fn class(e: &Event) -> u8 {
+    match e {
+        Event::Fault => 0,
+        Event::Arrival(_) => 1,
+        _ => 2,
+    }
+}
+
+pub fn label(e: &Event) -> &'static str {
+    match e {
+        Event::Arrival(_) => "arrival",
+        _ => "other",
+    }
+}

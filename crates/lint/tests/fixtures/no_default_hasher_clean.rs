@@ -1,0 +1,11 @@
+// Fixture: ordered collections carry no hasher seed; `no-default-hasher`
+// must stay silent.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn index(keys: &[u64]) -> BTreeMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+}
+
+pub fn distinct(keys: &[u64]) -> BTreeSet<u64> {
+    keys.iter().copied().collect()
+}

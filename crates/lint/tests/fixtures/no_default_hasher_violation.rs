@@ -1,0 +1,9 @@
+// Fixture: default-hasher collections in non-deterministic library code
+// `no-default-hasher` must flag (3 findings: two in the use list, one in
+// the signature). Scanned with a lib-only scope — inside the
+// deterministic crates `no-unordered-iter` owns these tokens instead.
+use std::collections::{HashMap, HashSet};
+
+pub fn index(keys: &[u64]) -> HashMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, &k)| (k, i)).collect()
+}

@@ -1,0 +1,28 @@
+// Fixture: every time-keyed comparator chains a discriminating key, so
+// equal-time order is explicit; `no-tiebreak-sensitive-drain` must stay
+// silent.
+
+pub struct Entry {
+    pub time: u64,
+    pub seq: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+pub fn drain(entries: &mut Vec<Entry>) -> Option<u64> {
+    entries.sort_by_key(|e| (e.time, e.seq));
+    let first = entries.iter().min_by_key(|e| (e.time, e.seq))?;
+    let last = entries.iter().max_by_key(|e| e.seq)?;
+    Some(last.time - first.time)
+}
+
+pub fn spread(entries: &[Entry]) -> std::cmp::Ordering {
+    entries[0]
+        .time
+        .cmp(&entries[1].time)
+        .then_with(|| entries[0].seq.cmp(&entries[1].seq))
+}

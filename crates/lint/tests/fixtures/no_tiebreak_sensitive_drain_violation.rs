@@ -1,0 +1,21 @@
+// Fixture: comparators keyed by `time` alone — equal-time order is left
+// to the container. `no-tiebreak-sensitive-drain` must flag (4 findings:
+// one bare `.time.cmp(..)`, three `*_by_key(|e| e.time)` drains).
+
+pub struct Entry {
+    pub time: u64,
+    pub seq: u64,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time)
+    }
+}
+
+pub fn drain(entries: &mut Vec<Entry>) -> Option<u64> {
+    entries.sort_by_key(|e| e.time);
+    let first = entries.iter().min_by_key(|e| e.time)?;
+    let last = entries.iter().max_by_key(|e| e.time)?;
+    Some(last.time - first.time)
+}

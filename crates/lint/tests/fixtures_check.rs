@@ -3,7 +3,10 @@
 //! an end-to-end round trip of `lint-baseline.json` through the real
 //! `--update-baseline` / `--check` CLI.
 
-use fastg_lint::{scan_file, FileScope, NO_FLOAT_EQ, NO_LOSSY_CAST, NO_PANIC, NO_THREADS, NO_UNORDERED_ITER, NO_WALLCLOCK};
+use fastg_lint::{
+    scan_file, FileScope, EXHAUSTIVE_EVENT_MATCH, NO_DEFAULT_HASHER, NO_FLOAT_EQ, NO_LOSSY_CAST,
+    NO_PANIC, NO_THREADS, NO_TIEBREAK_DRAIN, NO_UNORDERED_ITER, NO_WALLCLOCK,
+};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -59,6 +62,55 @@ fn no_threads_outside_par_fixture_pair() {
 }
 
 #[test]
+fn no_default_hasher_fixture_pair() {
+    // The rule only applies to library code *outside* the deterministic
+    // crates (inside them `no-unordered-iter` owns these tokens), so the
+    // pair is scanned with a lib-only scope rather than `full()`.
+    let lib_only = FileScope {
+        lib_code: true,
+        deterministic: false,
+        threads_banned: false,
+    };
+    let hits = |name: &str, rule: &str| {
+        scan_file(name, &fixture(name), lib_only)
+            .iter()
+            .filter(|d| d.rule == rule)
+            .count()
+    };
+    assert_eq!(hits("no_default_hasher_violation.rs", NO_DEFAULT_HASHER), 3);
+    assert_eq!(hits("no_default_hasher_clean.rs", NO_DEFAULT_HASHER), 0);
+    // In deterministic scope the rule stands down entirely.
+    assert_eq!(
+        rule_hits("no_default_hasher_violation.rs", NO_DEFAULT_HASHER),
+        0
+    );
+}
+
+#[test]
+fn no_tiebreak_sensitive_drain_fixture_pair() {
+    assert_eq!(
+        rule_hits("no_tiebreak_sensitive_drain_violation.rs", NO_TIEBREAK_DRAIN),
+        4
+    );
+    assert_eq!(
+        rule_hits("no_tiebreak_sensitive_drain_clean.rs", NO_TIEBREAK_DRAIN),
+        0
+    );
+}
+
+#[test]
+fn exhaustive_event_match_fixture_pair() {
+    assert_eq!(
+        rule_hits("exhaustive_event_match_violation.rs", EXHAUSTIVE_EVENT_MATCH),
+        2
+    );
+    assert_eq!(
+        rule_hits("exhaustive_event_match_clean.rs", EXHAUSTIVE_EVENT_MATCH),
+        0
+    );
+}
+
+#[test]
 fn violating_fixtures_have_no_cross_rule_noise() {
     // Each violating fixture triggers ONLY its own rule (so the pairs stay
     // honest as rules evolve). The lossy-cast fixture's `as f64` line in
@@ -69,6 +121,8 @@ fn violating_fixtures_have_no_cross_rule_noise() {
         ("no_unordered_iter_violation.rs", NO_UNORDERED_ITER),
         ("no_lossy_cast_violation.rs", NO_LOSSY_CAST),
         ("no_threads_outside_par_violation.rs", NO_THREADS),
+        ("no_tiebreak_sensitive_drain_violation.rs", NO_TIEBREAK_DRAIN),
+        ("exhaustive_event_match_violation.rs", EXHAUSTIVE_EVENT_MATCH),
     ] {
         let diags = scan_file(file, &fixture(file), FileScope::full());
         assert!(

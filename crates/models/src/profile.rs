@@ -15,12 +15,12 @@ impl KernelSpec {
     /// Residency duration when granted `sms` SMs (wave execution).
     pub fn duration_at(&self, sms: u32) -> SimTime {
         let granted = sms.min(self.blocks.max(1)).max(1);
-        self.work_per_block * (self.blocks.max(1).div_ceil(granted) as u64)
+        self.work_per_block * u64::from(self.blocks.max(1).div_ceil(granted))
     }
 
     /// SM-time regardless of scheduling.
     pub fn total_work(&self) -> SimTime {
-        self.work_per_block * self.blocks.max(1) as u64
+        self.work_per_block * u64::from(self.blocks.max(1))
     }
 }
 

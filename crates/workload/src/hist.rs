@@ -47,19 +47,22 @@ impl LatencyHistogram {
             return 0;
         }
         let b = (us / MIN_US).ln() / GROWTH.ln();
+        // f64→usize `as` saturates, and `b` is non-negative (us > MIN_US
+        // was checked above, so the log ratio is positive).
+        // fastg-lint: allow(no-lossy-cast)
         (b.floor() as usize).min(BUCKETS - 1)
     }
 
     /// Upper bound of bucket `i` in microseconds.
     fn bucket_upper_us(i: usize) -> f64 {
-        MIN_US * GROWTH.powi(i as i32 + 1)
+        MIN_US * GROWTH.powi(i32::try_from(i + 1).unwrap_or(i32::MAX))
     }
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: SimTime) {
         self.counts[Self::bucket_of(latency)] += 1;
         self.count += 1;
-        self.sum_us += latency.as_micros() as u128;
+        self.sum_us += u128::from(latency.as_micros());
         self.max = self.max.max(latency);
         self.min = Some(match self.min {
             Some(m) => m.min(latency),
@@ -77,7 +80,8 @@ impl LatencyHistogram {
         if self.count == 0 {
             SimTime::ZERO
         } else {
-            SimTime::from_micros((self.sum_us / self.count as u128) as u64)
+            let mean = self.sum_us / u128::from(self.count);
+            SimTime::from_micros(u64::try_from(mean).unwrap_or(u64::MAX))
         }
     }
 
@@ -100,6 +104,8 @@ impl LatencyHistogram {
         if self.count == 0 {
             return SimTime::ZERO;
         }
+        // f64→u64 `as` saturates, and the target is at least 1.0.
+        // fastg-lint: allow(no-lossy-cast)
         let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -109,7 +115,7 @@ impl LatencyHistogram {
                     // Overflow bucket: its upper bound is meaningless.
                     return self.max;
                 }
-                let upper = SimTime::from_micros(Self::bucket_upper_us(i).round() as u64);
+                let upper = SimTime::from_micros_f64(Self::bucket_upper_us(i));
                 return upper.min(self.max);
             }
         }

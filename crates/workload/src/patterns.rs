@@ -31,8 +31,8 @@ pub fn diurnal(
     let period = period.max(SimTime::from_micros(1));
     let cycles = cycles.max(1);
     const KNOTS_PER_CYCLE: u32 = 32;
-    let mut knots = Vec::with_capacity((cycles * KNOTS_PER_CYCLE + 1) as usize);
     let total_knots = cycles * KNOTS_PER_CYCLE;
+    let mut knots = Vec::with_capacity(usize::try_from(total_knots + 1).unwrap_or(0));
     for k in 0..=total_knots {
         let t = period.scale(k as f64 / KNOTS_PER_CYCLE as f64);
         let phase = 2.0 * std::f64::consts::PI * (k % KNOTS_PER_CYCLE) as f64

@@ -25,14 +25,14 @@ impl RateMeter {
 
     /// Total events recorded.
     pub fn count(&self) -> u64 {
-        self.times.len() as u64
+        u64::try_from(self.times.len()).unwrap_or(u64::MAX)
     }
 
     /// Events in `[from, to)`.
     pub fn count_between(&self, from: SimTime, to: SimTime) -> u64 {
         let lo = self.times.partition_point(|&t| t < from);
         let hi = self.times.partition_point(|&t| t < to);
-        (hi - lo) as u64
+        u64::try_from(hi - lo).unwrap_or(u64::MAX)
     }
 
     /// Mean rate (events/second) over `[from, to)`; zero for an empty

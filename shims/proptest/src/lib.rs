@@ -53,7 +53,7 @@ pub mod test_runner {
         pub fn for_case(name: &str, case: u64) -> Self {
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in name.bytes() {
-                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
             }
             let mut x = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let mut next = move || {
@@ -149,7 +149,13 @@ pub mod strategy {
                     if self.start >= self.end {
                         return self.start;
                     }
+                    // The i128 widening is exact for every instantiated
+                    // type (all ≤ 64 bits; `i128::from` does not exist
+                    // for usize/isize) and the final narrowing is
+                    // in-range by construction.
+                    // fastg-lint: allow(no-lossy-cast)
                     let span = (self.end as i128 - self.start as i128) as u64;
+                    // fastg-lint: allow(no-lossy-cast)
                     (self.start as i128 + rng.below(span) as i128) as $t
                 }
             }
@@ -161,7 +167,10 @@ pub mod strategy {
                     if lo >= hi {
                         return lo;
                     }
+                    // Same exact-widening argument as in `Range` above.
+                    // fastg-lint: allow(no-lossy-cast)
                     let span = (hi as i128 - lo as i128) as u64 + 1;
+                    // fastg-lint: allow(no-lossy-cast)
                     (lo as i128 + rng.below(span) as i128) as $t
                 }
             }
@@ -263,6 +272,9 @@ pub mod strategy {
     impl<V> Strategy for OneOf<V> {
         type Value = V;
         fn new_value(&self, rng: &mut TestRng) -> V {
+            // `below(len)` is `< len`, so the round trip through u64 is
+            // exact for any real arm count.
+            // fastg-lint: allow(no-lossy-cast)
             let idx = rng.below(self.arms.len() as u64) as usize;
             self.arms[idx].new_value(rng)
         }
@@ -340,7 +352,11 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            // `below(span)` is `< span ≤ len.end`, so the round trip
+            // through u64 is exact for any real collection length.
+            // fastg-lint: allow(no-lossy-cast)
             let span = self.len.end.saturating_sub(self.len.start) as u64;
+            // fastg-lint: allow(no-lossy-cast)
             let n = self.len.start + rng.below(span) as usize;
             (0..n).map(|_| self.element.new_value(rng)).collect()
         }
@@ -416,7 +432,7 @@ macro_rules! __proptest_fns {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
-                for __case in 0..__cfg.cases as u64 {
+                for __case in 0..u64::from(__cfg.cases) {
                     let mut __rng =
                         $crate::test_runner::TestRng::for_case(stringify!($name), __case);
                     $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)*

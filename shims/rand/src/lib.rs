@@ -73,8 +73,15 @@ macro_rules! int_sample_range {
                 if self.start >= self.end {
                     return self.start;
                 }
+                // The i128 widening is exact for every instantiated type
+                // (all ≤ 64 bits; `i128::from` does not exist for
+                // usize/isize) and the final narrowing is in-range by
+                // construction.
+                // fastg-lint: allow(no-lossy-cast)
                 let span = (self.end as i128 - self.start as i128) as u128;
+                // fastg-lint: allow(no-lossy-cast)
                 let off = (next() as u128) % span;
+                // fastg-lint: allow(no-lossy-cast)
                 (self.start as i128 + off as i128) as $t
             }
         }
@@ -85,8 +92,12 @@ macro_rules! int_sample_range {
                 if lo >= hi {
                     return lo;
                 }
+                // Same exact-widening argument as in `Range` above.
+                // fastg-lint: allow(no-lossy-cast)
                 let span = (hi as i128 - lo as i128) as u128 + 1;
+                // fastg-lint: allow(no-lossy-cast)
                 let off = (next() as u128) % span;
+                // fastg-lint: allow(no-lossy-cast)
                 (lo as i128 + off as i128) as $t
             }
         }

@@ -6,7 +6,9 @@
 use fastg_des::SimTime;
 use fastg_workload::ArrivalProcess;
 use fastgshare::manager::SharingPolicy;
-use fastgshare::platform::{FaultKind, FaultPlan, FunctionConfig, Platform, PlatformConfig};
+use fastgshare::platform::{
+    FaultKind, FaultPlan, FunctionConfig, Platform, PlatformConfig, TieBreak,
+};
 use proptest::prelude::*;
 
 /// One step of the operation alphabet.
@@ -157,16 +159,18 @@ fn arb_ff_grid() -> impl Strategy<Value = FfGrid> {
         )
 }
 
-/// Runs one grid point with fast-forward forced on or off and returns the
-/// canonical report text (every counter and float bit pattern) plus how
-/// many bursts were coalesced.
-fn ff_grid_run(g: FfGrid, fastforward: bool) -> (String, u64) {
+/// Runs one grid point with fast-forward forced on or off (and a chosen
+/// same-instant tie-break order) and returns the canonical report text
+/// (every counter and float bit pattern) plus how many bursts were
+/// coalesced.
+fn ff_grid_run(g: FfGrid, fastforward: bool, tiebreak: TieBreak) -> (String, u64) {
     let mut cfg = PlatformConfig::default()
         .nodes(g.nodes)
         .policy(SharingPolicy::FaST)
         .oversubscribe(true)
         .seed(g.seed)
-        .fastforward(fastforward);
+        .fastforward(fastforward)
+        .tiebreak(tiebreak);
     if g.chaos {
         cfg = cfg.fault_plan(
             FaultPlan::new()
@@ -214,10 +218,26 @@ proptest! {
     /// of the report.
     #[test]
     fn fastforward_parity_on_random_grids(g in arb_ff_grid()) {
-        let (on, _) = ff_grid_run(g, true);
-        let (off, coalesced) = ff_grid_run(g, false);
+        let (on, _) = ff_grid_run(g, true, TieBreak::Fifo);
+        let (off, coalesced) = ff_grid_run(g, false, TieBreak::Fifo);
         prop_assert_eq!(coalesced, 0, "disabled fast-forward must not coalesce");
         prop_assert_eq!(on, off, "fast-forward parity broke on {:?}", g);
+    }
+
+    /// Tie-break independence over the same random grids: a seeded
+    /// shuffle of same-instant delivery order must reproduce the FIFO
+    /// report byte-for-byte — kills, repartitions and chaos included,
+    /// fast-forward on or off. Any difference is a delivery-order race
+    /// (see `race_detector` for the delta-debugging version).
+    #[test]
+    fn tiebreak_parity_on_random_grids(
+        g in arb_ff_grid(),
+        ff in any::<bool>(),
+        shuffle_seed in 1u64..1_000_000,
+    ) {
+        let (fifo, _) = ff_grid_run(g, ff, TieBreak::Fifo);
+        let (shuffled, _) = ff_grid_run(g, ff, TieBreak::SeededShuffle(shuffle_seed));
+        prop_assert_eq!(fifo, shuffled, "tie-break shuffle changed the report on {:?}", g);
     }
 }
 
