@@ -1,0 +1,273 @@
+//! `fleet_baseline` — fleet-scale simulation evidence, in one JSON file.
+//!
+//! Measures three things and writes them to `BENCH_6.json`:
+//!
+//! 1. **Cluster fast-forward parity** — a mid-size fleet (Zipf-popularity
+//!    constant loads, single-replica functions, one per node) run with
+//!    cluster-level fast-forward on and off. Both modes must produce a
+//!    byte-identical canonical report: crediting whole request cycles in
+//!    closed form is a pure optimization. Asserted in-run.
+//! 2. **The 10⁸-arrival headline** — a 1200-node fleet sized (via the
+//!    aggregate constant rate) to serve at least 10⁸ platform-request
+//!    arrivals, with cluster fast-forward on. Reports platform-seconds
+//!    simulated per wall-clock second, the coalescing ratio (events that
+//!    never had to be scheduled over the events an event-by-event run
+//!    would deliver — asserted ≥ 95 %), and peak RSS (`VmHWM`).
+//! 3. **Multi-core-honest sweep** — fleet scenarios with the *layered*
+//!    arrival model (diurnal tail, flash-crowd head, regional-failover
+//!    band) through `run_sweep` at `threads = 1` vs `4`, digests compared
+//!    byte-for-byte. A parallel speedup is only claimed when
+//!    `available_parallelism() ≥ 2`; a single-core host reports
+//!    `parallel_honest = false` instead of scheduler noise.
+//!
+//! ```text
+//! fleet_baseline             # full measurement, writes BENCH_6.json
+//! fleet_baseline --quick     # small fleet / short horizon (CI smoke)
+//! fleet_baseline --out FILE  # write somewhere else
+//! ```
+//!
+//! `FASTG_FASTFORWARD=0` runs the same program with the device-level
+//! coalescing layer off (cluster fast-forward requires it, so both layers
+//! are off): the parity leg still passes — trivially, both runs are
+//! event-by-event — and the headline drops its coalescing-ratio floor.
+
+use fastg_bench::{fleet_platform, fleet_sweep_scenario};
+use fastg_des::SimTime;
+use fastg_json::ObjectBuilder;
+use fastgshare::platform::{run_sweep, PlatformConfig, Scenario};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_6.json");
+    let mut opts = Options {
+        quick: false,
+        out: default_out,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                let path = args.next().expect("--out needs a file argument");
+                opts.out = PathBuf::from(path);
+            }
+            other => {
+                eprintln!("usage: fleet_baseline [--quick] [--out FILE] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Peak resident set size (`VmHWM`) in bytes, 0 where `/proc` is absent.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+struct FleetRun {
+    canonical: String,
+    arrivals: u64,
+    events: u64,
+    cycles: u64,
+    coalesced: u64,
+    wall_seconds: f64,
+}
+
+/// One fleet run: `nodes` nodes for `sim_secs` simulated seconds, with
+/// cluster fast-forward on or off (on top of whatever device-level mode
+/// `FASTG_FASTFORWARD` selected).
+fn fleet_run(nodes: usize, sim_secs: u64, cluster_ff: bool) -> FleetRun {
+    let (mut p, _) = fleet_platform(nodes, 61, cluster_ff);
+    let t0 = Instant::now();
+    let report = p.run_for(SimTime::from_secs(sim_secs));
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    FleetRun {
+        canonical: report.canonical_text(),
+        arrivals: report.functions.values().map(|f| f.arrivals).sum(),
+        events: p.events_handled(),
+        cycles: p.ff_cluster_cycles(),
+        coalesced: p.ff_cluster_coalesced_events(),
+        wall_seconds,
+    }
+}
+
+fn sweep_grid(quick: bool) -> Vec<Scenario> {
+    let (count, nodes, seconds) = if quick { (2u64, 12, 8) } else { (4, 48, 30) };
+    (0..count)
+        .map(|i| fleet_sweep_scenario(format!("fleet-sweep-{i}"), nodes, seconds, 70 + i))
+        .collect()
+}
+
+fn main() {
+    let opts = parse_args();
+    let ff_enabled = PlatformConfig::default().fastforward;
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads_resolved = fastg_par::resolve_threads(None);
+
+    // 1. Cluster fast-forward parity, asserted in-run. With the device
+    //    layer disabled by the environment both runs are event-by-event
+    //    and parity holds trivially (cluster FF requires the device FF).
+    let (parity_nodes, parity_secs) = if opts.quick { (8, 20) } else { (24, 60) };
+    let par_on = fleet_run(parity_nodes, parity_secs, true);
+    let par_off = fleet_run(parity_nodes, parity_secs, false);
+    assert_eq!(
+        par_on.canonical, par_off.canonical,
+        "cluster fast-forward parity broke on the fleet"
+    );
+    assert_eq!(par_off.cycles, 0, "disabled cluster fast-forward credited cycles");
+    if ff_enabled {
+        assert!(par_on.cycles > 0, "cluster fast-forward never engaged");
+    }
+    println!(
+        "digest parity: ok ({parity_nodes} nodes, {parity_secs}s; \
+         cluster-ff on: {} events / {} cycles credited, off: {} events)",
+        par_on.events, par_on.cycles, par_off.events,
+    );
+
+    // 2. The headline fleet. Duration is sized from the aggregate rate so
+    //    the run serves at least the arrival budget.
+    let (nodes, target_arrivals) = if opts.quick {
+        (32usize, 120_000u64)
+    } else {
+        (1200usize, 100_000_000u64)
+    };
+    let (_, total_rps) = fleet_platform(nodes, 61, ff_enabled);
+    // Bounded by target/rate (~10^4 seconds), far inside u64.
+    // fastg-lint: allow(no-lossy-cast)
+    let sim_secs = ((target_arrivals as f64 * 1.02) / total_rps).ceil() as u64;
+    let run = fleet_run(nodes, sim_secs, ff_enabled);
+    assert!(
+        run.arrivals >= target_arrivals,
+        "undersized fleet: {} arrivals < {target_arrivals}",
+        run.arrivals
+    );
+    // The coalescing ratio: events cluster FF never scheduled over the
+    // events an event-by-event run would have delivered.
+    let virtual_events = run.coalesced + run.events;
+    let coalescing_ratio = if virtual_events > 0 {
+        run.coalesced as f64 / virtual_events as f64
+    } else {
+        0.0
+    };
+    // The floor only binds when fast-forward is on; the FF=0 leg is the
+    // event-by-event baseline and coalesces nothing by construction.
+    let coalescing_floor_met = !ff_enabled || coalescing_ratio >= 0.95;
+    assert!(
+        coalescing_floor_met,
+        "coalescing ratio {coalescing_ratio:.4} below the 0.95 floor"
+    );
+    let platform_secs_per_sec = sim_secs as f64 / run.wall_seconds;
+    let rss = peak_rss_bytes();
+    println!(
+        "fleet headline: {nodes} nodes, {sim_secs} platform-seconds, {} arrivals, \
+         {} events handled, {} cycles credited",
+        run.arrivals, run.events, run.cycles,
+    );
+    println!(
+        "throughput: {platform_secs_per_sec:.0} platform-s/s ({:.2}s wall), \
+         coalescing ratio {coalescing_ratio:.4}, peak rss {:.0} MiB",
+        run.wall_seconds,
+        rss as f64 / (1024.0 * 1024.0),
+    );
+
+    // 3. Multi-core-honest sweep over the layered fleet scenarios.
+    let scenarios = sweep_grid(opts.quick).len();
+    let t0 = Instant::now();
+    let reports_1 = run_sweep(sweep_grid(opts.quick), 1).expect("sweep t1");
+    let t1 = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let reports_4 = run_sweep(sweep_grid(opts.quick), 4).expect("sweep t4");
+    let t4 = t0.elapsed().as_secs_f64();
+    let sweep_match = reports_1.len() == reports_4.len()
+        && reports_1
+            .iter()
+            .zip(&reports_4)
+            .all(|((n1, r1), (n2, r2))| n1 == n2 && r1.digest() == r2.digest());
+    assert!(sweep_match, "fleet sweep digests diverged across thread counts");
+    let parallel_honest = cpus >= 2;
+    if parallel_honest {
+        println!(
+            "sweep ({scenarios} layered fleets): threads=1 {t1:.3}s, threads=4 {t4:.3}s, \
+             speedup {:.2}x ({cpus} cpus, {threads_resolved} workers), digests match: {sweep_match}",
+            t1 / t4,
+        );
+    } else {
+        println!(
+            "sweep ({scenarios} layered fleets): threads=1 {t1:.3}s, threads=4 {t4:.3}s on a \
+             single-core host — speedup not meaningful (parallel_honest=false), \
+             digests match: {sweep_match}"
+        );
+    }
+
+    let doc = ObjectBuilder::new()
+        .field("bench", "fleet_baseline")
+        .field("quick", opts.quick)
+        .field("fastforward", ff_enabled)
+        .field("host_cpus", u64::try_from(cpus).unwrap_or(u64::MAX))
+        .field(
+            "threads_resolved",
+            u64::try_from(threads_resolved).unwrap_or(u64::MAX),
+        )
+        .field(
+            "parity",
+            ObjectBuilder::new()
+                .field("nodes", u64::try_from(parity_nodes).unwrap_or(u64::MAX))
+                .field("sim_seconds", parity_secs)
+                .field("digests_match", true)
+                .field("cluster_ff_cycles", par_on.cycles)
+                .field("events_on", par_on.events)
+                .field("events_off", par_off.events)
+                .build(),
+        )
+        .field(
+            "fleet",
+            ObjectBuilder::new()
+                .field("nodes", u64::try_from(nodes).unwrap_or(u64::MAX))
+                .field("functions", u64::try_from(nodes).unwrap_or(u64::MAX))
+                .field("sim_seconds", sim_secs)
+                .field("arrivals", run.arrivals)
+                .field("events_handled", run.events)
+                .field("cluster_ff_cycles", run.cycles)
+                .field("coalesced_events", run.coalesced)
+                .field("coalescing_ratio", coalescing_ratio)
+                .field("coalescing_floor_met", coalescing_floor_met)
+                .field("wall_seconds", run.wall_seconds)
+                .field("platform_seconds_per_sec", platform_secs_per_sec)
+                .field("peak_rss_bytes", rss)
+                .build(),
+        )
+        .field("sweep", {
+            let mut sweep = ObjectBuilder::new()
+                .field("scenarios", u64::try_from(scenarios).unwrap_or(u64::MAX))
+                .field("threads_1_seconds", t1)
+                .field("threads_4_seconds", t4)
+                .field("parallel_honest", parallel_honest);
+            if parallel_honest {
+                sweep = sweep.field("speedup_4_vs_1", t1 / t4);
+            }
+            sweep.field("digests_match", sweep_match).build()
+        })
+        .build();
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&opts.out, text).expect("write BENCH_6.json");
+    println!("wrote {}", opts.out.display());
+}

@@ -1,17 +1,42 @@
 //! Nodes, pods and their lifecycle.
 
 use crate::spec::{FuncId, ResourceSpec};
-use fastg_des::SimTime;
+use fastg_des::{ArenaKey, IdArena, SimTime};
 use fastg_gpu::{ClientId, DevicePtr, GpuDevice, GpuSpec, MpsMode};
-use std::collections::BTreeMap;
 
 /// Identifies a worker node (one GPU per node, as in the paper's testbed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
+impl ArenaKey for NodeId {
+    fn index(self) -> usize {
+        // u32 → usize is lossless on every supported target.
+        // fastg-lint: allow(no-lossy-cast)
+        self.0 as usize
+    }
+    fn from_index(i: usize) -> Self {
+        // Arena keys are dense indices; 2^32 nodes is unreachable,
+        // truncating silently is not. fastg-lint: allow(no-panic-in-lib)
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
 /// Identifies a pod (one function instance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PodId(pub u64);
+
+impl ArenaKey for PodId {
+    fn index(self) -> usize {
+        // Pod ids are dense arena indices; exceeding the address
+        // space is unreachable. fastg-lint: allow(no-panic-in-lib)
+        usize::try_from(self.0).expect("pod index exceeds usize")
+    }
+    fn from_index(i: usize) -> Self {
+        // usize → u64 is lossless on every supported target.
+        // fastg-lint: allow(no-lossy-cast)
+        PodId(i as u64)
+    }
+}
 
 /// Pod lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,10 +133,15 @@ impl std::fmt::Display for ClusterError {
 impl std::error::Error for ClusterError {}
 
 /// The cluster: worker nodes and the pods scheduled onto them.
+///
+/// Both tables are arena-indexed by their dense monotone ids (node ids and
+/// pod ids are handed out sequentially and never reused), so per-request
+/// node/pod lookups are O(1) array accesses and iteration order stays the
+/// ascending-id order the former `BTreeMap`s provided.
 #[derive(Debug, Default)]
 pub struct Cluster {
-    nodes: BTreeMap<NodeId, Node>,
-    pods: BTreeMap<PodId, Pod>,
+    nodes: IdArena<NodeId, Node>,
+    pods: IdArena<PodId, Pod>,
     next_node: u32,
     next_pod: u64,
 }
@@ -147,17 +177,17 @@ impl Cluster {
 
     /// Node ids, in order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+        self.nodes.keys().collect()
     }
 
     /// Immutable node access.
     pub fn node(&self, id: NodeId) -> Result<&Node, ClusterError> {
-        self.nodes.get(&id).ok_or(ClusterError::UnknownNode(id))
+        self.nodes.get(id).ok_or(ClusterError::UnknownNode(id))
     }
 
     /// Mutable node access (the platform drives the GPU through this).
     pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node, ClusterError> {
-        self.nodes.get_mut(&id).ok_or(ClusterError::UnknownNode(id))
+        self.nodes.get_mut(id).ok_or(ClusterError::UnknownNode(id))
     }
 
     /// Creates a pod for `func` on `node`: registers an MPS client with the
@@ -174,7 +204,7 @@ impl Cluster {
         resources.validate();
         let n = self
             .nodes
-            .get_mut(&node)
+            .get_mut(node)
             .ok_or(ClusterError::UnknownNode(node))?;
         if n.state == NodeState::Down {
             return Err(ClusterError::NodeDown(node));
@@ -224,7 +254,7 @@ impl Cluster {
 
     /// Marks a pod as draining (no new requests). Idempotent.
     pub fn begin_terminate(&mut self, pod: PodId) -> Result<(), ClusterError> {
-        let p = self.pods.get_mut(&pod).ok_or(ClusterError::UnknownPod(pod))?;
+        let p = self.pods.get_mut(pod).ok_or(ClusterError::UnknownPod(pod))?;
         p.state = PodState::Terminating;
         Ok(())
     }
@@ -232,10 +262,10 @@ impl Cluster {
     /// Removes a drained pod: frees its device memory and MPS client. The
     /// caller must ensure no kernels are in flight.
     pub fn delete_pod(&mut self, pod: PodId) -> Result<Pod, ClusterError> {
-        let p = self.pods.remove(&pod).ok_or(ClusterError::UnknownPod(pod))?;
+        let p = self.pods.remove(pod).ok_or(ClusterError::UnknownPod(pod))?;
         let n = self
             .nodes
-            .get_mut(&p.node)
+            .get_mut(p.node)
             .ok_or(ClusterError::UnknownNode(p.node))?;
         if let Some(ptr) = p.memory {
             n.gpu
@@ -258,7 +288,7 @@ impl Cluster {
     pub fn crash_node(&mut self, now: SimTime, node: NodeId) -> Result<Vec<Pod>, ClusterError> {
         let n = self
             .nodes
-            .get_mut(&node)
+            .get_mut(node)
             .ok_or(ClusterError::UnknownNode(node))?;
         if n.state == NodeState::Down {
             return Ok(Vec::new());
@@ -273,7 +303,7 @@ impl Cluster {
             .collect();
         Ok(victims
             .into_iter()
-            .filter_map(|id| self.pods.remove(&id))
+            .filter_map(|id| self.pods.remove(id))
             .collect())
     }
 
@@ -283,7 +313,7 @@ impl Cluster {
     pub fn degrade_node(&mut self, node: NodeId, factor: f64) -> Result<(), ClusterError> {
         let n = self
             .nodes
-            .get_mut(&node)
+            .get_mut(node)
             .ok_or(ClusterError::UnknownNode(node))?;
         if n.state == NodeState::Down {
             return Err(ClusterError::NodeDown(node));
@@ -298,7 +328,7 @@ impl Cluster {
     pub fn recover_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
         let n = self
             .nodes
-            .get_mut(&node)
+            .get_mut(node)
             .ok_or(ClusterError::UnknownNode(node))?;
         if n.state == NodeState::Down {
             return Err(ClusterError::NodeDown(node));
@@ -324,12 +354,12 @@ impl Cluster {
 
     /// Immutable pod access.
     pub fn pod(&self, id: PodId) -> Result<&Pod, ClusterError> {
-        self.pods.get(&id).ok_or(ClusterError::UnknownPod(id))
+        self.pods.get(id).ok_or(ClusterError::UnknownPod(id))
     }
 
     /// Mutable pod access.
     pub fn pod_mut(&mut self, id: PodId) -> Result<&mut Pod, ClusterError> {
-        self.pods.get_mut(&id).ok_or(ClusterError::UnknownPod(id))
+        self.pods.get_mut(id).ok_or(ClusterError::UnknownPod(id))
     }
 
     /// All pods of a function, in id order.

@@ -3,8 +3,9 @@
 
 use crate::cluster::PodId;
 use crate::spec::FuncId;
-use fastg_des::SimTime;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use fastg_des::{IdArena, SimTime};
+use fastg_workload::RateMeter;
+use std::collections::VecDeque;
 
 /// Identifies one end-user request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,12 +39,20 @@ pub enum Admission {
     Overloaded(Request),
 }
 
+/// Hot-path per-function state. Pod sets are small sorted vectors (a
+/// function has a handful of replicas; ascending order keeps "pick the
+/// lowest idle pod" deterministic and identical to the `BTreeSet` min it
+/// replaced), the arrival log is run-length encoded so steady load costs
+/// O(1) memory per rate change instead of O(arrivals), and retry counts
+/// live in a tiny sorted vec that is cleared on every terminal state.
 #[derive(Debug, Default)]
 struct FuncState {
     queue: VecDeque<Request>,
-    idle_pods: BTreeSet<PodId>,
-    members: BTreeSet<PodId>,
-    arrivals: Vec<SimTime>,
+    /// Idle replicas, sorted ascending; dispatch always takes the first.
+    idle_pods: Vec<PodId>,
+    /// Registered replicas, sorted ascending.
+    members: Vec<PodId>,
+    arrivals: RateMeter,
     /// Requests shed at the gateway (queue timeout or retry budget).
     dropped: u64,
     /// Bound on `queue` depth; `None` = unbounded (legacy behaviour).
@@ -52,8 +61,37 @@ struct FuncState {
     rejected: u64,
     /// Requests shed because their deadline became provably unmeetable.
     shed_deadline: u64,
-    /// Crash-retry counts for requests that were re-admitted at least once.
-    retries: BTreeMap<RequestId, u32>,
+    /// Crash-retry counts for requests re-admitted at least once, sorted
+    /// by id. Entries are removed on every terminal state (completion,
+    /// drop, deadline shed), so the vec only ever holds in-flight or
+    /// queued retried requests.
+    retries: Vec<(RequestId, u32)>,
+}
+
+/// Inserts `pod` into a sorted vec if absent.
+fn sorted_insert(v: &mut Vec<PodId>, pod: PodId) {
+    if let Err(at) = v.binary_search(&pod) {
+        v.insert(at, pod);
+    }
+}
+
+/// Removes `pod` from a sorted vec; returns whether it was present.
+fn sorted_remove(v: &mut Vec<PodId>, pod: PodId) -> bool {
+    match v.binary_search(&pod) {
+        Ok(at) => {
+            v.remove(at);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+impl FuncState {
+    fn clear_retries(&mut self, id: RequestId) {
+        if let Ok(at) = self.retries.binary_search_by_key(&id, |&(rid, _)| rid) {
+            self.retries.remove(at);
+        }
+    }
 }
 
 /// The gateway: per-function FIFO queues and pull-based dispatch.
@@ -62,9 +100,13 @@ struct FuncState {
 /// the queue is empty it parks in the idle set and the next arrival is
 /// dispatched to it directly. Because every pod serves one request at a
 /// time, this implements least-outstanding routing.
+///
+/// Function state is arena-indexed by the dense `FuncId` (ascending-id
+/// iteration, same order the former `BTreeMap` gave) so the per-request
+/// lookup is one bounds-checked array access.
 #[derive(Debug, Default)]
 pub struct Gateway {
-    funcs: BTreeMap<FuncId, FuncState>,
+    funcs: IdArena<FuncId, FuncState>,
     next_request: u64,
 }
 
@@ -74,27 +116,37 @@ impl Gateway {
         Self::default()
     }
 
+    /// The function's state, created on first touch.
+    fn func_mut(&mut self, func: FuncId) -> &mut FuncState {
+        if !self.funcs.contains(func) {
+            self.funcs.insert(func, FuncState::default());
+        }
+        // The entry was inserted just above; the arena cannot have
+        // evicted it. fastg-lint: allow(no-panic-in-lib)
+        self.funcs.get_mut(func).expect("just ensured")
+    }
+
     /// Ensures the function is known to the gateway.
     pub fn register_func(&mut self, func: FuncId) {
-        self.funcs.entry(func).or_default();
+        self.func_mut(func);
     }
 
     /// Adds a pod to a function's routing set, initially idle.
     pub fn register_pod(&mut self, func: FuncId, pod: PodId) {
-        let st = self.funcs.entry(func).or_default();
-        st.members.insert(pod);
-        st.idle_pods.insert(pod);
+        let st = self.func_mut(func);
+        sorted_insert(&mut st.members, pod);
+        sorted_insert(&mut st.idle_pods, pod);
     }
 
     /// Removes a pod from routing (scale-down / drain). Returns whether the
     /// pod was idle — if it was busy, the platform lets its in-flight
     /// request finish before deletion.
     pub fn deregister_pod(&mut self, func: FuncId, pod: PodId) -> bool {
-        let Some(st) = self.funcs.get_mut(&func) else {
+        let Some(st) = self.funcs.get_mut(func) else {
             return false;
         };
-        st.members.remove(&pod);
-        st.idle_pods.remove(&pod)
+        sorted_remove(&mut st.members, pod);
+        sorted_remove(&mut st.idle_pods, pod)
     }
 
     /// Offers a new request at `now` carrying an absolute `deadline`
@@ -112,10 +164,10 @@ impl Gateway {
             arrived: now,
             deadline,
         };
-        let st = self.funcs.entry(func).or_default();
-        st.arrivals.push(now);
-        if let Some(&pod) = st.idle_pods.iter().next() {
-            st.idle_pods.remove(&pod);
+        let st = self.func_mut(func);
+        st.arrivals.record(now);
+        if !st.idle_pods.is_empty() {
+            let pod = st.idle_pods.remove(0);
             Admission::Dispatch(req, pod)
         } else if st.capacity.is_some_and(|cap| st.queue.len() >= cap) {
             st.rejected += 1;
@@ -139,8 +191,8 @@ impl Gateway {
     pub fn reject_arrival(&mut self, now: SimTime, func: FuncId) -> Request {
         let id = RequestId(self.next_request);
         self.next_request += 1;
-        let st = self.funcs.entry(func).or_default();
-        st.arrivals.push(now);
+        let st = self.func_mut(func);
+        st.arrivals.record(now);
         st.rejected += 1;
         Request {
             id,
@@ -150,9 +202,28 @@ impl Gateway {
         }
     }
 
+    /// Credits `count` arrivals at `start, start+gap, …` to the function's
+    /// arrival log and consumes the matching block of request ids,
+    /// returning the first id of the block. Cluster fast-forward uses this
+    /// to replay coalesced steady cycles: the log and the id counter end
+    /// up exactly where `count` individual [`Self::on_arrival`] calls
+    /// would have left them.
+    pub fn credit_arrival_run(
+        &mut self,
+        func: FuncId,
+        start: SimTime,
+        gap: SimTime,
+        count: u64,
+    ) -> RequestId {
+        let first = RequestId(self.next_request);
+        self.next_request += count;
+        self.func_mut(func).arrivals.record_run(start, gap, count);
+        first
+    }
+
     /// Bounds (or unbounds, with `None`) a function's admission queue.
     pub fn set_queue_capacity(&mut self, func: FuncId, capacity: Option<usize>) {
-        self.funcs.entry(func).or_default().capacity = capacity;
+        self.func_mut(func).capacity = capacity;
     }
 
     /// Sheds the queue prefix whose deadlines are provably unmeetable:
@@ -167,7 +238,7 @@ impl Gateway {
         func: FuncId,
         est_service: SimTime,
     ) -> Vec<Request> {
-        let Some(st) = self.funcs.get_mut(&func) else {
+        let Some(st) = self.funcs.get_mut(func) else {
             return Vec::new();
         };
         let eta = now.checked_add(est_service).unwrap_or(SimTime::MAX);
@@ -178,7 +249,7 @@ impl Gateway {
             }
             st.queue.pop_front();
             st.shed_deadline += 1;
-            st.retries.remove(&head.id);
+            st.clear_retries(head.id);
             shed.push(head);
         }
         shed
@@ -192,10 +263,13 @@ impl Gateway {
     /// pod. The retry is counted against the request's budget (see
     /// [`Gateway::retries_of`]).
     pub fn requeue(&mut self, req: Request) -> Option<PodId> {
-        let st = self.funcs.entry(req.func).or_default();
-        *st.retries.entry(req.id).or_insert(0) += 1;
-        if let Some(&pod) = st.idle_pods.iter().next() {
-            st.idle_pods.remove(&pod);
+        let st = self.func_mut(req.func);
+        match st.retries.binary_search_by_key(&req.id, |&(rid, _)| rid) {
+            Ok(at) => st.retries[at].1 += 1,
+            Err(at) => st.retries.insert(at, (req.id, 1)),
+        }
+        if !st.idle_pods.is_empty() {
+            let pod = st.idle_pods.remove(0);
             Some(pod)
         } else {
             // Ordered insert by (arrived, id): two crash retries in a row
@@ -215,17 +289,40 @@ impl Gateway {
     /// How many times a request has been crash-retried so far.
     pub fn retries_of(&self, req: &Request) -> u32 {
         self.funcs
-            .get(&req.func)
-            .and_then(|st| st.retries.get(&req.id))
-            .copied()
+            .get(req.func)
+            .and_then(|st| {
+                st.retries
+                    .binary_search_by_key(&req.id, |&(rid, _)| rid)
+                    .ok()
+                    .map(|at| st.retries[at].1)
+            })
             .unwrap_or(0)
+    }
+
+    /// Marks a dispatched request completed: its terminal state. Clears
+    /// any crash-retry entry so the retry table only ever holds requests
+    /// that are still queued or in flight (the fleet-scale leak fix).
+    pub fn complete_request(&mut self, req: &Request) {
+        if let Some(st) = self.funcs.get_mut(req.func) {
+            st.clear_retries(req.id);
+        }
+    }
+
+    /// Total crash-retry entries currently held across all functions.
+    /// Bounded by in-flight + queued requests (every terminal state clears
+    /// its entry); report assembly asserts that invariant in debug builds.
+    pub fn retries_total(&self) -> u64 {
+        self.funcs
+            .values()
+            .map(|st| u64::try_from(st.retries.len()).unwrap_or(u64::MAX))
+            .sum()
     }
 
     /// Removes a still-queued request (gateway timeout). Returns the
     /// removed request — a dispatched or completed request is left alone
     /// and `None` is returned.
     pub fn cancel_queued(&mut self, func: FuncId, id: RequestId) -> Option<Request> {
-        let st = self.funcs.get_mut(&func)?;
+        let st = self.funcs.get_mut(func)?;
         let at = st.queue.iter().position(|r| r.id == id)?;
         st.queue.remove(at)
     }
@@ -233,25 +330,25 @@ impl Gateway {
     /// Counts a request as shed (timed out in queue or over its retry
     /// budget) for the function's report.
     pub fn drop_request(&mut self, req: &Request) {
-        let st = self.funcs.entry(req.func).or_default();
+        let st = self.func_mut(req.func);
         st.dropped += 1;
-        st.retries.remove(&req.id);
+        st.clear_retries(req.id);
     }
 
     /// Requests shed at the gateway for a function.
     pub fn dropped(&self, func: FuncId) -> u64 {
-        self.funcs.get(&func).map_or(0, |st| st.dropped)
+        self.funcs.get(func).map_or(0, |st| st.dropped)
     }
 
     /// Requests refused at admission (bounded queue full or breaker
     /// fast-fail) for a function.
     pub fn rejected(&self, func: FuncId) -> u64 {
-        self.funcs.get(&func).map_or(0, |st| st.rejected)
+        self.funcs.get(func).map_or(0, |st| st.rejected)
     }
 
     /// Requests shed because their deadline became unmeetable.
     pub fn shed_deadline(&self, func: FuncId) -> u64 {
-        self.funcs.get(&func).map_or(0, |st| st.shed_deadline)
+        self.funcs.get(func).map_or(0, |st| st.shed_deadline)
     }
 
     /// A pod finished its request and asks for more work. Returns the next
@@ -259,17 +356,17 @@ impl Gateway {
     /// were deregistered while busy are not parked (the caller deletes
     /// them).
     pub fn on_pod_idle(&mut self, func: FuncId, pod: PodId) -> Option<Request> {
-        let st = self.funcs.get_mut(&func)?;
-        if !st.members.contains(&pod) {
+        let st = self.funcs.get_mut(func)?;
+        if st.members.binary_search(&pod).is_err() {
             return None;
         }
         // The pod may already be parked (e.g. a freshly registered pod
         // polling for backlog); it must leave the idle set while serving.
-        st.idle_pods.remove(&pod);
+        sorted_remove(&mut st.idle_pods, pod);
         match st.queue.pop_front() {
             Some(req) => Some(req),
             None => {
-                st.idle_pods.insert(pod);
+                sorted_insert(&mut st.idle_pods, pod);
                 None
             }
         }
@@ -277,28 +374,27 @@ impl Gateway {
 
     /// Queue depth for a function.
     pub fn queue_len(&self, func: FuncId) -> usize {
-        self.funcs.get(&func).map_or(0, |st| st.queue.len())
+        self.funcs.get(func).map_or(0, |st| st.queue.len())
     }
 
     /// Number of idle pods for a function.
     pub fn idle_count(&self, func: FuncId) -> usize {
-        self.funcs.get(&func).map_or(0, |st| st.idle_pods.len())
+        self.funcs.get(func).map_or(0, |st| st.idle_pods.len())
     }
 
     /// Registered pods for a function.
     pub fn member_count(&self, func: FuncId) -> usize {
-        self.funcs.get(&func).map_or(0, |st| st.members.len())
+        self.funcs.get(func).map_or(0, |st| st.members.len())
     }
 
     /// Observed arrival rate (requests/second) over the trailing `window`
     /// ending at `now` — the predicted load `R_j` fed to the auto-scaler.
     pub fn arrival_rate(&self, func: FuncId, now: SimTime, window: SimTime) -> f64 {
-        let Some(st) = self.funcs.get(&func) else {
+        let Some(st) = self.funcs.get(func) else {
             return 0.0;
         };
         let from = now.saturating_sub(window);
-        let lo = st.arrivals.partition_point(|&t| t < from);
-        let n = st.arrivals.len() - lo;
+        let n = st.arrivals.count() - st.arrivals.count_between(SimTime::ZERO, from);
         let span = window.as_secs_f64();
         if span <= 0.0 {
             0.0
@@ -321,28 +417,24 @@ impl Gateway {
     }
 
     fn rate_in(&self, func: FuncId, from: SimTime, to: SimTime) -> f64 {
-        let Some(st) = self.funcs.get(&func) else {
+        let Some(st) = self.funcs.get(func) else {
             return 0.0;
         };
         let span = to.saturating_sub(from).as_secs_f64();
         if span <= 0.0 {
             return 0.0;
         }
-        let lo = st.arrivals.partition_point(|&t| t < from);
-        let hi = st.arrivals.partition_point(|&t| t < to);
-        (hi - lo) as f64 / span
+        st.arrivals.count_between(from, to) as f64 / span
     }
 
     /// Total requests ever accepted for a function.
     pub fn total_arrivals(&self, func: FuncId) -> u64 {
-        self.funcs
-            .get(&func)
-            .map_or(0, |st| u64::try_from(st.arrivals.len()).unwrap_or(u64::MAX))
+        self.funcs.get(func).map_or(0, |st| st.arrivals.count())
     }
 
     /// Functions with registered state.
     pub fn funcs(&self) -> Vec<FuncId> {
-        self.funcs.keys().copied().collect()
+        self.funcs.keys().collect()
     }
 }
 

@@ -1,11 +1,24 @@
 //! CRD-style specifications: functions and their spatio-temporal resource
 //! annotations.
 
-use fastg_des::SimTime;
+use fastg_des::{ArenaKey, SimTime};
 
 /// Identifies a deployed FaaS function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FuncId(pub u32);
+
+impl ArenaKey for FuncId {
+    fn index(self) -> usize {
+        // u32 → usize is lossless on every supported target.
+        // fastg-lint: allow(no-lossy-cast)
+        self.0 as usize
+    }
+    fn from_index(i: usize) -> Self {
+        // Arena keys are dense indices; 2^32 functions is unreachable,
+        // truncating silently is not. fastg-lint: allow(no-panic-in-lib)
+        FuncId(u32::try_from(i).expect("func index exceeds u32"))
+    }
+}
 
 /// The spatio-temporal GPU resource annotations of a FaSTPod — the
 /// `faasshare/sm_partition`, `faasshare/quota_limit`,

@@ -5,7 +5,6 @@ use super::estimator::BurstEstimator;
 use super::policy::SharingPolicy;
 use fastg_cluster::{PodId, ResourceSpec};
 use fastg_des::SimTime;
-use std::collections::BTreeMap;
 
 /// Order in which the Ready-function Priority Queue is drained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +174,64 @@ struct Lease {
     share: f64,
 }
 
+/// The backend pod table: a Vec of rows sorted by `PodId`. Per-node tables
+/// hold at most a handful of pods, so binary search over contiguous rows
+/// beats pointer-chasing a tree on the token hot path, and ascending-id
+/// iteration keeps the dispatch snapshot order identical to the old
+/// `BTreeMap`.
+#[derive(Debug, Default)]
+struct PodTable {
+    rows: Vec<(PodId, PodEntry)>,
+}
+
+impl PodTable {
+    fn idx(&self, pod: PodId) -> Result<usize, usize> {
+        self.rows.binary_search_by_key(&pod, |(id, _)| *id)
+    }
+
+    fn get(&self, pod: PodId) -> Option<&PodEntry> {
+        self.idx(pod).ok().map(|i| &self.rows[i].1)
+    }
+
+    fn get_mut(&mut self, pod: PodId) -> Option<&mut PodEntry> {
+        match self.idx(pod) {
+            Ok(i) => Some(&mut self.rows[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts a fresh row; returns `false` if the pod already had one (the
+    /// existing row is kept).
+    fn insert(&mut self, pod: PodId, entry: PodEntry) -> bool {
+        match self.idx(pod) {
+            Ok(_) => false,
+            Err(i) => {
+                self.rows.insert(i, (pod, entry));
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, pod: PodId) -> Option<PodEntry> {
+        match self.idx(pod) {
+            Ok(i) => Some(self.rows.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (PodId, &PodEntry)> {
+        self.rows.iter().map(|(id, e)| (*id, e))
+    }
+
+    fn values(&self) -> impl Iterator<Item = &PodEntry> {
+        self.rows.iter().map(|(_, e)| e)
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut PodEntry> {
+        self.rows.iter_mut().map(|(_, e)| e)
+    }
+}
+
 impl PodEntry {
     fn q_limit_time(&self, window: SimTime) -> SimTime {
         window.scale(self.spec.quota_limit)
@@ -221,7 +278,7 @@ impl PodEntry {
 #[derive(Debug)]
 pub struct FastBackend {
     cfg: BackendConfig,
-    pods: BTreeMap<PodId, PodEntry>,
+    pods: PodTable,
     /// Sum of adapter shares of current lease holders.
     sm_running: f64,
     tokens_dispatched: u64,
@@ -239,7 +296,7 @@ impl FastBackend {
         cfg.sm_global_limit = cfg.sm_global_limit.max(f64::EPSILON);
         FastBackend {
             cfg,
-            pods: BTreeMap::new(),
+            pods: PodTable::default(),
             sm_running: 0.0,
             tokens_dispatched: 0,
         }
@@ -254,7 +311,7 @@ impl FastBackend {
     /// FaSTPod controller does this when the pod starts).
     pub fn register(&mut self, pod: PodId, spec: ResourceSpec) {
         spec.validate();
-        let prev = self.pods.insert(
+        let fresh = self.pods.insert(
             pod,
             PodEntry {
                 spec,
@@ -267,7 +324,7 @@ impl FastBackend {
                 estimator: BurstEstimator::new(BurstEstimator::default_alpha()),
             },
         );
-        debug_assert!(prev.is_none(), "pod {pod:?} registered twice");
+        debug_assert!(fresh, "pod {pod:?} registered twice");
     }
 
     /// Updates a pod's resource configuration (FaSTPod spec sync). Takes
@@ -275,7 +332,7 @@ impl FastBackend {
     /// until released.
     pub fn update_spec(&mut self, pod: PodId, spec: ResourceSpec) {
         spec.validate();
-        if let Some(e) = self.pods.get_mut(&pod) {
+        if let Some(e) = self.pods.get_mut(pod) {
             // Safe even while the pod holds a token: the lease carries
             // the share it reserved, so accounting stays exact; the new
             // partition/quota apply from the next grant and the current
@@ -290,7 +347,7 @@ impl FastBackend {
     /// first); debug builds assert, release builds fall through to the
     /// forced path, which reconciles the accounting either way.
     pub fn deregister(&mut self, now: SimTime, pod: PodId) -> Vec<Grant> {
-        if let Some(e) = self.pods.get(&pod) {
+        if let Some(e) = self.pods.get(pod) {
             debug_assert!(!e.in_burst, "deregistering {pod:?} mid-burst");
         }
         self.force_deregister(now, pod)
@@ -300,7 +357,7 @@ impl FastBackend {
     /// crashed pod's kernels may still be draining on the GPU, but its
     /// table row, queue slot and SM reservation go away immediately.
     pub fn force_deregister(&mut self, now: SimTime, pod: PodId) -> Vec<Grant> {
-        let Some(e) = self.pods.remove(&pod) else {
+        let Some(e) = self.pods.remove(pod) else {
             return Vec::new();
         };
         if let Some(lease) = e.lease {
@@ -442,7 +499,7 @@ impl FastBackend {
     /// The pod went idle (no queued request): release its lease so other
     /// pods can use the capacity.
     pub fn release_idle(&mut self, now: SimTime, pod: PodId) -> Vec<Grant> {
-        let Some(e) = self.pods.get_mut(&pod) else {
+        let Some(e) = self.pods.get_mut(pod) else {
             return Vec::new();
         };
         e.waiting = false;
@@ -458,7 +515,7 @@ impl FastBackend {
     /// between bursts, the lease is reclaimed (host-gap reclamation);
     /// mid-burst leases are reclaimed at the next sync instead.
     pub fn on_lease_timer(&mut self, now: SimTime, pod: PodId, epoch: u64) -> Vec<Grant> {
-        let Some(e) = self.pods.get_mut(&pod) else {
+        let Some(e) = self.pods.get_mut(pod) else {
             return Vec::new();
         };
         match e.lease {
@@ -523,7 +580,7 @@ impl FastBackend {
                     None => true,
                 }
             })
-            .map(|(&id, e)| (e.q_miss(window), e.waiting_since, id))
+            .map(|(id, e)| (e.q_miss(window), e.waiting_since, id))
             .collect();
         // Priority: descending Q_miss (largest timing gap first, the
         // paper's rule) or plain FIFO for the ablation; PodId breaks
@@ -541,7 +598,7 @@ impl FastBackend {
         for (_miss, _since, pod) in ready {
             // The ready list was snapshotted from the table above, so the
             // row exists — but stay panic-free and skip if it is gone.
-            let Some(entry) = self.pods.get(&pod) else {
+            let Some(entry) = self.pods.get(pod) else {
                 continue;
             };
             let share = self.cfg.policy.adapter_share(entry.spec.sm_partition);
@@ -550,7 +607,7 @@ impl FastBackend {
             if self.sm_running + share > self.cfg.sm_global_limit + 1e-9 {
                 break;
             }
-            let Some(e) = self.pods.get_mut(&pod) else {
+            let Some(e) = self.pods.get_mut(pod) else {
                 continue;
             };
             e.waiting = false;
@@ -587,7 +644,7 @@ impl FastBackend {
 
     /// Snapshot of one pod's quota row.
     pub fn quota_state(&self, pod: PodId) -> Option<PodQuotaState> {
-        self.pods.get(&pod).map(|e| PodQuotaState {
+        self.pods.get(pod).map(|e| PodQuotaState {
             q_used: e.q_used,
             q_request: e.q_request_time(self.cfg.window),
             q_limit: e.q_limit_time(self.cfg.window),
@@ -599,7 +656,7 @@ impl FastBackend {
     /// The pod's smoothed kernel-burst estimate (Gemini mechanism), if
     /// any bursts have been observed.
     pub fn burst_estimate(&self, pod: PodId) -> Option<SimTime> {
-        self.pods.get(&pod).and_then(|e| e.estimator.mean())
+        self.pods.get(pod).and_then(|e| e.estimator.mean())
     }
 
     /// Sum of lease holders' adapter shares (≤ `sm_global_limit`).
@@ -622,14 +679,63 @@ impl FastBackend {
         self.tokens_dispatched
     }
 
+    /// A probe of the counters cluster fast-forward templates around one
+    /// real cycle: `(q_used, next_epoch, tokens_dispatched)`. All three are
+    /// exact integer quantities, so per-cycle deltas derived from two
+    /// probes are exact.
+    pub fn steady_probe(&self, pod: PodId) -> Option<(SimTime, u64, u64)> {
+        self.pods
+            .get(pod)
+            .map(|e| (e.q_used, e.next_epoch, self.tokens_dispatched))
+    }
+
+    /// Credits `k` coalesced steady cycles against `pod` in closed form —
+    /// bit-identical to replaying the template cycle `k` times through
+    /// `request`/`sync_point`/`release_idle`, because `q_used`, epochs and
+    /// token counts are all integer sums. Only valid between cycles, when
+    /// the pod is idle (no lease, no burst, not queued) — which holds at
+    /// the completion instants cluster FF enters and advances on.
+    pub fn credit_steady_cycles(
+        &mut self,
+        pod: PodId,
+        k: u64,
+        cycle_gpu: SimTime,
+        cycle_epochs: u64,
+        cycle_tokens: u64,
+    ) {
+        self.tokens_dispatched += cycle_tokens * k;
+        if let Some(e) = self.pods.get_mut(pod) {
+            debug_assert!(
+                e.lease.is_none() && !e.in_burst && !e.waiting,
+                "steady credit on non-idle pod {pod:?}"
+            );
+            e.q_used += cycle_gpu * k;
+            e.next_epoch += cycle_epochs * k;
+            // The burst estimator is deliberately NOT credited: an EWMA of
+            // k identical observations has no exact closed form, and the
+            // estimate is inert under the cluster-FF eligibility gates
+            // (strict admission and adaptive leases off), so skipping the
+            // observations is benign drift rather than divergence.
+        }
+    }
+
+    /// Resets one pod's window accounting (the cluster fast-forward
+    /// catch-up applying a coalesced window boundary to a node whose only
+    /// active pod is in the steady regime; other rows are untouched, which
+    /// matches [`Self::on_window_reset`] because idle rows hold
+    /// `q_used == 0` already).
+    pub fn reset_window_quota(&mut self, pod: PodId) {
+        if let Some(e) = self.pods.get_mut(pod) {
+            e.q_used = SimTime::ZERO;
+        }
+    }
+
     fn entry(&self, pod: PodId) -> Result<&PodEntry, BackendError> {
-        self.pods.get(&pod).ok_or(BackendError::UnknownPod(pod))
+        self.pods.get(pod).ok_or(BackendError::UnknownPod(pod))
     }
 
     fn entry_mut(&mut self, pod: PodId) -> Result<&mut PodEntry, BackendError> {
-        self.pods
-            .get_mut(&pod)
-            .ok_or(BackendError::UnknownPod(pod))
+        self.pods.get_mut(pod).ok_or(BackendError::UnknownPod(pod))
     }
 }
 

@@ -15,11 +15,16 @@ use fastg_cluster::{
     Cluster, FuncId, FaSTFuncSpec, Gateway, NodeId, NodeState, PodId, PodState, Request,
     RequestId, ResourceSpec,
 };
-use fastg_des::{sanitizer, CancelToken, EventQueue, SimTime, Simulation, TimeSeries, World};
+use fastg_des::{
+    sanitizer, ArenaKey, CancelToken, EventQueue, IdArena, IdSet, SimTime, Simulation, TimeSeries,
+    World,
+};
 use fastg_gpu::{ClientId, KernelDesc, KernelId, MpsMode};
 use fastg_models::{zoo, InferenceRun, ModelProfile, StageOp};
 use fastg_workload::{ArrivalProcess, RateMeter, SloTracker};
-use std::collections::{BTreeMap, BTreeSet};
+// Report assembly is the one cold path still keyed by ordered maps (the
+// report type is part of the public API). fastg-lint: allow(no-btreemap-hot-path)
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Events driving the platform.
@@ -123,6 +128,11 @@ struct FuncRt {
     browned_out: u64,
     /// The function's circuit breaker (overload control plane).
     breaker: CircuitBreaker,
+    /// Cancellation token of the function's pending self-timed arrival
+    /// event. Cluster fast-forward cancels it on steady entry (virtual
+    /// arrivals replace the chain) and re-homes it on exit; `set_load`
+    /// cancels it before installing a new process.
+    arrival_token: Option<CancelToken>,
     /// Full-quota resources to restore when brownout ends. The snapshot
     /// is taken at brownout entry; an external reconfigure during
     /// brownout is superseded by the restore.
@@ -146,6 +156,67 @@ struct ActiveReq {
     ff: Option<CancelToken>,
 }
 
+/// Snapshot taken at a qualifying completion `C0`: one full request cycle
+/// is then measured against the next completion `C1 = C0 + gap` before the
+/// node enters the steady regime.
+struct ArmedCycle {
+    pod: PodId,
+    /// Arrival time of the request completing at `C0`.
+    arrival: SimTime,
+    /// `C0` itself.
+    completion: SimTime,
+    busy: SimTime,
+    occ_raw: f64,
+    kernels: u64,
+    client_busy: SimTime,
+    q_used: SimTime,
+    epochs: u64,
+    tokens: u64,
+    /// Node event count at `C0` (cycle event cost = delta + 1 arrival).
+    events: u64,
+}
+
+/// The verified template cycle of a steady node: every counter delta one
+/// request cycle contributes, all exact integer quantities, so `k` cycles
+/// credit in closed form bit-identically to replaying `k` real cycles.
+struct SteadyCycle {
+    func: FuncId,
+    pod: PodId,
+    client: ClientId,
+    /// Constant inter-arrival gap (strictly greater than `latency`).
+    gap: SimTime,
+    /// Per-request latency == service time (the queue is always empty).
+    latency: SimTime,
+    /// Arrival time of the first cycle not yet credited.
+    next_arrival: SimTime,
+    /// Whether the template cycle met its SLO.
+    met: bool,
+    d_busy: SimTime,
+    d_occ_raw: f64,
+    d_kernels: u64,
+    d_client_busy: SimTime,
+    d_q_used: SimTime,
+    d_epochs: u64,
+    d_tokens: u64,
+    /// Events one real cycle delivers (coalescing-ratio accounting).
+    cycle_events: u64,
+}
+
+/// Cluster fast-forward node-state lattice: `Inactive → Armed → Steady`,
+/// with `Resuming` bridging a materialized catch-up request back into
+/// `Steady` without re-measuring (nothing about the timeline changed).
+enum NodePhase {
+    /// Node schedules real events; no cycle measurement in progress.
+    Inactive,
+    /// First qualifying completion seen; measuring one template cycle.
+    Armed(ArmedCycle),
+    /// No per-request events scheduled: cycles credit analytically.
+    Steady(SteadyCycle),
+    /// One real request (materialized by an exit) is in flight; its
+    /// completion at `expect + latency` re-enters `Steady` directly.
+    Resuming { cycle: SteadyCycle, expect: SimTime },
+}
+
 struct PodRt {
     func: FuncId,
     node: NodeId,
@@ -166,11 +237,11 @@ pub struct Engine {
     cfg: PlatformConfig,
     cluster: Cluster,
     gateway: Gateway,
-    backends: BTreeMap<NodeId, FastBackend>,
-    stores: BTreeMap<NodeId, ModelStorageServer>,
+    backends: IdArena<NodeId, FastBackend>,
+    stores: IdArena<NodeId, ModelStorageServer>,
     selector: NodeSelector,
-    funcs: BTreeMap<FuncId, FuncRt>,
-    pods: BTreeMap<PodId, PodRt>,
+    funcs: IdArena<FuncId, FuncRt>,
+    pods: IdArena<PodId, PodRt>,
     autoscale_db: Option<ProfileDb>,
     next_func: u32,
     next_synth: u64,
@@ -192,7 +263,15 @@ pub struct Engine {
     /// Nodes with a batched [`Event::Dispatch`] pass already scheduled
     /// for the current instant (deduplication set; see
     /// [`Engine::poke_dispatch`]).
-    dispatch_pending: BTreeSet<NodeId>,
+    dispatch_pending: IdSet<NodeId>,
+    /// Cluster fast-forward phase per node (indexed by `NodeId`).
+    node_phase: Vec<NodePhase>,
+    /// Per-node count of delivered data-plane events (cycle measurement).
+    node_events: Vec<u64>,
+    /// Steady cycles credited analytically so far.
+    ff_cluster_cycles: u64,
+    /// Events those cycles would have delivered (never scheduled).
+    ff_cluster_events_coalesced: u64,
     /// Per-event `{time} {event}` lines when `cfg.trace_events` is set
     /// (the race detector's delta-debugging input); empty otherwise.
     trace: Vec<String>,
@@ -215,8 +294,8 @@ impl Engine {
             _ => PlacementPolicy::MaximalRectangles,
         };
         let mut selector = NodeSelector::new(placement);
-        let mut backends = BTreeMap::new();
-        let mut stores = BTreeMap::new();
+        let mut backends = IdArena::new();
+        let mut stores = IdArena::new();
         for &n in &nodes {
             selector.add_gpu(n);
             backends.insert(
@@ -232,6 +311,8 @@ impl Engine {
             );
             stores.insert(n, ModelStorageServer::new(DEFAULT_CTX_OVERHEAD));
         }
+        let node_phase = nodes.iter().map(|_| NodePhase::Inactive).collect();
+        let node_events = vec![0; nodes.len()];
         Engine {
             cfg,
             cluster,
@@ -239,8 +320,8 @@ impl Engine {
             backends,
             stores,
             selector,
-            funcs: BTreeMap::new(),
-            pods: BTreeMap::new(),
+            funcs: IdArena::new(),
+            pods: IdArena::new(),
             autoscale_db: None,
             next_func: 0,
             next_synth: 1 << 60,
@@ -251,7 +332,11 @@ impl Engine {
             ff_coalesced_kernels: 0,
             burst_scratch: Vec::new(),
             started_scratch: Vec::new(),
-            dispatch_pending: BTreeSet::new(),
+            dispatch_pending: IdSet::new(),
+            node_phase,
+            node_events,
+            ff_cluster_cycles: 0,
+            ff_cluster_events_coalesced: 0,
             trace: Vec::new(),
         }
     }
@@ -295,6 +380,7 @@ impl Engine {
                 wasted_service: SimTime::ZERO,
                 browned_out: 0,
                 breaker: CircuitBreaker::new(),
+                arrival_token: None,
                 normal_resources: resources,
             },
         );
@@ -314,7 +400,10 @@ impl Engine {
         resources: ResourceSpec,
         queue: &mut EventQueue<Event>,
     ) -> Result<PodId, PlatformError> {
-        let rt = self.funcs.get(&func).ok_or(PlatformError::UnknownFunction)?;
+        // A new pod changes routing and contention: replay every steady
+        // node back onto the event queue before placement looks around.
+        self.steady_exit_all(now, false, queue);
+        let rt = self.funcs.get(func).ok_or(PlatformError::UnknownFunction)?;
         let sharing = self.cfg.model_sharing;
         let mem = &rt.model.memory;
         let model_name = rt.spec.model.clone();
@@ -325,24 +414,21 @@ impl Engine {
         // Memory feasibility per node: the pod's private reservation plus,
         // if this node's store does not yet hold the model, the shared
         // weights + storage context.
-        let extra_per_node: BTreeMap<NodeId, u64> = self
-            .cluster
-            .node_ids()
-            .iter()
-            .map(|&n| {
-                let extra = if sharing && self.stores[&n].model_bytes(&model_name) == 0 {
-                    footprint::server_reservation(mem, DEFAULT_CTX_OVERHEAD)
-                } else {
-                    0
-                };
-                (n, extra)
-            })
-            .collect();
+        let mut extra_per_node: Vec<u64> = vec![0; self.node_events.len()];
+        for n in self.cluster.node_ids() {
+            if sharing && self.stores[n].model_bytes(&model_name) == 0 {
+                extra_per_node[n.index()] =
+                    footprint::server_reservation(mem, DEFAULT_CTX_OVERHEAD);
+            }
+        }
         let cluster_ref = &self.cluster;
         let mem_fits = |n: NodeId| {
             cluster_ref
                 .node(n)
-                .map(|node| node.gpu.memory().free_bytes() >= pod_bytes + extra_per_node[&n])
+                .map(|node| {
+                    node.gpu.memory().free_bytes()
+                        >= pod_bytes + extra_per_node.get(n.index()).copied().unwrap_or(0)
+                })
                 .unwrap_or(false)
         };
 
@@ -391,7 +477,7 @@ impl Engine {
             let mut lib = StoreLib::new();
             let store = self
                 .stores
-                .get_mut(&node)
+                .get_mut(node)
                 .ok_or(PlatformError::Internal("store missing for node"))?;
             let gpu_mem = self.cluster.node_mut(node)?.gpu.memory_mut();
             lib.attach(store, gpu_mem, &model_name, &[("weights", weights)])?;
@@ -411,7 +497,7 @@ impl Engine {
         };
 
         // Backend table row (the FaSTPod controller's spec sync).
-        if let Some(backend) = self.backends.get_mut(&node) {
+        if let Some(backend) = self.backends.get_mut(node) {
             backend.register(pod, resources);
         } else {
             debug_assert!(false, "backend per node");
@@ -455,7 +541,9 @@ impl Engine {
 
     /// Starts draining a pod; deletes it immediately when idle.
     fn drain_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
-        let Some(rt) = self.pods.get(&pod) else {
+        // Removing a replica changes routing: replay steady nodes first.
+        self.steady_exit_all(now, false, queue);
+        let Some(rt) = self.pods.get(pod) else {
             return;
         };
         if rt.zombie.is_some() {
@@ -464,18 +552,18 @@ impl Engine {
         let func = rt.func;
         self.gateway.deregister_pod(func, pod);
         let _ = self.cluster.begin_terminate(pod);
-        if self.pods[&pod].active.is_none() {
+        if self.pods[pod].active.is_none() {
             self.delete_pod(now, pod, queue);
         }
     }
 
     fn delete_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
-        let Some(mut rt) = self.pods.remove(&pod) else {
+        let Some(mut rt) = self.pods.remove(pod) else {
             return;
         };
         debug_assert!(rt.active.is_none(), "deleting pod with a request in flight");
         let node = rt.node;
-        let grants = match self.backends.get_mut(&node) {
+        let grants = match self.backends.get_mut(node) {
             Some(b) => b.deregister(now, pod),
             None => {
                 debug_assert!(false, "backend per node");
@@ -483,7 +571,7 @@ impl Engine {
             }
         };
         if let Some(lib) = rt.storelib.as_mut() {
-            if let (Some(store), Ok(n)) = (self.stores.get_mut(&node), self.cluster.node_mut(node))
+            if let (Some(store), Ok(n)) = (self.stores.get_mut(node), self.cluster.node_mut(node))
             {
                 lib.detach(store, n.gpu.memory_mut());
             } else {
@@ -511,9 +599,12 @@ impl Engine {
         queue: &mut EventQueue<Event>,
     ) -> Result<(), PlatformError> {
         resources.validate();
+        // Quota/partition changes alter cycle timing: no steady node may
+        // coast through them.
+        self.steady_exit_all(now, false, queue);
         let rt = self
             .funcs
-            .get_mut(&func)
+            .get_mut(func)
             .ok_or(PlatformError::UnknownFunction)?;
         rt.resources = resources;
         let eff_sm = if self.cfg.policy.uses_partitions() {
@@ -526,7 +617,7 @@ impl Engine {
         // back to per-kernel stepping before MPS caps move.
         let mut touched: Vec<NodeId> = Vec::new();
         for pod in self.cluster.running_pods_of(func) {
-            let node = self.pods[&pod].node;
+            let node = self.pods[pod].node;
             if !touched.contains(&node) {
                 touched.push(node);
             }
@@ -535,7 +626,7 @@ impl Engine {
             self.ff_break_node(now, node, queue);
         }
         for pod in self.cluster.running_pods_of(func) {
-            let node = self.pods[&pod].node;
+            let node = self.pods[pod].node;
             let (client, old) = self.cluster.pod(pod).map(|p| (p.client, p.resources))?;
             // MPS partition: applies from the pod's next kernel launch.
             let gpu = &mut self.cluster.node_mut(node)?.gpu;
@@ -544,12 +635,12 @@ impl Engine {
                 ResourceSpec::new(eff_sm, resources.quota_request, resources.quota_limit, resources.gpu_mem);
             // Backend table row (quotas take effect within this window).
             self.backends
-                .get_mut(&node)
+                .get_mut(node)
                 .ok_or(PlatformError::Internal("backend missing for node"))?
                 .update_spec(pod, resources);
             // Rectangle binding: swap to the new shape if it fits; keep
             // the old reservation otherwise (conservative).
-            if self.pods[&pod].bound_rect {
+            if self.pods[pod].bound_rect {
                 self.selector.release(node, pod);
                 if self.selector.bind(node, pod, &resources).is_none() {
                     let restored = self
@@ -569,7 +660,8 @@ impl Engine {
     /// on the GPU drain as a "zombie" before final teardown, exactly as a
     /// dead process's launched work completes on real hardware.
     fn kill_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) -> bool {
-        let Some(rt) = self.pods.get_mut(&pod) else {
+        self.steady_exit_all(now, false, queue);
+        let Some(rt) = self.pods.get_mut(pod) else {
             return false;
         };
         if rt.zombie.is_some() {
@@ -588,7 +680,7 @@ impl Engine {
         // otherwise reconciliation would refuse to create replacements
         // while the corpse's kernels drain.
         let _ = self.cluster.begin_terminate(pod);
-        let grants = match self.backends.get_mut(&node) {
+        let grants = match self.backends.get_mut(node) {
             Some(b) => b.force_deregister(now, pod),
             None => {
                 debug_assert!(false, "backend per node");
@@ -597,7 +689,7 @@ impl Engine {
         };
         // Salvage the request, remember how many kernels must drain.
         let mut release_rect = false;
-        let (lost_req, outstanding) = match self.pods.get_mut(&pod) {
+        let (lost_req, outstanding) = match self.pods.get_mut(pod) {
             Some(rt) => {
                 if rt.bound_rect {
                     rt.bound_rect = false;
@@ -640,7 +732,7 @@ impl Engine {
         // Every call here is a crash-lost request: feed the breaker's
         // failure counter so a dying node fast-fails instead of queueing.
         if self.cfg.overload.is_some() {
-            if let Some(frt) = self.funcs.get_mut(&req.func) {
+            if let Some(frt) = self.funcs.get_mut(req.func) {
                 frt.breaker.on_failure(req.id.0);
             }
         }
@@ -662,7 +754,7 @@ impl Engine {
             return;
         }
         let running = self.cluster.running_pods_of(func).len();
-        if let Some(rt) = self.funcs.get_mut(&func) {
+        if let Some(rt) = self.funcs.get_mut(func) {
             if running < rt.desired_replicas && rt.outage_since.is_none() {
                 rt.outage_since = Some(now);
             }
@@ -671,12 +763,12 @@ impl Engine {
 
     /// Final teardown of a crashed pod once no kernels remain resident.
     fn teardown_dead_pod(&mut self, pod: PodId) {
-        let Some(mut rt) = self.pods.remove(&pod) else {
+        let Some(mut rt) = self.pods.remove(pod) else {
             return;
         };
         let node = rt.node;
         if let Some(lib) = rt.storelib.as_mut() {
-            if let (Some(store), Ok(n)) = (self.stores.get_mut(&node), self.cluster.node_mut(node))
+            if let (Some(store), Ok(n)) = (self.stores.get_mut(node), self.cluster.node_mut(node))
             {
                 lib.detach(store, n.gpu.memory_mut());
             } else {
@@ -699,6 +791,7 @@ impl Engine {
         if !matches!(self.cluster.node_state(node), Ok(s) if s != NodeState::Down) {
             return false;
         }
+        self.steady_exit_all(now, false, queue);
         // Hardware teardown: marks the node Down, hard-resets its GPU and
         // removes all its pods from the cluster.
         let Ok(dead) = self.cluster.crash_node(now, node) else {
@@ -709,7 +802,7 @@ impl Engine {
         let mut affected = Vec::new();
         for pod in &dead {
             self.gateway.deregister_pod(pod.func, pod.id);
-            if let Some(mut rt) = self.pods.remove(&pod.id) {
+            if let Some(mut rt) = self.pods.remove(pod.id) {
                 if !affected.contains(&rt.func) {
                     affected.push(rt.func);
                 }
@@ -760,10 +853,12 @@ impl Engine {
         else {
             return;
         };
+        // Faults change topology and timing: replay steady nodes first.
+        self.steady_exit_all(now, false, queue);
         self.faults_injected += 1;
         match ev.kind {
             FaultKind::PodCrash { func_index } => {
-                let ids: Vec<FuncId> = self.funcs.keys().copied().collect();
+                let ids: Vec<FuncId> = self.funcs.keys().collect();
                 if ids.is_empty() {
                     return;
                 }
@@ -805,7 +900,7 @@ impl Engine {
     /// The recovery controller: one health check pass over every function.
     fn on_health_tick(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
         queue.schedule(now + self.cfg.health_interval, Event::HealthTick);
-        let func_ids: Vec<FuncId> = self.funcs.keys().copied().collect();
+        let func_ids: Vec<FuncId> = self.funcs.keys().collect();
         for func in func_ids {
             self.heal_function(now, func, queue);
         }
@@ -817,7 +912,7 @@ impl Engine {
     /// failures back off exponentially; a fully restored function records
     /// its time-to-recovery.
     fn heal_function(&mut self, now: SimTime, func: FuncId, queue: &mut EventQueue<Event>) {
-        let Some(rt) = self.funcs.get(&func) else {
+        let Some(rt) = self.funcs.get(func) else {
             debug_assert!(false, "function exists");
             return;
         };
@@ -826,7 +921,7 @@ impl Engine {
         let backoff_until = rt.backoff_until;
         let running = self.cluster.running_pods_of(func).len();
         if running >= desired {
-            let Some(rt) = self.funcs.get_mut(&func) else {
+            let Some(rt) = self.funcs.get_mut(func) else {
                 return;
             };
             if let Some(start) = rt.outage_since.take() {
@@ -838,7 +933,7 @@ impl Engine {
             }
             return;
         }
-        let Some(rt) = self.funcs.get_mut(&func) else {
+        let Some(rt) = self.funcs.get_mut(func) else {
             return;
         };
         let start = *rt.outage_since.get_or_insert(now);
@@ -857,7 +952,7 @@ impl Engine {
             }
         }
         let interval = self.cfg.health_interval;
-        let Some(rt) = self.funcs.get_mut(&func) else {
+        let Some(rt) = self.funcs.get_mut(func) else {
             return;
         };
         if failed {
@@ -876,7 +971,7 @@ impl Engine {
         if let Some(req) = self.gateway.cancel_queued(func, id) {
             self.gateway.drop_request(&req);
             if self.cfg.overload.is_some() {
-                if let Some(frt) = self.funcs.get_mut(&func) {
+                if let Some(frt) = self.funcs.get_mut(func) {
                     frt.breaker.on_shed(req.id.0);
                 }
             }
@@ -894,13 +989,13 @@ impl Engine {
             return; // overload control disabled after scheduling: disarm
         };
         queue.schedule(now + o.breaker_window, Event::BreakerTick);
-        let func_ids: Vec<FuncId> = self.funcs.keys().copied().collect();
+        let func_ids: Vec<FuncId> = self.funcs.keys().collect();
         for func in func_ids {
             // Requests can outlive their deadline between dispatch
             // opportunities; sweep them each window so the shed counters
             // see overload even when no pod goes idle.
             self.shed_dead_prefix(now, func);
-            let Some(frt) = self.funcs.get_mut(&func) else {
+            let Some(frt) = self.funcs.get_mut(func) else {
                 continue;
             };
             match frt.breaker.tick(now, &o) {
@@ -921,7 +1016,7 @@ impl Engine {
         o: &OverloadConfig,
         queue: &mut EventQueue<Event>,
     ) {
-        let Some(frt) = self.funcs.get_mut(&func) else {
+        let Some(frt) = self.funcs.get_mut(func) else {
             return;
         };
         let full = frt.resources;
@@ -938,7 +1033,7 @@ impl Engine {
 
     /// Brownout exit: restore the snapshot taken at entry.
     fn exit_brownout(&mut self, now: SimTime, func: FuncId, queue: &mut EventQueue<Event>) {
-        let Some(frt) = self.funcs.get(&func) else {
+        let Some(frt) = self.funcs.get(func) else {
             return;
         };
         let full = frt.normal_resources;
@@ -950,18 +1045,25 @@ impl Engine {
 
     fn on_arrival(&mut self, now: SimTime, func: FuncId, queue: &mut EventQueue<Event>) {
         // Schedule the next arrival first (the process is self-timed).
-        if let Some(load) = self.funcs.get_mut(&func).and_then(|f| f.load.as_mut()) {
-            if let Some(t) = load.next_after(now) {
-                queue.schedule(t, Event::Arrival(func));
+        // Under cluster fast-forward the chain event is cancellable so a
+        // node entering the steady regime can absorb it.
+        let cff = self.cluster_ff_on();
+        if let Some(frt) = self.funcs.get_mut(func) {
+            match frt.load.as_mut().and_then(|l| l.next_after(now)) {
+                Some(t) if cff => {
+                    frt.arrival_token = Some(queue.schedule_cancellable(t, Event::Arrival(func)));
+                }
+                Some(t) => queue.schedule(t, Event::Arrival(func)),
+                None => frt.arrival_token = None,
             }
         }
         let overload = self.cfg.overload;
-        let slo = self.funcs.get(&func).map(|f| f.slo.slo());
+        let slo = self.funcs.get(func).map(|f| f.slo.slo());
         // Breaker admission runs before the request touches the queue: an
         // Open breaker fast-fails (or serves browned-out) without burning
         // queue capacity. The probe id is the id the gateway will assign.
         let mut browned = false;
-        if let (Some(o), Some(frt)) = (overload.as_ref(), self.funcs.get_mut(&func)) {
+        if let (Some(o), Some(frt)) = (overload.as_ref(), self.funcs.get_mut(func)) {
             let next_id = self.gateway.next_request_id();
             if frt.breaker.admit(o, next_id) == AdmitDecision::Refuse {
                 self.gateway.reject_arrival(now, func);
@@ -979,13 +1081,13 @@ impl Engine {
             fastg_cluster::Admission::Overloaded(req) => {
                 // Bounded queue full: counted as rejected by the gateway,
                 // and as a shed signal for the breaker's trip ratio.
-                if let Some(frt) = self.funcs.get_mut(&func) {
+                if let Some(frt) = self.funcs.get_mut(func) {
                     frt.breaker.on_shed(req.id.0);
                 }
             }
             fastg_cluster::Admission::Dispatch(req, pod) => {
                 if browned {
-                    if let Some(frt) = self.funcs.get_mut(&func) {
+                    if let Some(frt) = self.funcs.get_mut(func) {
                         frt.browned_out += 1;
                     }
                 }
@@ -994,7 +1096,7 @@ impl Engine {
             }
             fastg_cluster::Admission::Queue(req) => {
                 if browned {
-                    if let Some(frt) = self.funcs.get_mut(&func) {
+                    if let Some(frt) = self.funcs.get_mut(func) {
                         frt.browned_out += 1;
                     }
                 }
@@ -1011,7 +1113,7 @@ impl Engine {
         queue: &mut EventQueue<Event>,
     ) {
         if let Some(factor) = self.cfg.request_timeout_factor {
-            if let Some(frt) = self.funcs.get(&func) {
+            if let Some(frt) = self.funcs.get(func) {
                 let deadline = now + frt.slo.slo().scale(factor);
                 queue.schedule(deadline, Event::RequestTimeout(func, id));
             }
@@ -1025,12 +1127,12 @@ impl Engine {
         req: Request,
         queue: &mut EventQueue<Event>,
     ) {
-        let Some(rt) = self.pods.get_mut(&pod) else {
+        let Some(rt) = self.pods.get_mut(pod) else {
             debug_assert!(false, "assigning to a live pod");
             return;
         };
         debug_assert!(rt.active.is_none(), "pod {pod:?} already busy");
-        let model = Arc::clone(&self.funcs[&rt.func].model);
+        let model = Arc::clone(&self.funcs[rt.func].model);
         rt.active = Some(ActiveReq {
             req,
             started: now,
@@ -1047,7 +1149,7 @@ impl Engine {
     /// Advances a pod's inference cursor to its next blocking operation
     /// (the cursor itself skips empty phases).
     fn step_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
-        let Some(rt) = self.pods.get_mut(&pod) else {
+        let Some(rt) = self.pods.get_mut(pod) else {
             debug_assert!(false, "stepping a live pod");
             return;
         };
@@ -1070,8 +1172,8 @@ impl Engine {
     }
 
     fn try_start_burst(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
-        let node = self.pods[&pod].node;
-        let Some(backend) = self.backends.get_mut(&node) else {
+        let node = self.pods[pod].node;
+        let Some(backend) = self.backends.get_mut(node) else {
             debug_assert!(false, "backend per node");
             return;
         };
@@ -1089,7 +1191,7 @@ impl Engine {
                 self.launch_burst(now, pod, queue);
             }
             RequestOutcome::Queued | RequestOutcome::BlockedUntilReset => {
-                if let Some(active) = self.pods.get_mut(&pod).and_then(|rt| rt.active.as_mut()) {
+                if let Some(active) = self.pods.get_mut(pod).and_then(|rt| rt.active.as_mut()) {
                     active.waiting_token = true;
                 } else {
                     debug_assert!(false, "burst belongs to a request");
@@ -1102,8 +1204,8 @@ impl Engine {
     }
 
     fn launch_burst(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
-        let node = self.pods[&pod].node;
-        let Some(backend) = self.backends.get_mut(&node) else {
+        let node = self.pods[pod].node;
+        let Some(backend) = self.backends.get_mut(node) else {
             debug_assert!(false, "backend per node");
             return;
         };
@@ -1111,7 +1213,7 @@ impl Engine {
             // Crash teardown raced the grant; the pod is being destroyed.
             return;
         }
-        let Some(rt) = self.pods.get_mut(&pod) else {
+        let Some(rt) = self.pods.get_mut(pod) else {
             debug_assert!(false, "pod exists");
             return;
         };
@@ -1149,7 +1251,7 @@ impl Engine {
             });
             if let Some(end) = gpu.fast_forward_burst(now, client, descs) {
                 let token = queue.schedule_cancellable(end, Event::BurstFastForward(node, pod));
-                if let Some(active) = self.pods.get_mut(&pod).and_then(|rt| rt.active.as_mut()) {
+                if let Some(active) = self.pods.get_mut(pod).and_then(|rt| rt.active.as_mut()) {
                     active.ff = Some(token);
                 } else {
                     debug_assert!(false, "burst belongs to a request");
@@ -1217,7 +1319,7 @@ impl Engine {
             return;
         };
         let pod = PodId(done.tag);
-        let Some(rt) = self.pods.get_mut(&pod) else {
+        let Some(rt) = self.pods.get_mut(pod) else {
             // The pod was deleted while its last kernels drained — cannot
             // happen by construction (deletion requires an idle pod and
             // crashed pods linger as zombies), so surface it loudly in
@@ -1258,7 +1360,7 @@ impl Engine {
     ) {
         let sync = self
             .backends
-            .get_mut(&node)
+            .get_mut(node)
             .map(|b| b.sync_point(now, pod, gpu_time));
         debug_assert!(sync.is_some(), "backend per node");
         if let Some(Ok(out)) = sync {
@@ -1276,7 +1378,7 @@ impl Engine {
     /// fast-forwarded burst. Every invalidation path cancels the token
     /// first, so a delivered macro-event always finds its timeline.
     fn on_burst_ff(&mut self, now: SimTime, node: NodeId, pod: PodId, queue: &mut EventQueue<Event>) {
-        let Some(rt) = self.pods.get_mut(&pod) else {
+        let Some(rt) = self.pods.get_mut(pod) else {
             debug_assert!(false, "macro-event for a dead pod (token not cancelled)");
             return;
         };
@@ -1294,7 +1396,7 @@ impl Engine {
             debug_assert!(false, "macro-event without a timeline (token not cancelled)");
             return;
         };
-        let Some(active) = self.pods.get_mut(&pod).and_then(|rt| rt.active.as_mut()) else {
+        let Some(active) = self.pods.get_mut(pod).and_then(|rt| rt.active.as_mut()) else {
             return;
         };
         debug_assert_eq!(
@@ -1312,7 +1414,7 @@ impl Engine {
     /// macro-event, has the device reconstruct exact per-kernel state, and
     /// resumes normal stepping from the materialized mid-flight kernel.
     fn ff_break_pod(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
-        let Some(rt) = self.pods.get_mut(&pod) else {
+        let Some(rt) = self.pods.get_mut(pod) else {
             return;
         };
         let Some(active) = rt.active.as_mut() else {
@@ -1337,7 +1439,7 @@ impl Engine {
             brk.resumed.finish_at,
             Event::KernelFinish(node, brk.resumed.kernel),
         );
-        if let Some(active) = self.pods.get_mut(&pod).and_then(|rt| rt.active.as_mut()) {
+        if let Some(active) = self.pods.get_mut(pod).and_then(|rt| rt.active.as_mut()) {
             active.outstanding = active
                 .outstanding
                 .saturating_sub(usize::try_from(brk.completed).unwrap_or(usize::MAX));
@@ -1354,10 +1456,352 @@ impl Engine {
             .filter(|(_, rt)| {
                 rt.node == node && rt.active.as_ref().is_some_and(|a| a.ff.is_some())
             })
-            .map(|(&p, _)| p)
+            .map(|(p, _)| p)
             .collect();
         for p in pods {
             self.ff_break_pod(now, p, queue);
+        }
+    }
+
+    // ----- cluster-level fast-forward ---------------------------------
+    //
+    // A node serving exactly one pod of one single-replica function with a
+    // constant arrival gap strictly above the service latency repeats the
+    // same request cycle forever: same kernels, same latency, same counter
+    // deltas, always returning to a fully idle node. The machinery below
+    // detects that regime (`Armed` measures one template cycle between two
+    // completions), then stops scheduling per-request events entirely
+    // (`Steady`): whole cycles are credited in closed form at the next
+    // control-plane touch, and the at-most-one in-flight request a touch
+    // can observe is materialized by replaying real events through a local
+    // queue. All credited quantities are exact integer arithmetic, so
+    // reports stay byte-identical to the event-by-event run.
+
+    /// Whether cluster fast-forward is active (requires the device layer).
+    fn cluster_ff_on(&self) -> bool {
+        self.cfg.fastforward && self.cfg.cluster_fastforward
+    }
+
+    /// The steady-regime eligibility gates. Returns the constant arrival
+    /// gap when every gate passes. The gates deliberately exclude every
+    /// feature whose bookkeeping has no exact closed form (overload
+    /// control, timeouts, autoscaling, tracing) and every topology where
+    /// routing is not a single fixed pod.
+    fn steady_eligible(
+        &self,
+        now: SimTime,
+        node: NodeId,
+        pod: PodId,
+        func: FuncId,
+        arrived: SimTime,
+    ) -> Option<SimTime> {
+        if self.cfg.overload.is_some()
+            || self.cfg.request_timeout_factor.is_some()
+            || self.cfg.trace_events
+            || self.autoscale_db.is_some()
+        {
+            return None;
+        }
+        let frt = self.funcs.get(func)?;
+        if frt.saturate {
+            return None;
+        }
+        let gap = frt.load.as_ref()?.constant_gap()?;
+        // The node must be provably idle between cycles: service must end
+        // strictly before the next arrival.
+        if gap <= now - arrived {
+            return None;
+        }
+        if !matches!(self.cluster.node_state(node), Ok(s) if s != NodeState::Down) {
+            return None;
+        }
+        if self.cluster.pods_on(node).len() != 1 {
+            return None;
+        }
+        let running = self.cluster.running_pods_of(func);
+        if running.as_slice() != [pod] {
+            return None;
+        }
+        if self.gateway.queue_len(func) != 0 {
+            return None;
+        }
+        // Quota can never throttle the cycle: gpu time per window is below
+        // the elapsed time, which is below the window.
+        if self.cluster.pod(pod).ok()?.resources.quota_limit < 1.0 {
+            return None;
+        }
+        Some(gap)
+    }
+
+    /// Observes a completion on an idle node: arms a cycle measurement,
+    /// verifies an armed one (entering `Steady`), or re-enters `Steady`
+    /// after a materialized catch-up request (`Resuming`).
+    fn steady_observe(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        pod: PodId,
+        func: FuncId,
+        arrived: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let i = node.index();
+        let Some(gap) = self.steady_eligible(now, node, pod, func, arrived) else {
+            self.node_phase[i] = NodePhase::Inactive;
+            return;
+        };
+        let client = self.pods[pod].client;
+        let Ok(gpu_probe) = self
+            .cluster
+            .node(node)
+            .map(|n| n.gpu.metrics().steady_probe(now, client))
+        else {
+            return;
+        };
+        let (busy, occ_raw, kernels, client_busy) = gpu_probe;
+        let Some((q_used, epochs, tokens)) =
+            self.backends.get(node).and_then(|b| b.steady_probe(pod))
+        else {
+            self.node_phase[i] = NodePhase::Inactive;
+            return;
+        };
+        match std::mem::replace(&mut self.node_phase[i], NodePhase::Inactive) {
+            NodePhase::Resuming { mut cycle, expect }
+                if cycle.pod == pod
+                    && cycle.gap == gap
+                    && arrived == expect
+                    && now == expect + cycle.latency =>
+            {
+                // The materialized request replayed the template cycle
+                // exactly; resume crediting without re-measuring.
+                if let Some(tok) = self.funcs.get_mut(func).and_then(|f| f.arrival_token.take())
+                {
+                    let cancelled = queue.cancel(tok);
+                    debug_assert!(cancelled, "steady entry cancels a live arrival");
+                    cycle.next_arrival = arrived + gap;
+                    self.node_phase[i] = NodePhase::Steady(cycle);
+                }
+            }
+            NodePhase::Armed(a)
+                if a.pod == pod && now == a.completion + gap && arrived == a.arrival + gap =>
+            {
+                // One full cycle measured between two completions exactly
+                // one gap apart: its deltas are the template.
+                let latency = now - arrived;
+                let met = self.funcs.get(func).is_some_and(|f| latency <= f.slo.slo());
+                let Some(tok) = self.funcs.get_mut(func).and_then(|f| f.arrival_token.take())
+                else {
+                    return; // no pending arrival chain: nothing to coalesce
+                };
+                let cancelled = queue.cancel(tok);
+                debug_assert!(cancelled, "steady entry cancels a live arrival");
+                self.node_phase[i] = NodePhase::Steady(SteadyCycle {
+                    func,
+                    pod,
+                    client,
+                    gap,
+                    latency,
+                    next_arrival: arrived + gap,
+                    met,
+                    d_busy: busy - a.busy,
+                    d_occ_raw: occ_raw - a.occ_raw,
+                    d_kernels: kernels - a.kernels,
+                    d_client_busy: client_busy - a.client_busy,
+                    d_q_used: q_used - a.q_used,
+                    d_epochs: epochs - a.epochs,
+                    d_tokens: tokens - a.tokens,
+                    cycle_events: (self.node_events[i] - a.events) + 1,
+                });
+            }
+            _ => {
+                // Fresh (or failed) measurement: this completion is C0.
+                self.node_phase[i] = NodePhase::Armed(ArmedCycle {
+                    pod,
+                    arrival: arrived,
+                    completion: now,
+                    busy,
+                    occ_raw,
+                    kernels,
+                    client_busy,
+                    q_used,
+                    epochs,
+                    tokens,
+                    events: self.node_events[i],
+                });
+            }
+        }
+    }
+
+    /// Credits every steady cycle completing before `now` (`inclusive`
+    /// bounds at `≤ now`, for Platform-API touches; control events that
+    /// order before same-instant work use the strict `< now` bound) in
+    /// closed form against the gateway, trackers, backend and GPU metrics.
+    fn steady_credit(&mut self, now: SimTime, node: NodeId, inclusive: bool) {
+        let Some(NodePhase::Steady(cycle)) = self.node_phase.get_mut(node.index()) else {
+            return;
+        };
+        let c0 = cycle.next_arrival + cycle.latency;
+        let gap_us = cycle.gap.as_micros().max(1);
+        let k = if inclusive {
+            if c0 <= now {
+                (now.as_micros() - c0.as_micros()) / gap_us + 1
+            } else {
+                0
+            }
+        } else if c0 < now {
+            (now.as_micros() - c0.as_micros() - 1) / gap_us + 1
+        } else {
+            0
+        };
+        if k == 0 {
+            return;
+        }
+        let func = cycle.func;
+        let pod = cycle.pod;
+        let client = cycle.client;
+        let gap = cycle.gap;
+        let latency = cycle.latency;
+        let met = cycle.met;
+        let start = cycle.next_arrival;
+        let (d_busy, d_occ_raw, d_kernels, d_client_busy) = (
+            cycle.d_busy,
+            cycle.d_occ_raw,
+            cycle.d_kernels,
+            cycle.d_client_busy,
+        );
+        let (d_q_used, d_epochs, d_tokens) = (cycle.d_q_used, cycle.d_epochs, cycle.d_tokens);
+        let cycle_events = cycle.cycle_events;
+        cycle.next_arrival = start + gap * k;
+        self.ff_cluster_cycles += k;
+        self.ff_cluster_events_coalesced += cycle_events * k;
+        self.gateway.credit_arrival_run(func, start, gap, k);
+        if let Some(frt) = self.funcs.get_mut(func) {
+            frt.slo.record_n(latency, k);
+            frt.completions.record_run(c0, gap, k);
+            if met {
+                frt.goodput.record_run(c0, gap, k);
+            } else {
+                // Queue wait is always zero in the steady regime, so
+                // service time equals latency.
+                frt.wasted_service += latency * k;
+            }
+        }
+        if let Some(b) = self.backends.get_mut(node) {
+            b.credit_steady_cycles(pod, k, d_q_used, d_epochs, d_tokens);
+        }
+        if let Ok(n) = self.cluster.node_mut(node) {
+            n.gpu
+                .metrics_mut()
+                .credit_steady_cycles(client, k, d_busy, d_occ_raw, d_kernels, d_client_busy);
+        }
+    }
+
+    /// Replays a steady node back onto the real event queue: credits
+    /// cycles up to `now`, then either re-schedules the next (future)
+    /// arrival or materializes the single in-flight request by replaying
+    /// its events through a local queue — events beyond the bound drain to
+    /// the real queue with their cancellation tokens re-homed. `resume`
+    /// stashes the template for direct re-entry (only sound when nothing
+    /// about the node's timing changed, i.e. metric-sample catch-ups).
+    fn steady_exit(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        inclusive: bool,
+        resume: bool,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let i = node.index();
+        match self.node_phase.get(i) {
+            None | Some(NodePhase::Inactive) => return,
+            Some(NodePhase::Armed(_) | NodePhase::Resuming { .. }) => {
+                // Already running real events; drop the measurement.
+                self.node_phase[i] = NodePhase::Inactive;
+                return;
+            }
+            Some(NodePhase::Steady(_)) => {}
+        }
+        self.steady_credit(now, node, inclusive);
+        let NodePhase::Steady(mut cycle) =
+            std::mem::replace(&mut self.node_phase[i], NodePhase::Inactive)
+        else {
+            return;
+        };
+        let expect = cycle.next_arrival;
+        let in_flight = if inclusive { expect <= now } else { expect < now };
+        if !in_flight {
+            // The next arrival is still in the future: hand the chain
+            // back to the real queue.
+            let tok = queue.schedule_cancellable(expect, Event::Arrival(cycle.func));
+            if let Some(frt) = self.funcs.get_mut(cycle.func) {
+                debug_assert!(frt.arrival_token.is_none(), "one pending arrival per chain");
+                frt.arrival_token = Some(tok);
+            }
+            if resume {
+                self.node_phase[i] = NodePhase::Resuming { cycle, expect };
+            }
+            return;
+        }
+        // Exactly one request is in flight at the bound: it arrived at
+        // `expect ≤/< now`, completes at `expect + latency ≥/> now` (the
+        // credit loop stopped), and the following arrival is beyond the
+        // bound because `gap > latency`. Replay it through a local queue
+        // with the same tie-break and class order; whatever lands beyond
+        // the bound drains to the real queue (heap order guarantees the
+        // remainder is all beyond the bound once one event is).
+        let func = cycle.func;
+        let mut local = EventQueue::new();
+        local.set_tiebreak(queue.tiebreak());
+        local.set_classifier(|e: &Event| e.class());
+        self.handle(expect, Event::Arrival(func), &mut local);
+        while let Some((t, ev)) = local.pop() {
+            let within = if inclusive { t <= now } else { t < now };
+            if within {
+                self.handle(t, ev, &mut local);
+                continue;
+            }
+            match ev {
+                Event::Arrival(f) => {
+                    // Re-home the chain's cancellation token: the local
+                    // token stored by `on_arrival` dies with the local
+                    // queue.
+                    let tok = queue.schedule_cancellable(t, ev);
+                    if let Some(frt) = self.funcs.get_mut(f) {
+                        frt.arrival_token = Some(tok);
+                    }
+                }
+                Event::BurstFastForward(_, p) => {
+                    let tok = queue.schedule_cancellable(t, ev);
+                    if let Some(a) = self.pods.get_mut(p).and_then(|rt| rt.active.as_mut()) {
+                        a.ff = Some(tok);
+                    }
+                }
+                Event::HostDone(_)
+                | Event::KernelFinish(_, _)
+                | Event::WindowReset(_)
+                | Event::ScaleTick
+                | Event::MetricsSample
+                | Event::Fault(_)
+                | Event::HealthTick
+                | Event::RequestTimeout(_, _)
+                | Event::BreakerTick
+                | Event::Dispatch(_) => queue.schedule(t, ev),
+            }
+        }
+        if resume {
+            cycle.next_arrival = expect + cycle.gap;
+            self.node_phase[i] = NodePhase::Resuming { cycle, expect };
+        }
+    }
+
+    /// Exits every node from the steady regime (control-plane touches
+    /// whose effects are not provably cycle-neutral).
+    fn steady_exit_all(&mut self, now: SimTime, inclusive: bool, queue: &mut EventQueue<Event>) {
+        if !self.cluster_ff_on() {
+            return;
+        }
+        for i in 0..self.node_phase.len() {
+            self.steady_exit(now, NodeId::from_index(i), inclusive, false, queue);
         }
     }
 
@@ -1376,14 +1820,14 @@ impl Engine {
         if self.cfg.overload.is_none() {
             return;
         }
-        let Some(est) = self.funcs.get(&func).and_then(|f| f.service_est.mean()) else {
+        let Some(est) = self.funcs.get(func).and_then(|f| f.service_est.mean()) else {
             return; // no completions yet: nothing to estimate with
         };
         let shed = self.gateway.shed_unmeetable(now, func, est);
         if shed.is_empty() {
             return;
         }
-        if let Some(frt) = self.funcs.get_mut(&func) {
+        if let Some(frt) = self.funcs.get_mut(func) {
             for r in &shed {
                 frt.breaker.on_shed(r.id.0);
             }
@@ -1391,7 +1835,7 @@ impl Engine {
     }
 
     fn complete_request(&mut self, now: SimTime, pod: PodId, queue: &mut EventQueue<Event>) {
-        let Some(rt) = self.pods.get_mut(&pod) else {
+        let Some(rt) = self.pods.get_mut(pod) else {
             debug_assert!(false, "completing on a live pod");
             return;
         };
@@ -1401,8 +1845,13 @@ impl Engine {
         };
         let func = rt.func;
         let node = rt.node;
-        let latency = now - active.req.arrived;
-        let Some(frt) = self.funcs.get_mut(&func) else {
+        let arrived = active.req.arrived;
+        let latency = now - arrived;
+        // Terminal state: the gateway drops its retry bookkeeping for
+        // this request (a leak otherwise — retry entries must not outlive
+        // the requests they describe).
+        self.gateway.complete_request(&active.req);
+        let Some(frt) = self.funcs.get_mut(func) else {
             debug_assert!(false, "function exists");
             return;
         };
@@ -1425,7 +1874,7 @@ impl Engine {
 
         // Terminating pods are deleted as soon as their request finishes.
         if self.cluster.pod(pod).map(|p| p.state) == Ok(PodState::Terminating) {
-            let grants = match self.backends.get_mut(&node) {
+            let grants = match self.backends.get_mut(node) {
                 Some(b) => b.release_idle(now, pod),
                 None => {
                     debug_assert!(false, "backend per node");
@@ -1445,7 +1894,7 @@ impl Engine {
                 self.assign_request(now, pod, req, queue);
             }
             None => {
-                let grants = match self.backends.get_mut(&node) {
+                let grants = match self.backends.get_mut(node) {
                     Some(b) => b.release_idle(now, pod),
                     None => {
                         debug_assert!(false, "backend per node");
@@ -1454,6 +1903,11 @@ impl Engine {
                 };
                 self.process_grants(now, &grants, queue);
                 self.poke_dispatch(now, node, queue);
+                // The node just went fully idle — the observation point of
+                // the steady-regime detector.
+                if self.cluster_ff_on() {
+                    self.steady_observe(now, node, pod, func, arrived, queue);
+                }
             }
         }
     }
@@ -1476,8 +1930,8 @@ impl Engine {
     /// Delivers a node's batched dispatch pass: one canonical-order walk
     /// of the ready queue, granting tokens until the SM budget stops it.
     fn on_dispatch(&mut self, now: SimTime, node: NodeId, queue: &mut EventQueue<Event>) {
-        self.dispatch_pending.remove(&node);
-        let grants = match self.backends.get_mut(&node) {
+        self.dispatch_pending.remove(node);
+        let grants = match self.backends.get_mut(node) {
             Some(b) => b.dispatch_pass(now),
             None => Vec::new(),
         };
@@ -1493,7 +1947,7 @@ impl Engine {
         for g in grants {
             let has_burst = self
                 .pods
-                .get(&g.pod)
+                .get(g.pod)
                 .and_then(|rt| rt.active.as_ref())
                 .is_some_and(|a| a.waiting_token && a.pending_stage.is_some());
             if has_burst {
@@ -1507,7 +1961,19 @@ impl Engine {
         if matches!(self.cluster.node_state(node), Ok(NodeState::Down)) {
             return;
         }
-        let grants = match self.backends.get_mut(&node) {
+        if self.cluster_ff_on() {
+            // An armed measurement cannot span the reset: the window
+            // zeroes quota usage, so the q_used delta would underflow.
+            // A steady node just credits up to here (strictly before: a
+            // control event orders ahead of same-instant work) — the
+            // reset itself is cycle-neutral under the `quota_limit = 1`
+            // eligibility gate.
+            if matches!(self.node_phase.get(node.index()), Some(NodePhase::Armed(_))) {
+                self.node_phase[node.index()] = NodePhase::Inactive;
+            }
+            self.steady_credit(now, node, false);
+        }
+        let grants = match self.backends.get_mut(node) {
             Some(b) => b.on_window_reset(now),
             None => {
                 debug_assert!(false, "backend per node");
@@ -1520,6 +1986,31 @@ impl Engine {
     }
 
     fn on_metrics_sample(&mut self, now: SimTime, queue: &mut EventQueue<Event>) {
+        if self.cluster_ff_on() {
+            // Samples observe instantaneous GPU state, so a steady node
+            // with a request in flight at the sample instant must
+            // materialize it (replaying its kernel events) before the
+            // probes below run. `resume = true`: sampling is
+            // cycle-neutral, so the template re-enters Steady when the
+            // materialized request completes on schedule.
+            for i in 0..self.node_phase.len() {
+                let node = NodeId::from_index(i);
+                // An armed measurement cannot span the sample: it resets
+                // the utilization and occupancy windows, so busy/occ
+                // deltas across it would be meaningless (or underflow).
+                if matches!(self.node_phase.get(i), Some(NodePhase::Armed(_))) {
+                    self.node_phase[i] = NodePhase::Inactive;
+                }
+                self.steady_credit(now, node, false);
+                let in_flight = matches!(
+                    self.node_phase.get(i),
+                    Some(NodePhase::Steady(c)) if c.next_arrival < now
+                );
+                if in_flight {
+                    self.steady_exit(now, node, false, true, queue);
+                }
+            }
+        }
         for node in self.cluster.node_ids() {
             if let Ok(n) = self.cluster.node_mut(node) {
                 // Land deferred fast-forward boundaries (strictly before
@@ -1532,10 +2023,10 @@ impl Engine {
         let counts: Vec<(FuncId, usize)> = self
             .funcs
             .keys()
-            .map(|&f| (f, self.cluster.running_pods_of(f).len()))
+            .map(|f| (f, self.cluster.running_pods_of(f).len()))
             .collect();
         for (f, n) in counts {
-            if let Some(rt) = self.funcs.get_mut(&f) {
+            if let Some(rt) = self.funcs.get_mut(f) {
                 rt.replica_series.push(now, n as f64);
             }
         }
@@ -1549,7 +2040,7 @@ impl Engine {
         let Some(db) = self.autoscale_db.take() else {
             return;
         };
-        let func_ids: Vec<FuncId> = self.funcs.keys().copied().collect();
+        let func_ids: Vec<FuncId> = self.funcs.keys().collect();
         for func in func_ids {
             self.scale_function(now, func, &db, queue);
         }
@@ -1563,7 +2054,7 @@ impl Engine {
         db: &ProfileDb,
         queue: &mut EventQueue<Event>,
     ) {
-        let model_name = &self.funcs[&func].spec.model;
+        let model_name = &self.funcs[func].spec.model;
         let profile = db.config_points(model_name);
         if profile.is_empty() {
             return;
@@ -1596,14 +2087,14 @@ impl Engine {
         for action in actions {
             match action {
                 ScaleAction::Up(p) => {
-                    let mem = self.funcs[&func].model.memory.total();
+                    let mem = self.funcs[func].model.memory.total();
                     // Guaranteed share = the profiled quota; the limit is
                     // elastic (the paper's Kubernetes-style allocation:
                     // idle GPU time may be used beyond the request).
                     let spec = ResourceSpec::new(p.sm, p.quota, 1.0, mem);
                     // Placement failure is counted inside create_pod.
                     if self.create_pod(now, func, spec, queue).is_ok() {
-                        if let Some(rt) = self.funcs.get_mut(&func) {
+                        if let Some(rt) = self.funcs.get_mut(func) {
                             rt.desired_replicas += 1;
                         }
                     }
@@ -1613,7 +2104,7 @@ impl Engine {
                         self.drain_pod(now, pod, queue);
                         remaining -= 1;
                         let min = self.cfg.min_replicas;
-                        if let Some(rt) = self.funcs.get_mut(&func) {
+                        if let Some(rt) = self.funcs.get_mut(func) {
                             rt.desired_replicas = rt.desired_replicas.saturating_sub(1).max(min);
                         }
                     }
@@ -1625,6 +2116,23 @@ impl Engine {
     // ----- reporting ----------------------------------------------------
 
     fn build_report(&mut self, now: SimTime) -> PlatformReport {
+        // Retry-table leak check: every terminal state clears its entry,
+        // so the table can never exceed the live request population.
+        if cfg!(debug_assertions) {
+            let queued: u64 = self
+                .funcs
+                .keys()
+                .map(|f| u64::try_from(self.gateway.queue_len(f)).unwrap_or(u64::MAX))
+                .sum();
+            let in_flight =
+                u64::try_from(self.pods.values().filter(|p| p.active.is_some()).count())
+                    .unwrap_or(u64::MAX);
+            debug_assert!(
+                self.gateway.retries_total() <= queued + in_flight,
+                "gateway retry table leaked: {} entries, {queued} queued, {in_flight} in flight",
+                self.gateway.retries_total(),
+            );
+        }
         // Flush a final metric sample so short runs have data. The report
         // boundary is inclusive: a per-kernel run would have delivered
         // finish events at exactly `now` before the caller could report,
@@ -1636,8 +2144,9 @@ impl Engine {
             }
         }
         let warmup = self.cfg.warmup;
+        // fastg-lint: allow(no-btreemap-hot-path)
         let mut functions = BTreeMap::new();
-        for (&id, rt) in &self.funcs {
+        for (id, rt) in self.funcs.iter() {
             let hist = rt.slo.histogram();
             let steady_rps = rt.completions.rate_between(warmup, now);
             functions.insert(
@@ -1720,9 +2229,10 @@ impl Engine {
     /// for exactly once across terminal and pending states. Saturating
     /// functions are excluded (their synthetic requests bypass the
     /// gateway's arrival accounting).
+    // fastg-lint: allow(no-btreemap-hot-path)
     fn sanitize_conservation(&self, functions: &BTreeMap<FuncId, FunctionReport>) {
         for (&id, fr) in functions {
-            if self.funcs.get(&id).map_or(true, |rt| rt.saturate) {
+            if self.funcs.get(id).map_or(true, |rt| rt.saturate) {
                 continue;
             }
             let queued = u64::try_from(self.gateway.queue_len(id)).unwrap_or(u64::MAX);
@@ -1768,13 +2278,38 @@ impl World for Engine {
         if self.cfg.trace_events {
             self.trace.push(format!("{now:?} {event:?}"));
         }
+        if self.cfg.cluster_fastforward {
+            // Per-node event tally: the cycle-event count an armed
+            // measurement captures, and thus the coalescing credit per
+            // steady cycle. Arrivals are counted by the observer (+1)
+            // since they carry no node.
+            let touched = match event {
+                Event::HostDone(pod) => self.pods.get(pod).map(|rt| rt.node),
+                Event::KernelFinish(node, _)
+                | Event::BurstFastForward(node, _)
+                | Event::WindowReset(node)
+                | Event::Dispatch(node) => Some(node),
+                Event::Arrival(_)
+                | Event::ScaleTick
+                | Event::MetricsSample
+                | Event::Fault(_)
+                | Event::HealthTick
+                | Event::RequestTimeout(_, _)
+                | Event::BreakerTick => None,
+            };
+            if let Some(n) = touched {
+                if let Some(c) = self.node_events.get_mut(n.index()) {
+                    *c += 1;
+                }
+            }
+        }
         match event {
             Event::Arrival(func) => self.on_arrival(now, func, queue),
             // A host phase may complete for a pod that crashed meanwhile.
             Event::HostDone(pod) => {
                 let alive = self
                     .pods
-                    .get(&pod)
+                    .get(pod)
                     .is_some_and(|rt| rt.zombie.is_none() && rt.active.is_some());
                 if alive {
                     self.step_pod(now, pod, queue);
@@ -1847,6 +2382,9 @@ impl Platform {
             if let Some(o) = &world.cfg.overload {
                 queue.schedule(o.breaker_window, Event::BreakerTick);
             }
+            if let Some(cap) = world.cfg.event_capacity {
+                queue.reserve(cap);
+            }
         }
         Platform { sim }
     }
@@ -1855,16 +2393,33 @@ impl Platform {
     /// node selection and registers them with the gateway and backends.
     pub fn deploy(&mut self, fc: FunctionConfig) -> Result<FuncId, PlatformError> {
         let (world, queue, now) = self.sim.parts_mut();
+        // Platform-API touches observe state inclusive of `now`: replay
+        // any steady node up to and including this instant first.
+        world.steady_exit_all(now, true, queue);
         world.deploy(now, &fc, queue)
     }
 
     /// Attaches an open-loop arrival process to a function.
     pub fn set_load(&mut self, func: FuncId, mut load: ArrivalProcess) {
         let (world, queue, now) = self.sim.parts_mut();
-        if let Some(t) = load.next_after(now) {
-            queue.schedule(t, Event::Arrival(func));
+        world.steady_exit_all(now, true, queue);
+        let cff = world.cluster_ff_on();
+        // Retire the previous chain's pending event (if cancellable) so
+        // two arrival chains never run concurrently.
+        if let Some(tok) = world.funcs.get_mut(func).and_then(|f| f.arrival_token.take()) {
+            queue.cancel(tok);
         }
-        if let Some(rt) = world.funcs.get_mut(&func) {
+        if let Some(t) = load.next_after(now) {
+            if cff {
+                let tok = queue.schedule_cancellable(t, Event::Arrival(func));
+                if let Some(rt) = world.funcs.get_mut(func) {
+                    rt.arrival_token = Some(tok);
+                }
+            } else {
+                queue.schedule(t, Event::Arrival(func));
+            }
+        }
+        if let Some(rt) = world.funcs.get_mut(func) {
             rt.load = Some(load);
         } else {
             debug_assert!(false, "unknown function");
@@ -1874,6 +2429,7 @@ impl Platform {
     /// Enables the auto-scaler with the given profile database.
     pub fn enable_autoscaler(&mut self, db: ProfileDb) {
         let (world, queue, now) = self.sim.parts_mut();
+        world.steady_exit_all(now, true, queue);
         let interval = world.cfg.autoscale_interval;
         world.autoscale_db = Some(db);
         queue.schedule(now + interval, Event::ScaleTick);
@@ -1884,12 +2440,13 @@ impl Platform {
     pub fn scale_to(&mut self, func: FuncId, replicas: usize) {
         use fastg_cluster::cluster::ReconcileAction;
         let (world, queue, now) = self.sim.parts_mut();
-        if let Some(rt) = world.funcs.get_mut(&func) {
+        world.steady_exit_all(now, true, queue);
+        if let Some(rt) = world.funcs.get_mut(func) {
             rt.desired_replicas = replicas;
         }
         match world.cluster.reconcile(func, replicas) {
             ReconcileAction::Create(n) => {
-                let resources = world.funcs[&func].resources;
+                let resources = world.funcs[func].resources;
                 for _ in 0..n {
                     let _ = world.create_pod(now, func, resources, queue);
                 }
@@ -1917,6 +2474,12 @@ impl Platform {
         }
         let deadline = self.sim.now() + duration;
         self.sim.run_until(deadline);
+        {
+            // The report boundary is inclusive of `now`: steady nodes
+            // replay up to and including it before counters are read.
+            let (world, queue, now) = self.sim.parts_mut();
+            world.steady_exit_all(now, true, queue);
+        }
         let now = self.sim.now();
         self.sim.world_mut().build_report(now)
     }
@@ -1951,12 +2514,13 @@ impl Platform {
             .sim
             .world()
             .funcs
-            .get(&func)
+            .get(func)
             .ok_or(PlatformError::UnknownFunction)?
             .resources
             .gpu_mem;
         let spec = ResourceSpec::new(sm_partition, quota_request, quota_limit, mem);
         let (world, queue, now) = self.sim.parts_mut();
+        world.steady_exit_all(now, true, queue);
         world.reconfigure(now, func, spec, queue)
     }
 
@@ -1965,6 +2529,7 @@ impl Platform {
     /// teardown. Returns whether a live pod was killed.
     pub fn kill_pod(&mut self, pod: fastg_cluster::PodId) -> bool {
         let (world, queue, now) = self.sim.parts_mut();
+        world.steady_exit_all(now, true, queue);
         world.kill_pod(now, pod, queue)
     }
 
@@ -1982,6 +2547,7 @@ impl Platform {
     /// path the plan's `NodeCrash` takes). Returns whether the node was up.
     pub fn crash_node(&mut self, node_index: usize) -> bool {
         let (world, queue, now) = self.sim.parts_mut();
+        world.steady_exit_all(now, true, queue);
         let ids = world.cluster.node_ids();
         if node_index >= ids.len() {
             return false;
@@ -2022,6 +2588,18 @@ impl Platform {
         self.sim.world().ff_coalesced_kernels
     }
 
+    /// Steady request cycles the cluster fast-forward credited in closed
+    /// form (each one a full request served without any scheduled event).
+    pub fn ff_cluster_cycles(&self) -> u64 {
+        self.sim.world().ff_cluster_cycles
+    }
+
+    /// Events the cluster fast-forward never had to schedule: the
+    /// per-cycle event count times the cycles credited analytically.
+    pub fn ff_cluster_coalesced_events(&self) -> u64 {
+        self.sim.world().ff_cluster_events_coalesced
+    }
+
     /// Requests of a function waiting in the gateway queue.
     pub fn queued_requests(&self, func: FuncId) -> usize {
         self.sim.world().gateway.queue_len(func)
@@ -2046,7 +2624,7 @@ impl Platform {
     /// The function's circuit-breaker state (`None` if the function is
     /// unknown).
     pub fn breaker_state(&self, func: FuncId) -> Option<BreakerState> {
-        self.sim.world().funcs.get(&func).map(|f| f.breaker.state())
+        self.sim.world().funcs.get(func).map(|f| f.breaker.state())
     }
 
     /// Times the function's breaker has tripped to Open.
@@ -2054,7 +2632,7 @@ impl Platform {
         self.sim
             .world()
             .funcs
-            .get(&func)
+            .get(func)
             .map(|f| f.breaker.trips())
             .unwrap_or(0)
     }
@@ -2065,7 +2643,7 @@ impl Platform {
         self.sim
             .world()
             .funcs
-            .get(&func)
+            .get(func)
             .is_some_and(|f| f.breaker.browned())
     }
 
@@ -2093,6 +2671,10 @@ impl Platform {
 
     /// Builds a report at the current instant without advancing time.
     pub fn report(&mut self) -> PlatformReport {
+        {
+            let (world, queue, now) = self.sim.parts_mut();
+            world.steady_exit_all(now, true, queue);
+        }
         let now = self.sim.now();
         self.sim.world_mut().build_report(now)
     }

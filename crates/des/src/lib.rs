@@ -40,12 +40,14 @@
 
 #![warn(missing_docs)]
 
+mod arena;
 mod queue;
 pub mod sanitizer;
 mod series;
 mod sim;
 mod time;
 
+pub use arena::{ArenaKey, Handle, IdArena, IdSet};
 pub use queue::{CancelToken, EventQueue, TieBreak};
 pub use series::{BusyTracker, TimeSeries, TimeWeighted};
 pub use sim::{Simulation, StepOutcome, World};

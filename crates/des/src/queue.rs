@@ -146,6 +146,27 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with heap capacity for `capacity` pending
+    /// entries pre-reserved. Fleet-scale scenarios size this from their
+    /// expected concurrent event count so the heap never regrows mid-run.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            ..Self::new()
+        }
+    }
+
+    /// Reserves heap capacity for at least `additional` more pending
+    /// entries.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// The heap's current allocated capacity (pending + free slots).
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Sets the same-instant, same-class ordering policy. Must be called
     /// before any events are scheduled (already-pushed entries keep the
     /// keys they were assigned at insertion).

@@ -45,6 +45,12 @@
 //! * **`exhaustive-event-match`** — `_ =>` arms are denied in matches
 //!   over the platform `Event` enum, so a new event variant cannot
 //!   silently bypass the class ranking or sanitizer hooks.
+//! * **`no-btreemap-hot-path`** — `BTreeMap`/`BTreeSet` are denied in
+//!   the per-event hot-path files (the platform engine, gateway and
+//!   backend): entity state there lives in dense arena storage behind
+//!   generation-stamped handles (`IdArena`), where a lookup is an index,
+//!   not a pointer-chasing tree walk. Cold report-assembly code keeps
+//!   ordered maps behind a per-line allow escape.
 //!
 //! Diagnostics carry `file:line:col` positions. Existing violations are
 //! allowlisted per-rule-per-file in a checked-in baseline
@@ -74,9 +80,11 @@ pub const NO_DEFAULT_HASHER: &str = "no-default-hasher";
 pub const NO_TIEBREAK_DRAIN: &str = "no-tiebreak-sensitive-drain";
 /// Deny wildcard arms in matches over the platform `Event` enum.
 pub const EXHAUSTIVE_EVENT_MATCH: &str = "exhaustive-event-match";
+/// Deny tree-walk collections in the per-event hot-path files.
+pub const NO_BTREEMAP_HOT_PATH: &str = "no-btreemap-hot-path";
 
 /// Every rule, in diagnostic order.
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 10] = [
     NO_PANIC,
     NO_WALLCLOCK,
     NO_UNORDERED_ITER,
@@ -86,6 +94,7 @@ pub const RULES: [&str; 9] = [
     NO_DEFAULT_HASHER,
     NO_TIEBREAK_DRAIN,
     EXHAUSTIVE_EVENT_MATCH,
+    NO_BTREEMAP_HOT_PATH,
 ];
 
 /// One finding at a source position.
@@ -122,6 +131,8 @@ pub struct FileScope {
     pub deterministic: bool,
     /// `no-threads-outside-par` applies (library code outside `crates/par`).
     pub threads_banned: bool,
+    /// `no-btreemap-hot-path` applies (a per-event hot-path file).
+    pub hot_path: bool,
 }
 
 impl FileScope {
@@ -131,6 +142,7 @@ impl FileScope {
             lib_code: true,
             deterministic: true,
             threads_banned: true,
+            hot_path: true,
         }
     }
 }
@@ -142,6 +154,14 @@ const DETERMINISTIC_CRATES: [&str; 4] = [
     "crates/gpu/",
     "crates/core/",
     "crates/cluster/",
+];
+
+/// Files on the per-event hot path, where entity lookups must be arena
+/// indexing rather than ordered-tree walks (`no-btreemap-hot-path`).
+const HOT_PATH_FILES: [&str; 3] = [
+    "crates/core/src/platform/engine.rs",
+    "crates/core/src/manager/backend.rs",
+    "crates/cluster/src/gateway.rs",
 ];
 
 /// Classifies a workspace-relative path. `None` means the file is out of
@@ -166,6 +186,7 @@ pub fn classify(rel_path: &str) -> Option<FileScope> {
         lib_code,
         deterministic,
         threads_banned: lib_code && !rel_path.starts_with("crates/par/"),
+        hot_path: HOT_PATH_FILES.contains(&rel_path),
     })
 }
 
@@ -612,6 +633,19 @@ pub fn scan_file(rel_path: &str, source: &str, scope: FileScope) -> Vec<Diagnost
     if scope.deterministic {
         scan_tiebreak_drain(code, &mut push);
         scan_event_match(code, &mut push);
+    }
+    if scope.hot_path {
+        scan_words(code, &["BTreeMap", "BTreeSet"], |off, word| {
+            push(
+                NO_BTREEMAP_HOT_PATH,
+                off,
+                format!(
+                    "`{word}` on a per-event hot path is a pointer-chasing tree walk; keep \
+                     entity state in `IdArena`/dense slabs (cold report assembly may keep it \
+                     behind a per-line allow escape)"
+                ),
+            );
+        });
     }
     scan_float_eq(code, &mut push);
     scan_lossy_cast(code, &mut push);
@@ -1188,7 +1222,7 @@ mod tests {
         // Outside the deterministic crates the unordered-iter and
         // wallclock rules stand down, but the default-hasher rule picks
         // the HashMap up instead.
-        let lib_only = FileScope { lib_code: true, deterministic: false, threads_banned: false };
+        let lib_only = FileScope { lib_code: true, deterministic: false, threads_banned: false, hot_path: false };
         let d = scan_file("lib.rs", src, lib_only);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, NO_DEFAULT_HASHER);
@@ -1231,7 +1265,7 @@ mod tests {
 
     #[test]
     fn bin_scope_skips_no_panic_only() {
-        let scope = FileScope { lib_code: false, deterministic: true, threads_banned: false };
+        let scope = FileScope { lib_code: false, deterministic: true, threads_banned: false, hot_path: false };
         let src = "fn main() { x.unwrap(); let m: HashMap<u8, u8> = HashMap::new(); }";
         let d = scan_file("main.rs", src, scope);
         assert!(d.iter().all(|d| d.rule == NO_UNORDERED_ITER));
@@ -1246,17 +1280,17 @@ mod tests {
         assert!(d.iter().all(|d| d.rule == NO_THREADS));
         // Arc and plural identifiers stay clean; scope off disables it.
         assert!(scan("use std::sync::Arc;\nfn f(threads: usize) {}\n").is_empty());
-        let par_scope = FileScope { lib_code: true, deterministic: false, threads_banned: false };
+        let par_scope = FileScope { lib_code: true, deterministic: false, threads_banned: false, hot_path: false };
         assert!(scan_file("crates/par/src/lib.rs", src, par_scope).is_empty());
     }
 
     #[test]
     fn classify_paths() {
-        assert_eq!(classify("crates/gpu/src/device.rs"), Some(FileScope { lib_code: true, deterministic: true, threads_banned: true }));
-        assert_eq!(classify("crates/workload/src/rate.rs"), Some(FileScope { lib_code: true, deterministic: false, threads_banned: true }));
-        assert_eq!(classify("crates/par/src/lib.rs"), Some(FileScope { lib_code: true, deterministic: false, threads_banned: false }));
-        assert_eq!(classify("crates/core/src/bin/fastgshare.rs"), Some(FileScope { lib_code: false, deterministic: true, threads_banned: false }));
-        assert_eq!(classify("crates/lint/src/main.rs"), Some(FileScope { lib_code: false, deterministic: false, threads_banned: false }));
+        assert_eq!(classify("crates/gpu/src/device.rs"), Some(FileScope { lib_code: true, deterministic: true, threads_banned: true, hot_path: false }));
+        assert_eq!(classify("crates/workload/src/rate.rs"), Some(FileScope { lib_code: true, deterministic: false, threads_banned: true, hot_path: false }));
+        assert_eq!(classify("crates/par/src/lib.rs"), Some(FileScope { lib_code: true, deterministic: false, threads_banned: false, hot_path: false }));
+        assert_eq!(classify("crates/core/src/bin/fastgshare.rs"), Some(FileScope { lib_code: false, deterministic: true, threads_banned: false, hot_path: false }));
+        assert_eq!(classify("crates/lint/src/main.rs"), Some(FileScope { lib_code: false, deterministic: false, threads_banned: false, hot_path: false }));
         assert_eq!(classify("crates/gpu/tests/scenarios.rs"), None);
         assert_eq!(classify("tests/end_to_end.rs"), None);
         assert_eq!(classify("examples/quickstart.rs"), None);

@@ -1,0 +1,24 @@
+// Clean fixture for `no-btreemap-hot-path`: hot state in dense arena
+// storage, with one cold report-assembly map behind the allow escape.
+
+pub struct Engine {
+    pods: Vec<Option<u64>>,
+    generations: Vec<u32>,
+}
+
+impl Engine {
+    pub fn lookup(&self, index: usize) -> Option<u64> {
+        self.pods.get(index).copied().flatten()
+    }
+
+    pub fn report(&self) -> usize {
+        // fastg-lint: allow(no-btreemap-hot-path)
+        let cold: std::collections::BTreeMap<usize, u64> = self
+            .pods
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|v| (i, v)))
+            .collect();
+        cold.len() + self.generations.len()
+    }
+}

@@ -1,0 +1,14 @@
+// Violating fixture for `no-btreemap-hot-path`: ordered-tree collections
+// on a per-event hot path. Expected findings: 3.
+
+use std::collections::BTreeMap;
+
+pub struct Engine {
+    pods: BTreeMap<u64, u64>,
+}
+
+impl Engine {
+    pub fn busy_set(&self) -> std::collections::BTreeSet<u64> {
+        self.pods.keys().copied().collect()
+    }
+}

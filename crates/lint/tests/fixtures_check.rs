@@ -4,8 +4,9 @@
 //! `--update-baseline` / `--check` CLI.
 
 use fastg_lint::{
-    scan_file, FileScope, EXHAUSTIVE_EVENT_MATCH, NO_DEFAULT_HASHER, NO_FLOAT_EQ, NO_LOSSY_CAST,
-    NO_PANIC, NO_THREADS, NO_TIEBREAK_DRAIN, NO_UNORDERED_ITER, NO_WALLCLOCK,
+    scan_file, FileScope, EXHAUSTIVE_EVENT_MATCH, NO_BTREEMAP_HOT_PATH, NO_DEFAULT_HASHER,
+    NO_FLOAT_EQ, NO_LOSSY_CAST, NO_PANIC, NO_THREADS, NO_TIEBREAK_DRAIN, NO_UNORDERED_ITER,
+    NO_WALLCLOCK,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -70,6 +71,7 @@ fn no_default_hasher_fixture_pair() {
         lib_code: true,
         deterministic: false,
         threads_banned: false,
+        hot_path: false,
     };
     let hits = |name: &str, rule: &str| {
         scan_file(name, &fixture(name), lib_only)
@@ -99,6 +101,31 @@ fn no_tiebreak_sensitive_drain_fixture_pair() {
 }
 
 #[test]
+fn no_btreemap_hot_path_fixture_pair() {
+    assert_eq!(
+        rule_hits("no_btreemap_hot_path_violation.rs", NO_BTREEMAP_HOT_PATH),
+        3
+    );
+    assert_eq!(
+        rule_hits("no_btreemap_hot_path_clean.rs", NO_BTREEMAP_HOT_PATH),
+        0
+    );
+    // Off the hot path the rule stands down entirely.
+    let cold = FileScope {
+        lib_code: true,
+        deterministic: true,
+        threads_banned: true,
+        hot_path: false,
+    };
+    let diags = scan_file(
+        "no_btreemap_hot_path_violation.rs",
+        &fixture("no_btreemap_hot_path_violation.rs"),
+        cold,
+    );
+    assert!(diags.iter().all(|d| d.rule != NO_BTREEMAP_HOT_PATH));
+}
+
+#[test]
 fn exhaustive_event_match_fixture_pair() {
     assert_eq!(
         rule_hits("exhaustive_event_match_violation.rs", EXHAUSTIVE_EVENT_MATCH),
@@ -123,6 +150,7 @@ fn violating_fixtures_have_no_cross_rule_noise() {
         ("no_threads_outside_par_violation.rs", NO_THREADS),
         ("no_tiebreak_sensitive_drain_violation.rs", NO_TIEBREAK_DRAIN),
         ("exhaustive_event_match_violation.rs", EXHAUSTIVE_EVENT_MATCH),
+        ("no_btreemap_hot_path_violation.rs", NO_BTREEMAP_HOT_PATH),
     ] {
         let diags = scan_file(file, &fixture(file), FileScope::full());
         assert!(

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod arrival;
+pub mod fleet;
 pub mod hist;
 pub mod patterns;
 pub mod rate;

@@ -3,11 +3,45 @@
 use fastg_des::SimTime;
 use std::collections::VecDeque;
 
+/// One run-length-encoded stretch of evenly spaced timestamps:
+/// `start, start+gap, …, start+(count−1)×gap` (all in microseconds).
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    start_us: u64,
+    gap_us: u64,
+    count: u64,
+}
+
+impl Run {
+    fn last_us(&self) -> u64 {
+        self.start_us + self.gap_us * (self.count - 1)
+    }
+
+    /// How many of this run's timestamps are strictly before `x` µs.
+    fn count_before(&self, x_us: u64) -> u64 {
+        if x_us <= self.start_us {
+            0
+        } else if self.gap_us == 0 {
+            self.count
+        } else {
+            self.count.min((x_us - self.start_us).div_ceil(self.gap_us))
+        }
+    }
+}
+
 /// Measures achieved throughput by recording event timestamps and counting
 /// them over windows.
+///
+/// Timestamps are stored run-length encoded: evenly spaced stretches (the
+/// shape every steady-state load produces, and exactly what cluster
+/// fast-forward credits in bulk via [`Self::record_run`]) collapse to one
+/// `(start, gap, count)` triple, so memory stays O(rate changes) instead of
+/// O(events) — the difference between 10⁸ arrivals fitting in RAM or not.
+/// Counting queries stay exact.
 #[derive(Debug, Clone, Default)]
 pub struct RateMeter {
-    times: Vec<SimTime>,
+    runs: Vec<Run>,
+    total: u64,
 }
 
 impl RateMeter {
@@ -19,20 +53,79 @@ impl RateMeter {
     /// Records one event (e.g. a completed request) at `now`. Events must
     /// be recorded in non-decreasing time order.
     pub fn record(&mut self, now: SimTime) {
-        debug_assert!(self.times.last().map_or(true, |&t| t <= now));
-        self.times.push(now);
+        let now_us = now.as_micros();
+        debug_assert!(self.runs.last().map_or(true, |r| r.last_us() <= now_us));
+        self.total += 1;
+        if let Some(r) = self.runs.last_mut() {
+            if r.count == 1 && now_us >= r.start_us {
+                r.gap_us = now_us - r.start_us;
+                r.count = 2;
+                return;
+            }
+            if now_us.checked_sub(r.last_us()) == Some(r.gap_us) {
+                r.count += 1;
+                return;
+            }
+        }
+        self.runs.push(Run {
+            start_us: now_us,
+            gap_us: 0,
+            count: 1,
+        });
+    }
+
+    /// Records `count` events at `start, start+gap, …` in one step —
+    /// equivalent to `count` ordered [`Self::record`] calls. Cluster
+    /// fast-forward uses this to credit coalesced steady cycles in O(1).
+    pub fn record_run(&mut self, start: SimTime, gap: SimTime, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let (start_us, gap_us) = (start.as_micros(), gap.as_micros());
+        debug_assert!(self.runs.last().map_or(true, |r| r.last_us() <= start_us));
+        self.total += count;
+        if let Some(r) = self.runs.last_mut() {
+            if r.gap_us == gap_us && start_us.checked_sub(r.last_us()) == Some(gap_us) {
+                r.count += count;
+                return;
+            }
+            if r.count == 1 && start_us.checked_sub(r.start_us) == Some(gap_us) {
+                r.gap_us = gap_us;
+                r.count += count;
+                return;
+            }
+        }
+        self.runs.push(Run {
+            start_us,
+            gap_us,
+            count,
+        });
     }
 
     /// Total events recorded.
     pub fn count(&self) -> u64 {
-        u64::try_from(self.times.len()).unwrap_or(u64::MAX)
+        self.total
+    }
+
+    /// Events strictly before `to`.
+    fn count_before(&self, to: SimTime) -> u64 {
+        let x_us = to.as_micros();
+        let mut n = 0;
+        for r in &self.runs {
+            if x_us <= r.start_us {
+                break;
+            }
+            n += r.count_before(x_us);
+        }
+        n
     }
 
     /// Events in `[from, to)`.
     pub fn count_between(&self, from: SimTime, to: SimTime) -> u64 {
-        let lo = self.times.partition_point(|&t| t < from);
-        let hi = self.times.partition_point(|&t| t < to);
-        u64::try_from(hi - lo).unwrap_or(u64::MAX)
+        if to <= from {
+            return 0;
+        }
+        self.count_before(to) - self.count_before(from)
     }
 
     /// Mean rate (events/second) over `[from, to)`; zero for an empty
@@ -130,6 +223,48 @@ mod tests {
         let r = m.rate_between(SimTime::ZERO, SimTime::from_secs(1));
         assert!((r - 100.0).abs() < 1e-9);
         assert_eq!(m.rate_between(SimTime::from_secs(5), SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn rle_meter_matches_pointwise_recording() {
+        // Irregular spacings, repeats, and regime changes all count
+        // exactly as a flat Vec<SimTime> would.
+        let ts: Vec<u64> = vec![0, 0, 3, 6, 9, 9, 9, 14, 15, 16, 17, 40, 41];
+        let mut m = RateMeter::new();
+        for &t in &ts {
+            m.record(SimTime::from_micros(t));
+        }
+        assert_eq!(m.count(), ts.len() as u64);
+        for from in 0..45u64 {
+            for to in from..46u64 {
+                let expect = ts.iter().filter(|&&t| t >= from && t < to).count() as u64;
+                let got = m.count_between(SimTime::from_micros(from), SimTime::from_micros(to));
+                assert_eq!(got, expect, "window [{from},{to})");
+            }
+        }
+    }
+
+    #[test]
+    fn record_run_equals_individual_records() {
+        let mut a = RateMeter::new();
+        let mut b = RateMeter::new();
+        a.record(SimTime::from_micros(5));
+        b.record(SimTime::from_micros(5));
+        a.record_run(SimTime::from_micros(15), SimTime::from_micros(10), 1000);
+        for i in 0..1000u64 {
+            b.record(SimTime::from_micros(15 + i * 10));
+        }
+        assert_eq!(a.count(), b.count());
+        for (from, to) in [(0u64, 20_000u64), (14, 16), (15, 25), (9_990, 10_050)] {
+            assert_eq!(
+                a.count_between(SimTime::from_micros(from), SimTime::from_micros(to)),
+                b.count_between(SimTime::from_micros(from), SimTime::from_micros(to)),
+                "window [{from},{to})"
+            );
+        }
+        // A matching-spacing run extends the tail instead of growing memory.
+        assert_eq!(a.runs.len(), b.runs.len());
+        assert!(b.runs.len() <= 2, "steady load must stay RLE-compact");
     }
 
     #[test]

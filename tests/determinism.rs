@@ -5,7 +5,7 @@ use fastg_des::SimTime;
 use fastg_workload::ArrivalProcess;
 use fastgshare::manager::SharingPolicy;
 use fastgshare::platform::{
-    run_sweep, FaultKind, FaultPlan, FunctionConfig, Platform, PlatformConfig, Scenario,
+    run_sweep, FaultKind, FaultPlan, FunctionConfig, Platform, PlatformConfig, Scenario, TieBreak,
 };
 
 /// A run fingerprint: event count plus the externally visible outcomes.
@@ -180,6 +180,57 @@ fn fastforward_parity_under_chaos() {
     assert!(bursts > 0, "fast-forward never engaged under chaos");
     assert_eq!(t_on, t_off, "chaos run must be byte-identical");
     assert_eq!(d_on, d_off);
+}
+
+/// A fleet-shaped scenario under cluster fast-forward: single-replica
+/// constant-rate functions (the steady regime's habitat) plus the chaos
+/// plan, run under one same-instant tie-break order.
+fn fleet_digest(tiebreak: TieBreak) -> (String, u64) {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(3)
+            .policy(SharingPolicy::FaST)
+            .oversubscribe(true)
+            .recovery(true)
+            .seed(23)
+            .fastforward(true)
+            .cluster_fastforward(true)
+            .tiebreak(tiebreak)
+            .fault_plan(chaos_plan()),
+    );
+    for (i, (model, rate)) in [("resnet50", 18.0), ("bert_base", 30.0), ("rnnt", 9.0)]
+        .iter()
+        .enumerate()
+    {
+        let f = p
+            .deploy(
+                FunctionConfig::new(&format!("fleet-{i}"), model)
+                    .replicas(1)
+                    .resources(100.0, 1.0, 1.0),
+            )
+            .unwrap();
+        p.set_load(f, ArrivalProcess::constant(*rate));
+    }
+    let report = p.run_for(SimTime::from_secs(6));
+    (report.canonical_text(), p.ff_cluster_cycles())
+}
+
+/// Cluster fast-forward is tie-break independent: the four canonical
+/// same-instant delivery orders (the `race_detector` matrix) reproduce
+/// the fleet report byte-for-byte, chaos included — and the steady
+/// regime genuinely engaged, or the claim would be vacuous.
+#[test]
+fn fleet_digest_identical_across_tiebreak_orders() {
+    let (fifo, cycles) = fleet_digest(TieBreak::Fifo);
+    assert!(cycles > 0, "cluster fast-forward never engaged on the fleet");
+    for tb in [
+        TieBreak::Lifo,
+        TieBreak::SeededShuffle(1),
+        TieBreak::SeededShuffle(2),
+    ] {
+        let (other, _) = fleet_digest(tb);
+        assert_eq!(fifo, other, "tie-break {tb:?} changed the fleet report");
+    }
 }
 
 /// A small sweep grid mixing clean and chaotic scenarios.
