@@ -1,0 +1,96 @@
+//! `policy_compare` — the scheduler-policy evaluation grid.
+//!
+//! Runs all four placement policies (the paper's Algorithm 1 reference,
+//! the guillotine fast path, ParvaGPU-style demand matching, and
+//! Tally-style priority co-location) over the standard two-scenario grid
+//! (Figure 11 mixed packing + latency-critical/best-effort co-location),
+//! printing one throughput / SLO-violation / fragmentation line per
+//! cell.
+//!
+//! The rendered grid is canonical — floats appear rounded *and* as bit
+//! patterns, nothing wall-clock enters it — and the run asserts, in-run,
+//! that it is byte-identical:
+//!
+//! * across worker-thread counts (cells fanned out via
+//!   `fastg_par::par_map` at 1 vs 4 threads), and
+//! * across all four event tie-break orders (FIFO, LIFO, and two seeded
+//!   shuffles).
+//!
+//! ```text
+//! policy_compare             # full grid
+//! policy_compare --quick     # smaller grid (CI smoke)
+//! ```
+
+use fastgshare::manager::SchedPolicy;
+use fastgshare::platform::{run_policy_cell, standard_grid, CompareReport, TieBreak};
+
+struct Options {
+    quick: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options { quick: false };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            other => {
+                eprintln!("usage: policy_compare [--quick] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+const POLICIES: [SchedPolicy; 4] = [
+    SchedPolicy::Paper,
+    SchedPolicy::FastPath,
+    SchedPolicy::DemandMatch,
+    SchedPolicy::PriorityColocate,
+];
+
+/// Runs the whole grid with cells fanned across `threads` workers.
+fn grid_at(quick: bool, tiebreak: TieBreak, threads: usize) -> CompareReport {
+    let (scale, seconds) = if quick { (1, 2) } else { (2, 8) };
+    let scenarios = standard_grid(scale, seconds, 29);
+    let mut jobs = Vec::new();
+    for sc in &scenarios {
+        for &policy in &POLICIES {
+            jobs.push((policy, *sc));
+        }
+    }
+    let cells = fastg_par::par_map(jobs, threads, move |_, (policy, sc)| {
+        run_policy_cell(policy, &sc, tiebreak).expect("policy cell runs")
+    })
+    .expect("policy grid fan-out");
+    CompareReport { cells }
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // The reference rendering: FIFO tie-breaks, single-threaded.
+    let reference = grid_at(opts.quick, TieBreak::Fifo, 1).render();
+    print!("{reference}");
+
+    // Thread-count invariance: the same grid fanned over 4 workers.
+    let threaded = grid_at(opts.quick, TieBreak::Fifo, 4).render();
+    assert_eq!(reference, threaded, "thread count leaked into the grid");
+
+    // Tie-break invariance: adversarial same-instant event orders.
+    for tb in [
+        TieBreak::Lifo,
+        TieBreak::SeededShuffle(1),
+        TieBreak::SeededShuffle(2),
+    ] {
+        let perturbed = grid_at(opts.quick, tb, 2).render();
+        assert_eq!(reference, perturbed, "tie-break {tb:?} leaked into the grid");
+    }
+
+    let cells = 1 + POLICIES.len() * 2; // header + policies × scenarios
+    assert_eq!(reference.lines().count(), cells, "grid is missing cells");
+    println!(
+        "policy grid stable: {} cells byte-identical across 1/2/4 threads and 4 tie-break orders",
+        cells - 1,
+    );
+}

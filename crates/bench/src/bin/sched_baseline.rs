@@ -1,0 +1,233 @@
+//! `sched_baseline` — scheduler fast-path evidence, in one JSON file.
+//!
+//! Measures two things and writes them to `BENCH_7.json`:
+//!
+//! 1. **The churn headline** — a 1200-node place/release storm driven
+//!    straight through the `Scheduler` trait, once on the paper's
+//!    maximal-rects reference (`NodeSelector` over `GpuRects`) and once
+//!    on the guillotine arena (`ArenaScheduler` over `GuillotineAlloc` +
+//!    free-capacity class index), same deterministic op sequence.
+//!    Reports placement-ops/sec for both and asserts the arena's ≥ 10×
+//!    speedup in-run (≥ 2× for the `--quick` CI smoke, which runs a
+//!    fleet too small for the index to pay off fully).
+//! 2. **Fleet digest parity** — a non-oversubscribed full-plane-demand
+//!    fleet run end-to-end under `SchedPolicy::Paper` and
+//!    `SchedPolicy::FastPath`. On full-plane demands both policies
+//!    provably pick the lowest empty node, so the canonical platform
+//!    reports must match byte for byte. Asserted in-run.
+//!
+//! ```text
+//! sched_baseline             # full measurement, writes BENCH_7.json
+//! sched_baseline --quick     # small storm / short fleet (CI smoke)
+//! sched_baseline --out FILE  # write somewhere else
+//! ```
+
+use fastg_bench::{churn_storm, parity_fleet, ChurnOutcome};
+use fastg_des::SimTime;
+use fastg_json::ObjectBuilder;
+use fastgshare::manager::SchedPolicy;
+use fastgshare::scheduler::{ArenaScheduler, NodeSelector, PlacementPolicy, Scheduler};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Options {
+    quick: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_7.json");
+    let mut opts = Options {
+        quick: false,
+        out: default_out,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                let path = args.next().expect("--out needs a file argument");
+                opts.out = PathBuf::from(path);
+            }
+            other => {
+                eprintln!("usage: sched_baseline [--quick] [--out FILE] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Peak resident set size (`VmHWM`) in bytes, 0 where `/proc` is absent.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+struct StormRun {
+    outcome: ChurnOutcome,
+    wall_seconds: f64,
+    ops_per_sec: f64,
+}
+
+/// Runs the storm three times on fresh scheduler state and keeps the
+/// fastest wall time: the storm itself is deterministic (identical
+/// outcomes each repeat), so min-of-N only filters scheduler-external
+/// noise out of the ops/sec ratio.
+fn storm(mk: &dyn Fn() -> Box<dyn Scheduler>, nodes: usize, ops: u64, seed: u64) -> StormRun {
+    let mut best: Option<StormRun> = None;
+    for _ in 0..3 {
+        let mut sched = mk();
+        let t0 = Instant::now();
+        let outcome = churn_storm(sched.as_mut(), nodes, ops, seed);
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        if let Some(prev) = &best {
+            assert_eq!(
+                prev.outcome.placements, outcome.placements,
+                "storm repeats diverged"
+            );
+        }
+        if best.as_ref().map_or(true, |b| wall_seconds < b.wall_seconds) {
+            best = Some(StormRun {
+                outcome,
+                wall_seconds,
+                // Bench arithmetic on op counts far below 2^53.
+                // fastg-lint: allow(no-lossy-cast)
+                ops_per_sec: ops as f64 / wall_seconds.max(1e-9),
+            });
+        }
+    }
+    best.expect("three storm repeats ran")
+}
+
+fn storm_json(name: &str, run: &StormRun) -> fastg_json::Value {
+    ObjectBuilder::new()
+        .field("allocator", name)
+        .field("wall_seconds", run.wall_seconds)
+        .field("ops_per_sec", run.ops_per_sec)
+        .field("placements", run.outcome.placements)
+        .field("releases", run.outcome.releases)
+        .field("rejects", run.outcome.rejects)
+        .field("probes", run.outcome.probes)
+        .field("exact_fallbacks", run.outcome.fallbacks)
+        .field("used_area", run.outcome.used_area)
+        .field(
+            "gpus_in_use",
+            u64::try_from(run.outcome.gpus_in_use).unwrap_or(u64::MAX),
+        )
+        .build()
+}
+
+fn main() {
+    let opts = parse_args();
+
+    // 1. The churn headline: identical op sequences through both
+    //    allocators, wall-clock compared.
+    let (nodes, ops) = if opts.quick {
+        (96usize, 12_000u64)
+    } else {
+        (1200usize, 60_000u64)
+    };
+    let paper = storm(
+        &|| Box::new(NodeSelector::new(PlacementPolicy::MaximalRectangles)),
+        nodes,
+        ops,
+        41,
+    );
+    let fast = storm(
+        &|| Box::new(ArenaScheduler::new(SchedPolicy::FastPath, false)),
+        nodes,
+        ops,
+        41,
+    );
+    let speedup = fast.ops_per_sec / paper.ops_per_sec.max(1e-9);
+    let floor = if opts.quick { 2.0 } else { 10.0 };
+    println!(
+        "churn storm: {nodes} nodes, {ops} ops — paper {:.0} ops/s ({} probes), \
+         guillotine {:.0} ops/s ({} probes, {} fallbacks), speedup {speedup:.1}x",
+        paper.ops_per_sec,
+        paper.outcome.probes,
+        fast.ops_per_sec,
+        fast.outcome.probes,
+        fast.outcome.fallbacks,
+    );
+    assert!(
+        speedup >= floor,
+        "guillotine speedup {speedup:.2}x below the {floor}x floor"
+    );
+    // Both allocators must keep their books consistent.
+    for (name, run) in [("paper", &paper), ("guillotine", &fast)] {
+        assert!(
+            run.outcome.releases <= run.outcome.placements,
+            "{name} released more than it placed"
+        );
+        assert!(run.outcome.used_area > 0, "{name} storm ended empty");
+    }
+
+    // 2. Fleet digest parity: Paper vs FastPath, byte-for-byte.
+    let (fleet_nodes, fleet_secs) = if opts.quick { (12usize, 15u64) } else { (48, 45) };
+    let runs = [SchedPolicy::Paper, SchedPolicy::FastPath].map(|sched| {
+        let mut p = parity_fleet(fleet_nodes, 53, sched);
+        let report = p.run_for(SimTime::from_secs(fleet_secs));
+        (report.canonical_text(), report.digest(), p.scheduler_stats())
+    });
+    let [(paper_text, paper_digest, paper_stats), (fast_text, fast_digest, fast_stats)] = runs;
+    assert_eq!(
+        paper_text, fast_text,
+        "paper vs fast-path fleet reports diverged"
+    );
+    assert_eq!(
+        paper_stats.placements, fast_stats.placements,
+        "allocators bound different pod counts"
+    );
+    assert!(paper_stats.placements > 0, "parity fleet placed nothing");
+    println!(
+        "fleet parity: ok ({fleet_nodes} nodes, {fleet_secs}s, {} placements, \
+         digest {paper_digest:016x})",
+        paper_stats.placements,
+    );
+
+    let rss = peak_rss_bytes();
+    let doc = ObjectBuilder::new()
+        .field("bench", "sched_baseline")
+        .field("quick", opts.quick)
+        .field(
+            "churn",
+            ObjectBuilder::new()
+                .field("nodes", u64::try_from(nodes).unwrap_or(u64::MAX))
+                .field("ops", ops)
+                .field("paper", storm_json("paper-algo1", &paper))
+                .field("guillotine", storm_json("fast-path", &fast))
+                .field("speedup", speedup)
+                .field("speedup_floor", floor)
+                .field("speedup_floor_met", speedup >= floor)
+                .build(),
+        )
+        .field(
+            "parity",
+            ObjectBuilder::new()
+                .field("nodes", u64::try_from(fleet_nodes).unwrap_or(u64::MAX))
+                .field("sim_seconds", fleet_secs)
+                .field("digests_match", true)
+                .field("digest_paper", paper_digest)
+                .field("digest_fast", fast_digest)
+                .field("placements", paper_stats.placements)
+                .build(),
+        )
+        .field("peak_rss_bytes", rss)
+        .build();
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    std::fs::write(&opts.out, text).expect("write BENCH_7.json");
+    println!("wrote {}", opts.out.display());
+}

@@ -2,7 +2,7 @@
 
 use super::faults::FaultPlan;
 use super::overload::OverloadConfig;
-use crate::manager::SharingPolicy;
+use crate::manager::{SchedPolicy, SharingPolicy};
 use fastg_des::{SimTime, TieBreak};
 use fastg_gpu::GpuSpec;
 
@@ -109,6 +109,13 @@ pub struct PlatformConfig {
     /// by default (it allocates per event); the race detector turns it on
     /// to delta-debug a digest divergence to the first differing event.
     pub trace_events: bool,
+    /// Which placement engine drives node selection and rectangle
+    /// packing. [`SchedPolicy::Paper`] (the default) is the digest-pinned
+    /// maximal-rects reference; the other policies run on the guillotine
+    /// scheduler arena. Overridable via the `FASTG_SCHED` environment
+    /// variable (`paper`, `fast`, `demand`, `priority`; read once, at
+    /// config construction) or [`Self::scheduler`].
+    pub sched: SchedPolicy,
 }
 
 impl Default for PlatformConfig {
@@ -145,6 +152,8 @@ impl Default for PlatformConfig {
                 .and_then(TieBreak::parse)
                 .unwrap_or(TieBreak::Fifo),
             trace_events: false,
+            sched: std::env::var("FASTG_SCHED")
+                .map_or(SchedPolicy::Paper, |v| SchedPolicy::from_env_value(&v)),
         }
     }
 }
@@ -325,6 +334,13 @@ impl PlatformConfig {
     }
 
     /// Sets the same-instant tie-break policy (overrides the
+    /// Selects the placement engine (overrides the `FASTG_SCHED`
+    /// environment default).
+    pub fn scheduler(mut self, sched: SchedPolicy) -> Self {
+        self.sched = sched;
+        self
+    }
+
     /// `FASTG_TIEBREAK` environment default).
     pub fn tiebreak(mut self, tiebreak: TieBreak) -> Self {
         self.tiebreak = tiebreak;

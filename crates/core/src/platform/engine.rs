@@ -1,6 +1,9 @@
 //! The platform engine: the event loop wiring every component together.
 
-use crate::manager::{BackendConfig, BurstEstimator, FastBackend, RequestOutcome, SharingPolicy};
+use crate::manager::{
+    BackendConfig, BurstEstimator, FastBackend, PodClass, RequestOutcome, SchedPolicy,
+    SharingPolicy,
+};
 use crate::modelshare::{footprint, ModelStorageServer, StoreLib, DEFAULT_CTX_OVERHEAD};
 use crate::platform::config::{FunctionConfig, PlatformConfig};
 use crate::platform::error::PlatformError;
@@ -10,7 +13,10 @@ use crate::platform::overload::{
 };
 use crate::platform::report::{FunctionReport, NodeReport, PlatformReport};
 use crate::profiler::ProfileDb;
-use crate::scheduler::{heuristic_scale, ConfigPoint, NodeSelector, PlacementPolicy, RunningPod, ScaleAction};
+use crate::scheduler::{
+    heuristic_scale, ArenaScheduler, ConfigPoint, NodeSelector, PlacementPolicy, RunningPod,
+    ScaleAction, SchedStats, Scheduler,
+};
 use fastg_cluster::{
     Cluster, FuncId, FaSTFuncSpec, Gateway, NodeId, NodeState, PodId, PodState, Request,
     RequestId, ResourceSpec,
@@ -239,7 +245,11 @@ pub struct Engine {
     gateway: Gateway,
     backends: IdArena<NodeId, FastBackend>,
     stores: IdArena<NodeId, ModelStorageServer>,
-    selector: NodeSelector,
+    /// The placement engine behind the pluggable [`Scheduler`] trait:
+    /// the paper's maximal-rects reference ([`NodeSelector`]) or a
+    /// guillotine-arena policy ([`ArenaScheduler`]), per
+    /// [`PlatformConfig::sched`].
+    selector: Box<dyn Scheduler>,
     funcs: IdArena<FuncId, FuncRt>,
     pods: IdArena<PodId, PodRt>,
     autoscale_db: Option<ProfileDb>,
@@ -289,11 +299,17 @@ impl Engine {
             .into_iter()
             .map(|spec| cluster.add_node(spec, mode))
             .collect();
-        let placement = match cfg.policy {
-            SharingPolicy::SingleToken => PlacementPolicy::TimeSharingOnly,
-            _ => PlacementPolicy::MaximalRectangles,
+        let time_sharing = matches!(cfg.policy, SharingPolicy::SingleToken);
+        let mut selector: Box<dyn Scheduler> = if cfg.sched.uses_arena() {
+            Box::new(ArenaScheduler::new(cfg.sched, time_sharing))
+        } else {
+            let placement = if time_sharing {
+                PlacementPolicy::TimeSharingOnly
+            } else {
+                PlacementPolicy::MaximalRectangles
+            };
+            Box::new(NodeSelector::new(placement))
         };
-        let mut selector = NodeSelector::new(placement);
         let mut backends = IdArena::new();
         let mut stores = IdArena::new();
         for &n in &nodes {
@@ -422,7 +438,7 @@ impl Engine {
             }
         }
         let cluster_ref = &self.cluster;
-        let mem_fits = |n: NodeId| {
+        let mut mem_fits = |n: NodeId| {
             cluster_ref
                 .node(n)
                 .map(|node| {
@@ -441,7 +457,7 @@ impl Engine {
                 .filter(|&n| mem_fits(n))
                 .min_by_key(|&n| (self.cluster.pods_on(n).len(), n))
         } else {
-            self.selector.select_node(&resources, mem_fits)
+            self.selector.select_node(&resources, &mut mem_fits)
         };
         let Some(node) = node else {
             self.unschedulable += 1;
@@ -496,9 +512,18 @@ impl Engine {
                 .unwrap_or(false)
         };
 
-        // Backend table row (the FaSTPod controller's spec sync).
+        // Backend table row (the FaSTPod controller's spec sync). Under
+        // the priority co-location policy, pods that burst past their
+        // request (quota_request < quota_limit) run as best-effort.
+        let class = if self.cfg.sched == SchedPolicy::PriorityColocate
+            && resources.quota_request < resources.quota_limit - 1e-9
+        {
+            PodClass::BestEffort
+        } else {
+            PodClass::LatencyCritical
+        };
         if let Some(backend) = self.backends.get_mut(node) {
-            backend.register(pod, resources);
+            backend.register_class(pod, resources, class);
         } else {
             debug_assert!(false, "backend per node");
         }
@@ -2667,6 +2692,22 @@ impl Platform {
     /// Number of GPUs with at least one pod bound.
     pub fn gpus_in_use(&self) -> usize {
         self.sim.world().selector.gpus_in_use()
+    }
+
+    /// Name of the active placement policy (e.g. `"paper-algo1"`,
+    /// `"fast-path"`).
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sim.world().selector.name()
+    }
+
+    /// Lifetime placement counters of the active scheduler.
+    pub fn scheduler_stats(&self) -> SchedStats {
+        self.sim.world().selector.stats()
+    }
+
+    /// Mean spatial fragmentation across GPUs with at least one pod.
+    pub fn mean_fragmentation(&self) -> f64 {
+        self.sim.world().selector.mean_fragmentation()
     }
 
     /// Builds a report at the current instant without advancing time.

@@ -22,6 +22,7 @@ pub mod engine;
 pub mod error;
 pub mod faults;
 pub mod overload;
+pub mod policy_compare;
 pub mod report;
 pub mod sweep;
 
@@ -30,6 +31,9 @@ pub use fastg_des::TieBreak;
 pub use engine::Platform;
 pub use error::PlatformError;
 pub use overload::{BreakerState, CircuitBreaker, OverloadConfig};
+pub use policy_compare::{
+    run_policy_cell, run_policy_grid, standard_grid, CompareReport, CompareScenario, PolicyCell,
+};
 pub use sweep::{run_sweep, Scenario};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use report::{FunctionReport, NodeReport, PlatformReport};

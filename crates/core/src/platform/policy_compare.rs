@@ -1,0 +1,288 @@
+//! Side-by-side scheduler-policy comparison: the arena evaluation grid.
+//!
+//! Runs every [`SchedPolicy`] over a grid of placement scenarios and
+//! condenses each (policy, scenario) cell into throughput, SLO
+//! violations, spatial fragmentation, GPU usage and the scheduler's
+//! lifetime placement counters. The rendered report is **canonical**:
+//! floats are printed both rounded (for humans) and as bit patterns, and
+//! no wall-clock value ever enters it, so two runs of the same grid — at
+//! any worker-thread count and under any event tie-break order — must
+//! produce byte-identical text.
+
+use std::fmt::Write as _;
+
+use fastg_des::{SimTime, TieBreak};
+use fastg_workload::ArrivalProcess;
+
+use crate::manager::{SchedPolicy, SharingPolicy};
+use crate::platform::config::{FunctionConfig, PlatformConfig};
+use crate::platform::engine::Platform;
+use crate::platform::error::PlatformError;
+use crate::scheduler::SchedStats;
+
+/// The two scenario shapes of the standard grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScenarioKind {
+    /// The paper's Figure 11 pod mix (2 BERT + 2 RNNT + 4 ResNet per four
+    /// nodes), saturating: a pure packing benchmark — fragmentation and
+    /// GPUs-in-use dominate.
+    MixedSaturate,
+    /// Latency-critical functions under constant load co-located with
+    /// bursty best-effort pods (`quota_request < quota_limit`): an SLO
+    /// benchmark where the priority co-location policy's class split
+    /// matters.
+    LoadedSlo,
+}
+
+/// One scenario of the comparison grid.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareScenario {
+    /// Stable scenario name (a report key — never reused across shapes).
+    pub name: &'static str,
+    kind: ScenarioKind,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Measured seconds after the 1 s warm-up.
+    pub seconds: u64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl CompareScenario {
+    /// The Figure 11 packing scenario at `nodes` nodes.
+    pub fn mixed_saturate(nodes: usize, seconds: u64, seed: u64) -> Self {
+        Self { name: "mixed-saturate", kind: ScenarioKind::MixedSaturate, nodes, seconds, seed }
+    }
+
+    /// The SLO co-location scenario at `nodes` nodes.
+    pub fn loaded_slo(nodes: usize, seconds: u64, seed: u64) -> Self {
+        Self { name: "loaded-slo", kind: ScenarioKind::LoadedSlo, nodes, seconds, seed }
+    }
+
+    fn config(&self, policy: SchedPolicy, tiebreak: TieBreak) -> PlatformConfig {
+        PlatformConfig::default()
+            .nodes(self.nodes)
+            .policy(SharingPolicy::FaST)
+            .scheduler(policy)
+            .tiebreak(tiebreak)
+            .warmup(SimTime::from_secs(1))
+            .seed(self.seed)
+    }
+
+    /// Builds the scenario's platform under `policy`.
+    fn build(&self, policy: SchedPolicy, tiebreak: TieBreak) -> Result<Platform, PlatformError> {
+        let mut p = Platform::new(self.config(policy, tiebreak));
+        match self.kind {
+            ScenarioKind::MixedSaturate => {
+                // One Figure 11 pod set per four nodes, descending area.
+                let sets = (self.nodes / 4).max(1);
+                for s in 0..sets {
+                    p.deploy(
+                        FunctionConfig::new(&format!("bert-{s:02}"), "bert_base")
+                            .replicas(2)
+                            .resources(50.0, 0.6, 0.6)
+                            .saturating(),
+                    )?;
+                    p.deploy(
+                        FunctionConfig::new(&format!("rnnt-{s:02}"), "rnnt")
+                            .replicas(2)
+                            .resources(24.0, 0.4, 0.4)
+                            .saturating(),
+                    )?;
+                    p.deploy(
+                        FunctionConfig::new(&format!("resnet-{s:02}"), "resnet50")
+                            .replicas(4)
+                            .resources(12.0, 0.4, 0.4)
+                            .saturating(),
+                    )?;
+                }
+            }
+            ScenarioKind::LoadedSlo => {
+                // Two latency-critical ResNets plus one bursty best-effort
+                // BERT per pair of nodes.
+                let pairs = (self.nodes / 2).max(1);
+                for s in 0..pairs {
+                    for r in 0..2 {
+                        let f = p.deploy(
+                            FunctionConfig::new(&format!("lc-{s:02}-{r}"), "resnet50")
+                                .slo_ms(200)
+                                .replicas(1)
+                                .resources(25.0, 0.5, 0.5),
+                        )?;
+                        p.set_load(f, ArrivalProcess::constant(20.0));
+                    }
+                    let f = p.deploy(
+                        FunctionConfig::new(&format!("be-{s:02}"), "bert_base")
+                            .slo_ms(500)
+                            .replicas(1)
+                            .resources(50.0, 0.3, 0.8),
+                    )?;
+                    p.set_load(f, ArrivalProcess::constant(5.0));
+                }
+            }
+        }
+        Ok(p)
+    }
+}
+
+/// The standard two-scenario grid at `scale` × the base cluster size.
+pub fn standard_grid(scale: usize, seconds: u64, seed: u64) -> Vec<CompareScenario> {
+    let scale = scale.max(1);
+    vec![
+        CompareScenario::mixed_saturate(4 * scale, seconds, seed),
+        CompareScenario::loaded_slo(4 * scale, seconds, seed.wrapping_add(1)),
+    ]
+}
+
+/// One (policy, scenario) cell of the comparison grid.
+#[derive(Debug, Clone)]
+pub struct PolicyCell {
+    /// The scheduler policy of this cell.
+    pub policy: SchedPolicy,
+    /// The scenario name.
+    pub scenario: &'static str,
+    /// Total steady-state throughput (req/s) across functions.
+    pub throughput_rps: f64,
+    /// Total SLO violations across functions.
+    pub slo_violations: u64,
+    /// Mean spatial fragmentation across GPUs in use, at end of run.
+    pub fragmentation: f64,
+    /// GPUs with at least one pod bound, at end of run.
+    pub gpus_in_use: usize,
+    /// Pods that found no feasible node.
+    pub unschedulable: u64,
+    /// Lifetime placement counters of the scheduler.
+    pub stats: SchedStats,
+    /// FNV-1a digest of the full platform report (the replay fingerprint).
+    pub digest: u64,
+}
+
+/// The rendered grid: every cell of policies × scenarios.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Cells in (scenario-major, policy-minor) order.
+    pub cells: Vec<PolicyCell>,
+}
+
+impl CompareReport {
+    /// Canonical text: one line per cell, floats rounded *and* as bit
+    /// patterns, no wall-clock values. Byte-identical across reruns,
+    /// worker-thread counts and tie-break orders.
+    pub fn render(&self) -> String {
+        let mut s = String::from(
+            "policy-compare grid: throughput / SLO violations / fragmentation per cell\n",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                s,
+                "cell scenario={} policy={} rps={:.1}({:016x}) slo_viol={} \
+                 frag={:.4}({:016x}) gpus={} unsched={} placed={} released={} \
+                 rejects={} probes={} fallbacks={} merges={} restructs={} digest={:016x}",
+                c.scenario,
+                c.policy,
+                c.throughput_rps,
+                c.throughput_rps.to_bits(),
+                c.slo_violations,
+                c.fragmentation,
+                c.fragmentation.to_bits(),
+                c.gpus_in_use,
+                c.unschedulable,
+                c.stats.placements,
+                c.stats.releases,
+                c.stats.rejects,
+                c.stats.probes,
+                c.stats.exact_fallbacks,
+                c.stats.merges,
+                c.stats.restructures,
+                c.digest,
+            );
+        }
+        s
+    }
+
+    /// FNV-1a digest of [`Self::render`].
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.render().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Runs one (policy, scenario) cell to completion. Cells are independent
+/// simulations, so a driver may fan them out across worker threads
+/// (`fastg_par::par_map`) without affecting the report bytes.
+pub fn run_policy_cell(
+    policy: SchedPolicy,
+    scenario: &CompareScenario,
+    tiebreak: TieBreak,
+) -> Result<PolicyCell, PlatformError> {
+    let mut p = scenario.build(policy, tiebreak)?;
+    let report = p.run_for(SimTime::from_secs(1 + scenario.seconds));
+    let slo_violations = report.functions.values().map(|f| f.slo_violations).sum();
+    Ok(PolicyCell {
+        policy,
+        scenario: scenario.name,
+        throughput_rps: report.total_throughput(),
+        slo_violations,
+        fragmentation: p.mean_fragmentation(),
+        gpus_in_use: p.gpus_in_use(),
+        unschedulable: report.unschedulable_pods,
+        stats: p.scheduler_stats(),
+        digest: report.digest(),
+    })
+}
+
+/// Runs every `policy` over every `scenario` under `tiebreak`, returning
+/// the filled grid. Scenario-major order keeps the report grouping
+/// stable.
+pub fn run_policy_grid(
+    policies: &[SchedPolicy],
+    scenarios: &[CompareScenario],
+    tiebreak: TieBreak,
+) -> Result<CompareReport, PlatformError> {
+    let mut cells = Vec::with_capacity(policies.len() * scenarios.len());
+    for sc in scenarios {
+        for &policy in policies {
+            cells.push(run_policy_cell(policy, sc, tiebreak)?);
+        }
+    }
+    Ok(CompareReport { cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_byte_identical_across_tiebreak_orders() {
+        let policies = [SchedPolicy::Paper, SchedPolicy::FastPath];
+        let scenarios = [CompareScenario::mixed_saturate(4, 2, 7)];
+        let fifo = run_policy_grid(&policies, &scenarios, TieBreak::Fifo)
+            .expect("grid runs")
+            .render();
+        let lifo = run_policy_grid(&policies, &scenarios, TieBreak::Lifo)
+            .expect("grid runs")
+            .render();
+        assert_eq!(fifo, lifo, "tie-break order leaked into the grid");
+        assert_eq!(fifo.lines().count(), 1 + 2, "one line per cell plus header");
+    }
+
+    #[test]
+    fn slo_grid_covers_all_arena_policies() {
+        let policies = [
+            SchedPolicy::FastPath,
+            SchedPolicy::DemandMatch,
+            SchedPolicy::PriorityColocate,
+        ];
+        let scenarios = [CompareScenario::loaded_slo(4, 2, 11)];
+        let report = run_policy_grid(&policies, &scenarios, TieBreak::Fifo).expect("grid runs");
+        assert_eq!(report.cells.len(), 3);
+        for cell in &report.cells {
+            assert!(cell.stats.placements > 0, "{} placed nothing", cell.policy);
+            assert_eq!(cell.unschedulable, 0, "{} left pods unschedulable", cell.policy);
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! # The scheduler arena: pluggable placement policies over dense slabs
+//!
+//! PR 8 made the data plane fleet-scale; this module does the same for
+//! the *control plane*. Every placement decision — Algorithm 2
+//! scale-ups, brownout reconfigures, fault recovery — flows through a
+//! [`Scheduler`] trait object, so the paper's Algorithm 1 (the
+//! digest-pinned [`NodeSelector`] reference) and the fleet-scale
+//! alternatives compete on identical scenario grids:
+//!
+//! * **[`SchedPolicy::FastPath`]** — the paper's best-area-fit intent
+//!   over [`GuillotineAlloc`] planes, with node selection driven by a
+//!   [`FreeClassIndex`]: per-node free capacity bucketed into log₂ size
+//!   classes over the existing `IdArena` node slabs, updated
+//!   incrementally on place/release/crash. A placement probes only the
+//!   nodes whose class can possibly fit the demand, walking classes
+//!   small-to-large and stopping at the first class that yields a
+//!   candidate — O(log nodes)-ish under churn instead of the all-nodes
+//!   scan.
+//! * **[`SchedPolicy::DemandMatch`]** — ParvaGPU-style: demands are
+//!   quantized up to MIG compute-slice percents (SM axis) and MPS 5 %
+//!   quota segments (quota axis), then matched tightest-class-first so
+//!   equal-shape pods stack into reusable slots.
+//! * **[`SchedPolicy::PriorityColocate`]** — Tally-style: latency-
+//!   critical pods (no elastic quota headroom) spread to the least-
+//!   loaded GPU, best-effort pods pack onto the busiest, so BE kernels
+//!   absorb LC idle gaps without inflating LC tail latency.
+//!
+//! Determinism by construction: every selection reduces to a unique
+//! minimum of a total-order key (slack, load, node id), class walks
+//! ascend deterministic `IdSet` bitmaps, and no wall-clock or hash-order
+//! state exists anywhere in the arena.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+
+use fastg_cluster::{NodeId, PodId, ResourceSpec};
+use fastg_des::{IdArena, IdSet};
+
+use super::guillotine::GuillotineAlloc;
+use super::node_select::NodeSelector;
+use super::rects::Rect;
+use crate::manager::SchedPolicy;
+
+/// Placement-engine counters, uniform across policies so `policy_compare`
+/// can tabulate them per grid cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Successful rectangle bindings.
+    pub placements: u64,
+    /// Rectangle releases.
+    pub releases: u64,
+    /// Selections that found no feasible node ("a new GPU required").
+    pub rejects: u64,
+    /// Per-node fit probes performed during selection — the work the
+    /// free-capacity index exists to minimize.
+    pub probes: u64,
+    /// Guillotine placements that needed the exact maximal-rects
+    /// fallback (fast path missed a feasible L-shaped fit).
+    pub exact_fallbacks: u64,
+    /// Guillotine neighbor merges performed on release.
+    pub merges: u64,
+    /// Full free-list rebuilds (the reference allocator's
+    /// keep-restructure policy; always zero for the guillotine arena).
+    pub restructures: u64,
+}
+
+/// The pluggable placement engine: what `platform::Engine` talks to.
+///
+/// Split-phase by design (mirroring the reference selector): `select_node`
+/// is read-only so the engine can create the pod and learn its id before
+/// `bind` mutates rectangle state, and `mem_fits` keeps device-memory
+/// feasibility the engine's knowledge, not the scheduler's. Implementors
+/// must be deterministic: identical call sequences yield identical
+/// decisions, independent of thread count or tie-break perturbations.
+pub trait Scheduler: std::fmt::Debug + Send {
+    /// Stable policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Registers a node's GPU (one per node).
+    fn add_gpu(&mut self, node: NodeId);
+
+    /// Removes a node's GPU from the placement pool (node crash).
+    fn remove_gpu(&mut self, node: NodeId);
+
+    /// Converts a resource spec to (quota %, SM %) rectangle units.
+    fn demand_of(&self, spec: &ResourceSpec) -> (u32, u32);
+
+    /// Picks the target node for a demand without mutating state.
+    fn select_node(
+        &self,
+        spec: &ResourceSpec,
+        mem_fits: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<NodeId>;
+
+    /// Binds `pod` on a specific node (chosen by `select_node`).
+    fn bind(&mut self, node: NodeId, pod: PodId, spec: &ResourceSpec) -> Option<Rect>;
+
+    /// Releases a pod's rectangle on `node`.
+    fn release(&mut self, node: NodeId, pod: PodId) -> Option<Rect>;
+
+    /// Number of GPUs hosting at least one pod.
+    fn gpus_in_use(&self) -> usize;
+
+    /// Total bound area across all GPUs.
+    fn total_used_area(&self) -> u64;
+
+    /// Mean fragmentation across GPUs with free space.
+    fn mean_fragmentation(&self) -> f64;
+
+    /// Counter snapshot.
+    fn stats(&self) -> SchedStats;
+}
+
+/// Number of log₂ size classes: plane areas run `1..=10_000 < 2¹⁴`, so
+/// bit-lengths `0..=14` need 15 classes.
+const CLASSES: usize = 15;
+
+/// Feasible candidates probed per class before the fast path commits to
+/// the best seen so far (see [`ArenaScheduler::select_fast`]).
+const CLASS_SCAN_CAP: usize = 16;
+
+/// Total probes spent per class before the walk moves on: size classes
+/// bound piece *area*, not shape, so a class can hold many members whose
+/// largest piece is too narrow or too short for the demand. A class that
+/// exhausts this budget without a single candidate is abandoned for the
+/// next (larger) class rather than scanned to the end.
+const CLASS_PROBE_CAP: usize = 32;
+
+/// A policy's selection key, minimized over the probed candidates:
+/// (primary pack/spread key, co-resident tiebreak, slack, node id). The
+/// trailing node id makes every key unique, so the minimum — and the
+/// chosen node — is deterministic.
+type PickKey = (u64, Reverse<usize>, u64, NodeId);
+
+/// The log₂ size class (bit length) of an area, clamped to the table.
+/// Monotone: `a ≤ b ⇒ class_of(a) ≤ class_of(b)`, which is what makes
+/// walking classes `class_of(demand)..` sound.
+fn class_of(area: u64) -> usize {
+    let bits = u64::BITS - area.leading_zeros();
+    (bits as usize).min(CLASSES - 1) // fastg-lint: allow(no-lossy-cast)
+}
+
+/// Incremental free-capacity index over the node slab: for each node,
+/// which size class its largest single free piece falls in (`piece`,
+/// the fast-path filter) and which class its total free area falls in
+/// (`area`, the sound filter for the exact fallback — free area ≥ demand
+/// is necessary for feasibility). `IdSet` bitmaps iterate in ascending
+/// node order, so class walks are deterministic.
+#[derive(Debug)]
+struct FreeClassIndex {
+    piece: [IdSet<NodeId>; CLASSES],
+    area: [IdSet<NodeId>; CLASSES],
+    cached: IdArena<NodeId, (usize, usize)>,
+}
+
+impl FreeClassIndex {
+    fn new() -> Self {
+        FreeClassIndex {
+            piece: std::array::from_fn(|_| IdSet::new()),
+            area: std::array::from_fn(|_| IdSet::new()),
+            cached: IdArena::new(),
+        }
+    }
+
+    /// Moves `node` to classes `(piece, area)`, touching only the bitmaps
+    /// that actually change — O(1) amortized per placement mutation.
+    fn set(&mut self, node: NodeId, classes: (usize, usize)) {
+        let old = self.cached.insert(node, classes);
+        if let Some((op, oa)) = old {
+            if op != classes.0 {
+                self.piece[op].remove(node);
+            }
+            if oa != classes.1 {
+                self.area[oa].remove(node);
+            }
+            if op != classes.0 {
+                self.piece[classes.0].insert(node);
+            }
+            if oa != classes.1 {
+                self.area[classes.1].insert(node);
+            }
+        } else {
+            self.piece[classes.0].insert(node);
+            self.area[classes.1].insert(node);
+        }
+    }
+
+    /// Drops `node` from the index entirely (crash).
+    fn remove(&mut self, node: NodeId) {
+        if let Some((p, a)) = self.cached.remove(node) {
+            self.piece[p].remove(node);
+            self.area[a].remove(node);
+        }
+    }
+}
+
+/// The guillotine-backed placement engine hosting the non-paper policies.
+#[derive(Debug)]
+pub struct ArenaScheduler {
+    policy: SchedPolicy,
+    /// KubeShare-style pinning: pods widen to the full SM axis.
+    time_sharing: bool,
+    gpus: IdArena<NodeId, GuillotineAlloc>,
+    index: FreeClassIndex,
+    placements: u64,
+    releases: u64,
+    probes: Cell<u64>,
+    rejects: Cell<u64>,
+}
+
+impl ArenaScheduler {
+    /// Creates an arena scheduler with no GPUs. `Paper` is served by the
+    /// reference [`NodeSelector`], not the arena; if passed anyway it
+    /// behaves as [`SchedPolicy::FastPath`].
+    pub fn new(policy: SchedPolicy, time_sharing: bool) -> Self {
+        debug_assert!(
+            policy.uses_arena(),
+            "SchedPolicy::Paper runs on the NodeSelector reference"
+        );
+        ArenaScheduler {
+            policy,
+            time_sharing,
+            gpus: IdArena::new(),
+            index: FreeClassIndex::new(),
+            placements: 0,
+            releases: 0,
+            probes: Cell::new(0),
+            rejects: Cell::new(0),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    /// Per-GPU state, for reports and tests.
+    pub fn gpu(&self, node: NodeId) -> Option<&GuillotineAlloc> {
+        self.gpus.get(node)
+    }
+
+    /// Re-derives `node`'s index classes after a mutation.
+    fn refresh_index(&mut self, node: NodeId) {
+        if let Some(g) = self.gpus.get(node) {
+            let classes = (class_of(g.largest_free_slot_area()), class_of(g.free_area()));
+            self.index.set(node, classes);
+        } else {
+            self.index.remove(node);
+        }
+    }
+
+    /// Whether a spec is latency-critical under the co-location policy:
+    /// no elastic quota headroom (request == limit) means the pod cannot
+    /// absorb interference by borrowing, so it gets isolation; elastic
+    /// pods are best-effort and pack densely.
+    fn latency_critical(spec: &ResourceSpec) -> bool {
+        spec.quota_request >= spec.quota_limit - 1e-9
+    }
+
+    /// Fast-path selection: walk piece classes starting at the demand's
+    /// class — small-to-large for packing policies, large-to-small when
+    /// `descend` is set (LC spreading); the first class yielding a candidate wins,
+    /// with `pick` reducing the probed candidates to a unique minimum.
+    /// Sound because a fitting piece of area `a' ≥ a` lives in class
+    /// `≥ class_of(a)`. Within a class the scan stops after
+    /// [`CLASS_SCAN_CAP`] feasible candidates or [`CLASS_PROBE_CAP`]
+    /// probes: the class already bounds every member's largest piece
+    /// within 2× of the demand, so a bounded prefix (ascending node id —
+    /// deterministic) preserves best-fit quality while keeping a
+    /// placement O(log nodes + cap) instead of an all-nodes scan. A
+    /// class exhausted (or out of budget) without candidates falls
+    /// through to the next; the exact-feasibility fallback below stays
+    /// uncapped, so a feasible demand is never rejected by the caps.
+    fn select_fast(
+        &self,
+        w: u32,
+        h: u32,
+        mem_fits: &mut dyn FnMut(NodeId) -> bool,
+        pick: &dyn Fn(&GuillotineAlloc, u64, NodeId) -> PickKey,
+        descend: bool,
+    ) -> Option<NodeId> {
+        let demand = u64::from(w) * u64::from(h);
+        let base = class_of(demand);
+        let span = CLASSES - base;
+        // `descend` flips the class walk large-to-small: packing policies
+        // want the tightest class first, spreading policies (LC pods
+        // under co-location) want the roomiest GPUs first. The walk
+        // itself encodes the pack/spread bias; `pick` only breaks ties
+        // inside the first class that yields a candidate.
+        for step in 0..span {
+            let class = if descend {
+                CLASSES - 1 - step
+            } else {
+                base + step
+            };
+            let mut best: Option<PickKey> = None;
+            let mut found = 0usize;
+            let mut probed = 0usize;
+            for node in self.index.piece[class].iter() {
+                if !mem_fits(node) {
+                    continue;
+                }
+                self.probes.set(self.probes.get() + 1);
+                probed += 1;
+                let Some(g) = self.gpus.get(node) else {
+                    debug_assert!(false, "indexed node missing from the arena");
+                    continue;
+                };
+                if let Some((_, slack)) = g.best_fit(w, h) {
+                    let cand = pick(g, slack, node);
+                    if best.map_or(true, |b| cand < b) {
+                        best = Some(cand);
+                    }
+                    found += 1;
+                    if found >= CLASS_SCAN_CAP {
+                        break;
+                    }
+                }
+                if probed >= CLASS_PROBE_CAP {
+                    break;
+                }
+            }
+            if let Some((_, _, _, n)) = best {
+                return Some(n);
+            }
+        }
+        // Exact fallback: no single disjoint piece fits anywhere, but an
+        // L-shaped maximal rectangle still might. Total free area ≥ demand
+        // is a *necessary* condition, so the area-class walk is the sound
+        // pre-filter; within it, feasibility is recomputed exactly. Like
+        // the fast path, the first class yielding a candidate wins — but
+        // no probe cap applies, so a demand is rejected only after every
+        // node with enough free area has been checked exactly.
+        for step in 0..span {
+            let class = if descend {
+                CLASSES - 1 - step
+            } else {
+                base + step
+            };
+            let mut best: Option<PickKey> = None;
+            for node in self.index.area[class].iter() {
+                if !mem_fits(node) {
+                    continue;
+                }
+                self.probes.set(self.probes.get() + 1);
+                let Some(g) = self.gpus.get(node) else {
+                    debug_assert!(false, "indexed node missing from the arena");
+                    continue;
+                };
+                if let Some((_, slack)) = g.feasible_exact(w, h) {
+                    let cand = pick(g, slack, node);
+                    if best.map_or(true, |b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            if let Some((_, _, _, n)) = best {
+                return Some(n);
+            }
+        }
+        None
+    }
+}
+
+impl Scheduler for ArenaScheduler {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            SchedPolicy::Paper | SchedPolicy::FastPath => "fast-path",
+            SchedPolicy::DemandMatch => "demand-match",
+            SchedPolicy::PriorityColocate => "priority-colocate",
+        }
+    }
+
+    fn add_gpu(&mut self, node: NodeId) {
+        self.gpus.insert(node, GuillotineAlloc::standard());
+        self.refresh_index(node);
+    }
+
+    fn remove_gpu(&mut self, node: NodeId) {
+        self.gpus.remove(node);
+        self.index.remove(node);
+    }
+
+    /// Same quantization as the reference selector; `DemandMatch`
+    /// additionally snaps the quota axis up to MPS 5 % segments and the
+    /// SM axis up to MIG compute-slice percents, so select and bind agree
+    /// on the reserved shape.
+    fn demand_of(&self, spec: &ResourceSpec) -> (u32, u32) {
+        // f64→u32 `as` saturates, and both axes are clamped to ..=100
+        // below, so the casts cannot smuggle in out-of-range demand.
+        // fastg-lint: allow(no-lossy-cast)
+        let w = (spec.quota_request * 100.0).round().max(1.0) as u32;
+        let h = if self.time_sharing {
+            100
+        } else {
+            // fastg-lint: allow(no-lossy-cast)
+            spec.sm_partition.round().max(1.0) as u32
+        };
+        let (w, h) = (w.min(100), h.min(100));
+        match self.policy {
+            SchedPolicy::DemandMatch => (
+                fastg_gpu::mps::quantize_quota_percent(w),
+                fastg_gpu::mig::snap_to_slice_percent(h),
+            ),
+            _ => (w, h),
+        }
+    }
+
+    fn select_node(
+        &self,
+        spec: &ResourceSpec,
+        mem_fits: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        let (w, h) = self.demand_of(spec);
+        let chosen = match self.policy {
+            // Best-area-fit with consolidation: minimum slack, ties to
+            // the busier GPU, then the lower node id (Algorithm 2's
+            // ordering, evaluated classwise).
+            SchedPolicy::Paper | SchedPolicy::FastPath => self.select_fast(
+                w,
+                h,
+                mem_fits,
+                &|g, slack, n| (slack, Reverse(g.pod_count()), 0, n),
+                false,
+            ),
+            // Tightest class first: minimum slack, then the lower node id
+            // — quantized shapes make exact-slot reuse the common case.
+            SchedPolicy::DemandMatch => self.select_fast(
+                w,
+                h,
+                mem_fits,
+                &|_, slack, n| (slack, Reverse(0), 0, n),
+                false,
+            ),
+            // LC spreads: the class walk descends so the roomiest GPUs
+            // are probed first, then fewest co-residents wins. BE packs:
+            // ascending walk (tightest class first), most co-residents
+            // wins; slack breaks ties inside a load level.
+            SchedPolicy::PriorityColocate => {
+                if Self::latency_critical(spec) {
+                    self.select_fast(
+                        w,
+                        h,
+                        mem_fits,
+                        &|g, slack, n| (pack_key(g.pod_count()), Reverse(0), slack, n),
+                        true,
+                    )
+                } else {
+                    self.select_fast(
+                        w,
+                        h,
+                        mem_fits,
+                        &|g, slack, n| (0, Reverse(g.pod_count()), slack, n),
+                        false,
+                    )
+                }
+            }
+        };
+        if chosen.is_none() {
+            self.rejects.set(self.rejects.get() + 1);
+        }
+        chosen
+    }
+
+    fn bind(&mut self, node: NodeId, pod: PodId, spec: &ResourceSpec) -> Option<Rect> {
+        let (w, h) = self.demand_of(spec);
+        let rect = self.gpus.get_mut(node)?.place(pod, w, h);
+        if rect.is_some() {
+            self.placements += 1;
+        }
+        self.refresh_index(node);
+        rect
+    }
+
+    fn release(&mut self, node: NodeId, pod: PodId) -> Option<Rect> {
+        let rect = self.gpus.get_mut(node)?.release(pod);
+        if rect.is_some() {
+            self.releases += 1;
+        }
+        self.refresh_index(node);
+        rect
+    }
+
+    fn gpus_in_use(&self) -> usize {
+        self.gpus.values().filter(|g| g.pod_count() > 0).count()
+    }
+
+    fn total_used_area(&self) -> u64 {
+        self.gpus.values().map(GuillotineAlloc::used_area).sum()
+    }
+
+    fn mean_fragmentation(&self) -> f64 {
+        let frags: Vec<f64> = self
+            .gpus
+            .values()
+            .filter(|g| g.free_area() > 0)
+            .map(GuillotineAlloc::fragmentation)
+            .collect();
+        if frags.is_empty() {
+            0.0
+        } else {
+            frags.iter().sum::<f64>() / frags.len() as f64
+        }
+    }
+
+    fn stats(&self) -> SchedStats {
+        SchedStats {
+            placements: self.placements,
+            releases: self.releases,
+            rejects: self.rejects.get(),
+            probes: self.probes.get(),
+            exact_fallbacks: self.gpus.values().map(GuillotineAlloc::exact_fallback_count).sum(),
+            merges: self.gpus.values().map(GuillotineAlloc::merge_count).sum(),
+            restructures: 0,
+        }
+    }
+}
+
+/// LC spreading key: fewest co-residents first. Widened to `u64` so it
+/// shares the tuple slot with BE's slack component.
+fn pack_key(pod_count: usize) -> u64 {
+    pod_count as u64 // fastg-lint: allow(no-lossy-cast)
+}
+
+impl Scheduler for NodeSelector {
+    fn name(&self) -> &'static str {
+        "paper-algo1"
+    }
+
+    fn add_gpu(&mut self, node: NodeId) {
+        NodeSelector::add_gpu(self, node);
+    }
+
+    fn remove_gpu(&mut self, node: NodeId) {
+        NodeSelector::remove_gpu(self, node);
+    }
+
+    fn demand_of(&self, spec: &ResourceSpec) -> (u32, u32) {
+        NodeSelector::demand_of(self, spec)
+    }
+
+    fn select_node(
+        &self,
+        spec: &ResourceSpec,
+        mem_fits: &mut dyn FnMut(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        NodeSelector::select_node(self, spec, mem_fits)
+    }
+
+    fn bind(&mut self, node: NodeId, pod: PodId, spec: &ResourceSpec) -> Option<Rect> {
+        NodeSelector::bind(self, node, pod, spec)
+    }
+
+    fn release(&mut self, node: NodeId, pod: PodId) -> Option<Rect> {
+        NodeSelector::release(self, node, pod)
+    }
+
+    fn gpus_in_use(&self) -> usize {
+        NodeSelector::gpus_in_use(self)
+    }
+
+    fn total_used_area(&self) -> u64 {
+        NodeSelector::total_used_area(self)
+    }
+
+    fn mean_fragmentation(&self) -> f64 {
+        NodeSelector::mean_fragmentation(self)
+    }
+
+    fn stats(&self) -> SchedStats {
+        NodeSelector::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(sm: f64, quota: f64) -> ResourceSpec {
+        ResourceSpec::new(sm, quota, quota, 0)
+    }
+
+    fn elastic(sm: f64, request: f64, limit: f64) -> ResourceSpec {
+        ResourceSpec::new(sm, request, limit, 0)
+    }
+
+    fn arena(policy: SchedPolicy, gpus: u32) -> ArenaScheduler {
+        let mut s = ArenaScheduler::new(policy, false);
+        for i in 0..gpus {
+            s.add_gpu(NodeId(i));
+        }
+        s
+    }
+
+    fn place(s: &mut ArenaScheduler, pod: PodId, sp: &ResourceSpec) -> Option<NodeId> {
+        let node = s.select_node(sp, &mut |_| true)?;
+        s.bind(node, pod, sp)?;
+        Some(node)
+    }
+
+    #[test]
+    fn fast_path_consolidates_like_the_paper() {
+        // The Figure 11 pod set packs onto one GPU under FastPath too.
+        let mut s = arena(SchedPolicy::FastPath, 4);
+        let pods = [
+            (50.0, 0.6),
+            (50.0, 0.6),
+            (24.0, 0.4),
+            (24.0, 0.4),
+            (12.0, 0.4),
+            (12.0, 0.4),
+            (12.0, 0.4),
+            (12.0, 0.4),
+        ];
+        for (i, &(sm, q)) in pods.iter().enumerate() {
+            let pod = PodId(u64::try_from(i).unwrap());
+            assert!(place(&mut s, pod, &spec(sm, q)).is_some(), "pod {i}");
+        }
+        assert_eq!(s.gpus_in_use(), 1, "FastPath should consolidate");
+        let stats = s.stats();
+        assert_eq!(stats.placements, 8);
+        assert!(stats.probes > 0);
+    }
+
+    #[test]
+    fn index_tracks_churn_and_crash() {
+        let mut s = arena(SchedPolicy::FastPath, 3);
+        let n = place(&mut s, PodId(0), &spec(100.0, 1.0)).unwrap();
+        // The filled node left every fast-path class reachable from a
+        // full-plane demand; a second full-GPU pod must go elsewhere.
+        let m = place(&mut s, PodId(1), &spec(100.0, 1.0)).unwrap();
+        assert_ne!(n, m);
+        // Crash the second node: its capacity leaves the index.
+        Scheduler::remove_gpu(&mut s, m);
+        let o = place(&mut s, PodId(2), &spec(100.0, 1.0)).unwrap();
+        assert!(o != n && o != m);
+        assert!(place(&mut s, PodId(3), &spec(100.0, 1.0)).is_none());
+        assert_eq!(s.stats().rejects, 1);
+        // Release frees the first node for reuse.
+        Scheduler::release(&mut s, n, PodId(0)).unwrap();
+        assert_eq!(place(&mut s, PodId(4), &spec(100.0, 1.0)), Some(n));
+    }
+
+    #[test]
+    fn demand_match_quantizes_both_axes() {
+        let s = arena(SchedPolicy::DemandMatch, 1);
+        // 42 % quota → 45 % segment; 12 % SM → 15 % slice.
+        assert_eq!(Scheduler::demand_of(&s, &spec(12.0, 0.42)), (45, 15));
+        // 30 % SM → 43 % (3g slice); full plane stays full.
+        assert_eq!(Scheduler::demand_of(&s, &spec(30.0, 1.0)), (100, 43));
+        let plain = arena(SchedPolicy::FastPath, 1);
+        assert_eq!(Scheduler::demand_of(&plain, &spec(12.0, 0.42)), (42, 12));
+    }
+
+    #[test]
+    fn priority_colocate_spreads_lc_and_packs_be() {
+        let mut s = arena(SchedPolicy::PriorityColocate, 3);
+        // Two LC pods (request == limit) spread across distinct GPUs.
+        let a = place(&mut s, PodId(0), &spec(12.0, 0.3)).unwrap();
+        let b = place(&mut s, PodId(1), &spec(12.0, 0.3)).unwrap();
+        assert_ne!(a, b, "LC pods spread");
+        // BE pods (elastic headroom) pack onto the busiest feasible GPU.
+        let c = place(&mut s, PodId(2), &elastic(12.0, 0.2, 0.8)).unwrap();
+        let d = place(&mut s, PodId(3), &elastic(12.0, 0.2, 0.8)).unwrap();
+        assert_eq!(c, d, "BE pods co-locate");
+    }
+
+    #[test]
+    fn exact_fallback_reaches_l_shaped_nodes() {
+        let mut s = arena(SchedPolicy::FastPath, 1);
+        // Carve the node's plane into an L whose arms are two disjoint
+        // pieces of 2 000 area each.
+        let g = s.gpus.get_mut(NodeId(0)).unwrap();
+        assert!(g.place_at(PodId(0), Rect::new(20, 20, 80, 80)));
+        s.refresh_index(NodeId(0));
+        // A (100 % quota, 20 % SM) demand fits no single piece but is
+        // geometrically feasible: selection must fall back, not reject.
+        let sp = spec(20.0, 1.0);
+        let node = s.select_node(&sp, &mut |_| true).unwrap();
+        assert_eq!(node, NodeId(0));
+        assert!(s.bind(node, PodId(1), &sp).is_some());
+        assert_eq!(s.stats().exact_fallbacks, 1);
+    }
+
+    #[test]
+    fn trait_object_drives_both_engines() {
+        let mut engines: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(NodeSelector::new(
+                crate::scheduler::PlacementPolicy::MaximalRectangles,
+            )),
+            Box::new(ArenaScheduler::new(SchedPolicy::FastPath, false)),
+        ];
+        for e in &mut engines {
+            e.add_gpu(NodeId(0));
+            e.add_gpu(NodeId(1));
+            let sp = spec(50.0, 0.5);
+            let n = e.select_node(&sp, &mut |_| true).unwrap();
+            assert!(e.bind(n, PodId(0), &sp).is_some());
+            assert_eq!(e.gpus_in_use(), 1);
+            assert_eq!(e.total_used_area(), 2500);
+            assert!(e.release(n, PodId(0)).is_some());
+            assert_eq!(e.stats().releases, 1);
+        }
+        assert_eq!(engines[0].name(), "paper-algo1");
+        assert_eq!(engines[1].name(), "fast-path");
+    }
+}

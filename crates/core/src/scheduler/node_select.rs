@@ -1,8 +1,10 @@
 //! Node selection: lifting Algorithm 2 across every GPU in the cluster.
 
+use super::arena::SchedStats;
 use super::rects::{GpuRects, Rect};
 use fastg_cluster::{NodeId, PodId, ResourceSpec};
-use std::collections::BTreeMap;
+use fastg_des::IdArena;
+use std::cell::Cell;
 
 /// How pods are bound to GPUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,11 +21,19 @@ pub enum PlacementPolicy {
     TimeSharingOnly,
 }
 
-/// The multi-GPU placement engine.
+/// The multi-GPU placement engine (the paper's reference implementation;
+/// the guillotine arena in [`super::arena`] is the fleet-scale path).
 #[derive(Debug)]
 pub struct NodeSelector {
     policy: PlacementPolicy,
-    gpus: BTreeMap<NodeId, GpuRects>,
+    /// Per-node GPU state in a dense slab; iteration ascends node ids,
+    /// matching the ordered-map behaviour the digests were pinned under.
+    gpus: IdArena<NodeId, GpuRects>,
+    placements: u64,
+    releases: u64,
+    /// Fit probes during selection (`Cell`: selection is read-only).
+    probes: Cell<u64>,
+    rejects: Cell<u64>,
 }
 
 impl NodeSelector {
@@ -31,7 +41,11 @@ impl NodeSelector {
     pub fn new(policy: PlacementPolicy) -> Self {
         NodeSelector {
             policy,
-            gpus: BTreeMap::new(),
+            gpus: IdArena::new(),
+            placements: 0,
+            releases: 0,
+            probes: Cell::new(0),
+            rejects: Cell::new(0),
         }
     }
 
@@ -44,7 +58,7 @@ impl NodeSelector {
     /// rectangle bindings are discarded and no future placement considers
     /// it. No-op if the node was never registered.
     pub fn remove_gpu(&mut self, node: NodeId) {
-        self.gpus.remove(&node);
+        self.gpus.remove(node);
     }
 
     /// The placement policy.
@@ -93,7 +107,11 @@ impl NodeSelector {
         mut mem_fits: impl FnMut(NodeId) -> bool,
     ) -> Option<NodeId> {
         let (w, h) = self.demand_of(spec);
-        match self.policy {
+        let probe = |g: &GpuRects| {
+            self.probes.set(self.probes.get() + 1);
+            g.best_fit(w, h)
+        };
+        let chosen = match self.policy {
             PlacementPolicy::MaximalRectangles | PlacementPolicy::TimeSharingOnly => {
                 // Global best fit: minimum secondCores slack across every
                 // free rectangle of every (memory-feasible) GPU; ties go
@@ -101,10 +119,9 @@ impl NodeSelector {
                 // pods consolidating instead of spreading.
                 self.gpus
                     .iter()
-                    .filter(|(&n, _)| mem_fits(n))
-                    .filter_map(|(&n, g)| {
-                        g.best_fit(w, h)
-                            .map(|(_, slack)| (slack, std::cmp::Reverse(g.pod_count()), n))
+                    .filter(|&(n, _)| mem_fits(n))
+                    .filter_map(|(n, g)| {
+                        probe(g).map(|(_, slack)| (slack, std::cmp::Reverse(g.pod_count()), n))
                     })
                     .min()
                     .map(|(_, _, n)| n)
@@ -112,10 +129,14 @@ impl NodeSelector {
             PlacementPolicy::FirstFit => self
                 .gpus
                 .iter()
-                .filter(|(&n, _)| mem_fits(n))
-                .find(|(_, g)| g.best_fit(w, h).is_some())
-                .map(|(&n, _)| n),
+                .filter(|&(n, _)| mem_fits(n))
+                .find(|(_, g)| probe(g).is_some())
+                .map(|(n, _)| n),
+        };
+        if chosen.is_none() {
+            self.rejects.set(self.rejects.get() + 1);
         }
+        chosen
     }
 
     /// Phase 2 of placement: binds `pod` on a specific GPU (chosen by
@@ -123,18 +144,26 @@ impl NodeSelector {
     /// demand after all.
     pub fn bind(&mut self, node: NodeId, pod: PodId, spec: &ResourceSpec) -> Option<Rect> {
         let (w, h) = self.demand_of(spec);
-        self.gpus.get_mut(&node)?.place(pod, w, h)
+        let rect = self.gpus.get_mut(node)?.place(pod, w, h);
+        if rect.is_some() {
+            self.placements += 1;
+        }
+        rect
     }
 
     /// Releases a pod's rectangle on `node` (keep-restructure policy
     /// applies inside [`GpuRects::release`]).
     pub fn release(&mut self, node: NodeId, pod: PodId) -> Option<Rect> {
-        self.gpus.get_mut(&node)?.release(pod)
+        let rect = self.gpus.get_mut(node)?.release(pod);
+        if rect.is_some() {
+            self.releases += 1;
+        }
+        rect
     }
 
     /// Per-GPU state, for reports and tests.
     pub fn gpu(&self, node: NodeId) -> Option<&GpuRects> {
-        self.gpus.get(&node)
+        self.gpus.get(node)
     }
 
     /// Number of GPUs hosting at least one pod.
@@ -159,6 +188,19 @@ impl NodeSelector {
             0.0
         } else {
             frags.iter().sum::<f64>() / frags.len() as f64
+        }
+    }
+
+    /// Counter snapshot in the arena's uniform shape.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            placements: self.placements,
+            releases: self.releases,
+            rejects: self.rejects.get(),
+            probes: self.probes.get(),
+            exact_fallbacks: 0,
+            merges: 0,
+            restructures: self.gpus.values().map(GpuRects::restructure_count).sum(),
         }
     }
 }
@@ -258,5 +300,19 @@ mod tests {
         assert_eq!(s.demand_of(&ResourceSpec::new(0.5, 0.004, 0.004, 0)), (1, 1));
         let ts = selector(PlacementPolicy::TimeSharingOnly, 0);
         assert_eq!(ts.demand_of(&ResourceSpec::new(12.0, 0.4, 0.4, 0)), (40, 100));
+    }
+
+    #[test]
+    fn counters_survive_the_full_cycle() {
+        let mut s = selector(PlacementPolicy::MaximalRectangles, 2);
+        s.place(PodId(0), &spec(100.0, 1.0), |_| true).unwrap();
+        s.place(PodId(1), &spec(100.0, 1.0), |_| true).unwrap();
+        assert!(s.place(PodId(2), &spec(100.0, 1.0), |_| true).is_none());
+        s.release(NodeId(0), PodId(0)).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.placements, 2);
+        assert_eq!(stats.releases, 1);
+        assert_eq!(stats.rejects, 1);
+        assert!(stats.probes >= 3, "each selection probes candidate GPUs");
     }
 }

@@ -10,7 +10,19 @@
 //! that the pod now overlaps, and prunes redundancies.
 
 use fastg_cluster::PodId;
+// The reference allocator keeps its pod bindings in an ordered tree: it
+// is the differential-testing baseline, not a fleet hot path (the fast
+// path is `scheduler::guillotine`). fastg-lint: allow(no-btreemap-hot-path)
 use std::collections::BTreeMap;
+
+/// The single validated path for allocator constructor parameters: flags
+/// a degenerate (zero) dimension or threshold in debug builds and clamps
+/// it to one unit in release builds. Every spatial-allocator constructor
+/// (`GpuRects`, `GuillotineAlloc`) funnels through this.
+pub(crate) fn at_least_one<T: Ord + From<u8>>(value: T, what: &'static str) -> T {
+    debug_assert!(value >= T::from(1u8), "degenerate {what}");
+    value.max(T::from(1u8))
+}
 
 /// An axis-aligned rectangle in resource units. `x`/`w` run along the time
 /// quota axis (percent of the scheduling window), `y`/`h` along the SM
@@ -70,6 +82,73 @@ impl Rect {
     }
 }
 
+/// Removes every part of `f` from `free` by subdividing intersecting
+/// rectangles into up to four *maximal* remainders (left/right strips at
+/// full height, bottom/top strips at full width — the MAXRECTS
+/// `Subdivide(R, I)` step). Shared by [`GpuRects`] and the guillotine
+/// allocator's exact-feasibility fallback.
+pub(crate) fn subtract_maximal(free: &mut Vec<Rect>, f: &Rect) {
+    let mut out = Vec::with_capacity(free.len() + 4);
+    for r in free.drain(..) {
+        if !r.intersects(f) {
+            out.push(r);
+            continue;
+        }
+        if f.x > r.x {
+            out.push(Rect::new(r.x, r.y, f.x - r.x, r.h));
+        }
+        if f.right() < r.right() {
+            out.push(Rect::new(f.right(), r.y, r.right() - f.right(), r.h));
+        }
+        if f.y > r.y {
+            out.push(Rect::new(r.x, r.y, r.w, f.y - r.y));
+        }
+        if f.top() < r.top() {
+            out.push(Rect::new(r.x, f.top(), r.w, r.top() - f.top()));
+        }
+    }
+    *free = out;
+}
+
+/// Removes rectangles contained in other rectangles of the same list
+/// (the MAXRECTS redundancy prune).
+pub(crate) fn prune_contained(free: &mut Vec<Rect>) {
+    let mut keep = vec![true; free.len()];
+    for i in 0..free.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..free.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            if free[j].contains(&free[i]) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut idx = 0;
+    free.retain(|_| {
+        let kept = keep.get(idx).copied().unwrap_or(true);
+        idx += 1;
+        kept
+    });
+}
+
+/// The exact set of maximal free rectangles of a `width × height` plane
+/// minus `placements`: the ground truth every allocator's accept/reject
+/// decision can be checked against (a `w × h` demand is geometrically
+/// feasible iff it fits in one of these).
+pub(crate) fn maximal_free_rects(width: u32, height: u32, placements: &[Rect]) -> Vec<Rect> {
+    let mut free = vec![Rect::new(0, 0, width, height)];
+    for f in placements {
+        subtract_maximal(&mut free, f);
+    }
+    prune_contained(&mut free);
+    free
+}
+
 /// Which free rectangle a placement prefers (MAXRECTS literature's
 /// classic heuristics). The paper uses best-area-fit: minimal
 /// "secondCores" slack.
@@ -127,11 +206,9 @@ impl GpuRects {
         restructure_threshold: usize,
         fit_rule: FitRule,
     ) -> Self {
-        debug_assert!(width > 0 && height > 0, "degenerate GPU rectangle");
-        debug_assert!(restructure_threshold >= 1);
-        let width = width.max(1);
-        let height = height.max(1);
-        let restructure_threshold = restructure_threshold.max(1);
+        let width = at_least_one(width, "GPU rectangle width");
+        let height = at_least_one(height, "GPU rectangle height");
+        let restructure_threshold = at_least_one(restructure_threshold, "restructure threshold");
         GpuRects {
             width,
             height,
@@ -179,8 +256,11 @@ impl GpuRects {
     /// by the single largest placement. Zero when empty or perfectly
     /// consolidated.
     pub fn fragmentation(&self) -> f64 {
+        // Zero-capacity geometry cannot be constructed (the validated
+        // constructor clamps), but the metric must stay total anyway:
+        // an empty plane is trivially unfragmented, never a 0/0.
         let free = self.free_area();
-        if free == 0 {
+        if self.capacity() == 0 || free == 0 {
             return 0.0;
         }
         1.0 - self.largest_free_area() as f64 / free as f64
@@ -194,6 +274,11 @@ impl GpuRects {
     /// The rectangle bound to `pod`, if any.
     pub fn placement_of(&self, pod: PodId) -> Option<Rect> {
         self.placed.get(&pod).copied()
+    }
+
+    /// Every `(pod, rectangle)` binding, in ascending pod order.
+    pub fn placements(&self) -> impl Iterator<Item = (PodId, Rect)> + '_ {
+        self.placed.iter().map(|(&p, &r)| (p, r))
     }
 
     /// Pods currently bound.
@@ -266,53 +351,33 @@ impl GpuRects {
     /// Removes every part of `f` from the free list by subdividing
     /// intersecting rectangles into up to four maximal remainders.
     fn subtract_from_free(&mut self, f: &Rect) {
-        let mut out = Vec::with_capacity(self.free.len() + 4);
-        for r in self.free.drain(..) {
-            if !r.intersects(f) {
-                out.push(r);
-                continue;
-            }
-            // Subdivide(R, I): left / right strips at full height, bottom /
-            // top strips at full width — each maximal within R.
-            if f.x > r.x {
-                out.push(Rect::new(r.x, r.y, f.x - r.x, r.h));
-            }
-            if f.right() < r.right() {
-                out.push(Rect::new(f.right(), r.y, r.right() - f.right(), r.h));
-            }
-            if f.y > r.y {
-                out.push(Rect::new(r.x, r.y, r.w, f.y - r.y));
-            }
-            if f.top() < r.top() {
-                out.push(Rect::new(r.x, f.top(), r.w, r.top() - f.top()));
-            }
-        }
-        self.free = out;
+        subtract_maximal(&mut self.free, f);
     }
 
     /// Removes free rectangles contained in other free rectangles.
     fn prune(&mut self) {
-        let mut keep = vec![true; self.free.len()];
-        for i in 0..self.free.len() {
-            if !keep[i] {
-                continue;
-            }
-            for j in 0..self.free.len() {
-                if i == j || !keep[j] {
-                    continue;
-                }
-                if self.free[j].contains(&self.free[i]) {
-                    keep[i] = false;
-                    break;
-                }
-            }
+        prune_contained(&mut self.free);
+    }
+
+    /// Binds `pod` at an exact, caller-chosen position. Accepts iff the
+    /// rectangle lies in bounds and overlaps no current placement (true
+    /// geometric feasibility, independent of the incremental free-list
+    /// state). This is the differential-testing hook: driving two
+    /// allocators with *identical positions* keeps their placement sets —
+    /// and therefore all future accept/reject decisions — comparable.
+    pub fn place_at(&mut self, pod: PodId, rect: Rect) -> bool {
+        if rect.w == 0 || rect.h == 0 || self.placed.contains_key(&pod) {
+            return false;
         }
-        let mut idx = 0;
-        self.free.retain(|_| {
-            let kept = keep.get(idx).copied().unwrap_or(true);
-            idx += 1;
-            kept
-        });
+        let bounds = Rect::new(0, 0, self.width, self.height);
+        if !bounds.contains(&rect) || self.placed.values().any(|p| p.intersects(&rect)) {
+            return false;
+        }
+        self.subtract_from_free(&rect);
+        self.prune();
+        self.placed.insert(pod, rect);
+        self.debug_check();
+        true
     }
 
     /// Releases a pod's rectangle under the **keep-restructure** policy:

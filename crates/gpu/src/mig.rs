@@ -68,6 +68,36 @@ impl MigProfile {
             MigProfile::P7g => "7g.40gb",
         }
     }
+
+    /// This profile's compute share of the parent, in whole percent
+    /// (rounded up: a `1g` instance owns ⌈100/7⌉ = 15 % of the SMs).
+    pub fn compute_percent(self) -> u32 {
+        (self.compute_slices() * 100).div_ceil(COMPUTE_SLICES)
+    }
+
+    /// Every profile, ascending by compute share.
+    pub const ALL: [MigProfile; 5] = [
+        MigProfile::P1g,
+        MigProfile::P2g,
+        MigProfile::P3g,
+        MigProfile::P4g,
+        MigProfile::P7g,
+    ];
+}
+
+/// Snaps an SM-percent demand *up* to the smallest MIG compute-slice
+/// share that covers it — the quantization a ParvaGPU-style demand
+/// matcher applies to the spatial axis before packing, so every reserved
+/// height corresponds to a realizable instance shape
+/// (15/29/43/58/100 %). Demands above a whole part clamp to 100 %.
+pub fn snap_to_slice_percent(sm_percent: u32) -> u32 {
+    for profile in MigProfile::ALL {
+        let pct = profile.compute_percent();
+        if sm_percent <= pct {
+            return pct.max(1);
+        }
+    }
+    100
 }
 
 /// Errors from MIG configuration.
@@ -160,6 +190,24 @@ impl MigConfig {
 mod tests {
     use super::*;
     use crate::spec::GIB;
+
+    #[test]
+    fn slice_percent_snapping_covers_the_catalogue() {
+        // Percents are ⌈100·s/7⌉ for s ∈ {1,2,3,4,7}.
+        assert_eq!(MigProfile::P1g.compute_percent(), 15);
+        assert_eq!(MigProfile::P2g.compute_percent(), 29);
+        assert_eq!(MigProfile::P3g.compute_percent(), 43);
+        assert_eq!(MigProfile::P4g.compute_percent(), 58);
+        assert_eq!(MigProfile::P7g.compute_percent(), 100);
+        // Snapping rounds up to the smallest covering shape and clamps.
+        assert_eq!(snap_to_slice_percent(1), 15);
+        assert_eq!(snap_to_slice_percent(15), 15);
+        assert_eq!(snap_to_slice_percent(16), 29);
+        assert_eq!(snap_to_slice_percent(43), 43);
+        assert_eq!(snap_to_slice_percent(44), 58);
+        assert_eq!(snap_to_slice_percent(59), 100);
+        assert_eq!(snap_to_slice_percent(250), 100);
+    }
 
     #[test]
     fn seven_way_split_of_a100() {

@@ -1,0 +1,156 @@
+//! Differential property tests: the guillotine free-list allocator
+//! against the maximal-rectangles reference.
+//!
+//! The two allocators choose positions differently, so the differential
+//! harness forces the *same* placements into both (mirroring every
+//! guillotine decision into a `GpuRects` via `place_at`) and then checks
+//! that over identical placement sets they agree on what else fits:
+//! `GuillotineAlloc::place` accepts a demand exactly when the reference's
+//! maximal-rectangle geometry says it is feasible, because the fast path
+//! falls back to exact feasibility before rejecting.
+
+use fastg_cluster::PodId;
+use fastgshare::scheduler::{GpuRects, GuillotineAlloc, Rect};
+use proptest::prelude::*;
+
+/// Structural invariants of the guillotine free set, checked directly
+/// (release builds don't run the sanitizer's shadow checks).
+fn check_guillotine_invariants(g: &GuillotineAlloc) -> Result<(), TestCaseError> {
+    let bounds = Rect::new(0, 0, 100, 100);
+    let free = g.free_rects();
+    let placements: Vec<(PodId, Rect)> = g.placements().collect();
+    for (i, a) in free.iter().enumerate() {
+        prop_assert!(bounds.contains(a), "free piece out of bounds: {a:?}");
+        for b in free.iter().skip(i + 1) {
+            prop_assert!(!a.intersects(b), "free pieces overlap: {a:?} {b:?}");
+        }
+        for &(_, p) in &placements {
+            prop_assert!(!a.intersects(&p), "free piece {a:?} overlaps placement {p:?}");
+        }
+    }
+    let free_sum: u64 = free.iter().map(Rect::area).sum();
+    let used_sum: u64 = placements.iter().map(|&(_, r)| r.area()).sum();
+    prop_assert_eq!(free_sum, g.free_area(), "free bookkeeping drifted");
+    prop_assert_eq!(used_sum, g.used_area(), "used bookkeeping drifted");
+    prop_assert_eq!(free_sum + used_sum, g.capacity(), "area conservation violated");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Guillotine invariants hold under arbitrary place/release churn,
+    /// and a mirror reference driven to the same positions always agrees
+    /// on accept/reject for the next demand.
+    #[test]
+    fn guillotine_matches_reference_accept_reject(
+        ops in prop::collection::vec((0u8..2, 1u32..=60, 1u32..=60), 1..60),
+        probe in (1u32..=100, 1u32..=100),
+    ) {
+        let mut g = GuillotineAlloc::standard();
+        // Threshold 1: the reference restructures eagerly, so its
+        // maximal-rect list is exact geometry at every step.
+        let mut reference = GpuRects::new(100, 100, 1);
+        let mut live: Vec<PodId> = Vec::new();
+        let mut next = 0u64;
+        for &(op, w, h) in &ops {
+            if op == 0 || live.is_empty() {
+                let pod = PodId(next);
+                next += 1;
+                match g.place(pod, w, h) {
+                    Some(rect) => {
+                        prop_assert_eq!((rect.w, rect.h), (w, h));
+                        prop_assert!(
+                            reference.place_at(pod, rect),
+                            "reference rejected the guillotine position {rect:?}"
+                        );
+                        live.push(pod);
+                    }
+                    None => {
+                        // Guillotine rejection must be geometric
+                        // infeasibility, not fast-path blindness.
+                        prop_assert!(
+                            reference.best_fit(w, h).is_none(),
+                            "guillotine rejected ({w}x{h}) the reference accepts"
+                        );
+                    }
+                }
+            } else {
+                let idx = (w as usize * h as usize) % live.len();
+                let pod = live.swap_remove(idx);
+                let a = g.release(pod).expect("guillotine releases a live pod");
+                let b = reference.release(pod).expect("reference releases a live pod");
+                prop_assert_eq!(a, b, "released rectangles diverged");
+            }
+            prop_assert_eq!(g.used_area(), reference.used_area());
+            prop_assert_eq!(g.free_area(), reference.free_area());
+            check_guillotine_invariants(&g)?;
+        }
+        // Final cross-examination on an arbitrary probe demand.
+        let (pw, ph) = probe;
+        let guillotine_accepts = g.place(PodId(next), pw, ph).is_some();
+        let reference_accepts = reference.best_fit(pw, ph).is_some();
+        prop_assert_eq!(
+            guillotine_accepts, reference_accepts,
+            "accept/reject diverged on probe ({} x {})", pw, ph
+        );
+    }
+
+    /// Releasing everything always merges back to the whole plane: one
+    /// free piece, full capacity, regardless of churn history.
+    #[test]
+    fn full_release_reconsolidates(
+        shapes in prop::collection::vec((1u32..=60, 1u32..=60), 1..24)
+    ) {
+        let mut g = GuillotineAlloc::standard();
+        let mut live = Vec::new();
+        for (i, &(w, h)) in shapes.iter().enumerate() {
+            let pod = PodId(i as u64);
+            if g.place(pod, w, h).is_some() {
+                live.push(pod);
+            }
+        }
+        for pod in live {
+            g.release(pod).expect("live pod releases");
+        }
+        prop_assert_eq!(g.free_area(), g.capacity());
+        prop_assert_eq!(g.free_piece_count(), 1, "merge fixpoint left fragments");
+        prop_assert_eq!(g.largest_free_slot_area(), g.capacity());
+    }
+
+    /// Generation-stamped handles catch double frees: a handle released
+    /// once never releases anything again, even after the slot is reused.
+    #[test]
+    fn stale_handles_never_double_free(
+        shapes in prop::collection::vec((1u32..=50, 1u32..=50), 1..12)
+    ) {
+        // This property exercises the graceful-`None` API contract by
+        // probing stale handles on purpose — exactly what the armed
+        // sanitizer escalates to a panic (`alloc-handle-generation`).
+        // Under FASTG_SANITIZE=1 the loud path is the correct one, so
+        // the quiet path is vacuous here.
+        if fastg_des::sanitizer::active() {
+            return Ok(());
+        }
+        let mut g = GuillotineAlloc::standard();
+        let mut handles = Vec::new();
+        for (i, &(w, h)) in shapes.iter().enumerate() {
+            let pod = PodId(i as u64);
+            if g.place(pod, w, h).is_some() {
+                handles.push((pod, g.handle_of(pod).expect("live pod has a handle")));
+            }
+        }
+        for &(_, id) in &handles {
+            prop_assert!(g.release_by_handle(id).is_some(), "first release succeeds");
+        }
+        // Refill the plane so the slab reuses the freed slots.
+        for (i, &(w, h)) in shapes.iter().enumerate() {
+            let _ = g.place(PodId(1000 + i as u64), w, h);
+        }
+        let used_before = g.used_area();
+        for &(_, id) in &handles {
+            prop_assert!(g.release_by_handle(id).is_none(), "stale handle released");
+        }
+        prop_assert_eq!(g.used_area(), used_before, "stale handles freed an occupant");
+    }
+}

@@ -3,7 +3,7 @@
 
 use fastg_des::SimTime;
 use fastg_workload::ArrivalProcess;
-use fastgshare::manager::SharingPolicy;
+use fastgshare::manager::{SchedPolicy, SharingPolicy};
 use fastgshare::platform::{FunctionConfig, Platform, PlatformConfig};
 use fastgshare::profiler::{ProfileDb, ProfileKey, ProfileRecord};
 
@@ -214,6 +214,121 @@ fn autoscaler_scales_down_after_load_drop() {
     );
     assert!(fr.replicas >= 1, "never below min_replicas");
     assert!(fr.violation_ratio < 0.05, "drop must not hurt the SLO");
+}
+
+/// `PlatformConfig::scheduler` selects the placement engine, and the
+/// engine reports which one is live through `Platform::scheduler_name`.
+#[test]
+fn scheduler_config_selects_the_arena() {
+    for (sched, name) in [
+        (SchedPolicy::Paper, "paper-algo1"),
+        (SchedPolicy::FastPath, "fast-path"),
+        (SchedPolicy::DemandMatch, "demand-match"),
+        (SchedPolicy::PriorityColocate, "priority-colocate"),
+    ] {
+        let p = Platform::new(PlatformConfig::default().nodes(1).scheduler(sched));
+        assert_eq!(p.scheduler_name(), name, "{sched:?} wired the wrong engine");
+    }
+}
+
+/// The `FASTG_SCHED` parser accepts each policy family's aliases and
+/// falls back to the digest-pinned paper reference on anything else, so
+/// a typo in CI can never silently switch digest families.
+#[test]
+fn sched_env_aliases_parse() {
+    for (value, want) in [
+        ("fastpath", SchedPolicy::FastPath),
+        ("  Guillotine ", SchedPolicy::FastPath),
+        ("parvagpu", SchedPolicy::DemandMatch),
+        ("tally", SchedPolicy::PriorityColocate),
+        ("paper", SchedPolicy::Paper),
+        ("definitely-not-a-policy", SchedPolicy::Paper),
+    ] {
+        assert_eq!(SchedPolicy::from_env_value(value), want, "alias {value:?}");
+    }
+}
+
+/// Figure 11 again through the guillotine fast path: the packing result
+/// (one GPU for the 8-pod set) is a property of best-area-fit placement,
+/// not of the maximal-rects data structure that computes it. DemandMatch
+/// snaps every demand up to MIG-slice × MPS-segment shapes, so the same
+/// set legitimately inflates onto a second GPU — the quantization tax.
+#[test]
+fn fig11_packing_survives_fast_path() {
+    for (sched, want_gpus) in [(SchedPolicy::FastPath, 1), (SchedPolicy::DemandMatch, 2)] {
+        let mut p = Platform::new(
+            PlatformConfig::default()
+                .nodes(4)
+                .policy(SharingPolicy::FaST)
+                .scheduler(sched)
+                .seed(1),
+        );
+        p.deploy(
+            FunctionConfig::new("bert", "bert_base")
+                .replicas(2)
+                .resources(50.0, 0.6, 0.6),
+        )
+        .unwrap();
+        p.deploy(
+            FunctionConfig::new("rnnt", "rnnt")
+                .replicas(2)
+                .resources(24.0, 0.4, 0.4),
+        )
+        .unwrap();
+        p.deploy(
+            FunctionConfig::new("resnet", "resnet50")
+                .replicas(4)
+                .resources(12.0, 0.4, 0.4),
+        )
+        .unwrap();
+        assert_eq!(
+            p.gpus_in_use(),
+            want_gpus,
+            "{sched:?} should pack the fig11 set on {want_gpus} GPU(s)"
+        );
+        assert_eq!(p.scheduler_stats().placements, 8, "{sched:?} placements");
+    }
+}
+
+/// Priority co-location spreads latency-critical pods instead of packing
+/// them: full-quota pods (no elastic headroom) land on distinct GPUs.
+#[test]
+fn priority_colocate_spreads_latency_critical() {
+    let mut p = Platform::new(
+        PlatformConfig::default()
+            .nodes(4)
+            .policy(SharingPolicy::FaST)
+            .scheduler(SchedPolicy::PriorityColocate)
+            .seed(6),
+    );
+    p.deploy(
+        FunctionConfig::new("lc", "resnet50")
+            .replicas(3)
+            .resources(25.0, 0.5, 0.5),
+    )
+    .unwrap();
+    assert_eq!(
+        p.gpus_in_use(),
+        3,
+        "latency-critical pods should spread across GPUs"
+    );
+
+    // The same pods under the fast path pack onto one GPU.
+    let mut packed = Platform::new(
+        PlatformConfig::default()
+            .nodes(4)
+            .policy(SharingPolicy::FaST)
+            .scheduler(SchedPolicy::FastPath)
+            .seed(6),
+    );
+    packed
+        .deploy(
+            FunctionConfig::new("lc", "resnet50")
+                .replicas(3)
+                .resources(25.0, 0.5, 0.5),
+        )
+        .unwrap();
+    assert_eq!(packed.gpus_in_use(), 1, "fast path packs the same set");
 }
 
 /// Placement failure surfaces as unschedulable, not a crash.
