@@ -31,56 +31,12 @@
 //! are off): the parity leg still passes — trivially, both runs are
 //! event-by-event — and the headline drops its coalescing-ratio floor.
 
+use fastg_bench::harness::{parse_bin_args, peak_rss_bytes, write_json_report};
 use fastg_bench::{fleet_platform, fleet_sweep_scenario};
 use fastg_des::SimTime;
 use fastg_json::ObjectBuilder;
 use fastgshare::platform::{run_sweep, PlatformConfig, Scenario};
-use std::path::PathBuf;
 use std::time::Instant;
-
-struct Options {
-    quick: bool,
-    out: PathBuf,
-}
-
-fn parse_args() -> Options {
-    let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("BENCH_6.json");
-    let mut opts = Options {
-        quick: false,
-        out: default_out,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => opts.quick = true,
-            "--out" => {
-                let path = args.next().expect("--out needs a file argument");
-                opts.out = PathBuf::from(path);
-            }
-            other => {
-                eprintln!("usage: fleet_baseline [--quick] [--out FILE] (got `{other}`)");
-                std::process::exit(2);
-            }
-        }
-    }
-    opts
-}
-
-/// Peak resident set size (`VmHWM`) in bytes, 0 where `/proc` is absent.
-fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    status
-        .lines()
-        .find_map(|l| l.strip_prefix("VmHWM:"))
-        .and_then(|v| v.trim().strip_suffix("kB"))
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map_or(0, |kb| kb * 1024)
-}
 
 struct FleetRun {
     canonical: String,
@@ -117,7 +73,7 @@ fn sweep_grid(quick: bool) -> Vec<Scenario> {
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = parse_bin_args("fleet_baseline", "BENCH_6.json");
     let ff_enabled = PlatformConfig::default().fastforward;
     let cpus = std::thread::available_parallelism().map_or(1, usize::from);
     let threads_resolved = fastg_par::resolve_threads(None);
@@ -265,9 +221,7 @@ fn main() {
             }
             sweep.field("digests_match", sweep_match).build()
         })
+        .field("peak_rss_bytes", rss)
         .build();
-    let mut text = doc.to_string_pretty();
-    text.push('\n');
-    std::fs::write(&opts.out, text).expect("write BENCH_6.json");
-    println!("wrote {}", opts.out.display());
+    write_json_report(&opts.out, &doc);
 }

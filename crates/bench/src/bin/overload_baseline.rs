@@ -26,41 +26,10 @@
 //! ```
 
 use fastg_bench::flash_crowd_scenario;
+use fastg_bench::harness::{parse_bin_args, peak_rss_bytes, write_json_report};
 use fastg_des::SimTime;
 use fastg_json::ObjectBuilder;
 use fastgshare::platform::{run_sweep, FaultKind, FaultPlan, PlatformReport};
-use std::path::PathBuf;
-
-struct Options {
-    quick: bool,
-    out: PathBuf,
-}
-
-fn parse_args() -> Options {
-    let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("BENCH_5.json");
-    let mut opts = Options {
-        quick: false,
-        out: default_out,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => opts.quick = true,
-            "--out" => {
-                let path = args.next().expect("--out needs a file argument");
-                opts.out = PathBuf::from(path);
-            }
-            other => {
-                eprintln!("usage: overload_baseline [--quick] [--out FILE] (got `{other}`)");
-                std::process::exit(2);
-            }
-        }
-    }
-    opts
-}
 
 const BASE_RPS: f64 = 30.0;
 const PEAK_RPS: f64 = 400.0;
@@ -137,7 +106,7 @@ fn outcome_json(o: &Outcome) -> fastg_json::Value {
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = parse_bin_args("overload_baseline", "BENCH_5.json");
     let seconds = if opts.quick { 15 } else { 30 };
 
     // 1. The headline pair: the same crowd with the plane on and off.
@@ -257,9 +226,7 @@ fn main() {
         )
         .field("determinism_matrix", matrix)
         .field("determinism_all_match", all_match)
+        .field("peak_rss_bytes", peak_rss_bytes())
         .build();
-    let mut text = doc.to_string_pretty();
-    text.push('\n');
-    std::fs::write(&opts.out, text).expect("write BENCH_5.json");
-    println!("wrote {}", opts.out.display());
+    write_json_report(&opts.out, &doc);
 }

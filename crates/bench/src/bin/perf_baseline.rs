@@ -29,45 +29,13 @@
 //! Timing uses best-of-N wall clock, which is robust against scheduler
 //! noise on shared runners.
 
+use fastg_bench::harness::{best_of, parse_bin_args, peak_rss_bytes, write_json_report};
 use fastg_bench::sharing_scenario;
 use fastg_des::SimTime;
 use fastg_json::ObjectBuilder;
 use fastg_workload::ArrivalProcess;
 use fastgshare::manager::SharingPolicy;
 use fastgshare::platform::{run_sweep, FunctionConfig, Platform, PlatformConfig, Scenario};
-use std::path::PathBuf;
-use std::time::Instant;
-
-struct Options {
-    quick: bool,
-    out: PathBuf,
-}
-
-fn parse_args() -> Options {
-    let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("BENCH_4.json");
-    let mut opts = Options {
-        quick: false,
-        out: default_out,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => opts.quick = true,
-            "--out" => {
-                let path = args.next().expect("--out needs a file argument");
-                opts.out = PathBuf::from(path);
-            }
-            other => {
-                eprintln!("usage: perf_baseline [--quick] [--out FILE] (got `{other}`)");
-                std::process::exit(2);
-            }
-        }
-    }
-    opts
-}
 
 /// One `micro_des` run outcome: enough to time it and to prove parity.
 /// Canonical-text rendering happens outside the timed region (the metric
@@ -105,22 +73,6 @@ fn platform_seconds(sim_secs: u64, fastforward: bool) -> MicroRun {
     }
 }
 
-/// Best-of-N wall-clock seconds for `f`, plus its (stable) return value.
-fn best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
-    let mut best = f64::INFINITY;
-    let mut value = None;
-    for _ in 0..repeats {
-        let t0 = Instant::now();
-        let v = f();
-        let dt = t0.elapsed().as_secs_f64();
-        if dt < best {
-            best = dt;
-        }
-        value = Some(v);
-    }
-    (best, value.expect("at least one repeat"))
-}
-
 fn sweep_grid(quick: bool) -> Vec<Scenario> {
     let (models, seconds): (&[&str], u64) = if quick {
         (&["resnet50"], 1)
@@ -145,7 +97,7 @@ fn sweep_grid(quick: bool) -> Vec<Scenario> {
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = parse_bin_args("perf_baseline", "BENCH_4.json");
     let repeats = if opts.quick { 2 } else { 5 };
     let sim_secs = if opts.quick { 5 } else { 20 };
     let cpus = std::thread::available_parallelism().map_or(1, usize::from);
@@ -267,9 +219,7 @@ fn main() {
             }
             sweep.field("digests_match", sweep_match).build()
         })
+        .field("peak_rss_bytes", peak_rss_bytes())
         .build();
-    let mut text = doc.to_string_pretty();
-    text.push('\n');
-    std::fs::write(&opts.out, text).expect("write BENCH_4.json");
-    println!("wrote {}", opts.out.display());
+    write_json_report(&opts.out, &doc);
 }

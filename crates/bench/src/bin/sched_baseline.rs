@@ -22,57 +22,13 @@
 //! sched_baseline --out FILE  # write somewhere else
 //! ```
 
+use fastg_bench::harness::{parse_bin_args, peak_rss_bytes, write_json_report};
 use fastg_bench::{churn_storm, parity_fleet, ChurnOutcome};
 use fastg_des::SimTime;
 use fastg_json::ObjectBuilder;
 use fastgshare::manager::SchedPolicy;
 use fastgshare::scheduler::{ArenaScheduler, NodeSelector, PlacementPolicy, Scheduler};
-use std::path::PathBuf;
 use std::time::Instant;
-
-struct Options {
-    quick: bool,
-    out: PathBuf,
-}
-
-fn parse_args() -> Options {
-    let default_out = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("..")
-        .join("..")
-        .join("BENCH_7.json");
-    let mut opts = Options {
-        quick: false,
-        out: default_out,
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => opts.quick = true,
-            "--out" => {
-                let path = args.next().expect("--out needs a file argument");
-                opts.out = PathBuf::from(path);
-            }
-            other => {
-                eprintln!("usage: sched_baseline [--quick] [--out FILE] (got `{other}`)");
-                std::process::exit(2);
-            }
-        }
-    }
-    opts
-}
-
-/// Peak resident set size (`VmHWM`) in bytes, 0 where `/proc` is absent.
-fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    status
-        .lines()
-        .find_map(|l| l.strip_prefix("VmHWM:"))
-        .and_then(|v| v.trim().strip_suffix("kB"))
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .map_or(0, |kb| kb * 1024)
-}
 
 struct StormRun {
     outcome: ChurnOutcome,
@@ -129,7 +85,7 @@ fn storm_json(name: &str, run: &StormRun) -> fastg_json::Value {
 }
 
 fn main() {
-    let opts = parse_args();
+    let opts = parse_bin_args("sched_baseline", "BENCH_7.json");
 
     // 1. The churn headline: identical op sequences through both
     //    allocators, wall-clock compared.
@@ -226,8 +182,5 @@ fn main() {
         )
         .field("peak_rss_bytes", rss)
         .build();
-    let mut text = doc.to_string_pretty();
-    text.push('\n');
-    std::fs::write(&opts.out, text).expect("write BENCH_7.json");
-    println!("wrote {}", opts.out.display());
+    write_json_report(&opts.out, &doc);
 }

@@ -1,0 +1,130 @@
+//! Shared harness plumbing for the `*_baseline` evidence bins: CLI
+//! parsing, best-of-N wall-clock timing, peak-RSS sampling and the JSON
+//! report tail. Every bin takes the same `--quick` / `--out FILE` pair
+//! and ends by writing one pretty-printed JSON document, so the
+//! boilerplate lives here once instead of being pasted per bin.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The options every baseline bin shares.
+pub struct BinOptions {
+    /// Smaller grids / shorter horizons (the CI smoke leg).
+    pub quick: bool,
+    /// Where the JSON report lands.
+    pub out: PathBuf,
+}
+
+/// The default report path: `<workspace root>/<file>`.
+pub fn default_out(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join(file)
+}
+
+/// Parses the shared `--quick` / `--out FILE` CLI. Unknown arguments
+/// print a usage line naming `bin` and exit with status 2.
+pub fn parse_bin_args(bin: &str, default_out_file: &str) -> BinOptions {
+    let mut opts = BinOptions {
+        quick: false,
+        out: default_out(default_out_file),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => match args.next() {
+                Some(path) => opts.out = PathBuf::from(path),
+                None => {
+                    eprintln!("usage: {bin} [--quick] [--out FILE] (--out needs a file)");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("usage: {bin} [--quick] [--out FILE] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Peak resident set size (`VmHWM`) in bytes, 0 where `/proc` is absent.
+/// Every baseline bin reports this uniformly, so memory regressions show
+/// up in the committed evidence, not just the one bench that happened to
+/// sample it.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Best-of-N wall-clock seconds for `f`, plus its (deterministic, hence
+/// stable across repeats) return value. Min-of-N is robust against
+/// scheduler noise on shared runners.
+pub fn best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let mut value = f();
+    let mut best = t0.elapsed().as_secs_f64();
+    for _ in 1..repeats.max(1) {
+        let t0 = Instant::now();
+        value = f();
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+    }
+    (best, value)
+}
+
+/// Writes the report document as pretty-printed JSON (trailing newline)
+/// and prints the destination. Exits with status 2 on I/O failure.
+pub fn write_json_report(out: &Path, doc: &fastg_json::Value) {
+    let mut text = doc.to_string_pretty();
+    text.push('\n');
+    if let Err(e) = std::fs::write(out, text) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", out.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_returns_last_value_and_min_time() {
+        let mut n = 0u64;
+        let (secs, v) = best_of(3, || {
+            n += 1;
+            n
+        });
+        assert_eq!(v, 3);
+        assert!(secs >= 0.0);
+        // Zero repeats still runs once.
+        let (_, v) = best_of(0, || 7u64);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss > 0, "VmHWM should parse on Linux");
+        }
+    }
+
+    #[test]
+    fn default_out_lands_in_workspace_root() {
+        let p = default_out("BENCH_X.json");
+        assert!(p.ends_with("BENCH_X.json"));
+    }
+}

@@ -16,6 +16,7 @@ use fastgshare::platform::{
 };
 use fastgshare::profiler::{ProfileDb, ProfileKey, ProfileRecord};
 
+pub mod harness;
 pub mod race;
 
 /// Outcome of one saturated sharing run (one function, one node).

@@ -1,5 +1,6 @@
 //! The GPU sharing policies compared in the paper's evaluation.
 
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// How a node's GPU is shared among function pods.
 ///
@@ -110,6 +111,46 @@ impl std::fmt::Display for SchedPolicy {
             SchedPolicy::PriorityColocate => "priority-colocate",
         };
         f.write_str(s)
+    }
+}
+
+impl Snap for SharingPolicy {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            SharingPolicy::Exclusive => 0,
+            SharingPolicy::SingleToken => 1,
+            SharingPolicy::Racing => 2,
+            SharingPolicy::FaST => 3,
+        });
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => SharingPolicy::Exclusive,
+            1 => SharingPolicy::SingleToken,
+            2 => SharingPolicy::Racing,
+            3 => SharingPolicy::FaST,
+            _ => return Err(SnapError::new("sharing policy tag")),
+        })
+    }
+}
+
+impl Snap for SchedPolicy {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            SchedPolicy::Paper => 0,
+            SchedPolicy::FastPath => 1,
+            SchedPolicy::DemandMatch => 2,
+            SchedPolicy::PriorityColocate => 3,
+        });
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => SchedPolicy::Paper,
+            1 => SchedPolicy::FastPath,
+            2 => SchedPolicy::DemandMatch,
+            3 => SchedPolicy::PriorityColocate,
+            _ => return Err(SnapError::new("sched policy tag")),
+        })
     }
 }
 

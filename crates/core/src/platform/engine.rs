@@ -5,6 +5,7 @@ use crate::manager::{
     SharingPolicy,
 };
 use crate::modelshare::{footprint, ModelStorageServer, StoreLib, DEFAULT_CTX_OVERHEAD};
+use crate::platform::checkpoint::Snapshot;
 use crate::platform::config::{FunctionConfig, PlatformConfig};
 use crate::platform::error::PlatformError;
 use crate::platform::faults::FaultKind;
@@ -21,6 +22,7 @@ use fastg_cluster::{
     Cluster, FuncId, FaSTFuncSpec, Gateway, NodeId, NodeState, PodId, PodState, Request,
     RequestId, ResourceSpec,
 };
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use fastg_des::{
     sanitizer, ArenaKey, CancelToken, EventQueue, IdArena, IdSet, SimTime, Simulation, TimeSeries,
     World,
@@ -287,6 +289,24 @@ pub struct Engine {
     trace: Vec<String>,
 }
 
+/// Builds the placement engine a config selects. Factored out of
+/// [`Engine::new`] because snapshot restore must reconstruct the same
+/// engine before handing it its captured state: policy identity is
+/// config, not snapshot payload (see [`Scheduler::snap_state`]).
+fn make_selector(cfg: &PlatformConfig) -> Box<dyn Scheduler> {
+    let time_sharing = matches!(cfg.policy, SharingPolicy::SingleToken);
+    if cfg.sched.uses_arena() {
+        Box::new(ArenaScheduler::new(cfg.sched, time_sharing))
+    } else {
+        let placement = if time_sharing {
+            PlacementPolicy::TimeSharingOnly
+        } else {
+            PlacementPolicy::MaximalRectangles
+        };
+        Box::new(NodeSelector::new(placement))
+    }
+}
+
 impl Engine {
     fn new(cfg: PlatformConfig) -> Self {
         let mut cluster = Cluster::new();
@@ -299,17 +319,7 @@ impl Engine {
             .into_iter()
             .map(|spec| cluster.add_node(spec, mode))
             .collect();
-        let time_sharing = matches!(cfg.policy, SharingPolicy::SingleToken);
-        let mut selector: Box<dyn Scheduler> = if cfg.sched.uses_arena() {
-            Box::new(ArenaScheduler::new(cfg.sched, time_sharing))
-        } else {
-            let placement = if time_sharing {
-                PlacementPolicy::TimeSharingOnly
-            } else {
-                PlacementPolicy::MaximalRectangles
-            };
-            Box::new(NodeSelector::new(placement))
-        };
+        let mut selector = make_selector(&cfg);
         let mut backends = IdArena::new();
         let mut stores = IdArena::new();
         for &n in &nodes {
@@ -2737,6 +2747,587 @@ impl Platform {
     }
 }
 
+// ----- checkpoint / fork ------------------------------------------------
+//
+// Everything below serializes engine state for `Platform::checkpoint`.
+// Every `snap`/`unsnap` body destructures its struct exhaustively (no
+// `..` rest patterns) so adding a field without deciding its snapshot
+// story is a compile error, and the `exhaustive-snapshot-fields` lint
+// rule keeps it that way.
+
+impl Snap for Event {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Event::Arrival(func) => {
+                w.u8(0);
+                func.snap(w);
+            }
+            Event::HostDone(pod) => {
+                w.u8(1);
+                pod.snap(w);
+            }
+            Event::KernelFinish(node, kernel) => {
+                w.u8(2);
+                node.snap(w);
+                kernel.snap(w);
+            }
+            Event::BurstFastForward(node, pod) => {
+                w.u8(3);
+                node.snap(w);
+                pod.snap(w);
+            }
+            Event::WindowReset(node) => {
+                w.u8(4);
+                node.snap(w);
+            }
+            Event::ScaleTick => w.u8(5),
+            Event::MetricsSample => w.u8(6),
+            Event::Fault(index) => {
+                w.u8(7);
+                w.len_prefix(*index);
+            }
+            Event::HealthTick => w.u8(8),
+            Event::RequestTimeout(func, id) => {
+                w.u8(9);
+                func.snap(w);
+                id.snap(w);
+            }
+            Event::BreakerTick => w.u8(10),
+            Event::Dispatch(node) => {
+                w.u8(11);
+                node.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Event::Arrival(FuncId::unsnap(r)?),
+            1 => Event::HostDone(PodId::unsnap(r)?),
+            2 => Event::KernelFinish(NodeId::unsnap(r)?, KernelId::unsnap(r)?),
+            3 => Event::BurstFastForward(NodeId::unsnap(r)?, PodId::unsnap(r)?),
+            4 => Event::WindowReset(NodeId::unsnap(r)?),
+            5 => Event::ScaleTick,
+            6 => Event::MetricsSample,
+            7 => Event::Fault(r.len_prefix()?),
+            8 => Event::HealthTick,
+            9 => Event::RequestTimeout(FuncId::unsnap(r)?, RequestId::unsnap(r)?),
+            10 => Event::BreakerTick,
+            11 => Event::Dispatch(NodeId::unsnap(r)?),
+            // A match over the wire tag, not over `Event`: the wildcard
+            // is the mandatory invalid-byte error path.
+            // fastg-lint: allow(exhaustive-event-match)
+            _ => return Err(SnapError::new("event tag")),
+        })
+    }
+}
+
+impl Snap for FuncRt {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            spec,
+            model,
+            resources,
+            slo,
+            completions,
+            load,
+            saturate,
+            replica_series,
+            desired_replicas,
+            outage_since,
+            backoff_exp,
+            backoff_until,
+            recoveries,
+            service_est,
+            goodput,
+            wasted_service,
+            browned_out,
+            breaker,
+            arrival_token,
+            normal_resources,
+        } = self;
+        spec.snap(w);
+        model.snap(w);
+        resources.snap(w);
+        slo.snap(w);
+        completions.snap(w);
+        load.snap(w);
+        w.bool(*saturate);
+        replica_series.snap(w);
+        w.len_prefix(*desired_replicas);
+        outage_since.snap(w);
+        w.u32(*backoff_exp);
+        backoff_until.snap(w);
+        recoveries.snap(w);
+        service_est.snap(w);
+        goodput.snap(w);
+        wasted_service.snap(w);
+        w.u64(*browned_out);
+        breaker.snap(w);
+        arrival_token.snap(w);
+        normal_resources.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FuncRt {
+            spec: FaSTFuncSpec::unsnap(r)?,
+            model: Arc::unsnap(r)?,
+            resources: ResourceSpec::unsnap(r)?,
+            slo: SloTracker::unsnap(r)?,
+            completions: RateMeter::unsnap(r)?,
+            load: Option::unsnap(r)?,
+            saturate: r.bool()?,
+            replica_series: TimeSeries::unsnap(r)?,
+            desired_replicas: r.len_prefix()?,
+            outage_since: Option::unsnap(r)?,
+            backoff_exp: r.u32()?,
+            backoff_until: SimTime::unsnap(r)?,
+            recoveries: Vec::unsnap(r)?,
+            service_est: BurstEstimator::unsnap(r)?,
+            goodput: RateMeter::unsnap(r)?,
+            wasted_service: SimTime::unsnap(r)?,
+            browned_out: r.u64()?,
+            breaker: CircuitBreaker::unsnap(r)?,
+            arrival_token: Option::unsnap(r)?,
+            normal_resources: ResourceSpec::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for ArmedCycle {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            pod,
+            arrival,
+            completion,
+            busy,
+            occ_raw,
+            kernels,
+            client_busy,
+            q_used,
+            epochs,
+            tokens,
+            events,
+        } = self;
+        pod.snap(w);
+        arrival.snap(w);
+        completion.snap(w);
+        busy.snap(w);
+        w.f64(*occ_raw);
+        w.u64(*kernels);
+        client_busy.snap(w);
+        q_used.snap(w);
+        w.u64(*epochs);
+        w.u64(*tokens);
+        w.u64(*events);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ArmedCycle {
+            pod: PodId::unsnap(r)?,
+            arrival: SimTime::unsnap(r)?,
+            completion: SimTime::unsnap(r)?,
+            busy: SimTime::unsnap(r)?,
+            occ_raw: r.f64()?,
+            kernels: r.u64()?,
+            client_busy: SimTime::unsnap(r)?,
+            q_used: SimTime::unsnap(r)?,
+            epochs: r.u64()?,
+            tokens: r.u64()?,
+            events: r.u64()?,
+        })
+    }
+}
+
+impl Snap for SteadyCycle {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            func,
+            pod,
+            client,
+            gap,
+            latency,
+            next_arrival,
+            met,
+            d_busy,
+            d_occ_raw,
+            d_kernels,
+            d_client_busy,
+            d_q_used,
+            d_epochs,
+            d_tokens,
+            cycle_events,
+        } = self;
+        func.snap(w);
+        pod.snap(w);
+        client.snap(w);
+        gap.snap(w);
+        latency.snap(w);
+        next_arrival.snap(w);
+        w.bool(*met);
+        d_busy.snap(w);
+        w.f64(*d_occ_raw);
+        w.u64(*d_kernels);
+        d_client_busy.snap(w);
+        d_q_used.snap(w);
+        w.u64(*d_epochs);
+        w.u64(*d_tokens);
+        w.u64(*cycle_events);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cycle = SteadyCycle {
+            func: FuncId::unsnap(r)?,
+            pod: PodId::unsnap(r)?,
+            client: ClientId::unsnap(r)?,
+            gap: SimTime::unsnap(r)?,
+            latency: SimTime::unsnap(r)?,
+            next_arrival: SimTime::unsnap(r)?,
+            met: r.bool()?,
+            d_busy: SimTime::unsnap(r)?,
+            d_occ_raw: r.f64()?,
+            d_kernels: r.u64()?,
+            d_client_busy: SimTime::unsnap(r)?,
+            d_q_used: SimTime::unsnap(r)?,
+            d_epochs: r.u64()?,
+            d_tokens: r.u64()?,
+            cycle_events: r.u64()?,
+        };
+        // A steady template requires gap > latency (the queue is provably
+        // always empty); an encoding violating that is corrupt.
+        if cycle.gap <= cycle.latency {
+            return Err(SnapError::new("steady cycle gap"));
+        }
+        Ok(cycle)
+    }
+}
+
+impl Snap for NodePhase {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            NodePhase::Inactive => w.u8(0),
+            NodePhase::Armed(cycle) => {
+                w.u8(1);
+                cycle.snap(w);
+            }
+            NodePhase::Steady(cycle) => {
+                w.u8(2);
+                cycle.snap(w);
+            }
+            NodePhase::Resuming { cycle, expect } => {
+                w.u8(3);
+                cycle.snap(w);
+                expect.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => NodePhase::Inactive,
+            1 => NodePhase::Armed(ArmedCycle::unsnap(r)?),
+            2 => NodePhase::Steady(SteadyCycle::unsnap(r)?),
+            3 => NodePhase::Resuming {
+                cycle: SteadyCycle::unsnap(r)?,
+                expect: SimTime::unsnap(r)?,
+            },
+            _ => return Err(SnapError::new("node phase tag")),
+        })
+    }
+}
+
+impl ActiveReq {
+    /// Encodes the request plus its inference cursor. The model profile
+    /// itself is *not* written — checkpoints of a fleet hold one profile
+    /// copy per function, not one per in-flight request — so decode takes
+    /// the owning function's profile as context.
+    fn snap_state(&self, w: &mut SnapWriter) {
+        let Self {
+            req,
+            started,
+            run,
+            pending_stage,
+            outstanding,
+            burst_gpu_time,
+            waiting_token,
+            ff,
+        } = self;
+        req.snap(w);
+        started.snap(w);
+        run.snap_cursor(w);
+        pending_stage.snap(w);
+        w.len_prefix(*outstanding);
+        burst_gpu_time.snap(w);
+        w.bool(*waiting_token);
+        ff.snap(w);
+    }
+
+    fn unsnap_state(
+        r: &mut SnapReader<'_>,
+        profile: &Arc<ModelProfile>,
+    ) -> Result<Self, SnapError> {
+        let req = Request::unsnap(r)?;
+        let started = SimTime::unsnap(r)?;
+        let run = InferenceRun::unsnap_cursor(r, Arc::clone(profile))?;
+        let pending_stage = Option::unsnap(r)?;
+        if pending_stage.is_some_and(|s: usize| s >= profile.stages.len()) {
+            return Err(SnapError::new("active request pending stage"));
+        }
+        Ok(ActiveReq {
+            req,
+            started,
+            run,
+            pending_stage,
+            outstanding: r.len_prefix()?,
+            burst_gpu_time: SimTime::unsnap(r)?,
+            waiting_token: r.bool()?,
+            ff: Option::unsnap(r)?,
+        })
+    }
+}
+
+impl PodRt {
+    fn snap_state(&self, w: &mut SnapWriter) {
+        let Self {
+            func,
+            node,
+            client,
+            active,
+            storelib,
+            bound_rect,
+            zombie,
+        } = self;
+        func.snap(w);
+        node.snap(w);
+        client.snap(w);
+        match active {
+            Some(a) => {
+                w.u8(1);
+                a.snap_state(w);
+            }
+            None => w.u8(0),
+        }
+        storelib.snap(w);
+        w.bool(*bound_rect);
+        zombie.snap(w);
+    }
+
+    /// Decodes one pod, resolving its active request's model profile
+    /// through the (already decoded) function table.
+    fn unsnap_state(
+        r: &mut SnapReader<'_>,
+        funcs: &IdArena<FuncId, FuncRt>,
+    ) -> Result<Self, SnapError> {
+        let func = FuncId::unsnap(r)?;
+        let node = NodeId::unsnap(r)?;
+        let client = ClientId::unsnap(r)?;
+        let active = match r.u8()? {
+            0 => None,
+            1 => {
+                let profile = funcs
+                    .get(func)
+                    .map(|f| Arc::clone(&f.model))
+                    .ok_or(SnapError::new("pod function binding"))?;
+                Some(ActiveReq::unsnap_state(r, &profile)?)
+            }
+            _ => return Err(SnapError::new("pod active tag")),
+        };
+        Ok(PodRt {
+            func,
+            node,
+            client,
+            active,
+            storelib: Option::unsnap(r)?,
+            bound_rect: r.bool()?,
+            zombie: Option::unsnap(r)?,
+        })
+    }
+}
+
+impl Engine {
+    /// Serializes the complete engine state. Scratch buffers
+    /// (`burst_scratch`, `started_scratch`) are recycling caches with no
+    /// semantic content between events; they restore empty.
+    fn snap_state(&self, w: &mut SnapWriter) {
+        let Self {
+            cfg,
+            cluster,
+            gateway,
+            backends,
+            stores,
+            selector,
+            funcs,
+            pods,
+            autoscale_db,
+            next_func,
+            next_synth,
+            unschedulable,
+            killed,
+            faults_injected,
+            ff_bursts,
+            ff_coalesced_kernels,
+            burst_scratch: _,
+            started_scratch: _,
+            dispatch_pending,
+            node_phase,
+            node_events,
+            ff_cluster_cycles,
+            ff_cluster_events_coalesced,
+            trace,
+        } = self;
+        cfg.snap(w);
+        cluster.snap(w);
+        gateway.snap(w);
+        backends.snap(w);
+        stores.snap(w);
+        selector.snap_state(w);
+        funcs.snap(w);
+        pods.snap_with(w, |pod, w| pod.snap_state(w));
+        autoscale_db.snap(w);
+        w.u32(*next_func);
+        w.u64(*next_synth);
+        w.u64(*unschedulable);
+        w.u64(*killed);
+        w.u64(*faults_injected);
+        w.u64(*ff_bursts);
+        w.u64(*ff_coalesced_kernels);
+        dispatch_pending.snap(w);
+        node_phase.snap(w);
+        node_events.snap(w);
+        w.u64(*ff_cluster_cycles);
+        w.u64(*ff_cluster_events_coalesced);
+        trace.snap(w);
+    }
+
+    /// Rebuilds an engine from [`Self::snap_state`] output. The scheduler
+    /// is reconstructed from the decoded config (policy identity is not
+    /// part of the payload) and then handed its captured planes.
+    fn unsnap_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let cfg = PlatformConfig::unsnap(r)?;
+        let cluster = Cluster::unsnap(r)?;
+        let gateway = Gateway::unsnap(r)?;
+        let backends: IdArena<NodeId, FastBackend> = IdArena::unsnap(r)?;
+        let stores: IdArena<NodeId, ModelStorageServer> = IdArena::unsnap(r)?;
+        let mut selector = make_selector(&cfg);
+        selector.restore_state(r)?;
+        let funcs: IdArena<FuncId, FuncRt> = IdArena::unsnap(r)?;
+        let pods = IdArena::unsnap_with(r, |_, r| PodRt::unsnap_state(r, &funcs))?;
+        let autoscale_db = Option::unsnap(r)?;
+        let next_func = r.u32()?;
+        let next_synth = r.u64()?;
+        let unschedulable = r.u64()?;
+        let killed = r.u64()?;
+        let faults_injected = r.u64()?;
+        let ff_bursts = r.u64()?;
+        let ff_coalesced_kernels = r.u64()?;
+        let dispatch_pending = IdSet::unsnap(r)?;
+        let node_phase: Vec<NodePhase> = Vec::unsnap(r)?;
+        let node_events: Vec<u64> = Vec::unsnap(r)?;
+        let ff_cluster_cycles = r.u64()?;
+        let ff_cluster_events_coalesced = r.u64()?;
+        let trace = Vec::unsnap(r)?;
+        let nodes = cluster.node_ids().len();
+        if node_phase.len() != nodes || node_events.len() != nodes {
+            return Err(SnapError::new("engine node tables"));
+        }
+        if backends.len() != nodes || stores.len() != nodes {
+            return Err(SnapError::new("engine per-node services"));
+        }
+        Ok(Engine {
+            cfg,
+            cluster,
+            gateway,
+            backends,
+            stores,
+            selector,
+            funcs,
+            pods,
+            autoscale_db,
+            next_func,
+            next_synth,
+            unschedulable,
+            killed,
+            faults_injected,
+            ff_bursts,
+            ff_coalesced_kernels,
+            burst_scratch: Vec::new(),
+            started_scratch: Vec::new(),
+            dispatch_pending,
+            node_phase,
+            node_events,
+            ff_cluster_cycles,
+            ff_cluster_events_coalesced,
+            trace,
+        })
+    }
+}
+
+impl Platform {
+    /// Captures the complete platform — driver clock, engine state, event
+    /// queue — as a versioned, immutable [`Snapshot`].
+    ///
+    /// The capture is exact, not a quiesced approximation: steady
+    /// fast-forward phases, in-flight requests, pending cancellable
+    /// events and RNG states are all carried verbatim, so a platform
+    /// restored from the snapshot replays the future byte-identically
+    /// (equal [`PlatformReport::digest`]) to this one running on.
+    pub fn checkpoint(&self) -> Snapshot {
+        let mut w = SnapWriter::new();
+        self.sim.now().snap(&mut w);
+        w.u64(self.sim.events_handled());
+        self.sim.world().snap_state(&mut w);
+        self.sim.queue().snap_state(&mut w);
+        Snapshot::seal(w.finish())
+    }
+
+    /// Builds a platform from a [`Snapshot`], the warm-resume entry point
+    /// of prefix-shared sweeps: simulate common warmup once, checkpoint,
+    /// then fan every treatment cell out from the shared snapshot.
+    ///
+    /// The snapshot carries the resolved [`PlatformConfig`], so restore
+    /// is environment-independent: `FASTG_*` variables set at restore
+    /// time do not alter a snapshot taken under different ones.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Result<Self, SnapError> {
+        let mut r = SnapReader::new(snapshot.payload()?);
+        let now = SimTime::unsnap(&mut r)?;
+        let handled = r.u64()?;
+        let engine = Engine::unsnap_state(&mut r)?;
+        let mut sim = Simulation::new(engine);
+        {
+            let (world, queue, _) = sim.parts_mut();
+            // The classifier is a function pointer (not serializable);
+            // reinstall it before the queue refills. The tie-break policy
+            // and sequence counter come from the snapshot itself.
+            queue.set_classifier(|e: &Event| e.class());
+            queue.restore_state(&mut r)?;
+            if let Some(cap) = world.cfg.event_capacity {
+                queue.reserve(cap);
+            }
+        }
+        r.expect_done()?;
+        sim.restore_clock(now, handled);
+        if sanitizer::active() {
+            let (world, queue, _) = sim.parts_mut();
+            sanitizer::set_run_context(sanitizer::RunContext {
+                seed: world.cfg.seed,
+                tiebreak: queue.tiebreak(),
+                fastforward: world.cfg.fastforward,
+            });
+        }
+        Ok(Platform { sim })
+    }
+
+    /// Replaces this platform's entire state with the snapshot's
+    /// (successive-halving rewinds survivors this way in place).
+    pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapError> {
+        *self = Self::from_snapshot(snapshot)?;
+        Ok(())
+    }
+
+    /// A deep, independent copy of this platform, cloned through the
+    /// snapshot path: the fork shares nothing with the original, so
+    /// dropping either frees its arenas outright — eliminated sweep
+    /// branches actually return their memory.
+    pub fn fork(&self) -> Result<Self, SnapError> {
+        Self::from_snapshot(&self.checkpoint())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2757,6 +3348,70 @@ mod tests {
             )
             .unwrap();
         (p, f)
+    }
+
+    #[test]
+    fn checkpoint_restore_digest_parity() {
+        // Straight-through run.
+        let (mut straight, f) = resnet_platform(SharingPolicy::FaST);
+        straight.set_load(f, ArrivalProcess::poisson(30.0, 3));
+        straight.run_for(SimTime::from_secs(2));
+        let baseline = straight.run_for(SimTime::from_secs(3));
+
+        // Same scenario, checkpointed mid-run and resumed in a fresh
+        // platform: the tail must be byte-identical.
+        let (mut p, f) = resnet_platform(SharingPolicy::FaST);
+        p.set_load(f, ArrivalProcess::poisson(30.0, 3));
+        p.run_for(SimTime::from_secs(2));
+        let snap = p.checkpoint();
+        let mut resumed = Platform::from_snapshot(&snap).unwrap();
+        assert_eq!(resumed.now(), p.now());
+        assert_eq!(resumed.events_handled(), p.events_handled());
+        let replayed = resumed.run_for(SimTime::from_secs(3));
+        assert_eq!(replayed.digest(), baseline.digest());
+
+        // The checkpointed original, running on, agrees too.
+        let continued = p.run_for(SimTime::from_secs(3));
+        assert_eq!(continued.digest(), baseline.digest());
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut p = Platform::new(PlatformConfig::default().nodes(1).seed(9));
+        let f = p
+            .deploy(
+                FunctionConfig::new("forked", "resnet50")
+                    .slo_ms(200)
+                    .replicas(1)
+                    .resources(25.0, 0.25, 0.25),
+            )
+            .unwrap();
+        p.set_load(f, ArrivalProcess::poisson(25.0, 9));
+        p.run_for(SimTime::from_secs(1));
+        let mut fork = p.fork().unwrap();
+        // Diverge the fork; the original must not notice.
+        fork.scale_to(f, 3);
+        fork.run_for(SimTime::from_secs(1));
+        let before = p.events_handled();
+        let r1 = p.run_for(SimTime::from_secs(1));
+        assert!(p.events_handled() > before);
+        assert_eq!(p.replicas(f), 1);
+        assert_eq!(fork.replicas(f), 3);
+        assert!(r1.functions[&f].completed > 0);
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip_through_container() {
+        let (mut p, f) = resnet_platform(SharingPolicy::FaST);
+        p.set_load(f, ArrivalProcess::constant(20.0));
+        p.run_for(SimTime::from_secs(1));
+        let snap = p.checkpoint();
+        let reopened = Snapshot::from_bytes(snap.as_bytes().to_vec()).unwrap();
+        let a = Platform::from_snapshot(&snap).unwrap().run_for(SimTime::from_secs(2));
+        let b = Platform::from_snapshot(&reopened)
+            .unwrap()
+            .run_for(SimTime::from_secs(2));
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::modelshare::ShareError;
 use fastg_cluster::ClusterError;
+use fastg_des::snap::SnapError;
 use fastg_gpu::MpsError;
 
 /// Why a platform control-plane operation failed.
@@ -30,6 +31,15 @@ pub enum PlatformError {
     Internal(&'static str),
     /// A parallel sweep worker failed (panic captured by `fastg-par`).
     Worker(fastg_par::ParError),
+    /// A checkpoint could not be decoded (truncated, version-mismatched
+    /// or corrupt snapshot bytes).
+    Snapshot(SnapError),
+}
+
+impl From<SnapError> for PlatformError {
+    fn from(e: SnapError) -> Self {
+        PlatformError::Snapshot(e)
+    }
 }
 
 impl From<fastg_par::ParError> for PlatformError {
@@ -67,6 +77,7 @@ impl std::fmt::Display for PlatformError {
             PlatformError::Share(e) => write!(f, "model sharing: {e}"),
             PlatformError::Internal(what) => write!(f, "internal: {what}"),
             PlatformError::Worker(e) => write!(f, "sweep worker: {e}"),
+            PlatformError::Snapshot(e) => write!(f, "snapshot: {e}"),
         }
     }
 }

@@ -16,6 +16,7 @@
 //!   time, Heuristic Scaling in the control loop),
 //! * per-function load generators, SLO trackers and throughput meters.
 
+pub mod checkpoint;
 pub mod config;
 pub mod csv;
 pub mod engine;
@@ -26,6 +27,7 @@ pub mod policy_compare;
 pub mod report;
 pub mod sweep;
 
+pub use checkpoint::{Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use config::{FunctionConfig, PlatformConfig};
 pub use fastg_des::TieBreak;
 pub use engine::Platform;
@@ -34,6 +36,8 @@ pub use overload::{BreakerState, CircuitBreaker, OverloadConfig};
 pub use policy_compare::{
     run_policy_cell, run_policy_grid, standard_grid, CompareReport, CompareScenario, PolicyCell,
 };
-pub use sweep::{run_sweep, Scenario};
+pub use sweep::{
+    run_sweep, run_sweep_stats, run_sweep_unshared, Scenario, SweepStats, TreatmentAction,
+};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use report::{FunctionReport, NodeReport, PlatformReport};

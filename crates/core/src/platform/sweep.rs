@@ -1,21 +1,82 @@
-//! Named scenario grids executed in parallel.
+//! Named scenario grids executed in parallel, with prefix-shared warmup.
 //!
 //! A [`Scenario`] is a self-contained recipe for one deterministic
-//! platform run: config, function set, open-loop loads and a duration.
-//! [`run_sweep`] fans a grid of scenarios out over `fastg-par` worker
-//! threads and returns the reports **in input order**, so the output —
-//! and every digest derived from it — is byte-identical no matter how
-//! many threads execute it (including the `threads = 1` sequential
-//! path). Determinism holds because each scenario owns its entire
-//! simulation: no state is shared between workers, and result slots are
-//! indexed by input position, not completion order.
+//! platform run: config, function set, open-loop loads, an optional
+//! shared warmup + treatment split, and a duration. [`run_sweep`] fans a
+//! grid of scenarios out over `fastg-par` worker threads and returns the
+//! reports **in input order**, so the output — and every digest derived
+//! from it — is byte-identical no matter how many threads execute it
+//! (including the `threads = 1` sequential path).
+//!
+//! # Prefix-shared execution
+//!
+//! Treatment grids (same cluster, same functions, same load, different
+//! post-warmup knob per cell) re-simulate the identical warmup once per
+//! cell when run naively. [`run_sweep`] factors the grid into a
+//! shared-prefix tree instead: scenarios whose `(config, functions,
+//! loads, shared_warmup)` encode to the same bytes form one group, the
+//! group's warmup is simulated **once**, checkpointed via
+//! [`Platform::checkpoint`], and every cell restores from the immutable,
+//! shared [`Snapshot`] before applying its [`TreatmentAction`]s and
+//! running its measured window. Because restore-then-run is
+//! byte-identical to running straight through (see
+//! [`checkpoint`](crate::platform::checkpoint)), factoring changes
+//! wall-clock time only, never results — [`run_sweep_unshared`] is the
+//! reference path the benches diff digests against.
 
+use crate::platform::checkpoint::Snapshot;
 use crate::platform::config::{FunctionConfig, PlatformConfig};
 use crate::platform::engine::Platform;
 use crate::platform::error::PlatformError;
 use crate::platform::report::PlatformReport;
-use fastg_des::SimTime;
+use fastg_cluster::FuncId;
+use fastg_des::snap::{Snap, SnapWriter};
+use fastg_des::{ArenaKey, SimTime};
 use fastg_workload::ArrivalProcess;
+// Prefix grouping is a once-per-sweep cold path keyed by encoded bytes;
+// an ordered map keeps group discovery order-deterministic without a
+// hasher. fastg-lint: allow(no-btreemap-hot-path)
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deterministic post-warmup mutation: the *treatment* a grid cell
+/// applies after the shared prefix, before its measured window.
+#[derive(Debug, Clone)]
+pub enum TreatmentAction {
+    /// Live-reconfigure the `func_index`-th function's resources.
+    Reconfigure {
+        /// Index into [`Scenario::functions`].
+        func_index: usize,
+        /// New SM partition percentage.
+        sm_partition: f64,
+        /// New guaranteed window fraction.
+        quota_request: f64,
+        /// New maximum window fraction.
+        quota_limit: f64,
+    },
+    /// Reconcile the `func_index`-th function to a replica count.
+    ScaleTo {
+        /// Index into [`Scenario::functions`].
+        func_index: usize,
+        /// Target replica count.
+        replicas: usize,
+    },
+    /// Replace the `func_index`-th function's arrival process.
+    SetLoad {
+        /// Index into [`Scenario::functions`].
+        func_index: usize,
+        /// The new open-loop process.
+        process: ArrivalProcess,
+    },
+    /// Crash the first `count` running pods of the `func_index`-th
+    /// function (chaos cells).
+    KillPods {
+        /// Index into [`Scenario::functions`].
+        func_index: usize,
+        /// How many pods to crash.
+        count: usize,
+    },
+}
 
 /// One named, self-contained platform run.
 #[derive(Debug, Clone)]
@@ -28,7 +89,15 @@ pub struct Scenario {
     pub functions: Vec<FunctionConfig>,
     /// Open-loop arrival processes keyed by index into `functions`.
     pub loads: Vec<(usize, ArrivalProcess)>,
-    /// Simulated time to run before reporting.
+    /// Simulated warmup run *before* the treatment. Scenarios that agree
+    /// on `(config, functions, loads, shared_warmup)` share one warmup
+    /// simulation under [`run_sweep`]. Zero (the default) disables
+    /// sharing for this scenario.
+    pub shared_warmup: SimTime,
+    /// Post-warmup mutations applied between the shared prefix and the
+    /// measured window.
+    pub treatment: Vec<TreatmentAction>,
+    /// Simulated time to run *after* warmup + treatment before reporting.
     pub duration: SimTime,
 }
 
@@ -41,6 +110,8 @@ impl Scenario {
             config,
             functions: Vec::new(),
             loads: Vec::new(),
+            shared_warmup: SimTime::ZERO,
+            treatment: Vec::new(),
             duration: SimTime::from_secs(1),
         }
     }
@@ -57,14 +128,45 @@ impl Scenario {
         self
     }
 
-    /// Sets the simulated run duration.
+    /// Sets the shareable warmup prefix (see [`Self::shared_warmup`]).
+    pub fn warmup(mut self, warmup: SimTime) -> Self {
+        self.shared_warmup = warmup;
+        self
+    }
+
+    /// Appends a post-warmup treatment action.
+    pub fn then(mut self, action: TreatmentAction) -> Self {
+        self.treatment.push(action);
+        self
+    }
+
+    /// Sets the simulated run duration (the measured window).
     pub fn duration(mut self, duration: SimTime) -> Self {
         self.duration = duration;
         self
     }
 
+    /// The scenario's prefix identity: the byte encoding of everything
+    /// that happens *before* the treatment. Two scenarios with equal
+    /// keys are guaranteed to simulate identical warmups — the encoding
+    /// covers the full resolved config (seed, tie-break, fault plan…),
+    /// every function, every load (including its RNG seed state) and
+    /// the warmup length itself.
+    pub fn prefix_key(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.config.snap(&mut w);
+        self.functions.snap(&mut w);
+        w.len_prefix(self.loads.len());
+        for (index, process) in &self.loads {
+            w.len_prefix(*index);
+            process.snap(&mut w);
+        }
+        self.shared_warmup.snap(&mut w);
+        w.finish()
+    }
+
     /// Builds the platform, deploys every function, attaches loads and
-    /// runs to completion.
+    /// runs warmup + treatment + measured window to completion.
     pub fn run(self) -> Result<PlatformReport, PlatformError> {
         self.run_traced().map(|(report, _)| report)
     }
@@ -74,35 +176,205 @@ impl Scenario {
     /// detector uses this to delta-debug a digest divergence to the first
     /// differently-ordered event.
     pub fn run_traced(self) -> Result<(PlatformReport, Vec<String>), PlatformError> {
-        let mut platform = Platform::new(self.config);
-        let mut ids = Vec::with_capacity(self.functions.len());
-        for fc in self.functions {
-            ids.push(platform.deploy(fc)?);
+        let (mut platform, ids) = build_prefix(&self.config, &self.functions, &self.loads)?;
+        if self.shared_warmup > SimTime::ZERO {
+            platform.run_for(self.shared_warmup);
         }
-        for (index, process) in self.loads {
-            let Some(&func) = ids.get(index) else {
-                return Err(PlatformError::UnknownFunction);
-            };
-            platform.set_load(func, process);
-        }
+        apply_treatment(&mut platform, &ids, &self.treatment)?;
         let report = platform.run_for(self.duration);
         Ok((report, platform.event_trace().to_vec()))
     }
+
+    /// Resumes this scenario's cell from a shared warmup snapshot:
+    /// restore, apply the treatment, run the measured window.
+    fn run_from_snapshot(self, snap: &Snapshot) -> Result<PlatformReport, PlatformError> {
+        let mut platform = Platform::from_snapshot(snap)?;
+        // Functions deploy in order onto a fresh platform, so ids are
+        // dense from zero; the snapshot preserves that numbering.
+        let ids: Vec<FuncId> = (0..self.functions.len())
+            .map(FuncId::from_index)
+            .collect();
+        apply_treatment(&mut platform, &ids, &self.treatment)?;
+        Ok(platform.run_for(self.duration))
+    }
+}
+
+/// Builds a platform, deploys `functions` in order and attaches `loads`.
+fn build_prefix(
+    config: &PlatformConfig,
+    functions: &[FunctionConfig],
+    loads: &[(usize, ArrivalProcess)],
+) -> Result<(Platform, Vec<FuncId>), PlatformError> {
+    let mut platform = Platform::new(config.clone());
+    let mut ids = Vec::with_capacity(functions.len());
+    for fc in functions {
+        ids.push(platform.deploy(fc.clone())?);
+    }
+    for (index, process) in loads {
+        let Some(&func) = ids.get(*index) else {
+            return Err(PlatformError::UnknownFunction);
+        };
+        platform.set_load(func, process.clone());
+    }
+    Ok((platform, ids))
+}
+
+/// Applies treatment actions in order.
+fn apply_treatment(
+    platform: &mut Platform,
+    ids: &[FuncId],
+    actions: &[TreatmentAction],
+) -> Result<(), PlatformError> {
+    let resolve = |index: usize| ids.get(index).copied().ok_or(PlatformError::UnknownFunction);
+    for action in actions {
+        match action {
+            TreatmentAction::Reconfigure {
+                func_index,
+                sm_partition,
+                quota_request,
+                quota_limit,
+            } => {
+                platform.reconfigure(
+                    resolve(*func_index)?,
+                    *sm_partition,
+                    *quota_request,
+                    *quota_limit,
+                )?;
+            }
+            TreatmentAction::ScaleTo {
+                func_index,
+                replicas,
+            } => platform.scale_to(resolve(*func_index)?, *replicas),
+            TreatmentAction::SetLoad {
+                func_index,
+                process,
+            } => platform.set_load(resolve(*func_index)?, process.clone()),
+            TreatmentAction::KillPods { func_index, count } => {
+                let func = resolve(*func_index)?;
+                for pod in platform.pods_of(func).into_iter().take(*count) {
+                    platform.kill_pod(pod);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// What prefix factoring saved in one [`run_sweep`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Distinct warmup prefixes simulated once and shared.
+    pub prefixes_shared: usize,
+    /// Cells that resumed from a shared snapshot instead of replaying
+    /// their own warmup.
+    pub cells_resumed: usize,
+    /// Total simulated warmup time the sharing avoided (the sum of
+    /// `shared_warmup` over resumed cells, minus the one run per group).
+    pub warmup_avoided: SimTime,
+}
+
+/// One unit of sweep work after factoring.
+enum Cell {
+    /// Run the whole scenario in one worker (unique prefix, or sharing
+    /// disabled).
+    Straight(Scenario),
+    /// Restore the shared warmup snapshot, then treat + measure.
+    Resume(Scenario, Arc<Snapshot>),
 }
 
 /// Runs every scenario, `threads` at a time, returning `(name, report)`
-/// pairs in the same order as the input grid. `threads = 1` is exactly
-/// the sequential loop; any other count produces byte-identical reports
-/// (see module docs). The first failing scenario's error is returned,
-/// and a worker panic surfaces as [`PlatformError::Worker`].
+/// pairs in the same order as the input grid, with shared warmup
+/// prefixes simulated once (see the module docs). `threads = 1` is
+/// exactly the sequential loop; any other count produces byte-identical
+/// reports. The first failing scenario's error is returned, and a
+/// worker panic surfaces as [`PlatformError::Worker`].
 pub fn run_sweep(
+    scenarios: Vec<Scenario>,
+    threads: usize,
+) -> Result<Vec<(String, PlatformReport)>, PlatformError> {
+    run_sweep_stats(scenarios, threads).map(|(results, _)| results)
+}
+
+/// [`run_sweep`] without prefix factoring: every scenario replays its
+/// own warmup. Same results, more wall-clock — this is the reference
+/// path the benches diff digests against to prove factoring is exact.
+pub fn run_sweep_unshared(
     scenarios: Vec<Scenario>,
     threads: usize,
 ) -> Result<Vec<(String, PlatformReport)>, PlatformError> {
     fastg_par::try_par_map(scenarios, threads, |_, scenario| {
         let name = scenario.name.clone();
-        Ok((name, scenario.run()?))
+        Ok::<_, PlatformError>((name, scenario.run()?))
     })
+}
+
+/// [`run_sweep`], also reporting how much work prefix sharing avoided.
+pub fn run_sweep_stats(
+    scenarios: Vec<Scenario>,
+    threads: usize,
+) -> Result<(Vec<(String, PlatformReport)>, SweepStats), PlatformError> {
+    // Group scenarios by prefix identity. Only scenarios that opted into
+    // a warmup can share; groups of one gain nothing and run straight.
+    let mut groups: BTreeMap<Vec<u8>, Vec<usize>> = BTreeMap::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        if s.shared_warmup > SimTime::ZERO {
+            groups.entry(s.prefix_key()).or_default().push(i);
+        }
+    }
+    groups.retain(|_, members| members.len() >= 2);
+
+    // Simulate each shared prefix once (groups fan out over the same
+    // worker pool) and seal the result into an immutable snapshot.
+    let prefix_jobs: Vec<(Vec<usize>, Scenario)> = groups
+        .into_values()
+        .map(|members| {
+            let template = scenarios[members[0]].clone();
+            (members, template)
+        })
+        .collect();
+    let mut stats = SweepStats::default();
+    let snapshots = fastg_par::try_par_map(
+        prefix_jobs.iter().map(|(_, t)| t.clone()).collect(),
+        threads,
+        |_, template| {
+            let (mut platform, _) =
+                build_prefix(&template.config, &template.functions, &template.loads)?;
+            platform.run_for(template.shared_warmup);
+            Ok::<_, PlatformError>(Arc::new(platform.checkpoint()))
+        },
+    )?;
+
+    // Assemble the cell list in input order.
+    let mut shared_for: Vec<Option<Arc<Snapshot>>> = vec![None; scenarios.len()];
+    for ((members, template), snap) in prefix_jobs.iter().zip(&snapshots) {
+        stats.prefixes_shared += 1;
+        stats.cells_resumed += members.len();
+        let resumed_extra = u64::try_from(members.len() - 1).unwrap_or(u64::MAX);
+        stats.warmup_avoided += template.shared_warmup * resumed_extra;
+        for &i in members {
+            shared_for[i] = Some(Arc::clone(snap));
+        }
+    }
+    let cells: Vec<Cell> = scenarios
+        .into_iter()
+        .zip(shared_for)
+        .map(|(scenario, snap)| match snap {
+            Some(snap) => Cell::Resume(scenario, snap),
+            None => Cell::Straight(scenario),
+        })
+        .collect();
+
+    let results = fastg_par::try_par_map(cells, threads, |_, cell| match cell {
+        Cell::Straight(scenario) => {
+            let name = scenario.name.clone();
+            Ok::<_, PlatformError>((name, scenario.run()?))
+        }
+        Cell::Resume(scenario, snap) => {
+            let name = scenario.name.clone();
+            Ok((name, scenario.run_from_snapshot(&snap)?))
+        }
+    })?;
+    Ok((results, stats))
 }
 
 #[cfg(test)]
@@ -131,6 +403,33 @@ mod tests {
             .collect()
     }
 
+    /// A treatment grid: identical prefix, per-cell reconfigure.
+    fn treatment_grid() -> Vec<Scenario> {
+        [(12.0, 0.4), (24.0, 0.4), (50.0, 0.8), (100.0, 1.0)]
+            .iter()
+            .map(|&(sm, quota)| {
+                Scenario::new(
+                    format!("treat-sm{sm}-q{quota}"),
+                    PlatformConfig::default().nodes(1).seed(11),
+                )
+                .function(
+                    FunctionConfig::new("f", "resnet50")
+                        .replicas(1)
+                        .resources(100.0, 1.0, 1.0)
+                        .saturating(),
+                )
+                .warmup(SimTime::from_millis(400))
+                .then(TreatmentAction::Reconfigure {
+                    func_index: 0,
+                    sm_partition: sm,
+                    quota_request: quota,
+                    quota_limit: quota,
+                })
+                .duration(SimTime::from_millis(400))
+            })
+            .collect()
+    }
+
     #[test]
     fn sweep_returns_input_order_and_matches_sequential() {
         let seq = run_sweep(grid(), 1).expect("sequential sweep");
@@ -142,6 +441,61 @@ mod tests {
             assert_eq!(n1, n2);
             assert_eq!(r1.digest(), r2.digest());
         }
+    }
+
+    #[test]
+    fn prefix_sharing_is_digest_exact() {
+        let (shared, stats) = run_sweep_stats(treatment_grid(), 2).expect("shared sweep");
+        let straight = run_sweep_unshared(treatment_grid(), 2).expect("unshared sweep");
+        assert_eq!(stats.prefixes_shared, 1);
+        assert_eq!(stats.cells_resumed, 4);
+        assert_eq!(stats.warmup_avoided, SimTime::from_millis(1200));
+        assert_eq!(shared.len(), straight.len());
+        for ((n1, r1), (n2, r2)) in shared.iter().zip(&straight) {
+            assert_eq!(n1, n2);
+            assert_eq!(r1.digest(), r2.digest(), "cell {n1} diverged");
+        }
+        // The treatment actually differentiates the cells.
+        let rps: Vec<f64> = shared
+            .iter()
+            .map(|(_, r)| r.functions.values().next().unwrap().throughput_rps)
+            .collect();
+        assert!(rps[0] < rps[3], "quota sweep should spread throughput: {rps:?}");
+    }
+
+    #[test]
+    fn distinct_prefixes_do_not_share() {
+        // Same shape, different seeds → different prefix keys.
+        let mut cells = treatment_grid();
+        cells[1].config = cells[1].config.clone().seed(12);
+        let (_, stats) = run_sweep_stats(cells, 2).expect("sweep");
+        assert_eq!(stats.prefixes_shared, 1);
+        assert_eq!(stats.cells_resumed, 3);
+    }
+
+    #[test]
+    fn chaos_treatment_round_trips() {
+        let base = || {
+            Scenario::new("kill", PlatformConfig::default().nodes(1).seed(5))
+                .function(
+                    FunctionConfig::new("f", "resnet50")
+                        .replicas(2)
+                        .resources(25.0, 0.25, 0.25),
+                )
+                .load(0, ArrivalProcess::poisson(40.0, 3))
+                .warmup(SimTime::from_millis(300))
+                .then(TreatmentAction::KillPods {
+                    func_index: 0,
+                    count: 1,
+                })
+                .duration(SimTime::from_millis(500))
+        };
+        let (shared, stats) =
+            run_sweep_stats(vec![base(), base()], 2).expect("chaos sweep");
+        assert_eq!(stats.cells_resumed, 2);
+        let straight = run_sweep_unshared(vec![base(), base()], 1).expect("straight");
+        assert_eq!(shared[0].1.digest(), straight[0].1.digest());
+        assert_eq!(shared[1].1.digest(), straight[1].1.digest());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use super::config::ConfigServer;
 use super::db::{ProfileDb, ProfileKey, ProfileRecord};
 use crate::manager::SharingPolicy;
-use crate::platform::{FunctionConfig, Platform, PlatformConfig, PlatformError};
+use crate::platform::{FunctionConfig, Platform, PlatformConfig, PlatformError, Snapshot};
 use fastg_cluster::FuncId;
 use fastg_des::SimTime;
 
@@ -142,6 +142,21 @@ impl TrialRun {
         self.key
     }
 
+    /// Suspends the trial into a compact checkpoint. The live platform —
+    /// arenas, event queue, GPU state — can then be dropped; resuming
+    /// later replays byte-identically from the snapshot. Search rounds
+    /// hold survivors this way between rounds, so eliminated trials
+    /// release their simulation memory instead of parking live
+    /// platforms until the search ends.
+    pub fn suspend(&self) -> TrialSnapshot {
+        TrialSnapshot {
+            snap: self.platform.checkpoint(),
+            func: self.func,
+            key: self.key,
+            warmup: self.warmup,
+        }
+    }
+
     /// Post-warmup simulated time this trial has already measured.
     pub fn measured(&self) -> SimTime {
         self.platform.now().saturating_sub(self.warmup)
@@ -166,6 +181,43 @@ impl TrialRun {
                 sm_occupancy: node.sm_occupancy,
             },
         }
+    }
+}
+
+/// A suspended [`TrialRun`]: the checkpointed platform plus the
+/// measurement context needed to resume it. Holds plain bytes — no
+/// arenas, queues or caches — so carrying many of these between search
+/// rounds is cheap, and dropping an eliminated one frees everything.
+#[derive(Debug, Clone)]
+pub struct TrialSnapshot {
+    snap: Snapshot,
+    func: FuncId,
+    key: ProfileKey,
+    warmup: SimTime,
+}
+
+impl TrialSnapshot {
+    /// The configuration under measurement.
+    pub fn key(&self) -> ProfileKey {
+        self.key
+    }
+
+    /// Encoded size of the suspended state.
+    pub fn size_bytes(&self) -> usize {
+        self.snap.size_bytes()
+    }
+
+    /// Rebuilds the live trial from the checkpoint. The resumed run
+    /// continues exactly where [`TrialRun::suspend`] left off —
+    /// [`TrialRun::extend_to`] produces the same measurements the
+    /// never-suspended run would have.
+    pub fn resume(&self) -> Result<TrialRun, PlatformError> {
+        Ok(TrialRun {
+            platform: Platform::from_snapshot(&self.snap)?,
+            func: self.func,
+            key: self.key,
+            warmup: self.warmup,
+        })
     }
 }
 
@@ -213,6 +265,27 @@ mod tests {
         // one 24→50.
         assert!(r24 > r12 * 1.3, "r12={r12} r24={r24}");
         assert!((r50 - r24).abs() / r24 < 0.1, "r24={r24} r50={r50}");
+    }
+
+    #[test]
+    fn suspend_resume_preserves_measurements() {
+        let e = quick_experiment(vec![24.0], vec![0.4]);
+        // Straight-through reference.
+        let mut straight = e.start_trial(24.0, 0.4).unwrap();
+        straight.extend_to(SimTime::from_millis(500));
+        let reference = straight.extend_to(SimTime::from_secs(2));
+
+        // Suspend mid-search, drop the live platform, resume, extend.
+        let mut run = e.start_trial(24.0, 0.4).unwrap();
+        run.extend_to(SimTime::from_millis(500));
+        let suspended = run.suspend();
+        drop(run);
+        assert!(suspended.size_bytes() > 0);
+        assert_eq!(suspended.key(), ProfileKey::new(24.0, 0.4));
+        let mut resumed = suspended.resume().unwrap();
+        let measured = resumed.extend_to(SimTime::from_secs(2));
+        assert_eq!(measured.key, reference.key);
+        assert_eq!(measured.record, reference.record);
     }
 
     #[test]

@@ -22,5 +22,5 @@ pub mod search;
 
 pub use config::{ConfigServer, SamplePlan};
 pub use db::{ProfileDb, ProfileKey, ProfileRecord};
-pub use experiment::{Experiment, TrialResult};
+pub use experiment::{Experiment, TrialResult, TrialRun, TrialSnapshot};
 pub use search::{predict_rps, SearchResult, SuccessiveHalving};

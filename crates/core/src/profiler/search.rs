@@ -15,7 +15,7 @@
 //!   were never run (the regression-model role in Morphling).
 
 use super::db::{ProfileDb, ProfileKey};
-use super::experiment::{Experiment, TrialRun};
+use super::experiment::{Experiment, TrialSnapshot};
 use crate::platform::PlatformError;
 use crate::profiler::config::{ConfigServer, SamplePlan};
 use crate::scheduler::ConfigPoint;
@@ -85,12 +85,17 @@ impl SuccessiveHalving {
     /// key), and the winner is returned.
     ///
     /// All candidates of a round run concurrently over `threads` worker
-    /// threads, and each survivor *carries its live platform forward*
-    /// between rounds: doubling the trial duration only simulates the
-    /// incremental time, instead of re-running the survivor's
-    /// configuration from scratch. The thread count never changes the
-    /// result — trials are independent seeded simulations collected in
-    /// candidate order.
+    /// threads. Between rounds every survivor is *suspended into a
+    /// checkpoint* ([`TrialSnapshot`]) and its live platform dropped:
+    /// the next round forks the survivor back to life from the snapshot
+    /// and pays only the incremental simulated time, while eliminated
+    /// candidates release their arenas, queues and GPU state the moment
+    /// the round's cut is made — the search's resident memory is a few
+    /// compact byte buffers, not `keep` live simulations. Suspension is
+    /// digest-exact (restore-then-run ≡ run-through), so results are
+    /// identical to carrying live platforms, and the thread count never
+    /// changes the result — trials are independent seeded simulations
+    /// collected in candidate order.
     pub fn run_with_threads(
         &self,
         db: &mut ProfileDb,
@@ -106,32 +111,37 @@ impl SuccessiveHalving {
             }),
         );
         experiment.seed = self.seed;
-        let mut pool: Vec<((f64, f64), Option<TrialRun>)> =
+        let mut pool: Vec<((f64, f64), Option<TrialSnapshot>)> =
             self.candidates.iter().map(|&c| (c, None)).collect();
         let mut duration = self.base_trial;
         let mut trials = 0usize;
         let mut sim_seconds = 0.0f64;
         while pool.len() > 1 {
             let pool_len = pool.len();
-            let measured = fastg_par::try_par_map(pool, threads, |_, ((sm, q), run)| {
-                let mut run = match run {
-                    Some(run) => run,
+            let measured = fastg_par::try_par_map(pool, threads, |_, ((sm, q), suspended)| {
+                // Fork the survivor from its checkpoint (or start cold),
+                // measure, and suspend again before the live platform
+                // leaves the worker.
+                let mut run = match &suspended {
+                    Some(snap) => snap.resume()?,
                     None => experiment.start_trial(sm, q)?,
                 };
                 let already = run.measured();
                 let trial = run.extend_to(duration);
                 let paid = duration.saturating_sub(already);
-                Ok::<_, PlatformError>(((sm, q), run, trial, paid))
+                Ok::<_, PlatformError>(((sm, q), run.suspend(), trial, paid))
             })?;
             let mut scored = Vec::with_capacity(measured.len());
-            for ((sm, q), run, trial, paid) in measured {
+            for ((sm, q), snap, trial, paid) in measured {
                 db.insert(&self.model, trial.key, trial.record);
                 trials += 1;
                 sim_seconds += paid.as_secs_f64();
                 let rpr = trial.record.rps / (sm / 100.0 * q);
-                scored.push((((sm, q), run), rpr));
+                scored.push((((sm, q), snap), rpr));
             }
             // Keep the top 1/eta (at least one), deterministic ties.
+            // Dropping the tail here frees the eliminated trials'
+            // snapshots — nothing of a loser survives the cut.
             scored.sort_by(|a, b| {
                 b.1.partial_cmp(&a.1)
                     .unwrap_or(std::cmp::Ordering::Equal)
@@ -146,15 +156,16 @@ impl SuccessiveHalving {
             pool = scored
                 .into_iter()
                 .take(keep)
-                .map(|(((sm, q), run), _)| ((sm, q), Some(run)))
+                .map(|(((sm, q), snap), _)| ((sm, q), Some(snap)))
                 .collect();
             duration = duration * 2;
         }
-        // Final high-fidelity measurement of the winner: extend its live
-        // run to 3 s of measured time (paying only the remainder).
-        let ((sm, q), run) = pool.remove(0);
-        let mut run = match run {
-            Some(run) => run,
+        // Final high-fidelity measurement of the winner: fork its last
+        // checkpoint and extend to 3 s of measured time (paying only the
+        // remainder).
+        let ((sm, q), suspended) = pool.remove(0);
+        let mut run = match &suspended {
+            Some(snap) => snap.resume()?,
             None => experiment.start_trial(sm, q)?,
         };
         let fidelity = SimTime::from_secs(3).max(run.measured());

@@ -34,6 +34,7 @@ use std::cell::Cell;
 use std::cmp::Reverse;
 
 use fastg_cluster::{NodeId, PodId, ResourceSpec};
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use fastg_des::{IdArena, IdSet};
 
 use super::guillotine::GuillotineAlloc;
@@ -109,6 +110,16 @@ pub trait Scheduler: std::fmt::Debug + Send {
 
     /// Counter snapshot.
     fn stats(&self) -> SchedStats;
+
+    /// Encodes the engine's full placement state (per-GPU planes and
+    /// counters) into a checkpoint. Policy identity is *not* encoded —
+    /// the platform reconstructs the right engine from its config and
+    /// then calls [`Scheduler::restore_state`] on it.
+    fn snap_state(&self, w: &mut SnapWriter);
+
+    /// Restores state written by [`Scheduler::snap_state`] into a
+    /// freshly-constructed engine of the same policy.
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
 }
 
 /// Number of log₂ size classes: plane areas run `1..=10_000 < 2¹⁴`, so
@@ -514,6 +525,30 @@ impl Scheduler for ArenaScheduler {
             restructures: 0,
         }
     }
+
+    /// Captures the per-GPU planes and counters; the [`FreeClassIndex`]
+    /// is derived state and is rebuilt on restore.
+    fn snap_state(&self, w: &mut SnapWriter) {
+        self.gpus.snap(w);
+        w.u64(self.placements);
+        w.u64(self.releases);
+        w.u64(self.probes.get());
+        w.u64(self.rejects.get());
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.gpus = IdArena::unsnap(r)?;
+        self.placements = r.u64()?;
+        self.releases = r.u64()?;
+        self.probes = Cell::new(r.u64()?);
+        self.rejects = Cell::new(r.u64()?);
+        self.index = FreeClassIndex::new();
+        let nodes: Vec<NodeId> = self.gpus.keys().collect();
+        for node in nodes {
+            self.refresh_index(node);
+        }
+        Ok(())
+    }
 }
 
 /// LC spreading key: fewest co-residents first. Widened to `u64` so it
@@ -569,6 +604,14 @@ impl Scheduler for NodeSelector {
 
     fn stats(&self) -> SchedStats {
         NodeSelector::stats(self)
+    }
+
+    fn snap_state(&self, w: &mut SnapWriter) {
+        NodeSelector::snap_state(self, w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        NodeSelector::restore_state(self, r)
     }
 }
 

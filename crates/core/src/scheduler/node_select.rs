@@ -3,6 +3,7 @@
 use super::arena::SchedStats;
 use super::rects::{GpuRects, Rect};
 use fastg_cluster::{NodeId, PodId, ResourceSpec};
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use fastg_des::IdArena;
 use std::cell::Cell;
 
@@ -202,6 +203,26 @@ impl NodeSelector {
             merges: 0,
             restructures: self.gpus.values().map(GpuRects::restructure_count).sum(),
         }
+    }
+
+    /// Encodes the per-GPU rectangle state and counters (the policy is
+    /// reconstructed from platform config on restore).
+    pub fn snap_state(&self, w: &mut SnapWriter) {
+        self.gpus.snap(w);
+        w.u64(self.placements);
+        w.u64(self.releases);
+        w.u64(self.probes.get());
+        w.u64(self.rejects.get());
+    }
+
+    /// Restores state written by [`Self::snap_state`].
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.gpus = IdArena::unsnap(r)?;
+        self.placements = r.u64()?;
+        self.releases = r.u64()?;
+        self.probes = Cell::new(r.u64()?);
+        self.rejects = Cell::new(r.u64()?);
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 //! that the pod now overlaps, and prunes redundancies.
 
 use fastg_cluster::PodId;
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 // The reference allocator keeps its pod bindings in an ordered tree: it
 // is the differential-testing baseline, not a fleet hot path (the fast
 // path is `scheduler::guillotine`). fastg-lint: allow(no-btreemap-hot-path)
@@ -436,6 +437,100 @@ impl GpuRects {
                 }
             }
         }
+    }
+}
+
+impl Snap for Rect {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self { x, y, w: rw, h } = self;
+        w.u32(*x);
+        w.u32(*y);
+        w.u32(*rw);
+        w.u32(*h);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Rect {
+            x: r.u32()?,
+            y: r.u32()?,
+            w: r.u32()?,
+            h: r.u32()?,
+        })
+    }
+}
+
+impl Snap for FitRule {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            FitRule::BestAreaFit => 0,
+            FitRule::BestShortSideFit => 1,
+            FitRule::BottomLeft => 2,
+        });
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => FitRule::BestAreaFit,
+            1 => FitRule::BestShortSideFit,
+            2 => FitRule::BottomLeft,
+            _ => return Err(SnapError::new("fit rule tag")),
+        })
+    }
+}
+
+impl Snap for GpuRects {
+    /// The free list is encoded in its exact in-memory order: MAXRECTS
+    /// tie-breaks scan it linearly, so a reordered list could pick a
+    /// different (equally valid) rectangle and diverge from the
+    /// straight-through run.
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            width,
+            height,
+            free,
+            placed,
+            restructure_threshold,
+            restructures,
+            fit_rule,
+        } = self;
+        w.u32(*width);
+        w.u32(*height);
+        free.snap(w);
+        placed.snap(w);
+        w.len_prefix(*restructure_threshold);
+        w.u64(*restructures);
+        fit_rule.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let width = r.u32()?;
+        let height = r.u32()?;
+        if width == 0 || height == 0 {
+            return Err(SnapError::new("gpu rects geometry"));
+        }
+        let free: Vec<Rect> = Vec::unsnap(r)?;
+        let placed: BTreeMap<PodId, Rect> = BTreeMap::unsnap(r)?;
+        let bounds = Rect::new(0, 0, width, height);
+        if free
+            .iter()
+            .any(|f| !bounds.contains(f) || placed.values().any(|p| p.intersects(f)))
+        {
+            return Err(SnapError::new("gpu rects free list"));
+        }
+        let plc: Vec<&Rect> = placed.values().collect();
+        if plc
+            .iter()
+            .enumerate()
+            .any(|(i, a)| plc.iter().skip(i + 1).any(|b| a.intersects(b)))
+        {
+            return Err(SnapError::new("gpu rects placements overlap"));
+        }
+        Ok(GpuRects {
+            width,
+            height,
+            free,
+            placed,
+            restructure_threshold: r.len_prefix()?.max(1),
+            restructures: r.u64()?,
+            fit_rule: FitRule::unsnap(r)?,
+        })
     }
 }
 

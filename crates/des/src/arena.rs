@@ -14,6 +14,7 @@
 //! stale instead of silently aliasing the new occupant (the guillotiere
 //! `AllocIndex` idiom).
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use std::fmt;
 use std::marker::PhantomData;
 
@@ -238,6 +239,134 @@ impl<K: ArenaKey, V> IdArena<K, V> {
     /// Live values, mutably, in ascending key order.
     pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
         self.slots.iter_mut().filter_map(|s| s.value.as_mut())
+    }
+}
+
+impl<K: ArenaKey, V> IdArena<K, V> {
+    /// Encodes the full slab with a caller-supplied value encoder, in the
+    /// exact wire format of the blanket [`Snap`] impl. For value types
+    /// whose encoding needs out-of-band context (e.g. a shared profile
+    /// looked up elsewhere) and therefore cannot implement [`Snap`]
+    /// directly.
+    pub fn snap_with(&self, w: &mut SnapWriter, mut encode: impl FnMut(&V, &mut SnapWriter)) {
+        let Self {
+            slots,
+            len,
+            _marker,
+        } = self;
+        w.len_prefix(*len);
+        w.len_prefix(slots.len());
+        for slot in slots {
+            let Slot { generation, value } = slot;
+            w.u32(*generation);
+            match value {
+                Some(v) => {
+                    w.u8(1);
+                    encode(v, w);
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+
+    /// Decodes a slab written by [`Self::snap_with`] (or the blanket
+    /// [`Snap`] impl), handing each live slot's key to the caller-supplied
+    /// decoder so it can resolve out-of-band context.
+    pub fn unsnap_with(
+        r: &mut SnapReader<'_>,
+        mut decode: impl FnMut(K, &mut SnapReader<'_>) -> Result<V, SnapError>,
+    ) -> Result<Self, SnapError> {
+        let len = r.len_prefix()?;
+        let n = r.len_prefix()?;
+        let mut slots = Vec::with_capacity(n.min(r.remaining()));
+        let mut live = 0usize;
+        for i in 0..n {
+            let generation = r.u32()?;
+            let value = match r.u8()? {
+                0 => None,
+                1 => {
+                    live += 1;
+                    Some(decode(K::from_index(i), r)?)
+                }
+                _ => return Err(SnapError::new("IdArena slot tag")),
+            };
+            slots.push(Slot { generation, value });
+        }
+        if live != len {
+            return Err(SnapError::new("IdArena len"));
+        }
+        Ok(IdArena {
+            slots,
+            len,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl<K: ArenaKey, V: Snap> Snap for IdArena<K, V> {
+    /// Encodes the *full* slab — vacant slots included — because slot
+    /// generations are behavioural state: a stale [`Handle`] must still
+    /// read as stale after a checkpoint/restore round trip.
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            slots,
+            len,
+            _marker,
+        } = self;
+        w.len_prefix(*len);
+        w.len_prefix(slots.len());
+        for slot in slots {
+            let Slot { generation, value } = slot;
+            w.u32(*generation);
+            value.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let len = r.len_prefix()?;
+        let n = r.len_prefix()?;
+        let mut slots = Vec::with_capacity(n.min(r.remaining()));
+        let mut live = 0usize;
+        for _ in 0..n {
+            let generation = r.u32()?;
+            let value = Option::<V>::unsnap(r)?;
+            if value.is_some() {
+                live += 1;
+            }
+            slots.push(Slot { generation, value });
+        }
+        if live != len {
+            return Err(SnapError::new("IdArena len"));
+        }
+        Ok(IdArena {
+            slots,
+            len,
+            _marker: PhantomData,
+        })
+    }
+}
+
+impl<K: ArenaKey> Snap for IdSet<K> {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            bits,
+            len,
+            _marker,
+        } = self;
+        w.len_prefix(*len);
+        bits.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let len = r.len_prefix()?;
+        let bits = Vec::<u64>::unsnap(r)?;
+        let live: u32 = bits.iter().map(|w| w.count_ones()).sum();
+        if usize::try_from(live).map_err(|_| SnapError::new("IdSet len"))? != len {
+            return Err(SnapError::new("IdSet len"));
+        }
+        Ok(IdSet {
+            bits,
+            len,
+            _marker: PhantomData,
+        })
     }
 }
 

@@ -45,10 +45,12 @@ mod queue;
 pub mod sanitizer;
 mod series;
 mod sim;
+pub mod snap;
 mod time;
 
 pub use arena::{ArenaKey, Handle, IdArena, IdSet};
 pub use queue::{CancelToken, EventQueue, TieBreak};
 pub use series::{BusyTracker, TimeSeries, TimeWeighted};
 pub use sim::{Simulation, StepOutcome, World};
+pub use snap::{Snap, SnapError, SnapReader, SnapWriter};
 pub use time::SimTime;

@@ -1,5 +1,6 @@
 //! Interval statistics: time-weighted integrators and sampled series.
 
+use crate::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use crate::time::SimTime;
 
 /// Integrates a piecewise-constant signal over simulated time.
@@ -112,6 +113,29 @@ impl TimeWeighted {
     }
 }
 
+impl Snap for TimeWeighted {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            value,
+            last_change,
+            integral_us,
+            started,
+        } = self;
+        value.snap(w);
+        last_change.snap(w);
+        integral_us.snap(w);
+        started.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TimeWeighted {
+            value: f64::unsnap(r)?,
+            last_change: SimTime::unsnap(r)?,
+            integral_us: f64::unsnap(r)?,
+            started: SimTime::unsnap(r)?,
+        })
+    }
+}
+
 /// Tracks intervals during which a resource is busy (value > 0).
 ///
 /// This is the nvidia-smi notion of "GPU utilization": the fraction of
@@ -206,6 +230,29 @@ impl BusyTracker {
     }
 }
 
+impl Snap for BusyTracker {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            active,
+            busy_since,
+            busy_total,
+            started,
+        } = self;
+        active.snap(w);
+        busy_since.snap(w);
+        busy_total.snap(w);
+        started.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(BusyTracker {
+            active: u32::unsnap(r)?,
+            busy_since: Option::<SimTime>::unsnap(r)?,
+            busy_total: SimTime::unsnap(r)?,
+            started: SimTime::unsnap(r)?,
+        })
+    }
+}
+
 /// A recorded series of `(time, value)` samples, e.g. the per-second GPU
 /// utilization exported by DCGM.
 #[derive(Debug, Clone, Default)]
@@ -270,6 +317,18 @@ impl TimeSeries {
         } else {
             vals.iter().sum::<f64>() / vals.len() as f64
         }
+    }
+}
+
+impl Snap for TimeSeries {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self { points } = self;
+        points.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(TimeSeries {
+            points: Vec::unsnap(r)?,
+        })
     }
 }
 

@@ -67,6 +67,11 @@ impl<W: World> Simulation<W> {
         &mut self.world
     }
 
+    /// Immutable access to the event queue (e.g. to snapshot its state).
+    pub fn queue(&self) -> &EventQueue<W::Event> {
+        &self.queue
+    }
+
     /// Mutable access to the event queue (e.g. to seed initial events).
     pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
         &mut self.queue
@@ -81,6 +86,14 @@ impl<W: World> Simulation<W> {
     /// Consumes the simulation, returning the world.
     pub fn into_world(self) -> W {
         self.world
+    }
+
+    /// Restores the driver clock from a checkpoint: the current simulated
+    /// time and the delivered-event counter. Event-queue state is restored
+    /// separately through [`EventQueue::restore_state`].
+    pub fn restore_clock(&mut self, now: SimTime, handled: u64) {
+        self.now = now;
+        self.handled = handled;
     }
 
     /// Delivers the next event, if any.

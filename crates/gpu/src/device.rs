@@ -29,6 +29,7 @@ use crate::memory::GpuMemory;
 use crate::metrics::GpuMetrics;
 use crate::mps::{MpsError, MpsMode, MpsServer};
 use crate::spec::GpuSpec;
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use fastg_des::{sanitizer, SimTime};
 use std::collections::VecDeque;
 
@@ -927,6 +928,214 @@ impl GpuDevice {
     }
 }
 
+impl Snap for KernelId {
+    fn snap(&self, w: &mut SnapWriter) {
+        let KernelId(raw) = self;
+        w.u64(*raw);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(KernelId(r.u64()?))
+    }
+}
+
+impl Snap for KernelDesc {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            blocks,
+            work_per_block,
+            tag,
+        } = self;
+        w.u32(*blocks);
+        work_per_block.snap(w);
+        w.u64(*tag);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(KernelDesc {
+            blocks: r.u32()?,
+            work_per_block: SimTime::unsnap(r)?,
+            tag: r.u64()?,
+        })
+    }
+}
+
+impl Snap for Running {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            client,
+            tag,
+            granted,
+            started,
+        } = self;
+        client.snap(w);
+        w.u64(*tag);
+        w.u32(*granted);
+        started.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Running {
+            client: ClientId::unsnap(r)?,
+            tag: r.u64()?,
+            granted: r.u32()?,
+            started: SimTime::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for FfKernel {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            desc,
+            start,
+            finish,
+            granted,
+        } = self;
+        desc.snap(w);
+        start.snap(w);
+        finish.snap(w);
+        w.u32(*granted);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let desc = KernelDesc::unsnap(r)?;
+        let start = SimTime::unsnap(r)?;
+        let finish = SimTime::unsnap(r)?;
+        if finish < start {
+            return Err(SnapError::new("ff kernel interval"));
+        }
+        Ok(FfKernel {
+            desc,
+            start,
+            finish,
+            granted: r.u32()?,
+        })
+    }
+}
+
+impl Snap for FfTimeline {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            client,
+            resident,
+            rest,
+            completed,
+            served,
+            tallied,
+            tallied_served,
+        } = self;
+        client.snap(w);
+        resident.snap(w);
+        rest.snap(w);
+        w.u64(*completed);
+        served.snap(w);
+        w.u64(*tallied);
+        tallied_served.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let client = ClientId::unsnap(r)?;
+        let resident = FfKernel::unsnap(r)?;
+        let rest: VecDeque<FfKernel> = VecDeque::unsnap(r)?;
+        let completed = r.u64()?;
+        let served = SimTime::unsnap(r)?;
+        let tallied = r.u64()?;
+        let tallied_served = SimTime::unsnap(r)?;
+        if tallied > completed || tallied_served > served {
+            return Err(SnapError::new("ff tally prefix"));
+        }
+        Ok(FfTimeline {
+            client,
+            resident,
+            rest,
+            completed,
+            served,
+            tallied,
+            tallied_served,
+        })
+    }
+}
+
+impl Snap for ClientStream {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            queued,
+            running,
+            waiting,
+        } = self;
+        queued.snap(w);
+        running.snap(w);
+        w.bool(*waiting);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ClientStream {
+            queued: VecDeque::unsnap(r)?,
+            running: Option::unsnap(r)?,
+            waiting: r.bool()?,
+        })
+    }
+}
+
+impl Snap for GpuDevice {
+    /// Captures the complete behavioral state of the device. The recycled
+    /// timeline buffers (`ff_pool`) are a pure allocation cache and restore
+    /// empty.
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            spec,
+            mps,
+            memory,
+            metrics,
+            free_sms,
+            streams,
+            running,
+            wait_queue,
+            next_kernel,
+            clock_scale,
+            ff,
+            ff_pool: _,
+        } = self;
+        spec.snap(w);
+        mps.snap(w);
+        memory.snap(w);
+        metrics.snap(w);
+        w.u32(*free_sms);
+        streams.snap(w);
+        running.snap(w);
+        wait_queue.snap(w);
+        w.u64(*next_kernel);
+        clock_scale.snap(w);
+        ff.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let spec = GpuSpec::unsnap(r)?;
+        let mps = MpsServer::unsnap(r)?;
+        let memory = GpuMemory::unsnap(r)?;
+        let metrics = GpuMetrics::unsnap(r)?;
+        let free_sms = r.u32()?;
+        if free_sms > spec.sm_count {
+            return Err(SnapError::new("gpu free sms"));
+        }
+        let streams: Vec<(ClientId, ClientStream)> = Vec::unsnap(r)?;
+        let running: Vec<(KernelId, Running)> = Vec::unsnap(r)?;
+        let wait_queue: VecDeque<ClientId> = VecDeque::unsnap(r)?;
+        let next_kernel = r.u64()?;
+        if running.iter().any(|(id, _)| id.0 >= next_kernel) {
+            return Err(SnapError::new("gpu kernel id space"));
+        }
+        Ok(GpuDevice {
+            spec,
+            mps,
+            memory,
+            metrics,
+            free_sms,
+            streams,
+            running,
+            wait_queue,
+            next_kernel,
+            clock_scale: f64::unsnap(r)?,
+            ff: Vec::unsnap(r)?,
+            ff_pool: Vec::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1285,6 +1494,63 @@ mod tests {
         assert_eq!(gpu.metrics().total_kernels(), 0);
         let stats = gpu.metrics().window_stats(SimTime::from_micros(1000));
         assert!((stats.utilization - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_identically() {
+        // Build a device mid-flight: one resident kernel, one queued, one
+        // waiting client, and an active fast-forward timeline on a third.
+        let mut gpu = v100();
+        let a = gpu.register_client(25.0).unwrap(); // 20 SMs
+        let b = gpu.register_client(50.0).unwrap(); // 40 SMs
+        let c = gpu.register_client(12.0).unwrap(); // 10 SMs
+        let sa = gpu.launch(SimTime::ZERO, a, kernel(20, 100)).unwrap().unwrap();
+        assert!(gpu.launch(SimTime::ZERO, a, kernel(20, 50)).unwrap().is_none());
+        let _sb = gpu.launch(SimTime::ZERO, b, kernel(40, 70)).unwrap().unwrap();
+        let end_c = gpu
+            .fast_forward_burst(SimTime::ZERO, c, [kernel(10, 30), kernel(10, 30)].iter().copied())
+            .unwrap();
+
+        let mut w = SnapWriter::new();
+        gpu.snap(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = GpuDevice::unsnap(&mut r).unwrap();
+        r.expect_done().unwrap();
+
+        // Drive both devices through the same tail and compare.
+        for dev in [&mut gpu, &mut restored] {
+            dev.ff_complete(end_c, c).unwrap();
+            let (done, started) = dev.on_kernel_finish(sa.finish_at, sa.kernel).unwrap();
+            assert_eq!(done.gpu_time, SimTime::from_micros(100));
+            for s in started {
+                dev.on_kernel_finish(s.finish_at, s.kernel).unwrap();
+            }
+        }
+        assert_eq!(gpu.free_sms(), restored.free_sms());
+        assert_eq!(gpu.metrics().total_kernels(), restored.metrics().total_kernels());
+        for cl in [a, b, c] {
+            assert_eq!(gpu.metrics().client_busy(cl), restored.metrics().client_busy(cl));
+        }
+        let t = SimTime::from_micros(500);
+        let x = gpu.metrics_mut().sample(t);
+        let y = restored.metrics_mut().sample(t);
+        assert_eq!(x.utilization.to_bits(), y.utilization.to_bits());
+        assert_eq!(x.sm_occupancy.to_bits(), y.sm_occupancy.to_bits());
+    }
+
+    #[test]
+    fn snapshot_rejects_corrupt_free_sms() {
+        let gpu = v100();
+        let mut w = SnapWriter::new();
+        gpu.spec().snap(&mut w);
+        gpu.mps().snap(&mut w);
+        gpu.memory().snap(&mut w);
+        gpu.metrics().snap(&mut w);
+        w.u32(81); // free_sms beyond the V100's 80
+        let bytes = w.finish();
+        let mut r = SnapReader::new(&bytes);
+        assert!(GpuDevice::unsnap(&mut r).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! GPU hardware descriptions.
 
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// Static description of a GPU device.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +72,31 @@ impl GpuSpec {
         let pct = pct.clamp(0.0, 100.0);
         // fastg-lint: allow(no-lossy-cast) — rounded value is ≤ sm_count.
         ((self.sm_count as f64 * pct / 100.0).round() as u32).max(1)
+    }
+}
+
+impl Snap for GpuSpec {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            name,
+            sm_count,
+            memory_bytes,
+        } = self;
+        name.snap(w);
+        w.u32(*sm_count);
+        w.u64(*memory_bytes);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let name = String::unsnap(r)?;
+        let sm_count = r.u32()?;
+        if sm_count == 0 {
+            return Err(SnapError::new("gpu spec sm count"));
+        }
+        Ok(GpuSpec {
+            name,
+            sm_count,
+            memory_bytes: r.u64()?,
+        })
     }
 }
 

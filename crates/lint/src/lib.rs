@@ -51,6 +51,13 @@
 //!   generation-stamped handles (`IdArena`), where a lookup is an index,
 //!   not a pointer-chasing tree walk. Cold report-assembly code keeps
 //!   ordered maps behind a per-line allow escape.
+//! * **`exhaustive-snapshot-fields`** — `..` rest patterns are denied
+//!   inside snapshot encode/decode bodies (`snap`, `unsnap`,
+//!   `snap_state`, `unsnap_state`, and their `_with`/`_cursor`
+//!   variants): a rest pattern is exactly how a newly added state field
+//!   silently skips serialization, so the codec destructures every
+//!   struct exhaustively and a new field becomes a compile error, not a
+//!   checkpoint that restores to a different simulation.
 //!
 //! Diagnostics carry `file:line:col` positions. Existing violations are
 //! allowlisted per-rule-per-file in a checked-in baseline
@@ -82,9 +89,11 @@ pub const NO_TIEBREAK_DRAIN: &str = "no-tiebreak-sensitive-drain";
 pub const EXHAUSTIVE_EVENT_MATCH: &str = "exhaustive-event-match";
 /// Deny tree-walk collections in the per-event hot-path files.
 pub const NO_BTREEMAP_HOT_PATH: &str = "no-btreemap-hot-path";
+/// Deny `..` rest patterns inside snapshot encode/decode bodies.
+pub const EXHAUSTIVE_SNAPSHOT_FIELDS: &str = "exhaustive-snapshot-fields";
 
 /// Every rule, in diagnostic order.
-pub const RULES: [&str; 10] = [
+pub const RULES: [&str; 11] = [
     NO_PANIC,
     NO_WALLCLOCK,
     NO_UNORDERED_ITER,
@@ -95,6 +104,7 @@ pub const RULES: [&str; 10] = [
     NO_TIEBREAK_DRAIN,
     EXHAUSTIVE_EVENT_MATCH,
     NO_BTREEMAP_HOT_PATH,
+    EXHAUSTIVE_SNAPSHOT_FIELDS,
 ];
 
 /// One finding at a source position.
@@ -650,9 +660,108 @@ pub fn scan_file(rel_path: &str, source: &str, scope: FileScope) -> Vec<Diagnost
             );
         });
     }
+    if scope.lib_code {
+        scan_snapshot_fields(code, &mut push);
+    }
     scan_float_eq(code, &mut push);
     scan_lossy_cast(code, &mut push);
     out
+}
+
+/// Whether a function name marks a snapshot encode/decode body: `snap`,
+/// `unsnap`, or any `snap_*`/`unsnap_*` variant (`snap_state`,
+/// `unsnap_with`, `snap_cursor`, ...).
+fn is_snapshot_fn(name: &[u8]) -> bool {
+    name == b"snap"
+        || name == b"unsnap"
+        || name.starts_with(b"snap_")
+        || name.starts_with(b"unsnap_")
+}
+
+/// `exhaustive-snapshot-fields`: a `..` rest pattern inside a snapshot
+/// encode/decode body. The codec's correctness rests on every struct
+/// being destructured exhaustively — `let Self { a, b } = self;` — so a
+/// newly added field fails to compile until it is wired onto the wire.
+/// A rest pattern defeats exactly that: the new field silently skips
+/// serialization and the checkpoint restores to a different simulation.
+///
+/// Only genuine rest patterns are flagged (`..` preceded by `{`, `(` or
+/// `,` and followed by `}` or `)`); ranges (`0..n`), slice indexing
+/// (`&b[..4]`) and `..=` stay legal.
+fn scan_snapshot_fields(code: &[u8], push: &mut impl FnMut(&'static str, usize, String)) {
+    let needle = b"fn ";
+    let mut i = 0usize;
+    while let Some(off) = find_from(code, i, needle) {
+        i = off + needle.len();
+        if off > 0 && is_ident(code[off - 1]) {
+            continue;
+        }
+        let mut j = i;
+        while code.get(j).copied().is_some_and(is_ident) {
+            j += 1;
+        }
+        if !is_snapshot_fn(&code[i..j]) {
+            continue;
+        }
+        // Find the body's opening brace at paren depth 0 (a `;` first
+        // means a bodyless trait method declaration).
+        let mut k = j;
+        let mut pdepth = 0usize;
+        let mut open = None;
+        while k < code.len() {
+            match code[k] {
+                b'(' => pdepth += 1,
+                b')' => pdepth = pdepth.saturating_sub(1),
+                b'{' if pdepth == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                b';' if pdepth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            continue;
+        };
+        let Some(close) = matching(code, open, b'{', b'}') else {
+            continue;
+        };
+        let mut u = open;
+        while let Some(dots) = find_from(code, u, b"..") {
+            if dots >= close {
+                break;
+            }
+            u = dots + 2;
+            // `..=` and `...` are ranges, never rest patterns.
+            if matches!(code.get(dots + 2), Some(&b'=') | Some(&b'.')) {
+                continue;
+            }
+            let prev = code[..dots]
+                .iter()
+                .rev()
+                .find(|b| !b.is_ascii_whitespace())
+                .copied()
+                .unwrap_or(b' ');
+            if !matches!(prev, b',' | b'{' | b'(') {
+                continue;
+            }
+            let mut v = dots + 2;
+            while code.get(v).copied().is_some_and(|b| b.is_ascii_whitespace()) {
+                v += 1;
+            }
+            if matches!(code.get(v), Some(&b'}') | Some(&b')')) {
+                push(
+                    EXHAUSTIVE_SNAPSHOT_FIELDS,
+                    dots,
+                    "`..` rest pattern in a snapshot encode/decode body; destructure every \
+                     field explicitly so a new state field cannot silently skip serialization"
+                        .to_string(),
+                );
+            }
+        }
+        i = close;
+    }
 }
 
 /// `no-tiebreak-sensitive-drain`: a comparator that orders events by
@@ -1325,6 +1434,33 @@ mod tests {
         let report = check(&fewer, &base);
         assert!(report.passed());
         assert_eq!(report.stale.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_rest_pattern_flagged_in_snap_fns_only() {
+        // A rest pattern inside `snap` hides fields from the wire.
+        let d = scan("fn snap(&self, w: &mut W) { let Self { a, .. } = self; w.u64(*a); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, EXHAUSTIVE_SNAPSHOT_FIELDS);
+        // `snap_state` / `unsnap_with` variants are covered too.
+        assert_eq!(
+            scan("fn unsnap_with(r: &mut R) { let Self { b, .. } = x; }").len(),
+            1
+        );
+        // The same pattern outside a snapshot body stays legal.
+        assert!(scan("fn summary(&self) -> u64 { let Self { a, .. } = self; *a }").is_empty());
+        // Ranges, slices and `..=` inside snapshot bodies are not rest
+        // patterns.
+        assert!(scan(
+            "fn snap(&self, w: &mut W) { for i in 0..3 { w.u64(i); } let s = &self.b[..2]; \
+             if matches!(self.a, 0..=9) { w.u64(1); } }"
+        )
+        .is_empty());
+        // Tuple rest patterns are rest patterns.
+        assert_eq!(
+            scan("fn unsnap(r: &mut R) { let Self(a, ..) = x; }").len(),
+            1
+        );
     }
 
     #[test]

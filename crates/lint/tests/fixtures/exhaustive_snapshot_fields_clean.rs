@@ -1,0 +1,51 @@
+//! Clean fixture for `exhaustive-snapshot-fields`: snapshot bodies
+//! destructure every field explicitly; ranges and slices inside them
+//! stay legal, and rest patterns outside snapshot bodies are fine.
+
+pub struct DeviceState {
+    pub quota: u64,
+    pub used: u64,
+    pub generation: u64,
+}
+
+impl DeviceState {
+    pub fn snap(&self, w: &mut Vec<u64>) {
+        let DeviceState {
+            quota,
+            used,
+            generation,
+        } = self;
+        w.push(*quota);
+        w.push(*used);
+        w.push(*generation);
+    }
+
+    pub fn snap_state(&self, w: &mut Vec<u64>) {
+        // Ranges, slice indexing and `..=` are not rest patterns.
+        for i in 0..2 {
+            w.push(i);
+        }
+        let head = &w[..1];
+        if matches!(head.len(), 0..=4) {
+            w.push(self.quota);
+        }
+    }
+
+    pub fn unsnap_state(r: &mut Vec<u64>) -> Option<DeviceState> {
+        let generation = r.pop()?;
+        let used = r.pop()?;
+        let quota = r.pop()?;
+        Some(DeviceState {
+            quota,
+            used,
+            generation,
+        })
+    }
+
+    /// Rest patterns outside snapshot bodies are a style choice, not a
+    /// serialization hazard.
+    pub fn summary(&self) -> u64 {
+        let DeviceState { quota, .. } = self;
+        *quota
+    }
+}

@@ -1,0 +1,37 @@
+//! Violating fixture for `exhaustive-snapshot-fields`: snapshot
+//! encode/decode bodies hiding fields behind `..` rest patterns — the
+//! exact shape that lets a newly added state field silently skip
+//! serialization. Expected findings: 3.
+
+pub struct DeviceState {
+    pub quota: u64,
+    pub used: u64,
+    pub generation: u64,
+}
+
+impl DeviceState {
+    pub fn snap(&self, w: &mut Vec<u64>) {
+        // `used` and `generation` never reach the wire.
+        let DeviceState { quota, .. } = self;
+        w.push(*quota);
+    }
+
+    pub fn snap_state(&self, w: &mut Vec<u64>) {
+        match self {
+            DeviceState { used, .. } => w.push(*used),
+        }
+    }
+
+    pub fn unsnap_state(r: &mut Vec<u64>) -> Option<DeviceState> {
+        let generation = r.pop()?;
+        let used = r.pop()?;
+        let quota = r.pop()?;
+        let out = DeviceState {
+            quota,
+            used,
+            generation,
+        };
+        let DeviceState { quota: _, .. } = &out;
+        Some(out)
+    }
+}

@@ -4,9 +4,9 @@
 //! `--update-baseline` / `--check` CLI.
 
 use fastg_lint::{
-    scan_file, FileScope, EXHAUSTIVE_EVENT_MATCH, NO_BTREEMAP_HOT_PATH, NO_DEFAULT_HASHER,
-    NO_FLOAT_EQ, NO_LOSSY_CAST, NO_PANIC, NO_THREADS, NO_TIEBREAK_DRAIN, NO_UNORDERED_ITER,
-    NO_WALLCLOCK,
+    scan_file, FileScope, EXHAUSTIVE_EVENT_MATCH, EXHAUSTIVE_SNAPSHOT_FIELDS,
+    NO_BTREEMAP_HOT_PATH, NO_DEFAULT_HASHER, NO_FLOAT_EQ, NO_LOSSY_CAST, NO_PANIC, NO_THREADS,
+    NO_TIEBREAK_DRAIN, NO_UNORDERED_ITER, NO_WALLCLOCK,
 };
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -138,6 +138,24 @@ fn exhaustive_event_match_fixture_pair() {
 }
 
 #[test]
+fn exhaustive_snapshot_fields_fixture_pair() {
+    assert_eq!(
+        rule_hits(
+            "exhaustive_snapshot_fields_violation.rs",
+            EXHAUSTIVE_SNAPSHOT_FIELDS
+        ),
+        3
+    );
+    assert_eq!(
+        rule_hits(
+            "exhaustive_snapshot_fields_clean.rs",
+            EXHAUSTIVE_SNAPSHOT_FIELDS
+        ),
+        0
+    );
+}
+
+#[test]
 fn violating_fixtures_have_no_cross_rule_noise() {
     // Each violating fixture triggers ONLY its own rule (so the pairs stay
     // honest as rules evolve). The lossy-cast fixture's `as f64` line in
@@ -151,6 +169,10 @@ fn violating_fixtures_have_no_cross_rule_noise() {
         ("no_tiebreak_sensitive_drain_violation.rs", NO_TIEBREAK_DRAIN),
         ("exhaustive_event_match_violation.rs", EXHAUSTIVE_EVENT_MATCH),
         ("no_btreemap_hot_path_violation.rs", NO_BTREEMAP_HOT_PATH),
+        (
+            "exhaustive_snapshot_fields_violation.rs",
+            EXHAUSTIVE_SNAPSHOT_FIELDS,
+        ),
     ] {
         let diags = scan_file(file, &fixture(file), FileScope::full());
         assert!(

@@ -1,5 +1,6 @@
 //! Model profiles: kernel traces and memory footprints.
 
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use fastg_des::SimTime;
 
 /// One kernel launch within a stage burst.
@@ -164,6 +165,74 @@ impl ModelProfile {
     /// Total kernels launched per request.
     pub fn kernels_per_request(&self) -> usize {
         self.stages.iter().map(|s| s.kernels.len()).sum()
+    }
+}
+
+impl Snap for KernelSpec {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            blocks,
+            work_per_block,
+        } = self;
+        w.u32(*blocks);
+        work_per_block.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(KernelSpec {
+            blocks: r.u32()?,
+            work_per_block: SimTime::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for Stage {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self { host, kernels } = self;
+        host.snap(w);
+        kernels.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Stage {
+            host: SimTime::unsnap(r)?,
+            kernels: Vec::unsnap(r)?,
+        })
+    }
+}
+
+impl Snap for MemoryFootprint {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            runtime_bytes,
+            weights_bytes,
+        } = self;
+        w.u64(*runtime_bytes);
+        w.u64(*weights_bytes);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MemoryFootprint {
+            runtime_bytes: r.u64()?,
+            weights_bytes: r.u64()?,
+        })
+    }
+}
+
+impl Snap for ModelProfile {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            name,
+            stages,
+            memory,
+        } = self;
+        name.snap(w);
+        stages.snap(w);
+        memory.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(ModelProfile {
+            name: String::unsnap(r)?,
+            stages: Vec::unsnap(r)?,
+            memory: MemoryFootprint::unsnap(r)?,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! The inference cursor: walks a [`ModelProfile`] one operation at a time.
 
 use crate::profile::{KernelSpec, ModelProfile};
+use fastg_des::snap::{SnapError, SnapReader, SnapWriter};
 use fastg_des::SimTime;
 use std::sync::Arc;
 
@@ -129,6 +130,45 @@ impl InferenceRun {
     pub fn reset(&mut self) {
         self.stage = 0;
         self.phase = Phase::Host;
+    }
+
+    /// Encodes the cursor position only — stage index and phase — leaving
+    /// the (immutable, shared) profile to be re-attached on restore via
+    /// [`Self::unsnap_cursor`]. Checkpoints of a fleet hold one profile
+    /// copy per function, not one per in-flight request.
+    pub fn snap_cursor(&self, w: &mut SnapWriter) {
+        let Self {
+            profile: _,
+            stage,
+            phase,
+        } = self;
+        w.len_prefix(*stage);
+        match phase {
+            Phase::Host => w.u8(0),
+            Phase::Burst => w.u8(1),
+        }
+    }
+
+    /// Rebuilds a run from a cursor encoded by [`Self::snap_cursor`],
+    /// re-attaching `profile` as the shared model.
+    pub fn unsnap_cursor(
+        r: &mut SnapReader<'_>,
+        profile: Arc<ModelProfile>,
+    ) -> Result<Self, SnapError> {
+        let stage = r.len_prefix()?;
+        if stage > profile.stages.len() {
+            return Err(SnapError::new("inference cursor stage"));
+        }
+        let phase = match r.u8()? {
+            0 => Phase::Host,
+            1 => Phase::Burst,
+            _ => return Err(SnapError::new("inference cursor phase")),
+        };
+        Ok(InferenceRun {
+            profile,
+            stage,
+            phase,
+        })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Open-loop request arrival processes.
 
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use fastg_des::SimTime;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -204,6 +205,71 @@ impl ArrivalProcess {
             now = t;
         }
         out
+    }
+}
+
+impl Snap for Kind {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            Kind::Constant { rate } => {
+                w.u8(0);
+                rate.snap(w);
+            }
+            Kind::Poisson { rate } => {
+                w.u8(1);
+                rate.snap(w);
+            }
+            Kind::Profile { knots } => {
+                w.u8(2);
+                knots.snap(w);
+            }
+            Kind::Trace { times, next } => {
+                w.u8(3);
+                times.snap(w);
+                next.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.u8()? {
+            0 => Ok(Kind::Constant {
+                rate: f64::unsnap(r)?,
+            }),
+            1 => Ok(Kind::Poisson {
+                rate: f64::unsnap(r)?,
+            }),
+            2 => Ok(Kind::Profile {
+                knots: Vec::unsnap(r)?,
+            }),
+            3 => Ok(Kind::Trace {
+                times: Vec::unsnap(r)?,
+                next: usize::unsnap(r)?,
+            }),
+            _ => Err(SnapError::new("arrival Kind tag")),
+        }
+    }
+}
+
+impl Snap for ArrivalProcess {
+    /// The RNG is captured as its raw xoshiro256++ state, so a restored
+    /// process continues the exact same arrival stream mid-sequence.
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self { kind, rng, cursor } = self;
+        kind.snap(w);
+        for word in rng.state() {
+            w.u64(word);
+        }
+        cursor.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let kind = Kind::unsnap(r)?;
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let cursor = SimTime::unsnap(r)?;
+        Ok(ArrivalProcess {
+            kind,
+            rng: SmallRng::from_state(state),
+            cursor,
+        })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Log-bucket latency histogram (HdrHistogram-style, simplified).
 
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use fastg_des::SimTime;
 
 /// Per-bucket growth factor: ~5 % relative quantile error.
@@ -155,6 +156,40 @@ impl LatencyHistogram {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+    }
+}
+
+impl Snap for LatencyHistogram {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            counts,
+            count,
+            sum_us,
+            min,
+            max,
+        } = self;
+        counts.snap(w);
+        w.u64(*count);
+        w.u128(*sum_us);
+        min.snap(w);
+        max.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let counts: Vec<u64> = Vec::unsnap(r)?;
+        if counts.len() != BUCKETS {
+            return Err(SnapError::new("histogram bucket count"));
+        }
+        let count = r.u64()?;
+        if counts.iter().sum::<u64>() != count {
+            return Err(SnapError::new("histogram total"));
+        }
+        Ok(LatencyHistogram {
+            counts,
+            count,
+            sum_us: r.u128()?,
+            min: Option::unsnap(r)?,
+            max: SimTime::unsnap(r)?,
+        })
     }
 }
 

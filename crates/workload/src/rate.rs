@@ -1,5 +1,6 @@
 //! Throughput measurement and arrival-rate prediction.
 
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use fastg_des::SimTime;
 use std::collections::VecDeque;
 
@@ -137,6 +138,69 @@ impl RateMeter {
         } else {
             self.count_between(from, to) as f64 / span
         }
+    }
+}
+
+impl Snap for Run {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            start_us,
+            gap_us,
+            count,
+        } = self;
+        w.u64(*start_us);
+        w.u64(*gap_us);
+        w.u64(*count);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Run {
+            start_us: r.u64()?,
+            gap_us: r.u64()?,
+            count: r.u64()?,
+        })
+    }
+}
+
+impl Snap for RateMeter {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self { runs, total } = self;
+        runs.snap(w);
+        w.u64(*total);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let runs: Vec<Run> = Vec::unsnap(r)?;
+        let total = r.u64()?;
+        let sum: u64 = runs.iter().map(|run| run.count).sum();
+        if sum != total {
+            return Err(SnapError::new("rate meter total"));
+        }
+        Ok(RateMeter { runs, total })
+    }
+}
+
+impl Snap for RateEstimator {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            window,
+            alpha,
+            recent,
+            smoothed,
+            last_update,
+        } = self;
+        window.snap(w);
+        alpha.snap(w);
+        recent.snap(w);
+        smoothed.snap(w);
+        last_update.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RateEstimator {
+            window: SimTime::unsnap(r)?,
+            alpha: f64::unsnap(r)?,
+            recent: VecDeque::unsnap(r)?,
+            smoothed: Option::unsnap(r)?,
+            last_update: SimTime::unsnap(r)?,
+        })
     }
 }
 

@@ -1,6 +1,7 @@
 //! Service-level-objective accounting.
 
 use crate::hist::LatencyHistogram;
+use fastg_des::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use fastg_des::SimTime;
 
 /// Tracks request latencies against a latency SLO (e.g. the paper's 69 ms
@@ -73,6 +74,32 @@ impl SloTracker {
     /// The underlying latency histogram.
     pub fn histogram(&self) -> &LatencyHistogram {
         &self.histogram
+    }
+}
+
+impl Snap for SloTracker {
+    fn snap(&self, w: &mut SnapWriter) {
+        let Self {
+            slo,
+            histogram,
+            violations,
+        } = self;
+        slo.snap(w);
+        histogram.snap(w);
+        w.u64(*violations);
+    }
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let slo = SimTime::unsnap(r)?;
+        let histogram = LatencyHistogram::unsnap(r)?;
+        let violations = r.u64()?;
+        if violations > histogram.count() {
+            return Err(SnapError::new("slo violations"));
+        }
+        Ok(SloTracker {
+            slo,
+            histogram,
+            violations,
+        })
     }
 }
 
